@@ -1,0 +1,512 @@
+package repro
+
+// The benchmark harness regenerates the paper's evaluation (Table 1) and
+// the ablation experiments of DESIGN.md. Each Table-1 cell has a bench
+// that runs the corresponding convergence experiment and reports the
+// measured rounds (and the theorem bound) as custom metrics, so
+// `go test -bench Table1` prints the empirical counterpart of the table.
+//
+// Benchmarks use moderate instance sizes to stay laptop-friendly; the
+// cmd/table1 binary runs the full sweeps with exponent fits.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diffusion"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// mustClass fetches a Table-1 graph class.
+func mustClass(b *testing.B, key string) experiments.GraphClass {
+	b.Helper()
+	c, err := experiments.ClassByKey(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// mustSystem builds a uniform-speed system for a class instance.
+func mustSystem(b *testing.B, class experiments.GraphClass, n int) *core.System {
+	b.Helper()
+	g, err := class.Build(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, machine.Uniform(g.N()), core.WithLambda2(class.Lambda2(g)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// benchApproxPhase runs the Theorem-1.1 phase (all-on-one start until
+// Ψ₀ ≤ 4ψ_c) once per iteration and reports rounds.
+func benchApproxPhase(b *testing.B, classKey string, n, tasksPerNode int) {
+	class := mustClass(b, classKey)
+	sys := mustSystem(b, class, n)
+	actualN := sys.N()
+	m := int64(tasksPerNode) * int64(actualN)
+	counts, err := workload.AllOnOne(actualN, m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	threshold := 4 * sys.PsiCritical()
+	totalRounds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := core.NewUniformState(sys, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtPsi0Below(threshold),
+			core.RunOpts{MaxRounds: 5_000_000, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalRounds += res.Rounds
+	}
+	b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds")
+	b.ReportMetric(2*sys.ApproxPhaseRounds(m), "theory-rounds")
+}
+
+// benchExactPhase runs all the way to an exact NE.
+func benchExactPhase(b *testing.B, classKey string, n, tasksPerNode int) {
+	class := mustClass(b, classKey)
+	sys := mustSystem(b, class, n)
+	actualN := sys.N()
+	m := int64(tasksPerNode) * int64(actualN)
+	counts, err := workload.AllOnOne(actualN, m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	totalRounds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := core.NewUniformState(sys, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtNash(),
+			core.RunOpts{MaxRounds: 10_000_000, Seed: uint64(i + 1), CheckEvery: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalRounds += res.Rounds
+	}
+	b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds")
+	b.ReportMetric(sys.ExactPhaseRounds(1), "theory-rounds")
+}
+
+// --- Table 1, column "ε-approximate NE (this paper)" (E1–E4) ---
+
+func BenchmarkTable1ApproxComplete(b *testing.B)  { benchApproxPhase(b, "complete", 64, 64) }
+func BenchmarkTable1ApproxRing(b *testing.B)      { benchApproxPhase(b, "ring", 32, 64) }
+func BenchmarkTable1ApproxTorus(b *testing.B)     { benchApproxPhase(b, "torus", 64, 64) }
+func BenchmarkTable1ApproxHypercube(b *testing.B) { benchApproxPhase(b, "hypercube", 64, 64) }
+
+// --- Table 1, column "Nash Equilibrium (this paper)" (E5) ---
+
+func BenchmarkTable1ExactNEComplete(b *testing.B)  { benchExactPhase(b, "complete", 32, 32) }
+func BenchmarkTable1ExactNERing(b *testing.B)      { benchExactPhase(b, "ring", 16, 32) }
+func BenchmarkTable1ExactNETorus(b *testing.B)     { benchExactPhase(b, "torus", 36, 32) }
+func BenchmarkTable1ExactNEHypercube(b *testing.B) { benchExactPhase(b, "hypercube", 32, 32) }
+
+// --- Table 1 columns "[6]": the weighted baseline comparison (E6) ---
+
+func BenchmarkBaselineComparison(b *testing.B) {
+	for _, key := range []string{"complete", "torus"} {
+		b.Run(key, func(b *testing.B) {
+			class := mustClass(b, key)
+			ratios := 0.0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.CompareWeighted(class, 16, 32, 0.25, 1, uint64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratios += res.RoundsRatioB2A
+			}
+			b.ReportMetric(ratios/float64(b.N), "baseline/alg2-rounds")
+		})
+	}
+}
+
+// --- Theorem 1.3: weighted tasks on machines with speeds (E9) ---
+
+func BenchmarkTable1Weighted(b *testing.B) {
+	for _, key := range []string{"complete", "ring", "torus", "hypercube"} {
+		b.Run(key, func(b *testing.B) {
+			class := mustClass(b, key)
+			g, err := class.Build(32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := g.N()
+			speeds, err := machine.RandomIntegers(n, 3, rng.New(5))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys, err := core.NewSystem(g, speeds, core.WithLambda2(class.Lambda2(g)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The task count must be large enough that the all-on-one
+			// start exceeds the weighted 4ψ_c threshold even on the
+			// ring, whose λ₂ (and hence ψ_c⁻¹) is tiny.
+			weights, err := task.RandomWeights(128*n, 0.1, 1, rng.New(6))
+			if err != nil {
+				b.Fatal(err)
+			}
+			perNode, err := workload.WeightedAllOnOne(n, weights, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			threshold := 4 * sys.PsiCriticalWeighted()
+			totalRounds := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := core.NewWeightedState(sys, perNode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := core.RunWeighted(st, core.Algorithm2{}, core.StopAtWeightedPsi0Below(threshold),
+					core.RunOpts{MaxRounds: 3_000_000, Seed: uint64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalRounds += res.Rounds
+			}
+			b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds")
+			b.ReportMetric(sys.WeightedApproxPhaseRounds(int64(len(weights))), "theory-rounds")
+		})
+	}
+}
+
+// --- Lemma 3.13 multiplicative drop (E7) ---
+
+func BenchmarkPotentialDrop(b *testing.B) {
+	class := mustClass(b, "torus")
+	sum := 0.0
+	var theory float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MeasurePotentialDrop(class, 36, 64, uint64(i+1), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum += res.MeanDropRatio
+		theory = res.TheoryRatio
+	}
+	b.ReportMetric(sum/float64(b.N), "mean-drop-ratio")
+	b.ReportMetric(theory, "theory-ratio")
+}
+
+// --- Theorem 1.2 speed-granularity dependence (E8) ---
+
+func BenchmarkSpeedGranularity(b *testing.B) {
+	class := mustClass(b, "torus")
+	g, err := class.Build(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.N()
+	for _, eps := range []float64{1, 0.5} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			speeds, err := machine.Granular(n, eps, 3, rng.New(7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys, err := core.NewSystem(g, speeds, core.WithLambda2(class.Lambda2(g)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			actualEps, err := speeds.Granularity(1e-9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			alpha, err := sys.AlphaForGranularity(actualEps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			counts, err := workload.AllOnOne(n, int64(64*n), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			totalRounds := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := core.NewUniformState(sys, counts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := core.RunUniform(st, core.Algorithm1{Alpha: alpha}, core.StopAtNash(),
+					core.RunOpts{MaxRounds: 20_000_000, Seed: uint64(i + 1), CheckEvery: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalRounds += res.Rounds
+			}
+			b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds")
+			b.ReportMetric(sys.ExactPhaseRounds(actualEps), "theory-rounds")
+		})
+	}
+}
+
+// --- Lemma 3.17 threshold: Ψ₀ ≤ 4ψ_c state is an ε-approx NE (E10) ---
+
+func BenchmarkApproxNEThreshold(b *testing.B) {
+	class := mustClass(b, "complete")
+	sys := mustSystem(b, class, 8)
+	n := sys.N()
+	const delta = 2.0
+	m := int64(sys.ApproxNETaskThreshold(delta)) + 1
+	eps := core.EpsilonForDelta(delta)
+	counts, err := workload.AllOnOne(n, m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	threshold := 4 * sys.PsiCritical()
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := core.NewUniformState(sys, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtPsi0Below(threshold),
+			core.RunOpts{MaxRounds: 5_000_000, Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+		if core.IsApproxNash(st, eps) {
+			hits++
+		}
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "eps-NE-fraction")
+}
+
+// --- Corollary 1.16 interlacing (E11) ---
+
+func BenchmarkGeneralizedLambda2(b *testing.B) {
+	g, err := graph.Torus(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	speeds, err := machine.RandomIntegers(g.N(), 4, rng.New(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectral.Mu2(g, speeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Diffusion comparison (E12) ---
+
+func BenchmarkDiffusionComparison(b *testing.B) {
+	class := mustClass(b, "torus")
+	sys := mustSystem(b, class, 36)
+	n := sys.N()
+	x := make([]float64, n)
+	x[0] = float64(64 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diffusion.ExpectedFlow(sys, x, 0, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: batched vs per-task round sampling ---
+
+func BenchmarkRoundBatchedVsPerTask(b *testing.B) {
+	sys := mustSystem(b, mustClass(b, "torus"), 64)
+	n := sys.N()
+	counts, err := workload.AllOnOne(n, int64(1000*n), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, impl := range []struct {
+		name  string
+		proto core.UniformProtocol
+	}{
+		{"batched", core.Algorithm1{}},
+		{"pertask", core.Algorithm1PerTask{}},
+	} {
+		b.Run(impl.name, func(b *testing.B) {
+			st, err := core.NewUniformState(sys, counts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := rng.New(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				impl.proto.Step(st, uint64(i+1), base)
+			}
+		})
+	}
+}
+
+// --- Ablation: damping parameter α ---
+
+func BenchmarkAlphaAblation(b *testing.B) {
+	sys := mustSystem(b, mustClass(b, "torus"), 36)
+	n := sys.N()
+	counts, err := workload.AllOnOne(n, int64(64*n), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alpha := range []float64{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("alpha=%g", alpha), func(b *testing.B) {
+			totalRounds := 0
+			completed := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := core.NewUniformState(sys, counts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := core.RunUniform(st, core.Algorithm1{Alpha: alpha}, core.StopAtNash(),
+					core.RunOpts{MaxRounds: 400_000, Seed: uint64(i + 1), CheckEvery: 2})
+				if err == nil {
+					totalRounds += res.Rounds
+					completed++
+				}
+			}
+			if completed > 0 {
+				b.ReportMetric(float64(totalRounds)/float64(completed), "rounds")
+			}
+			b.ReportMetric(float64(completed)/float64(b.N), "converged-fraction")
+		})
+	}
+}
+
+// --- Ablation: sequential engine vs goroutine runtimes ---
+
+func BenchmarkDistRuntime(b *testing.B) {
+	sys := mustSystem(b, mustClass(b, "torus"), 64)
+	n := sys.N()
+	counts, err := workload.AllOnOne(n, int64(200*n), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		st, err := core.NewUniformState(sys, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := rng.New(1)
+		proto := core.Algorithm1{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			proto.Step(st, uint64(i+1), base)
+		}
+	})
+	b.Run("forkjoin", func(b *testing.B) {
+		rt, err := dist.NewRuntime(sys, core.Algorithm1{}, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rt.Close()
+		base := rng.New(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.Round(uint64(i+1), base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("actors", func(b *testing.B) {
+		net, err := dist.NewNetwork(sys, counts, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer net.Close()
+		base := rng.New(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.Step(uint64(i+1), base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("forkjoin-weighted", func(b *testing.B) {
+		weights, err := task.RandomWeights(50*n, 0.1, 1, rng.New(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		perNode, err := workload.WeightedUniformRandom(n, weights, rng.New(5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt, err := dist.NewWeightedRuntime(sys, perNode, core.Algorithm2{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rt.Close()
+		base := rng.New(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.Round(uint64(i+1), base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkLambda2(b *testing.B) {
+	b.Run("dense-jacobi-ring64", func(b *testing.B) {
+		g, err := graph.Ring(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := spectral.Lambda2(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("power-iteration-torus1024", func(b *testing.B) {
+		g, err := graph.Torus(32, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := spectral.Lambda2(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPotentialEval(b *testing.B) {
+	sys := mustSystem(b, mustClass(b, "torus"), 1024)
+	counts, err := workload.UniformRandom(sys.N(), int64(100*sys.N()), rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Psi0(st)
+	}
+}

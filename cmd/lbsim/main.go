@@ -1,0 +1,252 @@
+// Command lbsim runs a single load-balancing simulation and reports the
+// convergence behaviour: rounds to the Ψ₀ ≤ 4ψ_c state, to an
+// ε-approximate NE, and to an exact NE, with an optional potential trace.
+//
+// Examples:
+//
+//	lbsim -graph ring -n 64 -tasks 6400 -seed 7
+//	lbsim -graph torus -n 100 -tasks 50000 -speeds twoclass -smax 4
+//	lbsim -graph hypercube -n 64 -model weighted -protocol baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbsim: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		graphName = flag.String("graph", "ring", "graph class: complete|ring|path|torus|mesh|hypercube|star|regular")
+		n         = flag.Int("n", 32, "approximate number of processors")
+		tasks     = flag.Int64("tasks", 0, "number of tasks (default 64·n)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		speedsArg = flag.String("speeds", "uniform", "speed profile: uniform|twoclass|integers")
+		smax      = flag.Float64("smax", 4, "maximum speed for non-uniform profiles")
+		model     = flag.String("model", "uniform", "task model: uniform|weighted")
+		protocol  = flag.String("protocol", "paper", "weighted protocol: paper|literal|baseline")
+		eps       = flag.Float64("eps", 0.25, "epsilon for the approximate-NE stop")
+		maxRounds = flag.Int("maxrounds", 2_000_000, "safety cap on rounds")
+		trace     = flag.Int("trace", 0, "emit a potential trace every k rounds (0 = off)")
+		placement = flag.String("placement", "corner", "initial placement: corner|random|proportional")
+		analyze   = flag.Bool("analyze", false, "print a state diagnostic after each phase (uniform model)")
+	)
+	flag.Parse()
+
+	g, lambda2, err := buildGraph(*graphName, *n, *seed)
+	if err != nil {
+		return err
+	}
+	actualN := g.N()
+	speeds, err := buildSpeeds(*speedsArg, actualN, *smax, *seed)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(g, speeds, core.WithLambda2(lambda2))
+	if err != nil {
+		return err
+	}
+	m := *tasks
+	if m <= 0 {
+		m = 64 * int64(actualN)
+	}
+	fmt.Printf("instance: %s  Δ=%d  λ₂=%.5f  s_max=%g  S=%.0f  m=%d\n",
+		g, sys.MaxDegree(), sys.Lambda2(), sys.SMax(), sys.STotal(), m)
+	fmt.Printf("theory:   γ=%.1f  ψ_c=%.1f  T_approx≤%.0f  T_exact≤%.3g\n",
+		sys.Gamma(), sys.PsiCritical(), 2*sys.ApproxPhaseRounds(m), sys.ExactPhaseRounds(1))
+
+	if *model == "weighted" {
+		return runWeighted(sys, m, *protocol, *eps, *seed, *maxRounds, *trace)
+	}
+	return runUniform(sys, m, *placement, *eps, *seed, *maxRounds, *trace, *analyze)
+}
+
+func buildGraph(name string, n int, seed uint64) (*graph.Graph, float64, error) {
+	switch name {
+	case "complete", "ring", "torus", "hypercube":
+		class, err := experiments.ClassByKey(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		g, err := class.Build(n)
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, class.Lambda2(g), nil
+	case "path":
+		g, err := graph.Path(n)
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, spectral.Lambda2Path(n), nil
+	case "mesh":
+		side := sqrtSide(n)
+		g, err := graph.Mesh(side, side)
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, spectral.Lambda2Mesh(side, side), nil
+	case "star":
+		g, err := graph.Star(n)
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, spectral.Lambda2Star(n), nil
+	case "regular":
+		g, err := graph.RandomRegular(n, 4, rng.New(seed))
+		if err != nil {
+			return nil, 0, err
+		}
+		l2, err := spectral.Lambda2(g)
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, l2, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown graph class %q", name)
+	}
+}
+
+func sqrtSide(n int) int {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	return side
+}
+
+func buildSpeeds(profile string, n int, smax float64, seed uint64) (machine.Speeds, error) {
+	switch profile {
+	case "uniform":
+		return machine.Uniform(n), nil
+	case "twoclass":
+		return machine.TwoClass(n, 0.25, smax)
+	case "integers":
+		return machine.RandomIntegers(n, int(smax), rng.New(seed+1))
+	default:
+		return nil, fmt.Errorf("unknown speed profile %q", profile)
+	}
+}
+
+func runUniform(sys *core.System, m int64, placement string, eps float64, seed uint64, maxRounds, trace int, analyze bool) error {
+	n := sys.N()
+	var counts []int64
+	var err error
+	switch placement {
+	case "corner":
+		counts, err = workload.AllOnOne(n, m, 0)
+	case "random":
+		counts, err = workload.UniformRandom(n, m, rng.New(seed+2))
+	case "proportional":
+		counts, err = workload.Proportional(sys.Speeds(), m)
+	default:
+		err = fmt.Errorf("unknown placement %q", placement)
+	}
+	if err != nil {
+		return err
+	}
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("start:    Ψ₀=%.4g  L_Δ=%.2f\n", core.Psi0(st), core.LDelta(st))
+
+	threshold := 4 * sys.PsiCritical()
+	res1, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtPsi0Below(threshold),
+		core.RunOpts{MaxRounds: maxRounds, Seed: seed, TraceEvery: trace})
+	if err != nil {
+		return fmt.Errorf("phase 1: %w", err)
+	}
+	fmt.Printf("phase 1:  Ψ₀ ≤ 4ψ_c after %d rounds (%d moves)\n", res1.Rounds, res1.Moves)
+	emitTrace(res1, trace)
+	if analyze {
+		fmt.Print(analysis.Format(analysis.Analyze(st, 0)))
+	}
+
+	res2, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtApproxNash(eps),
+		core.RunOpts{MaxRounds: maxRounds, Seed: seed + 1})
+	if err != nil {
+		return fmt.Errorf("phase 2 (approx): %w", err)
+	}
+	fmt.Printf("phase 2:  %.3g-approximate NE after %d more rounds\n", eps, res2.Rounds)
+
+	res3, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtNash(),
+		core.RunOpts{MaxRounds: maxRounds, Seed: seed + 2})
+	if err != nil {
+		return fmt.Errorf("phase 3 (exact): %w", err)
+	}
+	fmt.Printf("phase 3:  exact NE after %d more rounds; final L_Δ=%.3f\n", res3.Rounds, core.LDelta(st))
+	if analyze {
+		fmt.Print(analysis.Format(analysis.Analyze(st, 0)))
+	}
+	return nil
+}
+
+func runWeighted(sys *core.System, m int64, protocol string, eps float64, seed uint64, maxRounds, trace int) error {
+	n := sys.N()
+	weights, err := task.RandomWeights(int(m), 0.1, 1.0, rng.New(seed+3))
+	if err != nil {
+		return err
+	}
+	perNode, err := workload.WeightedAllOnOne(n, weights, 0)
+	if err != nil {
+		return err
+	}
+	st, err := core.NewWeightedState(sys, perNode)
+	if err != nil {
+		return err
+	}
+	var proto core.WeightedProtocol
+	switch protocol {
+	case "paper":
+		proto = core.Algorithm2{}
+	case "literal":
+		proto = core.Algorithm2Literal{}
+	case "baseline":
+		proto = core.BaselineWeighted{}
+	default:
+		return fmt.Errorf("unknown weighted protocol %q", protocol)
+	}
+	fmt.Printf("start:    W=%.1f  Ψ₀=%.4g  L_Δ=%.2f  protocol=%s\n",
+		st.TotalWeight(), core.WeightedPsi0(st), core.WeightedLDelta(st), proto.Name())
+
+	res, err := core.RunWeighted(st, proto, core.StopAtWeightedApproxNash(eps),
+		core.RunOpts{MaxRounds: maxRounds, Seed: seed, TraceEvery: trace})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done:     %.3g-approximate NE after %d rounds (%d moves)\n", eps, res.Rounds, res.Moves)
+	emitTrace(res, trace)
+	fmt.Printf("final:    Ψ₀=%.4g  L_Δ=%.3f  thresholdNE=%v exactNE=%v\n",
+		core.WeightedPsi0(st), core.WeightedLDelta(st), core.IsWeightedThresholdNE(st), core.IsWeightedNash(st))
+	return nil
+}
+
+func emitTrace(res core.RunResult, trace int) {
+	if trace <= 0 {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "round,psi0,ldelta,moves")
+	for _, p := range res.Trace {
+		fmt.Fprintf(os.Stderr, "%d,%.6g,%.6g,%d\n", p.Round, p.Psi0, p.LDelta, p.Moves)
+	}
+}

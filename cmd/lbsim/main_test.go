@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestBuildGraphClasses(t *testing.T) {
+	for _, name := range []string{"complete", "ring", "path", "torus", "mesh", "hypercube", "star", "regular"} {
+		g, lambda2, err := buildGraph(name, 16, 1)
+		if err != nil {
+			t.Fatalf("buildGraph(%s): %v", name, err)
+		}
+		if g == nil || g.N() < 2 {
+			t.Fatalf("buildGraph(%s): bad graph", name)
+		}
+		if lambda2 <= 0 {
+			t.Errorf("buildGraph(%s): λ₂ = %g", name, lambda2)
+		}
+		if !g.IsConnected() {
+			t.Errorf("buildGraph(%s): disconnected", name)
+		}
+	}
+	if _, _, err := buildGraph("nope", 16, 1); err == nil {
+		t.Error("unknown graph accepted")
+	}
+}
+
+func TestBuildSpeedsProfiles(t *testing.T) {
+	for _, profile := range []string{"uniform", "twoclass", "integers"} {
+		s, err := buildSpeeds(profile, 12, 4, 1)
+		if err != nil {
+			t.Fatalf("buildSpeeds(%s): %v", profile, err)
+		}
+		if len(s) != 12 {
+			t.Fatalf("buildSpeeds(%s): %d speeds", profile, len(s))
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("buildSpeeds(%s): %v", profile, err)
+		}
+	}
+	if _, err := buildSpeeds("nope", 12, 4, 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestSqrtSide(t *testing.T) {
+	cases := []struct{ n, want int }{{1, 1}, {4, 2}, {5, 3}, {9, 3}, {10, 4}, {64, 8}}
+	for _, c := range cases {
+		if got := sqrtSide(c.n); got != c.want {
+			t.Errorf("sqrtSide(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

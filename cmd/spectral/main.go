@@ -1,0 +1,140 @@
+// Command spectral reports the spectral quantities the convergence bounds
+// depend on for a chosen graph: λ₂ (numeric and closed-form where known),
+// the generalized-Laplacian µ₂ under a speed profile, and the classical
+// bounds (Fiedler, Mohar, Cheeger) the paper's appendix collects.
+//
+// Example:
+//
+//	spectral -graph torus -n 64 -speeds integers -smax 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spectral: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		graphName = flag.String("graph", "ring", "complete|ring|path|torus|mesh|hypercube|star|barbell")
+		n         = flag.Int("n", 16, "approximate vertex count")
+		speedsArg = flag.String("speeds", "uniform", "uniform|twoclass|integers")
+		smax      = flag.Float64("smax", 4, "max speed for non-uniform profiles")
+		seed      = flag.Uint64("seed", 1, "seed for random speed profiles")
+	)
+	flag.Parse()
+
+	g, closed, hasClosed, err := buildGraph(*graphName, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %s  Δ=%d  δ=%d\n", g, g.MaxDegree(), g.MinDegree())
+	diam, err := g.Diameter()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("diameter: %d\n", diam)
+
+	l2, err := spectral.Lambda2(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("λ₂ (numeric):        %.8f\n", l2)
+	if hasClosed {
+		fmt.Printf("λ₂ (closed form):    %.8f\n", closed)
+	}
+	fmt.Printf("Fiedler upper bound: %.8f   (Lemma 1.7)\n", spectral.FiedlerUpperBound(g))
+	mohar, err := spectral.MoharLowerBound(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Mohar lower bound:   %.8f   (Lemma 1.5)\n", mohar)
+	fmt.Printf("universal bound:     %.8f   (Corollary 1.6)\n", spectral.UniversalLowerBound(g.N()))
+	if g.N() <= 20 {
+		lo, hi, err := spectral.CheegerBounds(g)
+		if err == nil {
+			fmt.Printf("Cheeger sandwich:    %.6f ≤ λ₂ ≤ %.6f   (Lemma 1.10)\n", lo, hi)
+		}
+	}
+
+	var speeds machine.Speeds
+	switch *speedsArg {
+	case "uniform":
+		speeds = machine.Uniform(g.N())
+	case "twoclass":
+		speeds, err = machine.TwoClass(g.N(), 0.25, *smax)
+	case "integers":
+		speeds, err = machine.RandomIntegers(g.N(), int(*smax), rng.New(*seed))
+	default:
+		err = fmt.Errorf("unknown speed profile %q", *speedsArg)
+	}
+	if err != nil {
+		return err
+	}
+	mu2, err := spectral.Mu2(g, speeds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nspeeds: %s (s_max=%g)\n", *speedsArg, speeds.Max())
+	fmt.Printf("µ₂(LS⁻¹):            %.8f\n", mu2)
+	fmt.Printf("Corollary 1.16:      %.8f ≤ µ₂ ≤ %.8f\n", l2/speeds.Max(), l2/speeds.Min())
+	return nil
+}
+
+func buildGraph(name string, n int) (g *graph.Graph, closedForm float64, hasClosed bool, err error) {
+	switch name {
+	case "complete":
+		g, err = graph.Complete(n)
+		return g, spectral.Lambda2Complete(n), true, err
+	case "ring":
+		g, err = graph.Ring(n)
+		return g, spectral.Lambda2Ring(n), true, err
+	case "path":
+		g, err = graph.Path(n)
+		return g, spectral.Lambda2Path(n), true, err
+	case "torus":
+		side := sqrtSide(n)
+		g, err = graph.Torus(side, side)
+		return g, spectral.Lambda2Torus(side, side), true, err
+	case "mesh":
+		side := sqrtSide(n)
+		g, err = graph.Mesh(side, side)
+		return g, spectral.Lambda2Mesh(side, side), true, err
+	case "hypercube":
+		d := 1
+		for 1<<uint(d) < n {
+			d++
+		}
+		g, err = graph.Hypercube(d)
+		return g, spectral.Lambda2Hypercube(d), true, err
+	case "star":
+		g, err = graph.Star(n)
+		return g, spectral.Lambda2Star(n), true, err
+	case "barbell":
+		g, err = graph.Barbell(n/2, n-2*(n/2)+1)
+		return g, 0, false, err
+	default:
+		return nil, 0, false, fmt.Errorf("unknown graph %q", name)
+	}
+}
+
+func sqrtSide(n int) int {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	return side
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+func TestBuildGraphAllFamilies(t *testing.T) {
+	for _, name := range []string{"complete", "ring", "path", "torus", "mesh", "hypercube", "star", "barbell"} {
+		g, closed, hasClosed, err := buildGraph(name, 12)
+		if err != nil {
+			t.Fatalf("buildGraph(%s): %v", name, err)
+		}
+		if !g.IsConnected() {
+			t.Errorf("%s: disconnected", name)
+		}
+		if hasClosed {
+			num, err := spectral.Lambda2(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(num-closed)/closed > 1e-5 {
+				t.Errorf("%s: closed %g vs numeric %g", name, closed, num)
+			}
+		}
+	}
+	if _, _, _, err := buildGraph("nope", 12); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

@@ -1,0 +1,199 @@
+// Command sweep runs the auxiliary experiments of the reproduction
+// (beyond Table 1) and emits CSV:
+//
+//   - drop:        per-round Ψ₀ multiplicative drop vs 1−1/γ (Lemma 3.13)
+//   - granularity: exact-NE rounds vs speed granularity ε̄ (Theorem 1.2)
+//   - weighted:    Algorithm 2 vs the [6] baseline on weighted instances
+//   - diffusion:   protocol mean trajectory vs expected-flow diffusion
+//
+// Example:
+//
+//	sweep -experiment granularity -n 16 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/diffusion"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "drop", "drop|granularity|weighted|diffusion")
+		n          = flag.Int("n", 16, "instance size")
+		tpn        = flag.Int("taskspernode", 64, "tasks per node")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		repeats    = flag.Int("repeats", 3, "repetitions")
+	)
+	flag.Parse()
+
+	switch *experiment {
+	case "drop":
+		return runDrop(*n, *tpn, *seed)
+	case "granularity":
+		return runGranularity(*n, *tpn, *seed, *repeats)
+	case "weighted":
+		return runWeightedComparison(*n, *tpn, *seed, *repeats)
+	case "diffusion":
+		return runDiffusion(*n, *tpn, *seed)
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+}
+
+func runDrop(n, tpn int, seed uint64) error {
+	fmt.Println("class,n,gamma,theory_ratio,measured_ratio")
+	for _, class := range experiments.Table1Classes() {
+		res, err := experiments.MeasurePotentialDrop(class, n, tpn, seed, false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s,%d,%.2f,%.6f,%.6f\n", class.Key, res.N, res.Gamma, res.TheoryRatio, res.MeanDropRatio)
+	}
+	return nil
+}
+
+// runGranularity measures exact-NE convergence as the speed granularity
+// ε̄ shrinks (Theorem 1.2 predicts rounds ∝ 1/ε̄² in the worst case).
+func runGranularity(n, tpn int, seed uint64, repeats int) error {
+	class, err := experiments.ClassByKey("torus")
+	if err != nil {
+		return err
+	}
+	g, err := class.Build(n)
+	if err != nil {
+		return err
+	}
+	actualN := g.N()
+	m := int64(tpn) * int64(actualN)
+	fmt.Println("epsilon,alpha,mean_rounds,stderr,theory_bound")
+	for _, eps := range []float64{1, 0.5, 0.25} {
+		speeds, err := machine.Granular(actualN, eps, 4, rng.New(seed))
+		if err != nil {
+			return err
+		}
+		sys, err := core.NewSystem(g, speeds, core.WithLambda2(class.Lambda2(g)))
+		if err != nil {
+			return err
+		}
+		actualEps, err := speeds.Granularity(1e-9)
+		if err != nil {
+			return err
+		}
+		alpha, err := sys.AlphaForGranularity(actualEps)
+		if err != nil {
+			return err
+		}
+		var agg stats.Welford
+		for rep := 0; rep < repeats; rep++ {
+			counts, err := workload.AllOnOne(actualN, m, 0)
+			if err != nil {
+				return err
+			}
+			st, err := core.NewUniformState(sys, counts)
+			if err != nil {
+				return err
+			}
+			res, err := core.RunUniform(st, core.Algorithm1{Alpha: alpha}, core.StopAtNash(),
+				core.RunOpts{MaxRounds: 20_000_000, Seed: seed + uint64(rep), CheckEvery: 4})
+			if err != nil {
+				return err
+			}
+			agg.Add(float64(res.Rounds))
+		}
+		fmt.Printf("%.3g,%.3g,%.1f,%.2f,%.3g\n",
+			actualEps, alpha, agg.Mean(), agg.StdErr(), sys.ExactPhaseRounds(actualEps))
+	}
+	return nil
+}
+
+func runWeightedComparison(n, tpn int, seed uint64, repeats int) error {
+	fmt.Println("class,n,m,alg2_rounds,alg2_stderr,baseline_rounds,baseline_stderr,ratio")
+	for _, class := range experiments.Table1Classes() {
+		res, err := experiments.CompareWeighted(class, n, tpn, 0.25, repeats, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s,%d,%d,%.1f,%.2f,%.1f,%.2f,%.3f\n",
+			class.Key, res.N, res.M, res.Alg2Rounds, res.Alg2StdErr,
+			res.BaselineRounds, res.BaselineStdErr, res.RoundsRatioB2A)
+	}
+	return nil
+}
+
+// runDiffusion compares the protocol's empirical mean trajectory with the
+// deterministic expected-flow diffusion (the paper: "in expectation, our
+// protocols mimic continuous diffusion").
+func runDiffusion(n, tpn int, seed uint64) error {
+	class, err := experiments.ClassByKey("torus")
+	if err != nil {
+		return err
+	}
+	g, err := class.Build(n)
+	if err != nil {
+		return err
+	}
+	actualN := g.N()
+	m := int64(tpn) * int64(actualN)
+	sys, err := core.NewSystem(g, machine.Uniform(actualN), core.WithLambda2(class.Lambda2(g)))
+	if err != nil {
+		return err
+	}
+	counts, err := workload.AllOnOne(actualN, m, 0)
+	if err != nil {
+		return err
+	}
+	x := make([]float64, actualN)
+	for i, c := range counts {
+		x[i] = float64(c)
+	}
+	const trials = 200
+	fmt.Println("round,mean_l2_distance,drift_norm")
+	for _, rounds := range []int{1, 2, 5, 10, 20, 50} {
+		drift, err := diffusion.ExpectedFlow(sys, x, 0, rounds)
+		if err != nil {
+			return err
+		}
+		meanEnd := make([]float64, actualN)
+		for k := 0; k < trials; k++ {
+			st, err := core.NewUniformState(sys, counts)
+			if err != nil {
+				return err
+			}
+			base := rng.New(seed + uint64(k))
+			proto := core.Algorithm1{}
+			for r := uint64(1); r <= uint64(rounds); r++ {
+				proto.Step(st, r, base)
+			}
+			for i := 0; i < actualN; i++ {
+				meanEnd[i] += float64(st.Count(i))
+			}
+		}
+		dist, norm := 0.0, 0.0
+		for i := range meanEnd {
+			meanEnd[i] /= trials
+			d := meanEnd[i] - drift[i]
+			dist += d * d
+			norm += drift[i] * drift[i]
+		}
+		fmt.Printf("%d,%.4f,%.1f\n", rounds, math.Sqrt(dist), math.Sqrt(norm))
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	sizes, err := parseSizes("16, 32,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 3 || sizes[0] != 16 || sizes[2] != 64 {
+		t.Errorf("sizes %v", sizes)
+	}
+	if _, err := parseSizes("16,abc"); err == nil {
+		t.Error("non-numeric size accepted")
+	}
+	if _, err := parseSizes("2"); err == nil {
+		t.Error("size < 3 accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Command heterogeneous models the motivating scenario of the paper's
+// introduction: a cluster where processors have different speeds and
+// selfish jobs only see their immediate neighborhood. A 8×8 torus
+// "datacenter fabric" mixes one fast rack (speed 4), a few medium
+// machines (speed 2) and a majority of unit-speed nodes; jobs arrive in a
+// burst on one node and selfishly migrate toward lower-load machines.
+//
+// The example verifies the two headline predictions of Theorems 1.1/1.2:
+// the potential collapses geometrically to the 4ψ_c band well within
+// 2T = 4γ·ln(m/n) rounds, and the final equilibrium assigns load
+// proportional to speed (up to the unit slack of a Nash equilibrium).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/spectral"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const side = 8
+	g, err := graph.Torus(side, side)
+	if err != nil {
+		return err
+	}
+	n := g.N()
+
+	// Speed plan: nodes 0..7 form the fast "rack" (speed 4), every
+	// eighth node is medium (speed 2), the rest are unit speed.
+	speeds := machine.Uniform(n)
+	for i := 0; i < side; i++ {
+		speeds[i] = 4
+	}
+	for i := side; i < n; i += side {
+		speeds[i] = 2
+	}
+	sys, err := core.NewSystem(g, speeds, core.WithLambda2(spectral.Lambda2Torus(side, side)))
+	if err != nil {
+		return err
+	}
+
+	const m = 100_000
+	counts, err := workload.AllOnOne(n, m, n-1) // burst lands far from the fast rack
+	if err != nil {
+		return err
+	}
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("cluster: %s, S=%.0f, s_max=%g, λ₂=%.4f\n", g, sys.STotal(), sys.SMax(), sys.Lambda2())
+	fmt.Printf("burst:   %d jobs on node %d; Ψ₀=%.3g\n", m, n-1, core.Psi0(st))
+
+	threshold := 4 * sys.PsiCritical()
+	budget := 2 * sys.ApproxPhaseRounds(m)
+	res, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtPsi0Below(threshold),
+		core.RunOpts{MaxRounds: 3_000_000, Seed: 2026, TraceEvery: 50})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phase 1: Ψ₀ ≤ 4ψ_c = %.0f after %d rounds (theory budget %.0f) — %.1f%% of budget\n",
+		threshold, res.Rounds, budget, 100*float64(res.Rounds)/budget)
+
+	// Geometric decay check: fit log Ψ₀ against rounds on the trace.
+	var xs, ys []float64
+	for _, p := range res.Trace {
+		if p.Psi0 > threshold {
+			xs = append(xs, float64(p.Round))
+			ys = append(ys, p.Psi0)
+		}
+	}
+	if len(xs) >= 3 {
+		// log Ψ₀(t) ≈ log Ψ₀(0) + t·log(1−1/γ).
+		ly := make([]float64, len(ys))
+		for i, v := range ys {
+			ly[i] = math.Log(v)
+		}
+		fit, err := stats.FitLinear(xs, ly)
+		if err == nil {
+			fmt.Printf("decay:   measured per-round log-drop %.3e vs theory ≥ %.3e (1/γ=%.3e)\n",
+				-fit.Slope, 1/sys.Gamma(), 1/sys.Gamma())
+		}
+	}
+
+	if _, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtNash(),
+		core.RunOpts{MaxRounds: 20_000_000, Seed: 2027, CheckEvery: 8}); err != nil {
+		return err
+	}
+	fmt.Println("phase 2: exact Nash equilibrium reached")
+
+	// At equilibrium, report load per speed class.
+	classLoad := map[float64]*stats.Welford{}
+	for i := 0; i < n; i++ {
+		w, ok := classLoad[sys.Speed(i)]
+		if !ok {
+			w = &stats.Welford{}
+			classLoad[sys.Speed(i)] = w
+		}
+		w.Add(st.Load(i))
+	}
+	fmt.Printf("equilibrium loads (average load m/S = %.2f):\n", st.AverageLoad())
+	for _, s := range []float64{1, 2, 4} {
+		if w, ok := classLoad[s]; ok {
+			fmt.Printf("  speed %g: mean load %.2f over %d machines\n", s, w.Mean(), w.N())
+		}
+	}
+	fmt.Printf("max deviation L_Δ = %.3f (Nash slack ≤ 1)\n", core.LDelta(st))
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command quickstart is the smallest end-to-end use of the library: build
+// a network, drop all tasks on one processor, run the paper's Algorithm 1
+// and watch the system converge to a Nash equilibrium.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/spectral"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 16-node ring of unit-speed processors with two fast machines.
+	const n = 16
+	g, err := graph.Ring(n)
+	if err != nil {
+		return err
+	}
+	speeds := machine.Uniform(n)
+	speeds[3], speeds[11] = 4, 2 // two faster processors (s_min stays 1)
+
+	sys, err := core.NewSystem(g, speeds, core.WithLambda2(spectral.Lambda2Ring(n)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %s, Δ=%d, λ₂=%.4f, S=%.0f\n",
+		g, sys.MaxDegree(), sys.Lambda2(), sys.STotal())
+
+	// All m tasks start on processor 0 — the worst-case placement.
+	const m = 2048
+	counts, err := workload.AllOnOne(n, m, 0)
+	if err != nil {
+		return err
+	}
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("start:   Ψ₀=%.0f  L_Δ=%.2f\n", core.Psi0(st), core.LDelta(st))
+
+	// Phase 1 (Theorem 1.1): run until Ψ₀ ≤ 4·ψ_c.
+	threshold := 4 * sys.PsiCritical()
+	res, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtPsi0Below(threshold),
+		core.RunOpts{MaxRounds: 500_000, Seed: 42})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phase 1: Ψ₀ ≤ 4ψc=%.1f after %d rounds (theory ≤ %.0f), %d migrations\n",
+		threshold, res.Rounds, 2*sys.ApproxPhaseRounds(m), res.Moves)
+
+	// Phase 2 (Theorem 1.2): continue to an exact Nash equilibrium.
+	res2, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtNash(),
+		core.RunOpts{MaxRounds: 2_000_000, Seed: 43})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phase 2: exact NE after %d more rounds (theory ≤ %.0f)\n",
+		res2.Rounds, sys.ExactPhaseRounds(1))
+
+	fmt.Println("final loads (count/speed per node):")
+	for i := 0; i < n; i++ {
+		fmt.Printf("  node %2d: %4d tasks, speed %g, load %.2f\n",
+			i, st.Count(i), sys.Speed(i), st.Load(i))
+	}
+	fmt.Printf("is Nash equilibrium: %v\n", core.IsNash(st))
+	return nil
+}

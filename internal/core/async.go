@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// AsyncAlgorithm1 is the asynchronous (sequential-activation) variant of
+// Algorithm 1: in each step a single processor chosen uniformly at
+// random activates, and only its tasks execute the probe-and-migrate
+// rule against current loads. This is the activation model of the
+// earlier selfish load-balancing literature the paper builds on (e.g.
+// Even-Dar–Kesselman–Mansour), included as an extension for comparing
+// concurrent vs sequential dynamics. One Step = one activation; n
+// activations correspond roughly to one concurrent round.
+//
+// Because only one node acts, no concurrency damping is needed: the
+// variance argument that forces α = 4·s_max in the concurrent protocol
+// does not apply, and smaller α converges faster. The default is still
+// the paper's α so comparisons are like-for-like; override via Alpha.
+type AsyncAlgorithm1 struct {
+	// Alpha is the migration damping; zero selects 4·s_max.
+	Alpha float64
+}
+
+var _ UniformProtocol = AsyncAlgorithm1{}
+
+// Name implements UniformProtocol.
+func (p AsyncAlgorithm1) Name() string { return "algorithm1-async" }
+
+// Step implements UniformProtocol: activate one uniformly random node.
+func (p AsyncAlgorithm1) Step(st *UniformState, round uint64, base *rng.Stream) int64 {
+	sys := st.sys
+	g := sys.g
+	alpha := Algorithm1{Alpha: p.Alpha}.effectiveAlpha(sys)
+	stream := base.Split(round)
+	i := stream.Intn(g.N())
+	wi := st.counts[i]
+	if wi == 0 {
+		return 0
+	}
+	nbs := g.Neighbors(i)
+	picks := stream.EqualSplit(int(wi), len(nbs))
+	li := st.Load(i)
+	moves := int64(0)
+	for idx, jj := range nbs {
+		c := picks[idx]
+		if c == 0 {
+			continue
+		}
+		j := int(jj)
+		lj := st.Load(j)
+		if li-lj <= 1/sys.speeds[j] {
+			continue
+		}
+		pij := migrationProb(sys, i, j, li, lj, alpha, float64(wi))
+		k := int64(stream.Binomial(c, pij))
+		if k > 0 {
+			st.counts[i] -= k
+			st.counts[j] += k
+			moves += k
+		}
+	}
+	return moves
+}
+
+// RunBlocks implements the amplification scheme of Corollaries 3.18 and
+// 3.27: execute up to maxBlocks blocks of blockRounds protocol rounds,
+// checking the stop predicate after each block. By Lemma 3.15 each block
+// independently succeeds with probability ≥ 3/4 from any start, so after
+// c·log₄(n) blocks the success probability is ≥ 1 − 1/n^c.
+//
+// It returns the 1-based index of the block after which stop held, the
+// total rounds executed, and whether it succeeded.
+func RunBlocks(st *UniformState, p UniformProtocol, stop UniformStop, blockRounds, maxBlocks int, seed uint64) (block, rounds int, ok bool, err error) {
+	if blockRounds <= 0 || maxBlocks <= 0 {
+		return 0, 0, false, ErrMaxRounds
+	}
+	if stop != nil && stop(st) {
+		return 0, 0, true, nil
+	}
+	base := rng.New(seed)
+	round := uint64(0)
+	for b := 1; b <= maxBlocks; b++ {
+		for k := 0; k < blockRounds; k++ {
+			round++
+			p.Step(st, round, base)
+		}
+		rounds = int(round)
+		if stop != nil && stop(st) {
+			return b, rounds, true, nil
+		}
+	}
+	return maxBlocks, rounds, stop == nil, nil
+}
+
+// BlocksForConfidence returns the number of T-round blocks needed for
+// success probability ≥ 1 − 1/n^c per Corollary 3.18: ⌈c·log₄(n)⌉.
+func BlocksForConfidence(n int, c float64) int {
+	if n < 2 || c <= 0 {
+		return 1
+	}
+	log4 := math.Log2(float64(n)) / 2
+	b := int(c*log4) + 1
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// This file evaluates, for a concrete state, the right-hand sides of the
+// drop lemmas of Section 3 — so tests and experiments can compare the
+// protocol's realized expected drop against exactly what the analysis
+// guarantees.
+
+// LambdaR returns the auxiliary quantity Λ_ij^r(x) of Definition 3.8:
+// (2α−2)·d_ij·(1/sᵢ+1/sⱼ)·f_ij(x) + r/sᵢ − r/sⱼ.
+func LambdaR(st *UniformState, i, j, r int, alpha float64) float64 {
+	sys := st.sys
+	f := ExpectedFlowUniform(st, i, j, alpha)
+	base := (2*alpha - 2) * float64(sys.g.DMax(i, j)) * (1/sys.speeds[i] + 1/sys.speeds[j]) * f
+	return base + float64(r)/sys.speeds[i] - float64(r)/sys.speeds[j]
+}
+
+// DropBoundLemma39 evaluates the Lemma 3.9 lower bound on the expected
+// one-round drop of Ψ₀ from state x:
+//
+//	Σ_{(i,j)∈E} (1−2/α)·(ℓᵢ−ℓⱼ)² / (α·d_ij·(1/sᵢ+1/sⱼ))  −  n/α.
+func DropBoundLemma39(st *UniformState, alpha float64) float64 {
+	sys := st.sys
+	g := sys.g
+	sum := 0.0
+	for i := 0; i < g.N(); i++ {
+		li := st.Load(i)
+		for _, jj := range g.Neighbors(i) {
+			j := int(jj)
+			if j < i {
+				continue // undirected edge once
+			}
+			diff := li - st.Load(j)
+			dij := float64(g.DMax(i, j))
+			sum += (1 - 2/alpha) * diff * diff / (alpha * dij * (1/sys.speeds[i] + 1/sys.speeds[j]))
+		}
+	}
+	return sum - float64(g.N())/alpha
+}
+
+// DropBoundLemma310 evaluates the Lemma 3.10 spectral lower bound on the
+// expected one-round drop of Ψ₀:
+//
+//	λ₂/(16·Δ·s_max²) · Ψ₀(x) − n/(4·s_max).
+func DropBoundLemma310(st *UniformState) float64 {
+	sys := st.sys
+	return sys.lambda2/(16*float64(sys.maxDeg)*sys.sMax*sys.sMax)*Psi0(st) -
+		float64(sys.g.N())/(4*sys.sMax)
+}
+
+// DropBoundLemma322 returns the Lemma 3.22 constant lower bound on the
+// expected one-round drop of Ψ₁ when the system is *not* in a Nash
+// equilibrium and speeds have granularity eps: ε̄²/(8·Δ·s_max³).
+func (s *System) DropBoundLemma322(eps float64) float64 {
+	return eps * eps / (8 * float64(s.maxDeg) * math.Pow(s.sMax, 3))
+}
+
+// MinGapLemma321 returns the Lemma 3.21 strengthened gap: any edge (i,j)
+// with ℓᵢ − ℓⱼ > 1/sⱼ in fact satisfies ℓᵢ − ℓⱼ ≥ 1/sⱼ + ε̄/(sᵢ·sⱼ),
+// when all speeds are integer multiples of ε̄.
+func MinGapLemma321(si, sj, eps float64) float64 {
+	return 1/sj + eps/(si*sj)
+}
+
+// ExpectedDropOneRound estimates E[ΔΨ₀ | X = st] empirically by running
+// `trials` independent single rounds from st (seeds seedBase..) and
+// averaging the realized drops. Used to validate the drop lemmas.
+func ExpectedDropOneRound(st *UniformState, p UniformProtocol, trials int, seedBase uint64) float64 {
+	psiBefore := Psi0(st)
+	sum := 0.0
+	for k := 0; k < trials; k++ {
+		cp := st.Clone()
+		p.Step(cp, 1, rng.New(seedBase+uint64(k)))
+		sum += psiBefore - Psi0(cp)
+	}
+	return sum / float64(trials)
+}

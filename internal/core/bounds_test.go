@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+	"repro/internal/workload"
+)
+
+func TestDropLemma39HoldsEmpirically(t *testing.T) {
+	// The realized expected one-round drop of Ψ₀ must dominate the
+	// Lemma 3.9 bound (which can be negative near equilibrium).
+	sys := testSystem(t, 8)
+	counts, err := workload.AllOnOne(8, 2000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := sys.DefaultAlpha()
+	bound := DropBoundLemma39(st, alpha)
+	measured := ExpectedDropOneRound(st, Algorithm1{}, 400, 1000)
+	// Allow 10% statistical slack relative to the measured scale.
+	if measured < bound-0.1*math.Abs(measured)-1 {
+		t.Errorf("measured drop %.1f below Lemma 3.9 bound %.1f", measured, bound)
+	}
+}
+
+func TestDropLemma310HoldsEmpirically(t *testing.T) {
+	// Lemma 3.10: E[ΔΨ₀] ≥ λ₂/(16Δs²max)·Ψ₀ − n/(4s_max), checked from
+	// several imbalanced starts.
+	for _, mPerNode := range []int64{50, 200, 1000} {
+		sys := testSystem(t, 8)
+		counts, err := workload.AllOnOne(8, 8*mPerNode, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewUniformState(sys, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := DropBoundLemma310(st)
+		measured := ExpectedDropOneRound(st, Algorithm1{}, 400, 2000)
+		if measured < bound-0.1*math.Abs(measured)-1 {
+			t.Errorf("m/node=%d: measured drop %.1f below Lemma 3.10 bound %.1f", mPerNode, measured, bound)
+		}
+	}
+}
+
+func TestLemma39DominatesLemma310(t *testing.T) {
+	// Lemma 3.10 is derived from Lemma 3.9 by spectral relaxation, so
+	// for any state bound39 ≥ bound310 (up to the slightly different
+	// negative terms n/α vs n/(4·s_max), equal when α = 4·s_max).
+	f := func(seed uint64) bool {
+		st := stateFromSeed(seed)
+		if st == nil {
+			return true
+		}
+		sys := st.System()
+		alpha := sys.DefaultAlpha()
+		return DropBoundLemma39(st, alpha) >= DropBoundLemma310(st)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLambdaRHandValues(t *testing.T) {
+	sys := testSystem(t, 4)
+	st, err := NewUniformState(sys, []int64{10, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := sys.DefaultAlpha() // 4
+	// Edge (0,1): ℓ₀−ℓ₁ = 10 > 1, d₀₁ = 2, f = 10/(4·2·2) = 0.625.
+	wantF := 0.625
+	if f := ExpectedFlowUniform(st, 0, 1, alpha); math.Abs(f-wantF) > 1e-12 {
+		t.Fatalf("f₀₁ = %g, want %g", f, wantF)
+	}
+	// Λ⁰ = (2α−2)·d·(1/s+1/s)·f = 6·2·2·0.625 = 15.
+	if l := LambdaR(st, 0, 1, 0, alpha); math.Abs(l-15) > 1e-12 {
+		t.Errorf("Λ⁰ = %g, want 15", l)
+	}
+	// Λ¹ adds 1/sᵢ − 1/sⱼ = 0 for unit speeds.
+	if l := LambdaR(st, 0, 1, 1, alpha); math.Abs(l-15) > 1e-12 {
+		t.Errorf("Λ¹ = %g, want 15", l)
+	}
+}
+
+func TestLemma321GapProperty(t *testing.T) {
+	// With speeds of granularity ε̄, any edge whose load gap exceeds
+	// 1/sⱼ in a reachable integer-task state satisfies the strengthened
+	// gap 1/sⱼ + ε̄/(sᵢsⱼ).
+	f := func(seed uint64) bool {
+		stream := rng.New(seed)
+		n := 4 + stream.Intn(8)
+		g, err := graph.Ring(n)
+		if err != nil {
+			return true
+		}
+		speeds, err := machine.Granular(n, 0.5, 3, stream)
+		if err != nil {
+			return false
+		}
+		eps, err := speeds.Granularity(1e-9)
+		if err != nil {
+			return false
+		}
+		sys, err := NewSystem(g, speeds, WithLambda2(spectral.Lambda2Ring(n)))
+		if err != nil {
+			return false
+		}
+		counts := make([]int64, n)
+		for i := range counts {
+			counts[i] = int64(stream.Intn(60))
+		}
+		st, err := NewUniformState(sys, counts)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			li := st.Load(i)
+			for _, jj := range g.Neighbors(i) {
+				j := int(jj)
+				lj := st.Load(j)
+				si, sj := speeds[i], speeds[j]
+				if li-lj > 1/sj+1e-9 {
+					if li-lj < MinGapLemma321(si, sj, eps)-1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropBoundLemma322Scaling(t *testing.T) {
+	sys := testSystem(t, 8) // Δ=2, s_max=1
+	if got, want := sys.DropBoundLemma322(1), 1.0/16; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Lemma 3.22 bound %g, want %g", got, want)
+	}
+	// Quadratic in ε̄.
+	if r := sys.DropBoundLemma322(0.5) / sys.DropBoundLemma322(1); math.Abs(r-0.25) > 1e-12 {
+		t.Errorf("ε̄ scaling %g, want 0.25", r)
+	}
+}
+
+func TestPsi1DropsNearNE(t *testing.T) {
+	// Lemma 3.22's content: close to (but not at) a NE, Ψ₁ still drops
+	// in expectation by at least ε̄²/(8Δs³max). Build a two-node-gap
+	// state on a ring: counts (7,5,5,5,5,5,5,5) — not a NE since
+	// gap 2 > 1 on an edge.
+	sys := testSystem(t, 8)
+	counts := []int64{7, 5, 5, 5, 5, 5, 5, 5}
+	st, err := NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsNash(st) {
+		t.Fatal("test state unexpectedly a NE")
+	}
+	psiBefore := Psi1(st)
+	const trials = 4000
+	sum := 0.0
+	for k := 0; k < trials; k++ {
+		cp := st.Clone()
+		Algorithm1{}.Step(cp, 1, rng.New(uint64(3000+k)))
+		sum += psiBefore - Psi1(cp)
+	}
+	measured := sum / trials
+	bound := sys.DropBoundLemma322(1)
+	if measured < bound-0.05 {
+		t.Errorf("Ψ₁ drop %.4f below Lemma 3.22 bound %.4f", measured, bound)
+	}
+}

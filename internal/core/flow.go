@@ -1,0 +1,46 @@
+package core
+
+// Expected flows over edges (Definitions 3.1 and 4.1): the expected
+// total weight migrating from i to j in one round when the system is in
+// the given state. Used by the diffusion comparison and by tests of the
+// protocols' unbiasedness.
+
+// ExpectedFlowUniform returns f_ij(x) for a uniform state with damping
+// alpha: (ℓᵢ−ℓⱼ) / (α·d_ij·(1/sᵢ+1/sⱼ)) when ℓᵢ−ℓⱼ > 1/sⱼ, else 0.
+func ExpectedFlowUniform(st *UniformState, i, j int, alpha float64) float64 {
+	sys := st.sys
+	li, lj := st.Load(i), st.Load(j)
+	if li-lj <= 1/sys.speeds[j] {
+		return 0
+	}
+	dij := float64(sys.g.DMax(i, j))
+	return (li - lj) / (alpha * dij * (1/sys.speeds[i] + 1/sys.speeds[j]))
+}
+
+// ExpectedFlowWeighted returns f_ij(x) for a weighted state with damping
+// alpha (Definition 4.1; identical form to the uniform case).
+func ExpectedFlowWeighted(st *WeightedState, i, j int, alpha float64) float64 {
+	sys := st.sys
+	li, lj := st.Load(i), st.Load(j)
+	if li-lj <= 1/sys.speeds[j] {
+		return 0
+	}
+	dij := float64(sys.g.DMax(i, j))
+	return (li - lj) / (alpha * dij * (1/sys.speeds[i] + 1/sys.speeds[j]))
+}
+
+// NonNashEdges returns the directed pairs (i,j) with positive expected
+// flow — the set Ẽ(x) of Definition 3.7 — for a uniform state.
+func NonNashEdges(st *UniformState, alpha float64) [][2]int {
+	var out [][2]int
+	g := st.sys.g
+	for i := 0; i < g.N(); i++ {
+		for _, jj := range g.Neighbors(i) {
+			j := int(jj)
+			if ExpectedFlowUniform(st, i, j, alpha) > 0 {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}

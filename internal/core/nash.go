@@ -1,0 +1,116 @@
+package core
+
+// Nash-equilibrium predicates (Section 2).
+//
+// A state is a Nash equilibrium iff for every edge (i,j):
+// ℓᵢ − ℓⱼ ≤ 1/sⱼ (a unit task moving i→j would not lower its load).
+// It is an ε-approximate NE iff (1−ε)·ℓᵢ − ℓⱼ ≤ 1/sⱼ for every edge.
+//
+// For weighted tasks a task ℓ on i gains by moving to j iff
+// ℓᵢ − ℓⱼ > wℓ/sⱼ, so the exact-NE predicate depends on the smallest
+// weight present on i. Algorithm 2 converges to the stronger threshold
+// state ℓᵢ − ℓⱼ ≤ 1/sⱼ for all edges, which (Theorem 1.3) is an
+// ε-approximate NE when the total weight is large enough.
+
+// IsNash reports whether a uniform state is an exact Nash equilibrium.
+func IsNash(st *UniformState) bool {
+	return violatingEdgeUniform(st, 0) < 0
+}
+
+// IsApproxNash reports whether a uniform state is an ε-approximate NE:
+// (1−ε)·ℓᵢ − ℓⱼ ≤ 1/sⱼ for every directed edge.
+func IsApproxNash(st *UniformState, eps float64) bool {
+	g := st.sys.g
+	for i := 0; i < g.N(); i++ {
+		li := st.Load(i)
+		for _, jj := range g.Neighbors(i) {
+			j := int(jj)
+			if (1-eps)*li-st.Load(j) > 1/st.sys.speeds[j]+floatSlack {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// floatSlack guards the strict-inequality comparisons against
+// floating-point noise in load computation.
+const floatSlack = 1e-12
+
+// violatingEdgeUniform returns the first node i that has a neighbor j
+// with (1−eps)·ℓᵢ − ℓⱼ > 1/sⱼ, or −1 if none exists.
+func violatingEdgeUniform(st *UniformState, eps float64) int {
+	g := st.sys.g
+	for i := 0; i < g.N(); i++ {
+		li := st.Load(i)
+		for _, jj := range g.Neighbors(i) {
+			j := int(jj)
+			if (1-eps)*li-st.Load(j) > 1/st.sys.speeds[j]+floatSlack {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// IsWeightedThresholdNE reports whether a weighted state satisfies
+// ℓᵢ − ℓⱼ ≤ 1/sⱼ for every directed edge — the state Algorithm 2
+// converges to (Section 4).
+func IsWeightedThresholdNE(st *WeightedState) bool {
+	g := st.sys.g
+	for i := 0; i < g.N(); i++ {
+		li := st.Load(i)
+		for _, jj := range g.Neighbors(i) {
+			j := int(jj)
+			if li-st.Load(j) > 1/st.sys.speeds[j]+floatSlack {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsWeightedNash reports whether a weighted state is an exact NE: no
+// single task gains by migrating, i.e. for every node i with tasks and
+// every neighbor j, ℓᵢ − ℓⱼ ≤ w_min(i)/sⱼ where w_min(i) is the lightest
+// task on i.
+func IsWeightedNash(st *WeightedState) bool {
+	g := st.sys.g
+	for i := 0; i < g.N(); i++ {
+		if len(st.tasks[i]) == 0 {
+			continue
+		}
+		wMin := st.tasks[i][0]
+		for _, w := range st.tasks[i][1:] {
+			if w < wMin {
+				wMin = w
+			}
+		}
+		li := st.Load(i)
+		for _, jj := range g.Neighbors(i) {
+			j := int(jj)
+			if li-st.Load(j) > wMin/st.sys.speeds[j]+floatSlack {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsWeightedApproxNash reports whether a weighted state is an
+// ε-approximate NE in the paper's sense: (1−ε)·ℓᵢ − ℓⱼ ≤ 1/sⱼ for every
+// directed edge (Section 2; tasks have weight at most 1, so a migrating
+// task raises the target load by at most 1/sⱼ).
+func IsWeightedApproxNash(st *WeightedState, eps float64) bool {
+	g := st.sys.g
+	for i := 0; i < g.N(); i++ {
+		li := st.Load(i)
+		for _, jj := range g.Neighbors(i) {
+			j := int(jj)
+			if (1-eps)*li-st.Load(j) > 1/st.sys.speeds[j]+floatSlack {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/task"
+)
+
+func TestIsNashBalancedRing(t *testing.T) {
+	sys := testSystem(t, 4)
+	st, err := NewUniformState(sys, []int64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsNash(st) {
+		t.Error("perfectly balanced state not recognized as NE")
+	}
+}
+
+func TestIsNashOffByOne(t *testing.T) {
+	// Load gap of exactly 1 = 1/s_j is allowed (strict inequality).
+	sys := testSystem(t, 4)
+	st, err := NewUniformState(sys, []int64{6, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsNash(st) {
+		t.Error("gap exactly 1/s_j should still be a NE")
+	}
+	st2, err := NewUniformState(sys, []int64{7, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsNash(st2) {
+		t.Error("gap of 2 recognized as NE")
+	}
+}
+
+func TestIsNashWithSpeeds(t *testing.T) {
+	// Ring of 4: speeds (2,1,1,1). Loads (10/2, 5, 5, 5) = (5,5,5,5): NE.
+	sys := speedSystem(t, machine.Speeds{2, 1, 1, 1})
+	st, err := NewUniformState(sys, []int64{10, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsNash(st) {
+		t.Error("speed-balanced state not NE")
+	}
+	// Loads (14/2=7, 5, 5, 5): gap 2 > 1/s_j=1 at neighbor 1: not NE.
+	st2, err := NewUniformState(sys, []int64{14, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsNash(st2) {
+		t.Error("imbalanced speed state recognized as NE")
+	}
+}
+
+func TestIsApproxNash(t *testing.T) {
+	sys := testSystem(t, 4)
+	// Loads (12, 10, 10, 10): (1−ε)·12 − 10 ≤ 1 needs ε ≥ 1/12.
+	st, err := NewUniformState(sys, []int64{12, 10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsNash(st) {
+		t.Error("should not be exact NE")
+	}
+	if !IsApproxNash(st, 0.1) {
+		t.Error("should be 0.1-approximate NE")
+	}
+	if IsApproxNash(st, 0.01) {
+		t.Error("should not be 0.01-approximate NE")
+	}
+	if IsApproxNash(st, 0) != IsNash(st) {
+		t.Error("ε = 0 must coincide with the exact predicate")
+	}
+}
+
+func TestWeightedThresholdNE(t *testing.T) {
+	sys := testSystem(t, 4)
+	// Node weights (1.9, 1.0, 1.0, 1.0): max gap 0.9 ≤ 1: threshold NE.
+	st, err := NewWeightedState(sys, []task.Weights{{1, 0.9}, {1}, {1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsWeightedThresholdNE(st) {
+		t.Error("gap below 1/s_j should be threshold NE")
+	}
+	// But it is not an exact NE: the 0.9 task gains by moving
+	// (gap 0.9 > w/s = 0.9? no — equal is fine). Make gap bigger than the
+	// smallest weight: add a tiny task.
+	st2, err := NewWeightedState(sys, []task.Weights{{1, 0.9, 0.05}, {1}, {1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gap = 1.95−1 = 0.95 > 0.05 = w_min ⇒ the tiny task wants to move.
+	if IsWeightedNash(st2) {
+		t.Error("state with profitable tiny-task move recognized as NE")
+	}
+	if !IsWeightedThresholdNE(st2) {
+		t.Error("gap 0.95 ≤ 1 should still be threshold NE")
+	}
+}
+
+func TestWeightedNashEmptyNodes(t *testing.T) {
+	sys := testSystem(t, 4)
+	st, err := NewWeightedState(sys, []task.Weights{{0.5}, nil, nil, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load gap 0.5 ≤ w_min/s = 0.5: NE (strict inequality required).
+	if !IsWeightedNash(st) {
+		t.Error("single light task should be at equilibrium")
+	}
+}
+
+func TestWeightedApproxNash(t *testing.T) {
+	sys := testSystem(t, 4)
+	st, err := NewWeightedState(sys, []task.Weights{{1, 1, 1}, {1}, {1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loads (3,1,1,1): gap 2 > 1 not threshold NE; (1−ε)·3−1 ≤ 1 needs ε ≥ 1/3.
+	if IsWeightedThresholdNE(st) {
+		t.Error("gap 2 recognized as threshold NE")
+	}
+	if !IsWeightedApproxNash(st, 0.34) {
+		t.Error("should be 0.34-approximate")
+	}
+	if IsWeightedApproxNash(st, 0.2) {
+		t.Error("should not be 0.2-approximate")
+	}
+}

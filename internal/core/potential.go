@@ -1,0 +1,107 @@
+package core
+
+import "math"
+
+// This file implements the potential functions of Sections 3 and 4.
+//
+//	Φ_r(x) = Σᵢ Wᵢ(Wᵢ+r)/sᵢ                       (Definition 3.2)
+//	Ψ₀(x)  = Φ₀(x) − m²/S = Σᵢ eᵢ²/sᵢ             (Definition 3.3)
+//	Ψ₁(x)  = Σᵢ (eᵢ+½)²/sᵢ − n/(4·s̄_a)            (Observation 3.20(1))
+//	L_Δ(x) = maxᵢ |eᵢ/sᵢ|                          (Definition 3.4)
+//
+// The weighted analogues (Section 4) replace the task count wᵢ by the
+// node weight Wᵢ and m by W.
+
+// Phi0 returns Φ₀(x) = Σ wᵢ²/sᵢ for a uniform state.
+func Phi0(st *UniformState) float64 {
+	s := 0.0
+	for i, c := range st.counts {
+		w := float64(c)
+		s += w * w / st.sys.speeds[i]
+	}
+	return s
+}
+
+// Phi1 returns Φ₁(x) = Σ wᵢ(wᵢ+1)/sᵢ for a uniform state.
+func Phi1(st *UniformState) float64 {
+	s := 0.0
+	for i, c := range st.counts {
+		w := float64(c)
+		s += w * (w + 1) / st.sys.speeds[i]
+	}
+	return s
+}
+
+// Psi0 returns the normalized potential Ψ₀(x) = Σ eᵢ²/sᵢ. Computed from
+// the deviations directly (not as Φ₀ − m²/S) for numerical stability.
+func Psi0(st *UniformState) float64 {
+	s := 0.0
+	avg := st.AverageLoad()
+	for i, c := range st.counts {
+		e := float64(c) - avg*st.sys.speeds[i]
+		s += e * e / st.sys.speeds[i]
+	}
+	return s
+}
+
+// Psi1 returns the shifted potential Ψ₁(x) of Definition 3.19, computed
+// via the equivalent form of Observation 3.20(1):
+// Ψ₁ = Σᵢ (eᵢ+½)²/sᵢ − n/(4·s̄_a). Always ≥ 0 (Observation 3.20(2)).
+func Psi1(st *UniformState) float64 {
+	s := 0.0
+	avg := st.AverageLoad()
+	for i, c := range st.counts {
+		e := float64(c) - avg*st.sys.speeds[i] + 0.5
+		s += e * e / st.sys.speeds[i]
+	}
+	n := float64(st.sys.N())
+	sa := st.sys.sSum / n
+	return s - n/(4*sa)
+}
+
+// LDelta returns L_Δ(x) = maxᵢ |wᵢ/sᵢ − m/S|, the maximum load deviation.
+func LDelta(st *UniformState) float64 {
+	max := 0.0
+	avg := st.AverageLoad()
+	for i := range st.counts {
+		d := math.Abs(st.Load(i) - avg)
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// WeightedPhi0 returns Φ₀(x) = Σ Wᵢ²/sᵢ for a weighted state.
+func WeightedPhi0(st *WeightedState) float64 {
+	s := 0.0
+	for i, w := range st.nodeWeight {
+		s += w * w / st.sys.speeds[i]
+	}
+	return s
+}
+
+// WeightedPsi0 returns Ψ₀(x) = Σ eᵢ²/sᵢ with eᵢ = Wᵢ − W·sᵢ/S for a
+// weighted state (Section 4).
+func WeightedPsi0(st *WeightedState) float64 {
+	s := 0.0
+	avg := st.AverageLoad()
+	for i, w := range st.nodeWeight {
+		e := w - avg*st.sys.speeds[i]
+		s += e * e / st.sys.speeds[i]
+	}
+	return s
+}
+
+// WeightedLDelta returns maxᵢ |Wᵢ/sᵢ − W/S|.
+func WeightedLDelta(st *WeightedState) float64 {
+	max := 0.0
+	avg := st.AverageLoad()
+	for i := range st.nodeWeight {
+		d := math.Abs(st.Load(i) - avg)
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

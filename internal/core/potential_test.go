@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// randomUniformState builds a ring state with random counts.
+func randomUniformState(t *testing.T, seed uint64, n int, maxPerNode int) *UniformState {
+	t.Helper()
+	sys := testSystem(t, n)
+	stream := rng.New(seed)
+	counts := make([]int64, n)
+	for i := range counts {
+		counts[i] = int64(stream.Intn(maxPerNode + 1))
+	}
+	st, err := NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPotentialHandComputed(t *testing.T) {
+	// Ring of 4 unit-speed nodes with counts (4,0,0,0): m=4, avg w̄=1.
+	sys := testSystem(t, 4)
+	st, err := NewUniformState(sys, []int64{4, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Phi0(st); got != 16 {
+		t.Errorf("Φ₀ = %g, want 16", got)
+	}
+	if got := Phi1(st); got != 20 {
+		t.Errorf("Φ₁ = %g, want 20", got)
+	}
+	// Ψ₀ = Σe² = 9+1+1+1 = 12 = Φ₀ − m²/S = 16 − 4.
+	if got := Psi0(st); math.Abs(got-12) > 1e-9 {
+		t.Errorf("Ψ₀ = %g, want 12", got)
+	}
+	if got := LDelta(st); math.Abs(got-3) > 1e-12 {
+		t.Errorf("L_Δ = %g, want 3", got)
+	}
+}
+
+func TestPsi0EqualsPhi0MinusM2OverS(t *testing.T) {
+	// Definition 3.3: Ψ₀ = Φ₀ − m²/S, for any speeds and counts.
+	f := func(seed uint64) bool {
+		stream := rng.New(seed)
+		n := 4 + stream.Intn(12)
+		speeds, err := machine.RandomIntegers(n, 4, stream)
+		if err != nil {
+			return false
+		}
+		g, err := graph.Ring(n)
+		if err != nil {
+			return false
+		}
+		sys, err := NewSystem(g, speeds, WithLambda2(spectral.Lambda2Ring(n)))
+		if err != nil {
+			return false
+		}
+		counts := make([]int64, n)
+		for i := range counts {
+			counts[i] = int64(stream.Intn(50))
+		}
+		st, err := NewUniformState(sys, counts)
+		if err != nil {
+			return false
+		}
+		m := float64(st.Total())
+		lhs := Psi0(st)
+		rhs := Phi0(st) - m*m/sys.STotal()
+		return math.Abs(lhs-rhs) <= 1e-6*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObservation316Sandwich(t *testing.T) {
+	// L_Δ² ≤ Ψ₀ ≤ S·L_Δ².
+	f := func(seed uint64) bool {
+		st := stateFromSeed(seed)
+		if st == nil {
+			return true
+		}
+		ld := LDelta(st)
+		psi := Psi0(st)
+		s := st.System().STotal()
+		return ld*ld <= psi+1e-9 && psi <= s*ld*ld+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stateFromSeed builds a random small system+state outside the testing.T
+// helpers so it can be used in quick properties.
+func stateFromSeed(seed uint64) *UniformState {
+	stream := rng.New(seed)
+	n := 4 + stream.Intn(10)
+	g, err := graph.Ring(n)
+	if err != nil {
+		return nil
+	}
+	speeds, err := machine.RandomIntegers(n, 3, stream)
+	if err != nil {
+		return nil
+	}
+	sys, err := NewSystem(g, speeds, WithLambda2(spectral.Lambda2Ring(n)))
+	if err != nil {
+		return nil
+	}
+	counts := make([]int64, n)
+	for i := range counts {
+		counts[i] = int64(stream.Intn(40))
+	}
+	st, err := NewUniformState(sys, counts)
+	if err != nil {
+		return nil
+	}
+	return st
+}
+
+func TestObservation320Psi1NonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		st := stateFromSeed(seed)
+		if st == nil {
+			return true
+		}
+		return Psi1(st) >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObservation320Part3Identity(t *testing.T) {
+	// Ψ₁ = Ψ₀ + Σ eᵢ/sᵢ + n/4·(1/s̄_h − 1/s̄_a).
+	f := func(seed uint64) bool {
+		st := stateFromSeed(seed)
+		if st == nil {
+			return true
+		}
+		sys := st.System()
+		n := float64(sys.N())
+		speeds := sys.Speeds()
+		sumEoverS := 0.0
+		for i := 0; i < sys.N(); i++ {
+			sumEoverS += st.Deviation(i) / speeds[i]
+		}
+		sh := speeds.HarmonicMean()
+		sa := speeds.ArithmeticMean()
+		rhs := Psi0(st) + sumEoverS + n/4*(1/sh-1/sa)
+		lhs := Psi1(st)
+		return math.Abs(lhs-rhs) <= 1e-6*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma323Psi1UpperBound(t *testing.T) {
+	// Ψ₁ ≤ Ψ₀ + √(Ψ₀·n/s̄_h) + n/4·(1/s̄_h − 1/s̄_a).
+	f := func(seed uint64) bool {
+		st := stateFromSeed(seed)
+		if st == nil {
+			return true
+		}
+		sys := st.System()
+		n := float64(sys.N())
+		speeds := sys.Speeds()
+		sh := speeds.HarmonicMean()
+		sa := speeds.ArithmeticMean()
+		psi0 := Psi0(st)
+		bound := psi0 + math.Sqrt(psi0*n/sh) + n/4*(1/sh-1/sa)
+		return Psi1(st) <= bound+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPsi0ZeroAtBalancedState(t *testing.T) {
+	// The proportional placement of m divisible by S·k gives eᵢ = 0.
+	speeds := machine.Speeds{1, 2, 1, 2}
+	sys := speedSystem(t, speeds)
+	counts, err := workload.Proportional(speeds, 60) // 60/6·s = 10·s exact
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Psi0(st); math.Abs(got) > 1e-9 {
+		t.Errorf("Ψ₀ at balanced state = %g, want 0", got)
+	}
+	if got := LDelta(st); math.Abs(got) > 1e-12 {
+		t.Errorf("L_Δ at balanced state = %g, want 0", got)
+	}
+}
+
+func TestWeightedPotentials(t *testing.T) {
+	sys := testSystem(t, 4)
+	// All weight on node 0: W = 2.0 over 4 unit nodes → avg 0.5.
+	ws := []task.Weights{{1, 1}, nil, nil, nil}
+	st, err := NewWeightedState(sys, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := WeightedPhi0(st); math.Abs(got-4) > 1e-12 {
+		t.Errorf("weighted Φ₀ = %g, want 4", got)
+	}
+	// Ψ₀ = Σe² = 1.5² + 3·0.5² = 2.25+0.75 = 3 = Φ₀ − W²/S = 4 − 1.
+	if got := WeightedPsi0(st); math.Abs(got-3) > 1e-12 {
+		t.Errorf("weighted Ψ₀ = %g, want 3", got)
+	}
+	if got := WeightedLDelta(st); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("weighted L_Δ = %g, want 1.5", got)
+	}
+}
+
+func TestWeightedPsi0MatchesUniformForUnitWeights(t *testing.T) {
+	// A weighted state with all weights 1 must reproduce the uniform
+	// potentials exactly.
+	sys := testSystem(t, 6)
+	counts := []int64{7, 0, 3, 1, 0, 5}
+	stU, err := NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := make([]task.Weights, 6)
+	for i, c := range counts {
+		for k := int64(0); k < c; k++ {
+			perNode[i] = append(perNode[i], 1)
+		}
+	}
+	stW, err := NewWeightedState(sys, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := Psi0(stU), WeightedPsi0(stW); math.Abs(a-b) > 1e-9 {
+		t.Errorf("Ψ₀ uniform %g vs weighted %g", a, b)
+	}
+	if a, b := Phi0(stU), WeightedPhi0(stW); math.Abs(a-b) > 1e-9 {
+		t.Errorf("Φ₀ uniform %g vs weighted %g", a, b)
+	}
+	if a, b := LDelta(stU), WeightedLDelta(stW); math.Abs(a-b) > 1e-12 {
+		t.Errorf("L_Δ uniform %g vs weighted %g", a, b)
+	}
+}

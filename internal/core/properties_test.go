@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestApproxNashMonotoneInEpsilon(t *testing.T) {
+	// If a state is an ε-approximate NE it is also an ε'-approximate NE
+	// for every ε' ≥ ε (the predicate weakens as ε grows).
+	f := func(seed uint64) bool {
+		st := stateFromSeed(seed)
+		if st == nil {
+			return true
+		}
+		stream := rng.New(seed ^ 0xabcdef)
+		eps := stream.Float64() * 0.9
+		epsBigger := eps + (1-eps)*stream.Float64()
+		if IsApproxNash(st, eps) && !IsApproxNash(st, epsBigger) {
+			return false
+		}
+		// Exact NE implies ε-approximate NE for every ε ≥ 0.
+		if IsNash(st) && !IsApproxNash(st, eps) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPotentialsInvariantUnderTaskRelabeling(t *testing.T) {
+	// Ψ₀/Φ₀/L_Δ depend only on node totals, not which tasks sit where:
+	// a protocol step followed by recompute keeps the weighted and
+	// count-based views consistent.
+	f := func(seed uint64) bool {
+		st := stateFromSeed(seed)
+		if st == nil {
+			return true
+		}
+		base := rng.New(seed + 1)
+		proto := Algorithm1{}
+		for r := uint64(1); r <= 10; r++ {
+			proto.Step(st, r, base)
+		}
+		// Rebuild a state from the counts; potentials must be identical.
+		rebuilt, err := NewUniformState(st.System(), st.Counts())
+		if err != nil {
+			return false
+		}
+		return Psi0(st) == Psi0(rebuilt) && Phi0(st) == Phi0(rebuilt) && LDelta(st) == LDelta(rebuilt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepNeverMovesAgainstTheGradient(t *testing.T) {
+	// A single Algorithm 1 round never sends tasks from a node to a
+	// strictly more loaded neighbor (relative to the round-start
+	// snapshot): verify via the net delta against expected flow support.
+	f := func(seed uint64) bool {
+		st := stateFromSeed(seed)
+		if st == nil {
+			return true
+		}
+		sys := st.System()
+		before := st.Counts()
+		loads := st.Loads()
+		proto := Algorithm1{}
+		proto.Step(st, 1, rng.New(seed+2))
+		// Any node whose load was weakly minimal among its closed
+		// neighborhood cannot have lost tasks.
+		g := sys.Graph()
+		for i := 0; i < g.N(); i++ {
+			minimal := true
+			for _, jj := range g.Neighbors(i) {
+				if loads[int(jj)] < loads[i]-1/sys.Speed(int(jj)) {
+					// A neighbor is low enough that i could send to it.
+					minimal = false
+					break
+				}
+			}
+			if minimal && st.Count(i) < before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,484 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func TestAlgorithm1ConservesTasks(t *testing.T) {
+	f := func(seed uint64) bool {
+		st := stateFromSeed(seed)
+		if st == nil {
+			return true
+		}
+		total := st.Total()
+		base := rng.New(seed)
+		proto := Algorithm1{}
+		for r := uint64(1); r <= 20; r++ {
+			proto.Step(st, r, base)
+			sum := int64(0)
+			for i := 0; i < st.System().N(); i++ {
+				if st.Count(i) < 0 {
+					return false
+				}
+				sum += st.Count(i)
+			}
+			if sum != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithm1Deterministic(t *testing.T) {
+	sys := testSystem(t, 8)
+	counts, err := workload.AllOnOne(8, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []int64 {
+		st, err := NewUniformState(sys, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := rng.New(7)
+		proto := Algorithm1{}
+		for r := uint64(1); r <= 100; r++ {
+			proto.Step(st, r, base)
+		}
+		return st.Counts()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed trajectories diverged at node %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAlgorithm1NashIsAbsorbing(t *testing.T) {
+	// In a Nash equilibrium no task has an incentive: the protocol must
+	// never move anything.
+	sys := testSystem(t, 6)
+	st, err := NewUniformState(sys, []int64{10, 10, 10, 10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rng.New(3)
+	proto := Algorithm1{}
+	for r := uint64(1); r <= 50; r++ {
+		if moves := proto.Step(st, r, base); moves != 0 {
+			t.Fatalf("protocol moved %d tasks out of a NE at round %d", moves, r)
+		}
+	}
+}
+
+func TestAlgorithm1ConvergesOnGraphClasses(t *testing.T) {
+	builders := map[string]func() (*graph.Graph, float64, error){
+		"complete-12": func() (*graph.Graph, float64, error) {
+			g, err := graph.Complete(12)
+			return g, spectral.Lambda2Complete(12), err
+		},
+		"ring-12": func() (*graph.Graph, float64, error) {
+			g, err := graph.Ring(12)
+			return g, spectral.Lambda2Ring(12), err
+		},
+		"torus-4x4": func() (*graph.Graph, float64, error) {
+			g, err := graph.Torus(4, 4)
+			return g, spectral.Lambda2Torus(4, 4), err
+		},
+		"hypercube-4": func() (*graph.Graph, float64, error) {
+			g, err := graph.Hypercube(4)
+			return g, spectral.Lambda2Hypercube(4), err
+		},
+		"star-12": func() (*graph.Graph, float64, error) {
+			g, err := graph.Star(12)
+			return g, spectral.Lambda2Star(12), err
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			g, l2, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := g.N()
+			sys, err := NewSystem(g, machine.Uniform(n), WithLambda2(l2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts, err := workload.AllOnOne(n, int64(50*n), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := NewUniformState(sys, counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunUniform(st, Algorithm1{}, StopAtNash(), RunOpts{MaxRounds: 300_000, Seed: 11})
+			if err != nil {
+				t.Fatalf("did not converge: %v", err)
+			}
+			if !IsNash(st) {
+				t.Error("stop condition fired but state is not a NE")
+			}
+			t.Logf("%s: NE after %d rounds, %d moves", name, res.Rounds, res.Moves)
+		})
+	}
+}
+
+func TestAlgorithm1WithSpeedsConverges(t *testing.T) {
+	speeds := machine.Speeds{1, 2, 1, 4, 1, 1, 2, 1}
+	sys := speedSystem(t, speeds)
+	counts, err := workload.AllOnOne(8, 3000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUniform(st, Algorithm1{}, StopAtNash(), RunOpts{MaxRounds: 500_000, Seed: 5}); err != nil {
+		t.Fatalf("no convergence with speeds: %v", err)
+	}
+	// At a NE with speeds, faster machines must carry (weakly) more load
+	// than slower neighbors minus the unit slack.
+	if !IsNash(st) {
+		t.Fatal("not NE")
+	}
+}
+
+func TestBatchedMatchesPerTaskInExpectation(t *testing.T) {
+	// One step from a fixed state: the expected outbound flow of the
+	// batched and the per-task implementation must agree (both equal
+	// Definition 3.1's f_ij). Compare empirical means over many trials.
+	sys := testSystem(t, 6)
+	start := []int64{600, 0, 0, 0, 0, 0}
+	const trials = 3000
+	meanOut := func(proto UniformProtocol, seedBase uint64) float64 {
+		sum := 0.0
+		for k := 0; k < trials; k++ {
+			st, err := NewUniformState(sys, start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := rng.New(seedBase + uint64(k))
+			moved := proto.Step(st, 1, base)
+			sum += float64(moved)
+		}
+		return sum / trials
+	}
+	batched := meanOut(Algorithm1{}, 1000)
+	perTask := meanOut(Algorithm1PerTask{}, 2000)
+	// Expected flow out of node 0 (both neighbors): 2·f₀ⱼ.
+	st, err := NewUniformState(sys, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExpectedFlowUniform(st, 0, 1, sys.DefaultAlpha()) + ExpectedFlowUniform(st, 0, 5, sys.DefaultAlpha())
+	for name, got := range map[string]float64{"batched": batched, "perTask": perTask} {
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s mean moves %.3f, want %.3f ± 5%%", name, got, want)
+		}
+	}
+	if math.Abs(batched-perTask)/want > 0.05 {
+		t.Errorf("batched %.3f vs per-task %.3f differ beyond tolerance", batched, perTask)
+	}
+}
+
+func TestMigrationProbabilityBounded(t *testing.T) {
+	// p_ij ≤ 1/4 for α = 4·s_max (see the analysis in Section 3).
+	f := func(seed uint64) bool {
+		st := stateFromSeed(seed)
+		if st == nil {
+			return true
+		}
+		sys := st.System()
+		alpha := sys.DefaultAlpha()
+		g := sys.Graph()
+		for i := 0; i < g.N(); i++ {
+			if st.Count(i) == 0 {
+				continue
+			}
+			li := st.Load(i)
+			for _, jj := range g.Neighbors(i) {
+				j := int(jj)
+				lj := st.Load(j)
+				if li-lj <= 1/sys.Speed(j) {
+					continue
+				}
+				p := migrationProb(sys, i, j, li, lj, alpha, float64(st.Count(i)))
+				if p < 0 || p > 0.25+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedPotentialDropPositiveFarFromNE(t *testing.T) {
+	// Lemma 3.10: far from equilibrium the potential drops in
+	// expectation. Empirical check with many one-step trials.
+	sys := testSystem(t, 8)
+	start, err := workload.AllOnOne(8, 4000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0, err := NewUniformState(sys, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psiBefore := Psi0(st0)
+	const trials = 300
+	sum := 0.0
+	for k := 0; k < trials; k++ {
+		st := st0.Clone()
+		Algorithm1{}.Step(st, 1, rng.New(uint64(k)))
+		sum += psiBefore - Psi0(st)
+	}
+	meanDrop := sum / trials
+	if meanDrop <= 0 {
+		t.Errorf("mean potential drop %.2f not positive far from NE", meanDrop)
+	}
+}
+
+func TestAlgorithm2ConservesWeight(t *testing.T) {
+	sys := testSystem(t, 6)
+	weights, err := task.RandomWeights(300, 0.1, 1, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(6, weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewWeightedState(sys, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW := st.TotalWeight()
+	wantM := st.TaskCount()
+	base := rng.New(9)
+	proto := Algorithm2{}
+	for r := uint64(1); r <= 200; r++ {
+		proto.Step(st, r, base)
+	}
+	st.RecomputeWeights()
+	if st.TaskCount() != wantM {
+		t.Errorf("task count changed: %d → %d", wantM, st.TaskCount())
+	}
+	if math.Abs(st.TotalWeight()-wantW) > 1e-6 {
+		t.Errorf("total weight drifted: %g → %g", wantW, st.TotalWeight())
+	}
+}
+
+func TestAlgorithm2ConvergesToThresholdNE(t *testing.T) {
+	sys := testSystem(t, 8)
+	weights, err := task.RandomWeights(400, 0.2, 1, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(8, weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewWeightedState(sys, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWeighted(st, Algorithm2{}, StopAtWeightedThreshold(), RunOpts{MaxRounds: 200_000, Seed: 21})
+	if err != nil {
+		t.Fatalf("Algorithm 2 did not reach the threshold state: %v", err)
+	}
+	if !IsWeightedThresholdNE(st) {
+		t.Error("stop fired but threshold condition violated")
+	}
+	t.Logf("threshold NE after %d rounds", res.Rounds)
+}
+
+func TestAlgorithm2MatchesLiteralOnUnitSpeeds(t *testing.T) {
+	// With all speeds 1 the general form and the paper's literal listing
+	// define the same migration probability, so one-step mean migrations
+	// must agree statistically.
+	sys := testSystem(t, 4)
+	weights, err := task.UniformWeights(200, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(4, weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 2000
+	mean := func(proto WeightedProtocol, seedBase uint64) float64 {
+		sum := 0.0
+		for k := 0; k < trials; k++ {
+			st, err := NewWeightedState(sys, perNode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(proto.Step(st, 1, rng.New(seedBase+uint64(k))))
+		}
+		return sum / trials
+	}
+	a := mean(Algorithm2{}, 10_000)
+	b := mean(Algorithm2Literal{}, 20_000)
+	c := mean(Algorithm2PerTask{}, 30_000)
+	if math.Abs(a-b)/a > 0.06 {
+		t.Errorf("general %.3f vs literal %.3f differ on unit speeds", a, b)
+	}
+	if math.Abs(a-c)/a > 0.06 {
+		t.Errorf("batched %.3f vs per-task %.3f differ", a, c)
+	}
+}
+
+func TestBaselineMovesLightTasksEarlier(t *testing.T) {
+	// The defining behavioural difference: with a load gap below 1/s_j
+	// but above w/s_j for light tasks, the baseline migrates while
+	// Algorithm 2 does not.
+	sys := testSystem(t, 4)
+	// Node 0: ten tasks of weight 0.09 (W₀ = 0.9); neighbors empty.
+	// Gap = 0.9 ≤ 1 ⇒ Algorithm 2 frozen; baseline: 0.9 > 0.09 ⇒ moves.
+	weights, err := task.UniformWeights(10, 0.09)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(4, weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA, err := NewWeightedState(sys, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB := stA.Clone()
+	movesAlg2 := 0
+	movesBase := 0
+	for r := uint64(1); r <= 200; r++ {
+		movesAlg2 += Algorithm2{}.Step(stA, r, rng.New(1))
+		movesBase += BaselineWeighted{}.Step(stB, r, rng.New(1))
+	}
+	if movesAlg2 != 0 {
+		t.Errorf("Algorithm 2 moved %d tasks below its threshold", movesAlg2)
+	}
+	if movesBase == 0 {
+		t.Error("baseline never moved despite per-task incentive")
+	}
+}
+
+func TestBaselineConvergesToWeightedNash(t *testing.T) {
+	sys := testSystem(t, 6)
+	weights, err := task.RandomWeights(120, 0.3, 1, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(6, weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewWeightedState(sys, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWeighted(st, BaselineWeighted{}, StopAtWeightedApproxNash(0.1), RunOpts{MaxRounds: 300_000, Seed: 31})
+	if err != nil {
+		t.Fatalf("baseline did not converge: %v", err)
+	}
+	t.Logf("baseline 0.1-approx NE after %d rounds", res.Rounds)
+}
+
+func TestLemma43VarianceBound(t *testing.T) {
+	// Lemma 4.3: Σᵢ Var[Wᵢ(X_{t})|X_{t−1}=x]/sᵢ ≤ Σ_{(i,j)} f_ij·(1/sᵢ+1/sⱼ).
+	// Estimate the per-node variances of Algorithm 2 empirically from a
+	// fixed weighted state and compare with the analytic bound.
+	sys := testSystem(t, 6)
+	weights, err := task.RandomWeights(600, 0.1, 1, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(6, weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0, err := NewWeightedState(sys, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := sys.DefaultAlpha()
+	// Analytic bound: sum over non-Nash directed edges.
+	bound := 0.0
+	g := sys.Graph()
+	for i := 0; i < g.N(); i++ {
+		for _, jj := range g.Neighbors(i) {
+			j := int(jj)
+			if f := ExpectedFlowWeighted(st0, i, j, alpha); f > 0 {
+				bound += f * (1/sys.Speed(i) + 1/sys.Speed(j))
+			}
+		}
+	}
+	const trials = 3000
+	n := sys.N()
+	sum := make([]float64, n)
+	sumSq := make([]float64, n)
+	for k := 0; k < trials; k++ {
+		cp := st0.Clone()
+		Algorithm2{}.Step(cp, 1, rng.New(uint64(5000+k)))
+		for i := 0; i < n; i++ {
+			w := cp.NodeWeight(i)
+			sum[i] += w
+			sumSq[i] += w * w
+		}
+	}
+	totalVar := 0.0
+	for i := 0; i < n; i++ {
+		mean := sum[i] / trials
+		totalVar += (sumSq[i]/trials - mean*mean) / sys.Speed(i)
+	}
+	// 15% statistical slack on the estimate.
+	if totalVar > bound*1.15 {
+		t.Errorf("variance sum %.4f exceeds Lemma 4.3 bound %.4f", totalVar, bound)
+	}
+}
+
+func TestAlphaAblationSmallAlphaStillConserves(t *testing.T) {
+	// With α far below the paper's 4·s_max the system may oscillate but
+	// must never violate conservation or produce invalid probabilities
+	// (they are clamped).
+	sys := testSystem(t, 6)
+	counts, err := workload.AllOnOne(6, 600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rng.New(77)
+	proto := Algorithm1{Alpha: 0.5}
+	for r := uint64(1); r <= 500; r++ {
+		proto.Step(st, r, base)
+	}
+	sum := int64(0)
+	for i := 0; i < 6; i++ {
+		sum += st.Count(i)
+	}
+	if sum != 600 {
+		t.Errorf("conservation violated under tiny alpha: %d", sum)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// ErrMaxRounds is wrapped into run results that stop without converging.
+var ErrMaxRounds = errors.New("core: maximum rounds reached without convergence")
+
+// TracePoint is one sampled observation of a running simulation.
+type TracePoint struct {
+	Round  int     `json:"round"`
+	Psi0   float64 `json:"psi0"`
+	Psi1   float64 `json:"psi1,omitempty"`
+	LDelta float64 `json:"lDelta"`
+	Moves  int64   `json:"movesCumulative"`
+}
+
+// RunResult summarizes a simulation run.
+type RunResult struct {
+	// Rounds is the number of protocol rounds executed.
+	Rounds int
+	// Converged reports whether the stop condition was met (as opposed to
+	// hitting MaxRounds).
+	Converged bool
+	// Moves is the total number of task migrations.
+	Moves int64
+	// Trace holds sampled potentials if tracing was enabled.
+	Trace []TracePoint
+}
+
+// RunOpts configures a simulation run.
+type RunOpts struct {
+	// MaxRounds bounds the run (required, > 0).
+	MaxRounds int
+	// Seed determines the full trajectory.
+	Seed uint64
+	// TraceEvery samples a TracePoint every k rounds (0 disables tracing;
+	// round 0 and the final round are always included when enabled).
+	TraceEvery int
+	// CheckEvery evaluates the stop condition every k rounds (default 1).
+	CheckEvery int
+}
+
+func (o RunOpts) validate() error {
+	if o.MaxRounds <= 0 {
+		return fmt.Errorf("core: RunOpts.MaxRounds must be positive, got %d", o.MaxRounds)
+	}
+	if o.TraceEvery < 0 || o.CheckEvery < 0 {
+		return fmt.Errorf("core: negative sampling interval")
+	}
+	return nil
+}
+
+// UniformStop decides whether a uniform-state run may stop.
+type UniformStop func(*UniformState) bool
+
+// StopAtNash stops at an exact Nash equilibrium.
+func StopAtNash() UniformStop { return IsNash }
+
+// StopAtApproxNash stops at an ε-approximate Nash equilibrium.
+func StopAtApproxNash(eps float64) UniformStop {
+	return func(st *UniformState) bool { return IsApproxNash(st, eps) }
+}
+
+// StopAtPsi0Below stops once Ψ₀(x) ≤ threshold (e.g. 4·ψ_c for the
+// Theorem 1.1 phase).
+func StopAtPsi0Below(threshold float64) UniformStop {
+	return func(st *UniformState) bool { return Psi0(st) <= threshold }
+}
+
+// RunUniform executes protocol rounds until stop returns true or
+// opts.MaxRounds is exhausted. A nil stop runs all MaxRounds.
+func RunUniform(st *UniformState, p UniformProtocol, stop UniformStop, opts RunOpts) (RunResult, error) {
+	if err := opts.validate(); err != nil {
+		return RunResult{}, err
+	}
+	if st == nil || p == nil {
+		return RunResult{}, errors.New("core: nil state or protocol")
+	}
+	check := opts.CheckEvery
+	if check == 0 {
+		check = 1
+	}
+	base := rng.New(opts.Seed)
+	var res RunResult
+	record := func(round int) {
+		if opts.TraceEvery > 0 {
+			res.Trace = append(res.Trace, TracePoint{
+				Round:  round,
+				Psi0:   Psi0(st),
+				Psi1:   Psi1(st),
+				LDelta: LDelta(st),
+				Moves:  res.Moves,
+			})
+		}
+	}
+	record(0)
+	if stop != nil && stop(st) {
+		res.Converged = true
+		return res, nil
+	}
+	for round := 1; round <= opts.MaxRounds; round++ {
+		res.Moves += p.Step(st, uint64(round), base)
+		res.Rounds = round
+		if opts.TraceEvery > 0 && round%opts.TraceEvery == 0 {
+			record(round)
+		}
+		if stop != nil && round%check == 0 && stop(st) {
+			res.Converged = true
+			if opts.TraceEvery > 0 && round%opts.TraceEvery != 0 {
+				record(round)
+			}
+			return res, nil
+		}
+	}
+	if stop == nil {
+		res.Converged = true
+		return res, nil
+	}
+	return res, fmt.Errorf("%w after %d rounds", ErrMaxRounds, res.Rounds)
+}
+
+// WeightedStop decides whether a weighted-state run may stop.
+type WeightedStop func(*WeightedState) bool
+
+// StopAtWeightedThreshold stops at the threshold state ℓᵢ−ℓⱼ ≤ 1/sⱼ that
+// Algorithm 2 converges to.
+func StopAtWeightedThreshold() WeightedStop { return IsWeightedThresholdNE }
+
+// StopAtWeightedNash stops at an exact weighted Nash equilibrium.
+func StopAtWeightedNash() WeightedStop { return IsWeightedNash }
+
+// StopAtWeightedApproxNash stops at an ε-approximate NE.
+func StopAtWeightedApproxNash(eps float64) WeightedStop {
+	return func(st *WeightedState) bool { return IsWeightedApproxNash(st, eps) }
+}
+
+// StopAtWeightedPsi0Below stops once Ψ₀ ≤ threshold.
+func StopAtWeightedPsi0Below(threshold float64) WeightedStop {
+	return func(st *WeightedState) bool { return WeightedPsi0(st) <= threshold }
+}
+
+// RunWeighted executes weighted protocol rounds until stop returns true
+// or opts.MaxRounds is exhausted. A nil stop runs all MaxRounds.
+func RunWeighted(st *WeightedState, p WeightedProtocol, stop WeightedStop, opts RunOpts) (RunResult, error) {
+	if err := opts.validate(); err != nil {
+		return RunResult{}, err
+	}
+	if st == nil || p == nil {
+		return RunResult{}, errors.New("core: nil state or protocol")
+	}
+	check := opts.CheckEvery
+	if check == 0 {
+		check = 1
+	}
+	base := rng.New(opts.Seed)
+	var res RunResult
+	record := func(round int) {
+		if opts.TraceEvery > 0 {
+			res.Trace = append(res.Trace, TracePoint{
+				Round:  round,
+				Psi0:   WeightedPsi0(st),
+				LDelta: WeightedLDelta(st),
+				Moves:  res.Moves,
+			})
+		}
+	}
+	record(0)
+	if stop != nil && stop(st) {
+		res.Converged = true
+		return res, nil
+	}
+	for round := 1; round <= opts.MaxRounds; round++ {
+		res.Moves += int64(p.Step(st, uint64(round), base))
+		res.Rounds = round
+		if opts.TraceEvery > 0 && round%opts.TraceEvery == 0 {
+			record(round)
+		}
+		if stop != nil && round%check == 0 && stop(st) {
+			res.Converged = true
+			if opts.TraceEvery > 0 && round%opts.TraceEvery != 0 {
+				record(round)
+			}
+			return res, nil
+		}
+	}
+	if stop == nil {
+		res.Converged = true
+		return res, nil
+	}
+	return res, fmt.Errorf("%w after %d rounds", ErrMaxRounds, res.Rounds)
+}

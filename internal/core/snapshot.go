@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/task"
+)
+
+// Snapshot is a serializable dump of a simulation state, sufficient to
+// resume a run on a reconstructed System (the graph itself is identified
+// by name and shape, not serialized — rebuild it from the generator).
+type Snapshot struct {
+	// GraphName is the instance name (e.g. "torus-8x8") for validation.
+	GraphName string `json:"graphName"`
+	// N is the processor count for validation.
+	N int `json:"n"`
+	// Speeds is the full speed vector.
+	Speeds []float64 `json:"speeds"`
+	// Counts is the uniform task vector (nil for weighted snapshots).
+	Counts []int64 `json:"counts,omitempty"`
+	// Tasks are the per-node weight multisets (nil for uniform).
+	Tasks [][]float64 `json:"tasks,omitempty"`
+	// Round is the round counter at capture time (caller-provided).
+	Round int `json:"round"`
+}
+
+// CaptureUniform snapshots a uniform state.
+func CaptureUniform(st *UniformState, round int) Snapshot {
+	return Snapshot{
+		GraphName: st.sys.g.Name(),
+		N:         st.sys.N(),
+		Speeds:    append([]float64(nil), st.sys.speeds...),
+		Counts:    st.Counts(),
+		Round:     round,
+	}
+}
+
+// CaptureWeighted snapshots a weighted state.
+func CaptureWeighted(st *WeightedState, round int) Snapshot {
+	tasks := make([][]float64, len(st.tasks))
+	for i, ts := range st.tasks {
+		tasks[i] = append([]float64(nil), ts...)
+	}
+	return Snapshot{
+		GraphName: st.sys.g.Name(),
+		N:         st.sys.N(),
+		Speeds:    append([]float64(nil), st.sys.speeds...),
+		Tasks:     tasks,
+		Round:     round,
+	}
+}
+
+// Write serializes the snapshot as JSON.
+func (s Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot from JSON.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("decode snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// validateAgainst checks that the snapshot matches the target system.
+func (s Snapshot) validateAgainst(sys *System) error {
+	if s.N != sys.N() {
+		return fmt.Errorf("core: snapshot has %d nodes, system has %d", s.N, sys.N())
+	}
+	if s.GraphName != "" && s.GraphName != sys.g.Name() {
+		return fmt.Errorf("core: snapshot graph %q, system graph %q", s.GraphName, sys.g.Name())
+	}
+	if len(s.Speeds) != sys.N() {
+		return fmt.Errorf("core: snapshot has %d speeds for %d nodes", len(s.Speeds), s.N)
+	}
+	for i, v := range s.Speeds {
+		if v != sys.speeds[i] {
+			return fmt.Errorf("core: speed mismatch at node %d: %g vs %g", i, v, sys.speeds[i])
+		}
+	}
+	return nil
+}
+
+// RestoreUniform reconstructs a uniform state on sys from the snapshot.
+func RestoreUniform(sys *System, s Snapshot) (*UniformState, error) {
+	if err := s.validateAgainst(sys); err != nil {
+		return nil, err
+	}
+	if s.Counts == nil {
+		return nil, fmt.Errorf("core: snapshot is not a uniform-model snapshot")
+	}
+	return NewUniformState(sys, s.Counts)
+}
+
+// RestoreWeighted reconstructs a weighted state on sys from the snapshot.
+func RestoreWeighted(sys *System, s Snapshot) (*WeightedState, error) {
+	if err := s.validateAgainst(sys); err != nil {
+		return nil, err
+	}
+	if s.Tasks == nil {
+		return nil, fmt.Errorf("core: snapshot is not a weighted-model snapshot")
+	}
+	perNode := make([]task.Weights, len(s.Tasks))
+	for i, ts := range s.Tasks {
+		perNode[i] = task.Weights(ts)
+	}
+	return NewWeightedState(sys, perNode)
+}

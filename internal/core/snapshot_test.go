@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func TestSnapshotUniformRoundTrip(t *testing.T) {
+	sys := testSystem(t, 6)
+	st, err := NewUniformState(sys, []int64{9, 0, 3, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := CaptureUniform(st, 42)
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Round != 42 || decoded.N != 6 {
+		t.Errorf("decoded meta %+v", decoded)
+	}
+	restored, err := RestoreUniform(sys, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if restored.Count(i) != st.Count(i) {
+			t.Errorf("count %d: %d vs %d", i, restored.Count(i), st.Count(i))
+		}
+	}
+}
+
+func TestSnapshotWeightedRoundTrip(t *testing.T) {
+	sys := testSystem(t, 4)
+	st, err := NewWeightedState(sys, []task.Weights{{0.5, 0.25}, nil, {1}, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := CaptureWeighted(st, 7)
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreWeighted(sys, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.TaskCount() != 3 || restored.NodeTaskCount(0) != 2 {
+		t.Errorf("restored state %d tasks", restored.TaskCount())
+	}
+	if restored.NodeWeight(2) != 1 {
+		t.Errorf("node 2 weight %g", restored.NodeWeight(2))
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	sys6 := testSystem(t, 6)
+	sys4 := testSystem(t, 4)
+	st, err := NewUniformState(sys6, []int64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := CaptureUniform(st, 0)
+	if _, err := RestoreUniform(sys4, snap); err == nil {
+		t.Error("node-count mismatch accepted")
+	}
+	// Wrong model.
+	if _, err := RestoreWeighted(sys6, snap); err == nil {
+		t.Error("uniform snapshot restored as weighted")
+	}
+	// Tampered speeds.
+	bad := snap
+	bad.Speeds = append([]float64(nil), snap.Speeds...)
+	bad.Speeds[0] = 99
+	if _, err := RestoreUniform(sys6, bad); err == nil {
+		t.Error("speed mismatch accepted")
+	}
+}
+
+func TestSnapshotResumeContinuity(t *testing.T) {
+	// Running r1+r2 rounds straight must equal running r1 rounds,
+	// snapshotting, restoring, and running r2 more with the same seeds.
+	sys := testSystem(t, 8)
+	counts := []int64{800, 0, 0, 0, 0, 0, 0, 0}
+	full, err := NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUniform(full, Algorithm1{}, nil, RunOpts{MaxRounds: 60, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	part, err := NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUniform(part, Algorithm1{}, nil, RunOpts{MaxRounds: 60, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	snap := CaptureUniform(part, 60)
+	restored, err := RestoreUniform(sys, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if restored.Count(i) != full.Count(i) {
+			t.Fatalf("restored state differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import "repro/internal/rng"
+
+// UniformProtocol is one synchronous round of a load-balancing protocol
+// on a uniform-task state. Step must use only streams derived from base
+// via Split so that trajectories are reproducible; it returns the number
+// of migrated tasks.
+type UniformProtocol interface {
+	Name() string
+	Step(st *UniformState, round uint64, base *rng.Stream) int64
+}
+
+// Algorithm1 is the paper's protocol for uniform tasks on machines with
+// speeds (p. 5):
+//
+//	for each task on node i in parallel:
+//	  choose neighbor j uniformly at random
+//	  if ℓᵢ − ℓⱼ > 1/sⱼ:
+//	    move with probability
+//	    p_ij = (deg(i)/d_ij) · (ℓᵢ−ℓⱼ) / (α·(1/sᵢ+1/sⱼ)·Wᵢ)
+//
+// The implementation batches the per-task coin flips: the tasks of node i
+// are split over neighbors by an equal-probability multinomial, and the
+// movers toward an eligible neighbor are drawn binomially with p_ij.
+// This is distributionally identical to the per-task loop (tasks are
+// exchangeable) at O(deg·E[√movers]) cost instead of O(m).
+type Algorithm1 struct {
+	// Alpha is the migration damping; zero means the paper's default
+	// 4·s_max. The exact-Nash phase of Theorem 1.2 requires 4·s_max/ε̄.
+	Alpha float64
+}
+
+var _ UniformProtocol = Algorithm1{}
+
+// Name implements UniformProtocol.
+func (p Algorithm1) Name() string { return "algorithm1" }
+
+// effectiveAlpha resolves the damping parameter for a system.
+func (p Algorithm1) effectiveAlpha(sys *System) float64 {
+	if p.Alpha > 0 {
+		return p.Alpha
+	}
+	return sys.DefaultAlpha()
+}
+
+// Step implements UniformProtocol.
+func (p Algorithm1) Step(st *UniformState, round uint64, base *rng.Stream) int64 {
+	sys := st.sys
+	g := sys.g
+	n := g.N()
+	alpha := p.effectiveAlpha(sys)
+	loads := st.Loads() // round-start snapshot: all tasks act concurrently
+	delta := make([]int64, n)
+	moves := int64(0)
+	roundStream := base.Split(round)
+	for i := 0; i < n; i++ {
+		wi := st.counts[i]
+		if wi == 0 {
+			continue
+		}
+		nodeStream := roundStream.Split(uint64(i))
+		nbs := g.Neighbors(i)
+		deg := len(nbs)
+		picks := nodeStream.EqualSplit(int(wi), deg)
+		li := loads[i]
+		for idx, jj := range nbs {
+			c := picks[idx]
+			if c == 0 {
+				continue
+			}
+			j := int(jj)
+			sj := sys.speeds[j]
+			if li-loads[j] <= 1/sj {
+				continue
+			}
+			pij := migrationProb(sys, i, j, li, loads[j], alpha, float64(wi))
+			k := int64(nodeStream.Binomial(c, pij))
+			if k > 0 {
+				delta[i] -= k
+				delta[j] += k
+				moves += k
+			}
+		}
+	}
+	st.applyDelta(delta)
+	return moves
+}
+
+// migrationProb returns p_ij for node weight wi (uniform: task count;
+// weighted: total weight) with the given loads and damping.
+func migrationProb(sys *System, i, j int, li, lj, alpha, wi float64) float64 {
+	deg := float64(sys.g.Degree(i))
+	dij := float64(sys.g.DMax(i, j))
+	p := deg / dij * (li - lj) / (alpha * (1/sys.speeds[i] + 1/sys.speeds[j]) * wi)
+	if p > 1 {
+		// Cannot occur for α ≥ s_max (p ≤ 1/α·sᵢ·(ℓᵢ−ℓⱼ)·sᵢ/wᵢ ≤ 1/α·s_max
+		// is bounded by 1), but clamp defensively for user-chosen α.
+		p = 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Algorithm1PerTask is the literal per-task formulation of Algorithm 1:
+// every task independently draws a neighbor and a coin. It samples from
+// exactly the same distribution as Algorithm1 but costs O(m) per round.
+// Kept as the reference implementation for equivalence tests and for the
+// batching ablation benchmark.
+type Algorithm1PerTask struct {
+	Alpha float64
+}
+
+var _ UniformProtocol = Algorithm1PerTask{}
+
+// Name implements UniformProtocol.
+func (p Algorithm1PerTask) Name() string { return "algorithm1-pertask" }
+
+// Step implements UniformProtocol.
+func (p Algorithm1PerTask) Step(st *UniformState, round uint64, base *rng.Stream) int64 {
+	sys := st.sys
+	g := sys.g
+	n := g.N()
+	alpha := Algorithm1{Alpha: p.Alpha}.effectiveAlpha(sys)
+	loads := st.Loads()
+	delta := make([]int64, n)
+	moves := int64(0)
+	roundStream := base.Split(round)
+	for i := 0; i < n; i++ {
+		wi := st.counts[i]
+		if wi == 0 {
+			continue
+		}
+		nodeStream := roundStream.Split(uint64(i))
+		nbs := g.Neighbors(i)
+		li := loads[i]
+		for t := int64(0); t < wi; t++ {
+			j := int(nbs[nodeStream.Intn(len(nbs))])
+			if li-loads[j] <= 1/sys.speeds[j] {
+				continue
+			}
+			pij := migrationProb(sys, i, j, li, loads[j], alpha, float64(wi))
+			if nodeStream.Bernoulli(pij) {
+				delta[i]--
+				delta[j]++
+				moves++
+			}
+		}
+	}
+	st.applyDelta(delta)
+	return moves
+}

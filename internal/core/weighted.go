@@ -1,0 +1,259 @@
+package core
+
+import "repro/internal/rng"
+
+// WeightedProtocol is one synchronous round of a protocol on a weighted
+// state; it returns the number of migrated tasks.
+type WeightedProtocol interface {
+	Name() string
+	Step(st *WeightedState, round uint64, base *rng.Stream) int
+}
+
+// Algorithm2 is the paper's protocol for weighted tasks (Section 4,
+// p. 11). The crucial design decision (versus the baseline of [6]) is
+// that the migration condition ℓᵢ − ℓⱼ > 1/sⱼ is independent of the
+// moving task's own weight: over any edge either all of node i's tasks
+// have an incentive to migrate or none do.
+//
+// The migration probability follows Definition 4.1, whose expected flow
+// is f_ij = (ℓᵢ−ℓⱼ)/(α·d_ij·(1/sᵢ+1/sⱼ)): each task on i moves to its
+// chosen neighbor j with probability
+// p_ij = (deg(i)/d_ij)·(ℓᵢ−ℓⱼ)/(α·(1/sᵢ+1/sⱼ)·Wᵢ).
+// (The listing on p. 11 prints the uniform-speed simplification
+// (deg(i)/d_ij)·(Wᵢ−Wⱼ)/(2α·Wᵢ), which coincides when sᵢ = sⱼ = 1;
+// Algorithm2Literal implements that exact listing.)
+//
+// Because p_ij does not depend on the task's weight, the tasks are
+// exchangeable and the round can be batched exactly: draw multinomial
+// destination counts, then pick which tasks move uniformly at random.
+type Algorithm2 struct {
+	// Alpha is the migration damping; zero means the default 4·s_max.
+	Alpha float64
+}
+
+var _ WeightedProtocol = Algorithm2{}
+
+// Name implements WeightedProtocol.
+func (p Algorithm2) Name() string { return "algorithm2" }
+
+func (p Algorithm2) effectiveAlpha(sys *System) float64 {
+	if p.Alpha > 0 {
+		return p.Alpha
+	}
+	return sys.DefaultAlpha()
+}
+
+// Step implements WeightedProtocol.
+func (p Algorithm2) Step(st *WeightedState, round uint64, base *rng.Stream) int {
+	n := st.sys.g.N()
+	loads := st.Loads()
+	roundStream := base.Split(round)
+	var pending []TaskMove
+	for i := 0; i < n; i++ {
+		pending = append(pending, p.DecideNode(st, i, loads, roundStream.Split(uint64(i)))...)
+	}
+	return ApplyMoves(st, pending)
+}
+
+// DecideNode computes node i's outgoing migrations for one round of
+// Algorithm 2, given the round-start load snapshot and the node's
+// deterministic stream. It performs the exact batched sampling of the
+// per-task process: a multinomial split of the task count over
+// (eligible neighbors × pass-coin, stay), then a uniformly random choice
+// of which tasks depart. Exposed so concurrent runtimes (package dist)
+// can execute the identical decision per node goroutine.
+func (p Algorithm2) DecideNode(st *WeightedState, i int, loads []float64, nodeStream *rng.Stream) []TaskMove {
+	sys := st.sys
+	g := sys.g
+	alpha := p.effectiveAlpha(sys)
+	cnt := len(st.tasks[i])
+	if cnt == 0 {
+		return nil
+	}
+	nbs := g.Neighbors(i)
+	deg := len(nbs)
+	li := loads[i]
+	wi := st.nodeWeight[i]
+	// probs[k] = P(a task targets neighbor k AND passes its coin);
+	// the final slot is the stay probability.
+	probs := make([]float64, deg+1)
+	stay := 1.0
+	for idx, jj := range nbs {
+		j := int(jj)
+		if li-loads[j] <= 1/sys.speeds[j] {
+			continue
+		}
+		pij := migrationProb(sys, i, j, li, loads[j], alpha, wi)
+		q := pij / float64(deg)
+		probs[idx] = q
+		stay -= q
+	}
+	if stay < 0 {
+		stay = 0
+	}
+	probs[deg] = stay
+	counts := nodeStream.Multinomial(cnt, probs)
+	totalOut := cnt - counts[deg]
+	if totalOut == 0 {
+		return nil
+	}
+	// Choose which tasks leave: a uniformly random totalOut-subset in
+	// random order via partial Fisher–Yates over the task indices.
+	order := make([]int, cnt)
+	for t := range order {
+		order[t] = t
+	}
+	for t := 0; t < totalOut; t++ {
+		r := t + nodeStream.Intn(cnt-t)
+		order[t], order[r] = order[r], order[t]
+	}
+	out := make([]TaskMove, 0, totalOut)
+	pos := 0
+	for idx := 0; idx < deg; idx++ {
+		for c := 0; c < counts[idx]; c++ {
+			out = append(out, TaskMove{From: i, Idx: order[pos], To: int(nbs[idx])})
+			pos++
+		}
+	}
+	return out
+}
+
+// TaskMove records a pending migration of the task at position Idx of
+// node From to node To, relative to the round-start task layout.
+type TaskMove struct {
+	From, Idx, To int
+}
+
+// ApplyMoves applies a round's pending migrations to st after all nodes
+// decided on the same round-start snapshot. Within one node, higher task
+// indices are removed first so the swap-delete does not disturb the
+// remaining round-start indices. Returns the number of moves applied.
+func ApplyMoves(st *WeightedState, pending []TaskMove) int {
+	n := st.sys.g.N()
+	byNode := make(map[int][]TaskMove, len(pending))
+	for _, mv := range pending {
+		byNode[mv.From] = append(byNode[mv.From], mv)
+	}
+	moves := 0
+	for i := 0; i < n; i++ {
+		mvs := byNode[i]
+		if len(mvs) == 0 {
+			continue
+		}
+		sortMovesByIdxDesc(mvs)
+		for _, mv := range mvs {
+			st.moveTask(mv.From, mv.Idx, mv.To)
+			moves++
+		}
+	}
+	return moves
+}
+
+// sortMovesByIdxDesc sorts moves by task index descending (insertion
+// sort; per-node move lists are small).
+func sortMovesByIdxDesc(mvs []TaskMove) {
+	for i := 1; i < len(mvs); i++ {
+		for j := i; j > 0 && mvs[j].Idx > mvs[j-1].Idx; j-- {
+			mvs[j], mvs[j-1] = mvs[j-1], mvs[j]
+		}
+	}
+}
+
+// Algorithm2PerTask is the literal per-task formulation of Algorithm 2:
+// each task draws its neighbor and coin independently. Reference
+// implementation for equivalence tests.
+type Algorithm2PerTask struct {
+	Alpha float64
+}
+
+var _ WeightedProtocol = Algorithm2PerTask{}
+
+// Name implements WeightedProtocol.
+func (p Algorithm2PerTask) Name() string { return "algorithm2-pertask" }
+
+// Step implements WeightedProtocol.
+func (p Algorithm2PerTask) Step(st *WeightedState, round uint64, base *rng.Stream) int {
+	alpha := Algorithm2{Alpha: p.Alpha}.effectiveAlpha(st.sys)
+	decide := func(st *WeightedState, i, j int, li, lj, w float64, stream *rng.Stream) bool {
+		sys := st.sys
+		if li-lj <= 1/sys.speeds[j] {
+			return false
+		}
+		pij := migrationProb(sys, i, j, li, lj, alpha, st.nodeWeight[i])
+		return stream.Bernoulli(pij)
+	}
+	return perTaskWeightedStep(st, round, base, decide)
+}
+
+// Algorithm2Literal implements the exact listing on p. 11 of the paper:
+// condition ℓᵢ − ℓⱼ > 1/sⱼ, probability (deg(i)/d_ij)·(Wᵢ−Wⱼ)/(2α·Wᵢ).
+// It coincides with Algorithm2 when all speeds are 1.
+type Algorithm2Literal struct {
+	Alpha float64
+}
+
+var _ WeightedProtocol = Algorithm2Literal{}
+
+// Name implements WeightedProtocol.
+func (p Algorithm2Literal) Name() string { return "algorithm2-literal" }
+
+// Step implements WeightedProtocol.
+func (p Algorithm2Literal) Step(st *WeightedState, round uint64, base *rng.Stream) int {
+	alpha := Algorithm2{Alpha: p.Alpha}.effectiveAlpha(st.sys)
+	decide := func(st *WeightedState, i, j int, li, lj, w float64, stream *rng.Stream) bool {
+		sys := st.sys
+		if li-lj <= 1/sys.speeds[j] {
+			return false
+		}
+		wi, wj := st.nodeWeight[i], st.nodeWeight[j]
+		p := float64(sys.g.Degree(i)) / float64(sys.g.DMax(i, j)) * (wi - wj) / (2 * alpha * wi)
+		if p < 0 {
+			p = 0
+		} else if p > 1 {
+			p = 1
+		}
+		return stream.Bernoulli(p)
+	}
+	return perTaskWeightedStep(st, round, base, decide)
+}
+
+// perTaskWeightedStep runs one synchronous round where each task draws a
+// neighbor uniformly and then consults decide(st, i, j, ℓᵢ, ℓⱼ, wℓ) on
+// the round-start snapshot.
+func perTaskWeightedStep(
+	st *WeightedState,
+	round uint64,
+	base *rng.Stream,
+	decide func(st *WeightedState, i, j int, li, lj, w float64, stream *rng.Stream) bool,
+) int {
+	sys := st.sys
+	g := sys.g
+	n := g.N()
+	loads := st.Loads()
+	moves := 0
+	roundStream := base.Split(round)
+	var pending []TaskMove
+	for i := 0; i < n; i++ {
+		cnt := len(st.tasks[i])
+		if cnt == 0 {
+			continue
+		}
+		nodeStream := roundStream.Split(uint64(i))
+		nbs := g.Neighbors(i)
+		li := loads[i]
+		for t := 0; t < cnt; t++ {
+			j := int(nbs[nodeStream.Intn(len(nbs))])
+			if decide(st, i, j, li, loads[j], st.tasks[i][t], nodeStream) {
+				pending = append(pending, TaskMove{From: i, Idx: t, To: j})
+				moves++
+			}
+		}
+	}
+	// Apply per node with indices descending (pending is generated in
+	// ascending idx order per node, so walk backwards).
+	for k := len(pending) - 1; k >= 0; k-- {
+		mv := pending[k]
+		st.moveTask(mv.From, mv.Idx, mv.To)
+	}
+	return moves
+}

@@ -1,0 +1,217 @@
+// Package diffusion implements the (non-selfish) diffusive load-balancing
+// comparators the paper situates its protocol against (Section 1.2 and
+// reference [2]):
+//
+//   - Continuous first-order diffusion on machines with speeds,
+//     x ← x − η·L·S⁻¹·x applied to the task vector (Elsässer–Monien–Preis
+//     style generalized diffusion) — the idealized process the selfish
+//     protocol mimics in expectation;
+//   - ExpectedFlowDiffusion: the deterministic process that moves exactly
+//     the paper's expected flow f_ij (Definition 3.1) over every edge,
+//     i.e. the drift of the randomized protocol;
+//   - Discrete (rounded-flow) diffusion, which sends ⌊flow⌋ indivisible
+//     tasks and is the subject of the companion manuscript [2].
+package diffusion
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// ErrBadStep is returned for non-positive step parameters.
+var ErrBadStep = errors.New("diffusion: step size must be positive")
+
+// Continuous runs first-order generalized diffusion for the given number
+// of rounds on a real-valued task vector x (copied; the input is not
+// modified). Each round applies x_i ← x_i − η·Σ_{j∼i} (x_i/s_i − x_j/s_j).
+// For stability η must satisfy η ≤ 1/(2Δ·max_i 1/s_i); callers may pass
+// eta = 0 to select the safe default 1/(2Δ+1) (speeds ≥ 1).
+func Continuous(g *graph.Graph, speeds []float64, x []float64, eta float64, rounds int) ([]float64, error) {
+	n := g.N()
+	if len(speeds) != n || len(x) != n {
+		return nil, fmt.Errorf("diffusion: dimension mismatch n=%d speeds=%d x=%d", n, len(speeds), len(x))
+	}
+	if eta == 0 {
+		eta = 1 / float64(2*g.MaxDegree()+1)
+	}
+	if eta < 0 {
+		return nil, ErrBadStep
+	}
+	cur := append([]float64(nil), x...)
+	next := make([]float64, n)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			li := cur[i] / speeds[i]
+			flow := 0.0
+			for _, j := range g.Neighbors(i) {
+				flow += li - cur[j]/speeds[j]
+			}
+			next[i] = cur[i] - eta*flow
+		}
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
+// ExpectedFlow runs the deterministic drift of the paper's protocol: in
+// each round every directed edge (i,j) with ℓᵢ − ℓⱼ > 1/sⱼ transports the
+// expected flow f_ij = (ℓᵢ−ℓⱼ)/(α·d_ij·(1/sᵢ+1/sⱼ)) of Definition 3.1.
+// The state is real-valued. A zero alpha selects 4·s_max.
+func ExpectedFlow(sys *core.System, x []float64, alpha float64, rounds int) ([]float64, error) {
+	g := sys.Graph()
+	n := g.N()
+	if len(x) != n {
+		return nil, fmt.Errorf("diffusion: %d entries for %d nodes", len(x), n)
+	}
+	if alpha == 0 {
+		alpha = sys.DefaultAlpha()
+	}
+	if alpha <= 0 {
+		return nil, ErrBadStep
+	}
+	cur := append([]float64(nil), x...)
+	delta := make([]float64, n)
+	for r := 0; r < rounds; r++ {
+		for i := range delta {
+			delta[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			li := cur[i] / sys.Speed(i)
+			for _, jj := range g.Neighbors(i) {
+				j := int(jj)
+				lj := cur[j] / sys.Speed(j)
+				if li-lj <= 1/sys.Speed(j) {
+					continue
+				}
+				f := (li - lj) / (alpha * float64(g.DMax(i, j)) * (1/sys.Speed(i) + 1/sys.Speed(j)))
+				delta[i] -= f
+				delta[j] += f
+			}
+		}
+		for i := range cur {
+			cur[i] += delta[i]
+		}
+	}
+	return cur, nil
+}
+
+// RoundedFlow runs discrete diffusive balancing on integer task counts:
+// each round every directed edge (i,j) with ℓᵢ − ℓⱼ > 1/sⱼ sends
+// ⌊f_ij⌋ tasks (never more than available). This is the deterministic
+// discrete scheme of the companion reference [2], included as the
+// non-randomized comparator.
+func RoundedFlow(sys *core.System, counts []int64, alpha float64, rounds int) ([]int64, error) {
+	g := sys.Graph()
+	n := g.N()
+	if len(counts) != n {
+		return nil, fmt.Errorf("diffusion: %d counts for %d nodes", len(counts), n)
+	}
+	if alpha == 0 {
+		alpha = sys.DefaultAlpha()
+	}
+	if alpha <= 0 {
+		return nil, ErrBadStep
+	}
+	cur := append([]int64(nil), counts...)
+	delta := make([]int64, n)
+	for r := 0; r < rounds; r++ {
+		for i := range delta {
+			delta[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			li := float64(cur[i]) / sys.Speed(i)
+			out := int64(0)
+			for _, jj := range g.Neighbors(i) {
+				j := int(jj)
+				lj := float64(cur[j]) / sys.Speed(j)
+				if li-lj <= 1/sys.Speed(j) {
+					continue
+				}
+				f := int64((li - lj) / (alpha * float64(g.DMax(i, j)) * (1/sys.Speed(i) + 1/sys.Speed(j))))
+				if f <= 0 {
+					continue
+				}
+				if out+f > cur[i] {
+					f = cur[i] - out
+				}
+				if f <= 0 {
+					continue
+				}
+				delta[i] -= f
+				delta[j] += f
+				out += f
+			}
+		}
+		for i := range cur {
+			cur[i] += delta[i]
+		}
+	}
+	return cur, nil
+}
+
+// RandomizedRoundedFlow is discrete diffusion with randomized rounding
+// (the Friedrich–Sauerwald technique cited in the paper's related work):
+// each eligible directed edge sends ⌊f_ij⌋ tasks plus one more with
+// probability frac(f_ij). Unlike deterministic rounding it is unbiased —
+// the expected flow equals f_ij exactly — so it does not stall at the
+// rounding threshold; like the selfish protocol it is a randomized
+// unbiased discretization of the same drift.
+func RandomizedRoundedFlow(sys *core.System, counts []int64, alpha float64, rounds int, stream *rng.Stream) ([]int64, error) {
+	g := sys.Graph()
+	n := g.N()
+	if len(counts) != n {
+		return nil, fmt.Errorf("diffusion: %d counts for %d nodes", len(counts), n)
+	}
+	if alpha == 0 {
+		alpha = sys.DefaultAlpha()
+	}
+	if alpha <= 0 {
+		return nil, ErrBadStep
+	}
+	if stream == nil {
+		return nil, errors.New("diffusion: nil random stream")
+	}
+	cur := append([]int64(nil), counts...)
+	delta := make([]int64, n)
+	for r := 0; r < rounds; r++ {
+		for i := range delta {
+			delta[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			li := float64(cur[i]) / sys.Speed(i)
+			out := int64(0)
+			for _, jj := range g.Neighbors(i) {
+				j := int(jj)
+				lj := float64(cur[j]) / sys.Speed(j)
+				if li-lj <= 1/sys.Speed(j) {
+					continue
+				}
+				fReal := (li - lj) / (alpha * float64(g.DMax(i, j)) * (1/sys.Speed(i) + 1/sys.Speed(j)))
+				f := int64(fReal)
+				if stream.Bernoulli(fReal - float64(f)) {
+					f++
+				}
+				if f <= 0 {
+					continue
+				}
+				if out+f > cur[i] {
+					f = cur[i] - out
+				}
+				if f <= 0 {
+					continue
+				}
+				delta[i] -= f
+				delta[j] += f
+				out += f
+			}
+		}
+		for i := range cur {
+			cur[i] += delta[i]
+		}
+	}
+	return cur, nil
+}

@@ -1,0 +1,232 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+	"repro/internal/workload"
+)
+
+func ringSystem(t *testing.T, n int) *core.System {
+	t.Helper()
+	g, err := graph.Ring(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, machine.Uniform(n), core.WithLambda2(spectral.Lambda2Ring(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestContinuousConservesMass(t *testing.T) {
+	g, err := graph.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	x := make([]float64, n)
+	x[0] = 1000
+	out, err := Continuous(g, machine.Uniform(n), x, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	if math.Abs(sum-1000) > 1e-6 {
+		t.Errorf("mass drifted to %g", sum)
+	}
+	if x[0] != 1000 {
+		t.Error("input vector modified")
+	}
+}
+
+func TestContinuousConvergesToUniform(t *testing.T) {
+	g, err := graph.Complete(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	x := make([]float64, n)
+	x[0] = 800
+	out, err := Continuous(g, machine.Uniform(n), x, 0, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if math.Abs(v-100) > 1e-3 {
+			t.Errorf("node %d has %g, want 100", i, v)
+		}
+	}
+}
+
+func TestContinuousWithSpeedsConvergesToProportional(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := []float64{1, 2, 1, 4}
+	x := []float64{800, 0, 0, 0}
+	out, err := Continuous(g, speeds, x, 0, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equilibrium of generalized diffusion: equal loads xᵢ/sᵢ = m/S.
+	want := 800.0 / 8
+	for i, v := range out {
+		if math.Abs(v/speeds[i]-want) > 1e-6 {
+			t.Errorf("node %d load %g, want %g", i, v/speeds[i], want)
+		}
+	}
+}
+
+func TestContinuousValidation(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Continuous(g, []float64{1, 1}, []float64{1, 1, 1, 1}, 0, 1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := Continuous(g, machine.Uniform(4), []float64{1, 1, 1, 1}, -1, 1); err == nil {
+		t.Error("negative eta accepted")
+	}
+}
+
+func TestExpectedFlowMatchesProtocolDrift(t *testing.T) {
+	// One round of ExpectedFlow must equal the empirical mean of one
+	// protocol round over many trials (the protocol is unbiased).
+	const n, m = 6, 1200
+	sys := ringSystem(t, n)
+	counts, err := workload.AllOnOne(n, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i, c := range counts {
+		x[i] = float64(c)
+	}
+	drift, err := ExpectedFlow(sys, x, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 4000
+	meanEnd := make([]float64, n)
+	for k := 0; k < trials; k++ {
+		st, err := core.NewUniformState(sys, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.Algorithm1{}.Step(st, 1, rng.New(uint64(k)))
+		for i := 0; i < n; i++ {
+			meanEnd[i] += float64(st.Count(i))
+		}
+	}
+	for i := range meanEnd {
+		meanEnd[i] /= trials
+		if math.Abs(meanEnd[i]-drift[i]) > 0.05*float64(m)/float64(n)+1 {
+			t.Errorf("node %d: protocol mean %.2f vs expected-flow %.2f", i, meanEnd[i], drift[i])
+		}
+	}
+}
+
+func TestRoundedFlowConservesAndConverges(t *testing.T) {
+	const n = 8
+	sys := ringSystem(t, n)
+	counts, err := workload.AllOnOne(n, 8000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RoundedFlow(sys, counts, 0, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := int64(0)
+	for _, c := range out {
+		if c < 0 {
+			t.Fatal("negative count")
+		}
+		sum += c
+	}
+	if sum != 8000 {
+		t.Fatalf("mass %d, want 8000", sum)
+	}
+	// Discrete diffusion stalls once every edge flow rounds to zero,
+	// i.e. when all neighbor gaps are below α·d_ij·(1/sᵢ+1/sⱼ) = 16.
+	// Deviations can accumulate along the ring, so the residual L_Δ is
+	// bounded by (stall gap)·diam/2 = 16·(8/2)/2 = 32.
+	st, err := core.NewUniformState(sys, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld := core.LDelta(st); ld > 33 {
+		t.Errorf("rounded-flow stalled with large imbalance L_Δ = %g", ld)
+	}
+	// And it must actually have balanced most of the initial skew.
+	if ld := core.LDelta(st); ld > 100 {
+		t.Errorf("rounded flow barely moved: L_Δ = %g", ld)
+	}
+}
+
+func TestRandomizedRoundedFlowUnbiasedAndTighter(t *testing.T) {
+	// Randomized rounding does not stall at the deterministic rounding
+	// threshold: after enough rounds the residual imbalance is smaller
+	// than deterministic RoundedFlow's stall band.
+	const n = 8
+	sys := ringSystem(t, n)
+	counts, err := workload.AllOnOne(n, 8000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := RoundedFlow(sys, counts, 0, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RandomizedRoundedFlow(sys, counts, 0, 50000, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := int64(0)
+	for _, c := range rnd {
+		if c < 0 {
+			t.Fatal("negative count")
+		}
+		sum += c
+	}
+	if sum != 8000 {
+		t.Fatalf("mass %d, want 8000", sum)
+	}
+	stDet, err := core.NewUniformState(sys, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRnd, err := core.NewUniformState(sys, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.LDelta(stRnd) > core.LDelta(stDet)+1 {
+		t.Errorf("randomized rounding (L_Δ=%g) worse than deterministic (L_Δ=%g)",
+			core.LDelta(stRnd), core.LDelta(stDet))
+	}
+	if _, err := RandomizedRoundedFlow(sys, counts, 0, 1, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+}
+
+func TestRoundedFlowValidation(t *testing.T) {
+	sys := ringSystem(t, 4)
+	if _, err := RoundedFlow(sys, []int64{1, 2}, 0, 1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := ExpectedFlow(sys, []float64{1, 2}, 0, 1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,160 @@
+// Package experiments regenerates the paper's evaluation: Table 1
+// (convergence-time comparison across graph classes, this paper vs the
+// SODA'11 baseline [6]) both analytically — evaluating the bound
+// formulas with exact λ₂, Δ and diam per instance — and empirically, by
+// running the protocols over size sweeps and fitting scaling exponents.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/spectral"
+)
+
+// GraphClass describes one row of Table 1: how to build an instance of
+// roughly n vertices, the closed-form λ₂, and the four asymptotic bounds
+// (this paper / [6] × approximate / exact NE) as printed in the paper.
+type GraphClass struct {
+	// Key identifies the class ("complete", "ring", ...).
+	Key string
+	// Display is the paper's row label.
+	Display string
+	// Build returns an instance with approximately n vertices (rounded to
+	// the family's natural sizes: squares for tori, powers of two for
+	// hypercubes). The actual size is g.N().
+	Build func(n int) (*graph.Graph, error)
+	// Lambda2 is the closed-form algebraic connectivity of the instance.
+	Lambda2 func(g *graph.Graph) float64
+
+	// The four asymptotic columns of Table 1, as printed in the paper.
+	OursApprox, BaselineApprox string
+	OursExact, BaselineExact   string
+
+	// Numeric evaluation of the asymptotic expressions (constants
+	// dropped, as in the paper's table) at instance size n, task count m.
+	OursApproxVal, BaselineApproxVal func(n int, m int64) float64
+	OursExactVal, BaselineExactVal   func(n int) float64
+
+	// ApproxExponent is the predicted log–log slope of rounds-to-
+	// (Ψ₀ ≤ 4ψ_c) versus n at fixed m/n (0 means polylog growth).
+	ApproxExponent float64
+	// ExactExponent is the predicted slope for rounds-to-exact-NE.
+	ExactExponent float64
+}
+
+// Table1Classes returns the four graph-class rows of Table 1.
+func Table1Classes() []GraphClass {
+	logRatio := func(n int, m int64) float64 {
+		r := float64(m) / float64(n)
+		if r < math.E {
+			r = math.E
+		}
+		return math.Log(r)
+	}
+	logM := func(m int64) float64 {
+		if m < 3 {
+			m = 3
+		}
+		return math.Log(float64(m))
+	}
+	return []GraphClass{
+		{
+			Key:     "complete",
+			Display: "Complete Graph",
+			Build:   func(n int) (*graph.Graph, error) { return graph.Complete(n) },
+			Lambda2: func(g *graph.Graph) float64 { return spectral.Lambda2Complete(g.N()) },
+
+			OursApprox: "ln(m/n)", BaselineApprox: "n^2·ln(m)",
+			OursExact: "n^2", BaselineExact: "n^6",
+			OursApproxVal:     func(n int, m int64) float64 { return logRatio(n, m) },
+			BaselineApproxVal: func(n int, m int64) float64 { return float64(n) * float64(n) * logM(m) },
+			OursExactVal:      func(n int) float64 { return float64(n) * float64(n) },
+			BaselineExactVal:  func(n int) float64 { return math.Pow(float64(n), 6) },
+			ApproxExponent:    0,
+			ExactExponent:     2,
+		},
+		{
+			Key:     "ring",
+			Display: "Ring, Path",
+			Build:   func(n int) (*graph.Graph, error) { return graph.Ring(n) },
+			Lambda2: func(g *graph.Graph) float64 { return spectral.Lambda2Ring(g.N()) },
+
+			OursApprox: "n^2·ln(m/n)", BaselineApprox: "n^3·ln(m)",
+			OursExact: "n^3", BaselineExact: "n^5",
+			OursApproxVal:     func(n int, m int64) float64 { return float64(n) * float64(n) * logRatio(n, m) },
+			BaselineApproxVal: func(n int, m int64) float64 { return math.Pow(float64(n), 3) * logM(m) },
+			OursExactVal:      func(n int) float64 { return math.Pow(float64(n), 3) },
+			BaselineExactVal:  func(n int) float64 { return math.Pow(float64(n), 5) },
+			ApproxExponent:    2,
+			ExactExponent:     3,
+		},
+		{
+			Key:     "torus",
+			Display: "Mesh, Torus",
+			Build: func(n int) (*graph.Graph, error) {
+				side := int(math.Round(math.Sqrt(float64(n))))
+				if side < 3 {
+					side = 3
+				}
+				return graph.Torus(side, side)
+			},
+			Lambda2: func(g *graph.Graph) float64 {
+				side := int(math.Round(math.Sqrt(float64(g.N()))))
+				return spectral.Lambda2Torus(side, side)
+			},
+
+			OursApprox: "n·ln(m/n)", BaselineApprox: "n^2·ln(m)",
+			OursExact: "n^2", BaselineExact: "n^4",
+			OursApproxVal:     func(n int, m int64) float64 { return float64(n) * logRatio(n, m) },
+			BaselineApproxVal: func(n int, m int64) float64 { return float64(n) * float64(n) * logM(m) },
+			OursExactVal:      func(n int) float64 { return float64(n) * float64(n) },
+			BaselineExactVal:  func(n int) float64 { return math.Pow(float64(n), 4) },
+			ApproxExponent:    1,
+			ExactExponent:     2,
+		},
+		{
+			Key:     "hypercube",
+			Display: "Hypercube",
+			Build: func(n int) (*graph.Graph, error) {
+				d := 1
+				for 1<<uint(d) < n {
+					d++
+				}
+				return graph.Hypercube(d)
+			},
+			Lambda2: func(g *graph.Graph) float64 { return spectral.Lambda2Hypercube(1) },
+
+			OursApprox: "ln(n)·ln(m/n)", BaselineApprox: "n·ln^3(n)·ln(m)",
+			OursExact: "n·ln^2(n)", BaselineExact: "n^3·ln^5(n)",
+			OursApproxVal: func(n int, m int64) float64 {
+				return math.Log(float64(n)) * logRatio(n, m)
+			},
+			BaselineApproxVal: func(n int, m int64) float64 {
+				ln := math.Log(float64(n))
+				return float64(n) * ln * ln * ln * logM(m)
+			},
+			OursExactVal: func(n int) float64 {
+				ln := math.Log(float64(n))
+				return float64(n) * ln * ln
+			},
+			BaselineExactVal: func(n int) float64 {
+				ln := math.Log(float64(n))
+				return math.Pow(float64(n), 3) * math.Pow(ln, 5)
+			},
+			ApproxExponent: 0,
+			ExactExponent:  1,
+		},
+	}
+}
+
+// ClassByKey returns the class with the given key.
+func ClassByKey(key string) (GraphClass, error) {
+	for _, c := range Table1Classes() {
+		if c.Key == key {
+			return c, nil
+		}
+	}
+	return GraphClass{}, fmt.Errorf("experiments: unknown graph class %q", key)
+}

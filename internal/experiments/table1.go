@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// BoundsRow is one analytic Table-1 row: the paper's asymptotic columns
+// evaluated at a concrete (n, m), plus the exact theorem bounds computed
+// from the instance's actual λ₂ and Δ.
+type BoundsRow struct {
+	Class        string  `json:"class"`
+	N            int     `json:"n"`
+	M            int64   `json:"m"`
+	Lambda2      float64 `json:"lambda2"`
+	MaxDegree    int     `json:"maxDegree"`
+	OursApprox   string  `json:"oursApproxFormula"`
+	OursApproxV  float64 `json:"oursApproxValue"`
+	BaseApprox   string  `json:"baselineApproxFormula"`
+	BaseApproxV  float64 `json:"baselineApproxValue"`
+	OursExact    string  `json:"oursExactFormula"`
+	OursExactV   float64 `json:"oursExactValue"`
+	BaseExact    string  `json:"baselineExactFormula"`
+	BaseExactV   float64 `json:"baselineExactValue"`
+	TheoremT11   float64 `json:"theorem11Rounds"` // 2·2γ·ln(m/n) with actual λ₂
+	TheoremT12   float64 `json:"theorem12Rounds"` // 607·Δ²·s⁴max/ε̄²·n/λ₂
+	GainApprox   float64 `json:"gainApprox"`      // baseline/ours, asymptotic values
+	GainExact    float64 `json:"gainExact"`
+	InstanceName string  `json:"instance"`
+}
+
+// BoundsTable evaluates Table 1 analytically for the given size and task
+// count, with uniform speeds (the table omits speed factors).
+func BoundsTable(n int, m int64) ([]BoundsRow, error) {
+	rows := make([]BoundsRow, 0, 4)
+	for _, c := range Table1Classes() {
+		g, err := c.Build(n)
+		if err != nil {
+			return nil, fmt.Errorf("build %s: %w", c.Key, err)
+		}
+		actualN := g.N()
+		lambda2 := c.Lambda2(g)
+		sys, err := core.NewSystem(g, machine.Uniform(actualN), core.WithLambda2(lambda2))
+		if err != nil {
+			return nil, fmt.Errorf("system %s: %w", c.Key, err)
+		}
+		row := BoundsRow{
+			Class:        c.Display,
+			N:            actualN,
+			M:            m,
+			Lambda2:      lambda2,
+			MaxDegree:    g.MaxDegree(),
+			OursApprox:   c.OursApprox,
+			OursApproxV:  c.OursApproxVal(actualN, m),
+			BaseApprox:   c.BaselineApprox,
+			BaseApproxV:  c.BaselineApproxVal(actualN, m),
+			OursExact:    c.OursExact,
+			OursExactV:   c.OursExactVal(actualN),
+			BaseExact:    c.BaselineExact,
+			BaseExactV:   c.BaselineExactVal(actualN),
+			TheoremT11:   2 * sys.ApproxPhaseRounds(m),
+			TheoremT12:   sys.ExactPhaseRounds(1),
+			InstanceName: g.Name(),
+		}
+		if row.OursApproxV > 0 {
+			row.GainApprox = row.BaseApproxV / row.OursApproxV
+		}
+		if row.OursExactV > 0 {
+			row.GainExact = row.BaseExactV / row.OursExactV
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatBoundsTable renders rows in the layout of the paper's Table 1.
+func FormatBoundsTable(rows []BoundsRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-22s %-22s %-22s %-22s\n", "Graph",
+		"eps-NE (this paper)", "eps-NE [6]", "NE (this paper)", "NE [6]")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-22s %-22s %-22s %-22s\n", r.Class,
+			fmt.Sprintf("%s = %.3g", r.OursApprox, r.OursApproxV),
+			fmt.Sprintf("%s = %.3g", r.BaseApprox, r.BaseApproxV),
+			fmt.Sprintf("%s = %.3g", r.OursExact, r.OursExactV),
+			fmt.Sprintf("%s = %.3g", r.BaseExact, r.BaseExactV))
+	}
+	return b.String()
+}
+
+// SweepPoint is one (n, measured rounds) observation of a size sweep.
+type SweepPoint struct {
+	N          int     `json:"n"`
+	M          int64   `json:"m"`
+	MeanRounds float64 `json:"meanRounds"`
+	StdErr     float64 `json:"stdErr"`
+	Predicted  float64 `json:"predictedRounds"`
+	Repeats    int     `json:"repeats"`
+}
+
+// SweepResult is a fitted size sweep for one graph class.
+type SweepResult struct {
+	Class             string       `json:"class"`
+	Points            []SweepPoint `json:"points"`
+	FittedExponent    float64      `json:"fittedExponent"`
+	PredictedExponent float64      `json:"predictedExponent"`
+	R2                float64      `json:"r2"`
+}
+
+// MeasureOpts configures an empirical sweep.
+type MeasureOpts struct {
+	// Sizes are the target vertex counts.
+	Sizes []int
+	// TasksPerNode sets m = TasksPerNode·n (default 64).
+	TasksPerNode int
+	// Repeats per size (default 3).
+	Repeats int
+	// Seed for reproducibility.
+	Seed uint64
+	// MaxRounds safety cap per run (default 20,000,000 / n).
+	MaxRounds int
+}
+
+func (o *MeasureOpts) defaults() {
+	if o.TasksPerNode <= 0 {
+		o.TasksPerNode = 64
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+	}
+}
+
+// MeasureApproxPhase measures, for one graph class, the rounds needed
+// from the all-on-one start until Ψ₀ ≤ 4·ψ_c — the phase bounded by
+// Theorem 1.1 — over a size sweep, and fits the log–log scaling exponent.
+func MeasureApproxPhase(class GraphClass, opts MeasureOpts) (SweepResult, error) {
+	opts.defaults()
+	res := SweepResult{Class: class.Display, PredictedExponent: class.ApproxExponent}
+	var xs, ys []float64
+	for _, n := range opts.Sizes {
+		g, err := class.Build(n)
+		if err != nil {
+			return res, fmt.Errorf("build %s(%d): %w", class.Key, n, err)
+		}
+		actualN := g.N()
+		m := int64(opts.TasksPerNode) * int64(actualN)
+		sys, err := core.NewSystem(g, machine.Uniform(actualN), core.WithLambda2(class.Lambda2(g)))
+		if err != nil {
+			return res, err
+		}
+		maxRounds := opts.MaxRounds
+		if maxRounds <= 0 {
+			maxRounds = 4_000_000
+		}
+		threshold := 4 * sys.PsiCritical()
+		var agg stats.Welford
+		for rep := 0; rep < opts.Repeats; rep++ {
+			counts, err := workload.AllOnOne(actualN, m, 0)
+			if err != nil {
+				return res, err
+			}
+			st, err := core.NewUniformState(sys, counts)
+			if err != nil {
+				return res, err
+			}
+			run, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtPsi0Below(threshold), core.RunOpts{
+				MaxRounds:  maxRounds,
+				Seed:       opts.Seed + uint64(n)*1000 + uint64(rep),
+				CheckEvery: 1,
+			})
+			if err != nil {
+				return res, fmt.Errorf("%s n=%d rep=%d: %w", class.Key, actualN, rep, err)
+			}
+			agg.Add(float64(run.Rounds))
+		}
+		point := SweepPoint{
+			N:          actualN,
+			M:          m,
+			MeanRounds: agg.Mean(),
+			StdErr:     agg.StdErr(),
+			Predicted:  2 * sys.ApproxPhaseRounds(m),
+			Repeats:    opts.Repeats,
+		}
+		res.Points = append(res.Points, point)
+		xs = append(xs, float64(actualN))
+		ys = append(ys, maxf(point.MeanRounds, 1))
+	}
+	if len(xs) >= 2 {
+		exp, _, r2, err := stats.FitPowerLaw(xs, ys)
+		if err == nil {
+			res.FittedExponent = exp
+			res.R2 = r2
+		}
+	}
+	return res, nil
+}
+
+// MeasureApproxNE measures rounds from the all-on-one start until the
+// state is an ε-approximate Nash equilibrium with fixed ε. Unlike the
+// Ψ₀ ≤ 4ψ_c stopping rule (whose threshold itself scales with n³/λ₂ and
+// therefore masks the graph-dependent factor on low-connectivity
+// graphs), a fixed ε exposes the Δ/λ₂ scaling of Theorem 1.1 directly:
+// ln(m/n)·Δ/λ₂ is Θ(ln m) on the complete graph, Θ(n·ln) on the torus,
+// Θ(n²·ln) on the ring and Θ(ln n·ln) on the hypercube.
+func MeasureApproxNE(class GraphClass, eps float64, opts MeasureOpts) (SweepResult, error) {
+	opts.defaults()
+	res := SweepResult{Class: class.Display, PredictedExponent: class.ApproxExponent}
+	var xs, ys []float64
+	for _, n := range opts.Sizes {
+		g, err := class.Build(n)
+		if err != nil {
+			return res, fmt.Errorf("build %s(%d): %w", class.Key, n, err)
+		}
+		actualN := g.N()
+		m := int64(opts.TasksPerNode) * int64(actualN)
+		sys, err := core.NewSystem(g, machine.Uniform(actualN), core.WithLambda2(class.Lambda2(g)))
+		if err != nil {
+			return res, err
+		}
+		maxRounds := opts.MaxRounds
+		if maxRounds <= 0 {
+			maxRounds = 8_000_000
+		}
+		var agg stats.Welford
+		for rep := 0; rep < opts.Repeats; rep++ {
+			counts, err := workload.AllOnOne(actualN, m, 0)
+			if err != nil {
+				return res, err
+			}
+			st, err := core.NewUniformState(sys, counts)
+			if err != nil {
+				return res, err
+			}
+			run, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtApproxNash(eps), core.RunOpts{
+				MaxRounds:  maxRounds,
+				Seed:       opts.Seed + uint64(n)*1000 + uint64(rep) + 13,
+				CheckEvery: 1,
+			})
+			if err != nil {
+				return res, fmt.Errorf("%s n=%d rep=%d: %w", class.Key, actualN, rep, err)
+			}
+			agg.Add(float64(run.Rounds))
+		}
+		point := SweepPoint{
+			N:          actualN,
+			M:          m,
+			MeanRounds: agg.Mean(),
+			StdErr:     agg.StdErr(),
+			Predicted:  2 * sys.ApproxPhaseRounds(m),
+			Repeats:    opts.Repeats,
+		}
+		res.Points = append(res.Points, point)
+		xs = append(xs, float64(actualN))
+		ys = append(ys, maxf(point.MeanRounds, 1))
+	}
+	if len(xs) >= 2 {
+		exp, _, r2, err := stats.FitPowerLaw(xs, ys)
+		if err == nil {
+			res.FittedExponent = exp
+			res.R2 = r2
+		}
+	}
+	return res, nil
+}
+
+// MeasureExactPhase measures rounds from the all-on-one start to an
+// exact Nash equilibrium (uniform speeds, so granularity ε̄ = 1) and fits
+// the scaling exponent against the Theorem 1.2 prediction.
+func MeasureExactPhase(class GraphClass, opts MeasureOpts) (SweepResult, error) {
+	opts.defaults()
+	res := SweepResult{Class: class.Display, PredictedExponent: class.ExactExponent}
+	var xs, ys []float64
+	for _, n := range opts.Sizes {
+		g, err := class.Build(n)
+		if err != nil {
+			return res, fmt.Errorf("build %s(%d): %w", class.Key, n, err)
+		}
+		actualN := g.N()
+		m := int64(opts.TasksPerNode) * int64(actualN)
+		sys, err := core.NewSystem(g, machine.Uniform(actualN), core.WithLambda2(class.Lambda2(g)))
+		if err != nil {
+			return res, err
+		}
+		maxRounds := opts.MaxRounds
+		if maxRounds <= 0 {
+			maxRounds = 8_000_000
+		}
+		var agg stats.Welford
+		for rep := 0; rep < opts.Repeats; rep++ {
+			counts, err := workload.AllOnOne(actualN, m, 0)
+			if err != nil {
+				return res, err
+			}
+			st, err := core.NewUniformState(sys, counts)
+			if err != nil {
+				return res, err
+			}
+			run, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtNash(), core.RunOpts{
+				MaxRounds:  maxRounds,
+				Seed:       opts.Seed + uint64(n)*1000 + uint64(rep) + 7,
+				CheckEvery: 1,
+			})
+			if err != nil {
+				return res, fmt.Errorf("%s n=%d rep=%d: %w", class.Key, actualN, rep, err)
+			}
+			agg.Add(float64(run.Rounds))
+		}
+		point := SweepPoint{
+			N:          actualN,
+			M:          m,
+			MeanRounds: agg.Mean(),
+			StdErr:     agg.StdErr(),
+			Predicted:  sys.ExactPhaseRounds(1),
+			Repeats:    opts.Repeats,
+		}
+		res.Points = append(res.Points, point)
+		xs = append(xs, float64(actualN))
+		ys = append(ys, maxf(point.MeanRounds, 1))
+	}
+	if len(xs) >= 2 {
+		exp, _, r2, err := stats.FitPowerLaw(xs, ys)
+		if err == nil {
+			res.FittedExponent = exp
+			res.R2 = r2
+		}
+	}
+	return res, nil
+}
+
+// SweepCSV renders a sweep result as CSV (one row per size).
+func SweepCSV(res SweepResult) string {
+	var b strings.Builder
+	b.WriteString("class,n,m,mean_rounds,stderr,theory_bound,fitted_exponent,predicted_exponent,r2\n")
+	for _, p := range res.Points {
+		fmt.Fprintf(&b, "%s,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f\n",
+			res.Class, p.N, p.M, p.MeanRounds, p.StdErr, p.Predicted,
+			res.FittedExponent, res.PredictedExponent, res.R2)
+	}
+	return b.String()
+}
+
+// FormatSweep renders a sweep result as an aligned text table.
+func FormatSweep(res SweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: fitted exponent %.2f (predicted %.2f, R²=%.3f)\n",
+		res.Class, res.FittedExponent, res.PredictedExponent, res.R2)
+	fmt.Fprintf(&b, "  %8s %10s %14s %12s %14s\n", "n", "m", "rounds(mean)", "stderr", "theory-bound")
+	for _, p := range res.Points {
+		fmt.Fprintf(&b, "  %8d %10d %14.1f %12.2f %14.1f\n", p.N, p.M, p.MeanRounds, p.StdErr, p.Predicted)
+	}
+	return b.String()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

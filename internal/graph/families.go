@@ -1,0 +1,101 @@
+package graph
+
+import "fmt"
+
+// Additional graph families beyond the Table-1 classes, used by the
+// extended experiments: circulants (rings with chords), complete
+// bipartite graphs, and d-dimensional tori (the general mesh model).
+
+// Circulant returns the circulant graph C_n(offsets): vertex v is
+// adjacent to v±o (mod n) for every offset o. Offsets must be in
+// [1, n/2] and distinct; the offset n/2 (for even n) contributes a
+// single edge per vertex pair.
+func Circulant(n int, offsets []int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: circulant needs n >= 3, got %d", n)
+	}
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("graph: circulant needs at least one offset")
+	}
+	seen := make(map[int]bool, len(offsets))
+	for _, o := range offsets {
+		if o < 1 || o > n/2 {
+			return nil, fmt.Errorf("graph: offset %d outside [1,%d]", o, n/2)
+		}
+		if seen[o] {
+			return nil, fmt.Errorf("graph: duplicate offset %d", o)
+		}
+		seen[o] = true
+	}
+	edgeSet := make(map[Edge]struct{}, n*len(offsets))
+	for v := 0; v < n; v++ {
+		for _, o := range offsets {
+			w := (v + o) % n
+			e := Edge{U: v, V: w}
+			if e.U > e.V {
+				e.U, e.V = e.V, e.U
+			}
+			edgeSet[e] = struct{}{}
+		}
+	}
+	edges := make([]Edge, 0, len(edgeSet))
+	for e := range edgeSet {
+		edges = append(edges, e)
+	}
+	return FromEdges(fmt.Sprintf("circulant-%d-%v", n, offsets), n, edges)
+}
+
+// CompleteBipartite returns K_{a,b} with part A = {0..a-1} and part
+// B = {a..a+b-1}.
+func CompleteBipartite(a, b int) (*Graph, error) {
+	if a < 1 || b < 1 {
+		return nil, fmt.Errorf("graph: K_{a,b} needs a,b >= 1, got %d,%d", a, b)
+	}
+	edges := make([]Edge, 0, a*b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	return FromEdges(fmt.Sprintf("kbipartite-%d-%d", a, b), a+b, edges)
+}
+
+// TorusND returns the d-dimensional torus with the given side lengths
+// (each >= 3). Vertex coordinates are mixed-radix encoded: the first
+// dimension varies slowest.
+func TorusND(sides []int) (*Graph, error) {
+	if len(sides) == 0 {
+		return nil, fmt.Errorf("graph: TorusND needs at least one dimension")
+	}
+	n := 1
+	for _, s := range sides {
+		if s < 3 {
+			return nil, fmt.Errorf("graph: torus side %d < 3", s)
+		}
+		if n > 1<<24/s {
+			return nil, fmt.Errorf("graph: torus too large")
+		}
+		n *= s
+	}
+	// stride[k] = product of sides after k.
+	strides := make([]int, len(sides))
+	strides[len(sides)-1] = 1
+	for k := len(sides) - 2; k >= 0; k-- {
+		strides[k] = strides[k+1] * sides[k+1]
+	}
+	edges := make([]Edge, 0, n*len(sides))
+	for v := 0; v < n; v++ {
+		rem := v
+		for k, s := range sides {
+			coord := rem / strides[k]
+			rem %= strides[k]
+			next := v + strides[k]*(((coord+1)%s)-coord)
+			e := Edge{U: v, V: next}
+			if e.U > e.V {
+				e.U, e.V = e.V, e.U
+			}
+			edges = append(edges, e)
+		}
+	}
+	return FromEdges(fmt.Sprintf("torusnd-%v", sides), n, edges)
+}

@@ -1,0 +1,151 @@
+package graph
+
+import "testing"
+
+func TestCirculant(t *testing.T) {
+	g, err := Circulant(10, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 || g.M() != 20 {
+		t.Errorf("C_10(1,2): n=%d m=%d, want 10, 20", g.N(), g.M())
+	}
+	for v := 0; v < 10; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("degree(%d)=%d, want 4", v, g.Degree(v))
+		}
+	}
+	if !g.IsConnected() {
+		t.Error("circulant disconnected")
+	}
+}
+
+func TestCirculantAntipodal(t *testing.T) {
+	// C_6(3): each vertex joined to its antipode only — perfect matching.
+	g, err := Circulant(6, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 3 {
+		t.Errorf("C_6(3) m=%d, want 3", g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 1 {
+			t.Fatalf("degree(%d)=%d, want 1", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCirculantValidation(t *testing.T) {
+	if _, err := Circulant(2, []int{1}); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := Circulant(10, nil); err == nil {
+		t.Error("no offsets accepted")
+	}
+	if _, err := Circulant(10, []int{6}); err == nil {
+		t.Error("offset > n/2 accepted")
+	}
+	if _, err := Circulant(10, []int{2, 2}); err == nil {
+		t.Error("duplicate offset accepted")
+	}
+}
+
+func TestCirculantEqualsRing(t *testing.T) {
+	c, err := Circulant(9, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Ring(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, re := c.Edges(), r.Edges()
+	if len(ce) != len(re) {
+		t.Fatalf("edge counts %d vs %d", len(ce), len(re))
+	}
+	for i := range ce {
+		if ce[i] != re[i] {
+			t.Fatalf("edge %d: %v vs %v", i, ce[i], re[i])
+		}
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g, err := CompleteBipartite(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 7 || g.M() != 12 {
+		t.Errorf("K_{3,4}: n=%d m=%d", g.N(), g.M())
+	}
+	// Part A has degree 4, part B degree 3.
+	for v := 0; v < 3; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("degree(%d)=%d, want 4", v, g.Degree(v))
+		}
+	}
+	for v := 3; v < 7; v++ {
+		if g.Degree(v) != 3 {
+			t.Errorf("degree(%d)=%d, want 3", v, g.Degree(v))
+		}
+	}
+	d, err := g.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Errorf("diam(K_{3,4})=%d, want 2", d)
+	}
+	if _, err := CompleteBipartite(0, 3); err == nil {
+		t.Error("a=0 accepted")
+	}
+}
+
+func TestTorusNDMatches2D(t *testing.T) {
+	nd, err := TorusND([]int{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Torus(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.N() != flat.N() || nd.M() != flat.M() {
+		t.Fatalf("2D mismatch: n %d/%d m %d/%d", nd.N(), flat.N(), nd.M(), flat.M())
+	}
+	// Same vertex numbering (row-major), so edge sets must be equal.
+	a, b := nd.Edges(), flat.Edges()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTorusND3D(t *testing.T) {
+	g, err := TorusND([]int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 27 {
+		t.Errorf("n=%d", g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 6 {
+			t.Fatalf("degree(%d)=%d, want 6 (2 per dimension)", v, g.Degree(v))
+		}
+	}
+	if !g.IsConnected() {
+		t.Error("3-torus disconnected")
+	}
+}
+
+func TestTorusNDValidation(t *testing.T) {
+	if _, err := TorusND(nil); err == nil {
+		t.Error("no dims accepted")
+	}
+	if _, err := TorusND([]int{2, 4}); err == nil {
+		t.Error("side 2 accepted")
+	}
+}

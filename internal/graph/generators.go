@@ -1,0 +1,274 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Complete returns the complete graph K_n.
+func Complete(n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	edges := make([]Edge, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	return FromEdges(fmt.Sprintf("complete-%d", n), n, edges)
+}
+
+// Ring returns the cycle C_n (n >= 3).
+func Ring(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: ring needs n >= 3, got %d", n)
+	}
+	edges := make([]Edge, 0, n)
+	for u := 0; u < n; u++ {
+		v := (u + 1) % n
+		if u < v {
+			edges = append(edges, Edge{U: u, V: v})
+		} else {
+			edges = append(edges, Edge{U: v, V: u})
+		}
+	}
+	return FromEdges(fmt.Sprintf("ring-%d", n), n, edges)
+}
+
+// Path returns the path P_n (n >= 1).
+func Path(n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	edges := make([]Edge, 0, n-1)
+	for u := 0; u+1 < n; u++ {
+		edges = append(edges, Edge{U: u, V: u + 1})
+	}
+	return FromEdges(fmt.Sprintf("path-%d", n), n, edges)
+}
+
+// Mesh returns the rows×cols grid graph (open boundaries).
+// Vertex (r,c) has index r*cols+c.
+func Mesh(rows, cols int) (*Graph, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	n := rows * cols
+	edges := make([]Edge, 0, 2*n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			if c+1 < cols {
+				edges = append(edges, Edge{U: u, V: u + 1})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{U: u, V: u + cols})
+			}
+		}
+	}
+	return FromEdges(fmt.Sprintf("mesh-%dx%d", rows, cols), n, edges)
+}
+
+// Torus returns the rows×cols torus (wrap-around grid). Dimensions must be
+// at least 3 so that no duplicate edges arise from the wrap.
+func Torus(rows, cols int) (*Graph, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: torus needs dims >= 3, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	edges := make([]Edge, 0, 2*n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			right := r*cols + (c+1)%cols
+			down := ((r+1)%rows)*cols + c
+			e1 := Edge{U: u, V: right}
+			if e1.U > e1.V {
+				e1.U, e1.V = e1.V, e1.U
+			}
+			e2 := Edge{U: u, V: down}
+			if e2.U > e2.V {
+				e2.U, e2.V = e2.V, e2.U
+			}
+			edges = append(edges, e1, e2)
+		}
+	}
+	// Each edge was produced exactly once: (u,right) from u only, (u,down)
+	// from u only, and wraps never coincide for dims >= 3.
+	return FromEdges(fmt.Sprintf("torus-%dx%d", rows, cols), n, edges)
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on n = 2^d vertices.
+func Hypercube(d int) (*Graph, error) {
+	if d <= 0 || d > 30 {
+		return nil, fmt.Errorf("graph: hypercube dimension must be in [1,30], got %d", d)
+	}
+	n := 1 << d
+	edges := make([]Edge, 0, n*d/2)
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < d; bit++ {
+			v := u ^ (1 << bit)
+			if u < v {
+				edges = append(edges, Edge{U: u, V: v})
+			}
+		}
+	}
+	return FromEdges(fmt.Sprintf("hypercube-%d", d), n, edges)
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: star needs n >= 2, got %d", n)
+	}
+	edges := make([]Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{U: 0, V: v})
+	}
+	return FromEdges(fmt.Sprintf("star-%d", n), n, edges)
+}
+
+// BinaryTree returns the complete binary tree on n vertices, with vertex i
+// having children 2i+1 and 2i+2.
+func BinaryTree(n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	edges := make([]Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{U: (v - 1) / 2, V: v})
+	}
+	return FromEdges(fmt.Sprintf("bintree-%d", n), n, edges)
+}
+
+// Barbell returns two K_k cliques joined by a path of length bridge
+// (bridge >= 1 gives bridge-1 intermediate vertices). A classic
+// low-conductance family used to stress the λ₂ dependence.
+func Barbell(k, bridge int) (*Graph, error) {
+	if k < 3 || bridge < 1 {
+		return nil, fmt.Errorf("graph: barbell needs k >= 3, bridge >= 1, got k=%d bridge=%d", k, bridge)
+	}
+	n := 2*k + bridge - 1
+	edges := make([]Edge, 0, k*(k-1)+bridge)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	base := k + bridge - 1
+	for u := base; u < base+k; u++ {
+		for v := u + 1; v < base+k; v++ {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	// Path from vertex k-1 through k, k+1, ..., to base.
+	prev := k - 1
+	for v := k; v <= base; v++ {
+		edges = append(edges, Edge{U: prev, V: v})
+		prev = v
+	}
+	return FromEdges(fmt.Sprintf("barbell-%d-%d", k, bridge), n, edges)
+}
+
+// RandomRegular returns a random d-regular graph on n vertices via the
+// pairing model with restarts (rejecting self-loops and multi-edges).
+// n*d must be even and d < n.
+func RandomRegular(n, d int, stream *rng.Stream) (*Graph, error) {
+	if n <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	if d <= 0 || d >= n || n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: invalid regular params n=%d d=%d", n, d)
+	}
+	const maxAttempts = 500
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		stream.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		seen := make(map[Edge]struct{}, n*d/2)
+		edges := make([]Edge, 0, n*d/2)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				ok = false
+				break
+			}
+			e := Edge{U: u, V: v}
+			if e.U > e.V {
+				e.U, e.V = e.V, e.U
+			}
+			if _, dup := seen[e]; dup {
+				ok = false
+				break
+			}
+			seen[e] = struct{}{}
+			edges = append(edges, e)
+		}
+		if !ok {
+			continue
+		}
+		g, err := FromEdges(fmt.Sprintf("regular-%d-%d", n, d), n, edges)
+		if err != nil {
+			continue
+		}
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: failed to sample connected %d-regular graph on %d vertices", d, n)
+}
+
+// ErdosRenyi returns G(n,p) conditioned on connectivity (resampled up to
+// a bounded number of attempts).
+func ErdosRenyi(n int, p float64, stream *rng.Stream) (*Graph, error) {
+	if n <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("graph: G(n,p) needs p in (0,1], got %g", p)
+	}
+	const maxAttempts = 200
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		edges := make([]Edge, 0, int(float64(n*(n-1)/2)*p)+16)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if stream.Bernoulli(p) {
+					edges = append(edges, Edge{U: u, V: v})
+				}
+			}
+		}
+		g, err := FromEdges(fmt.Sprintf("gnp-%d-%g", n, p), n, edges)
+		if err != nil {
+			return nil, err
+		}
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: failed to sample connected G(%d,%g)", n, p)
+}
+
+// Lollipop returns a K_k clique attached to a path with tail vertices.
+func Lollipop(k, tail int) (*Graph, error) {
+	if k < 3 || tail < 1 {
+		return nil, fmt.Errorf("graph: lollipop needs k >= 3, tail >= 1, got k=%d tail=%d", k, tail)
+	}
+	n := k + tail
+	edges := make([]Edge, 0, k*(k-1)/2+tail)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	for v := k; v < n; v++ {
+		edges = append(edges, Edge{U: v - 1, V: v})
+	}
+	return FromEdges(fmt.Sprintf("lollipop-%d-%d", k, tail), n, edges)
+}

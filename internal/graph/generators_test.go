@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestComplete(t *testing.T) {
+	g, err := Complete(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 45 {
+		t.Errorf("K_10 has %d edges, want 45", g.M())
+	}
+	if g.MaxDegree() != 9 || g.MinDegree() != 9 {
+		t.Errorf("K_10 degrees %d/%d, want 9/9", g.MinDegree(), g.MaxDegree())
+	}
+	if _, err := Complete(0); err == nil {
+		t.Error("Complete(0) accepted")
+	}
+}
+
+func TestRing(t *testing.T) {
+	g, err := Ring(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 7 || g.MaxDegree() != 2 || g.MinDegree() != 2 {
+		t.Errorf("C_7: m=%d Δ=%d δ=%d", g.M(), g.MaxDegree(), g.MinDegree())
+	}
+	if _, err := Ring(2); err == nil {
+		t.Error("Ring(2) accepted")
+	}
+}
+
+func TestPath(t *testing.T) {
+	g, err := Path(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 || g.MaxDegree() != 2 || g.MinDegree() != 1 {
+		t.Errorf("P_5: m=%d Δ=%d δ=%d", g.M(), g.MaxDegree(), g.MinDegree())
+	}
+	g1, err := Path(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.M() != 0 || !g1.IsConnected() {
+		t.Error("P_1 should be a single connected vertex")
+	}
+}
+
+func TestMesh(t *testing.T) {
+	g, err := Mesh(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 20 {
+		t.Errorf("mesh n=%d, want 20", g.N())
+	}
+	// Edges: 4*(5-1) horizontal + 5*(4-1) vertical = 16+15 = 31.
+	if g.M() != 31 {
+		t.Errorf("mesh m=%d, want 31", g.M())
+	}
+	if g.MaxDegree() != 4 || g.MinDegree() != 2 {
+		t.Errorf("mesh degrees %d/%d, want 2/4", g.MinDegree(), g.MaxDegree())
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g, err := Torus(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 20 || g.M() != 40 {
+		t.Errorf("torus n=%d m=%d, want 20, 40", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus degree(%d)=%d, want 4", v, g.Degree(v))
+		}
+	}
+	if _, err := Torus(2, 5); err == nil {
+		t.Error("Torus(2,5) accepted")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		g, err := Hypercube(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 << uint(d)
+		if g.N() != n || g.M() != n*d/2 {
+			t.Errorf("Q_%d: n=%d m=%d", d, g.N(), g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != d {
+				t.Fatalf("Q_%d degree(%d)=%d", d, v, g.Degree(v))
+			}
+		}
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Error("Hypercube(0) accepted")
+	}
+	if _, err := Hypercube(31); err == nil {
+		t.Error("Hypercube(31) accepted")
+	}
+}
+
+func TestStarAndTree(t *testing.T) {
+	s, err := Star(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Degree(0) != 8 || s.M() != 8 {
+		t.Errorf("star: deg(center)=%d m=%d", s.Degree(0), s.M())
+	}
+	bt, err := BinaryTree(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.M() != 14 || !bt.IsConnected() {
+		t.Errorf("binary tree m=%d connected=%v", bt.M(), bt.IsConnected())
+	}
+}
+
+func TestBarbellAndLollipop(t *testing.T) {
+	bb, err := Barbell(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bb.IsConnected() {
+		t.Error("barbell disconnected")
+	}
+	// 2 cliques K4 (6 edges each) + path of length 3 (3 edges).
+	if bb.M() != 15 {
+		t.Errorf("barbell m=%d, want 15", bb.M())
+	}
+	lp, err := Lollipop(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lp.IsConnected() || lp.N() != 9 {
+		t.Errorf("lollipop n=%d connected=%v", lp.N(), lp.IsConnected())
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	stream := rng.New(42)
+	g, err := RandomRegular(24, 3, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("degree(%d)=%d, want 3", v, g.Degree(v))
+		}
+	}
+	if !g.IsConnected() {
+		t.Error("random regular graph disconnected")
+	}
+	if _, err := RandomRegular(5, 3, stream); err == nil {
+		t.Error("odd n·d accepted")
+	}
+	if _, err := RandomRegular(4, 4, stream); err == nil {
+		t.Error("d >= n accepted")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	stream := rng.New(7)
+	g, err := ErdosRenyi(30, 0.3, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("G(n,p) sample disconnected despite conditioning")
+	}
+	if _, err := ErdosRenyi(10, 0, stream); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1, err := RandomRegular(20, 4, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := RandomRegular(20, 4, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}

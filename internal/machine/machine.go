@@ -1,0 +1,232 @@
+// Package machine models the processors: speed vectors, their generators,
+// the aggregate quantities the analysis uses (s_max, s_min, S = Σs_i,
+// arithmetic and harmonic means), and the speed granularity ε̄ of
+// Lemma 3.21 (the largest value such that every speed is an integer
+// multiple of it), which controls the exact-Nash convergence bound of
+// Theorem 1.2.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// ErrNoMachines is returned when an empty speed vector is supplied.
+var ErrNoMachines = errors.New("machine: need at least one machine")
+
+// Speeds is a vector of processor speeds. The paper scales speeds so that
+// the smallest speed is 1; Validate enforces s_min = 1 within tolerance.
+type Speeds []float64
+
+// Uniform returns n machines of speed 1.
+func Uniform(n int) Speeds {
+	s := make(Speeds, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}
+
+// TwoClass returns n machines where a fraction fastFrac (rounded down, at
+// least one machine if fastFrac > 0) has speed fast and the rest speed 1.
+// Fast machines occupy the lowest indices.
+func TwoClass(n int, fastFrac, fast float64) (Speeds, error) {
+	if n <= 0 {
+		return nil, ErrNoMachines
+	}
+	if fast < 1 {
+		return nil, fmt.Errorf("machine: fast speed must be >= 1, got %g", fast)
+	}
+	if fastFrac < 0 || fastFrac > 1 {
+		return nil, fmt.Errorf("machine: fastFrac must be in [0,1], got %g", fastFrac)
+	}
+	k := int(fastFrac * float64(n))
+	if fastFrac > 0 && k == 0 {
+		k = 1
+	}
+	s := Uniform(n)
+	for i := 0; i < k; i++ {
+		s[i] = fast
+	}
+	return s, nil
+}
+
+// PowersOfTwo returns n machines with speeds cycling through
+// 1, 2, 4, ..., 2^(levels-1). Integer speeds, so granularity ε̄ = 1.
+func PowersOfTwo(n, levels int) (Speeds, error) {
+	if n <= 0 {
+		return nil, ErrNoMachines
+	}
+	if levels < 1 || levels > 30 {
+		return nil, fmt.Errorf("machine: levels must be in [1,30], got %d", levels)
+	}
+	s := make(Speeds, n)
+	for i := range s {
+		s[i] = float64(int(1) << uint(i%levels))
+	}
+	return s, nil
+}
+
+// RandomIntegers returns n machines with speeds drawn uniformly from
+// {1, ..., maxSpeed}; granularity ε̄ = 1. At least one machine is pinned
+// to speed 1 so that s_min = 1 exactly.
+func RandomIntegers(n, maxSpeed int, stream *rng.Stream) (Speeds, error) {
+	if n <= 0 {
+		return nil, ErrNoMachines
+	}
+	if maxSpeed < 1 {
+		return nil, fmt.Errorf("machine: maxSpeed must be >= 1, got %d", maxSpeed)
+	}
+	s := make(Speeds, n)
+	for i := range s {
+		s[i] = float64(1 + stream.Intn(maxSpeed))
+	}
+	s[stream.Intn(n)] = 1
+	return s, nil
+}
+
+// Granular returns n machines whose speeds are random integer multiples
+// of eps in [1, maxSpeed], so the granularity is (a divisor multiple of)
+// eps. eps must divide 1 exactly in floating point (e.g. 0.5, 0.25).
+func Granular(n int, eps, maxSpeed float64, stream *rng.Stream) (Speeds, error) {
+	if n <= 0 {
+		return nil, ErrNoMachines
+	}
+	if eps <= 0 || eps > 1 {
+		return nil, fmt.Errorf("machine: eps must be in (0,1], got %g", eps)
+	}
+	if maxSpeed < 1 {
+		return nil, fmt.Errorf("machine: maxSpeed must be >= 1, got %g", maxSpeed)
+	}
+	lo := int(math.Round(1 / eps))
+	hi := int(math.Floor(maxSpeed / eps))
+	if hi < lo {
+		hi = lo
+	}
+	s := make(Speeds, n)
+	for i := range s {
+		s[i] = float64(lo+stream.Intn(hi-lo+1)) * eps
+	}
+	s[stream.Intn(n)] = 1
+	return s, nil
+}
+
+// Validate checks that the vector is non-empty, strictly positive, and
+// scaled to s_min = 1 (within 1e-9).
+func (s Speeds) Validate() error {
+	if len(s) == 0 {
+		return ErrNoMachines
+	}
+	min := math.Inf(1)
+	for i, v := range s {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("machine: invalid speed %g at machine %d", v, i)
+		}
+		if v < min {
+			min = v
+		}
+	}
+	if math.Abs(min-1) > 1e-9 {
+		return fmt.Errorf("machine: speeds must be scaled so s_min = 1, got s_min = %g", min)
+	}
+	return nil
+}
+
+// Rescale returns a copy scaled so that s_min = 1.
+func (s Speeds) Rescale() Speeds {
+	out := make(Speeds, len(s))
+	min := math.Inf(1)
+	for _, v := range s {
+		if v < min {
+			min = v
+		}
+	}
+	for i, v := range s {
+		out[i] = v / min
+	}
+	return out
+}
+
+// Max returns s_max.
+func (s Speeds) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns s_min.
+func (s Speeds) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sum returns S = Σᵢ sᵢ, the total capacity.
+func (s Speeds) Sum() float64 {
+	t := 0.0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// ArithmeticMean returns s̄_a = S/n.
+func (s Speeds) ArithmeticMean() float64 {
+	return s.Sum() / float64(len(s))
+}
+
+// HarmonicMean returns s̄_h = n / Σ 1/sᵢ.
+func (s Speeds) HarmonicMean() float64 {
+	inv := 0.0
+	for _, v := range s {
+		inv += 1 / v
+	}
+	return float64(len(s)) / inv
+}
+
+// Granularity returns the largest ε̄ such that every speed is an integer
+// multiple of ε̄ within tol, computed by a floating-point GCD. Returns an
+// error if the speeds do not admit a common factor above minEps = 1e-6
+// (e.g. irrational ratios), in which case Theorem 1.2 gives no finite
+// bound and the caller should treat the configuration as approximate-only.
+func (s Speeds) Granularity(tol float64) (float64, error) {
+	const minEps = 1e-6
+	if len(s) == 0 {
+		return 0, ErrNoMachines
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	g := s[0]
+	for _, v := range s[1:] {
+		g = floatGCD(g, v, tol)
+		if g < minEps {
+			return 0, fmt.Errorf("machine: no common speed granularity above %g", minEps)
+		}
+	}
+	return g, nil
+}
+
+// floatGCD computes a GCD of two positive floats via the Euclidean
+// algorithm with tolerance.
+func floatGCD(a, b, tol float64) float64 {
+	for b > tol {
+		a, b = b, math.Mod(a, b)
+		if b < tol && b > 0 {
+			// Treat near-zero remainders (within tol) as exact division.
+			b = 0
+		}
+	}
+	return a
+}

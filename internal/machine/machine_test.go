@@ -1,0 +1,207 @@
+package machine
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestUniform(t *testing.T) {
+	s := Uniform(5)
+	if len(s) != 5 {
+		t.Fatalf("len %d", len(s))
+	}
+	for _, v := range s {
+		if v != 1 {
+			t.Fatalf("speed %g", v)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoClass(t *testing.T) {
+	s, err := TwoClass(10, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := 0
+	for _, v := range s {
+		if v == 4 {
+			fast++
+		} else if v != 1 {
+			t.Fatalf("unexpected speed %g", v)
+		}
+	}
+	if fast != 3 {
+		t.Errorf("fast machines %d, want 3", fast)
+	}
+	// fastFrac > 0 guarantees at least one fast machine.
+	s2, err := TwoClass(10, 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Max() != 2 {
+		t.Error("tiny fastFrac yielded no fast machine")
+	}
+	if _, err := TwoClass(0, 0.5, 2); !errors.Is(err, ErrNoMachines) {
+		t.Errorf("want ErrNoMachines, got %v", err)
+	}
+	if _, err := TwoClass(5, 0.5, 0.5); err == nil {
+		t.Error("fast < 1 accepted")
+	}
+	if _, err := TwoClass(5, 1.5, 2); err == nil {
+		t.Error("fastFrac > 1 accepted")
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	s, err := PowersOfTwo(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Speeds{1, 2, 4, 1, 2, 4}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("speeds %v, want %v", s, want)
+		}
+	}
+	eps, err := s.Granularity(1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 1 {
+		t.Errorf("granularity %g, want 1", eps)
+	}
+}
+
+func TestRandomIntegers(t *testing.T) {
+	s, err := RandomIntegers(50, 4, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s {
+		if v != math.Trunc(v) || v < 1 || v > 4 {
+			t.Fatalf("speed %g outside integer range [1,4]", v)
+		}
+	}
+	if s.Min() != 1 {
+		t.Error("no machine pinned to speed 1")
+	}
+}
+
+func TestGranular(t *testing.T) {
+	s, err := Granular(40, 0.25, 3, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eps, err := s.Granularity(1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Granularity must be a multiple of 0.25 that divides all speeds —
+	// i.e. at least 0.25 and of the form k·0.25.
+	if eps < 0.25-1e-9 {
+		t.Errorf("granularity %g below 0.25", eps)
+	}
+	if r := math.Mod(eps+1e-12, 0.25); r > 1e-9 && 0.25-r > 1e-9 {
+		t.Errorf("granularity %g not a multiple of 0.25", eps)
+	}
+}
+
+func TestValidateRejectsUnscaled(t *testing.T) {
+	if err := (Speeds{2, 3}).Validate(); err == nil {
+		t.Error("unscaled speeds accepted")
+	}
+	if err := (Speeds{1, -2}).Validate(); err == nil {
+		t.Error("negative speed accepted")
+	}
+	if err := (Speeds{1, math.NaN()}).Validate(); err == nil {
+		t.Error("NaN speed accepted")
+	}
+	if err := (Speeds{}).Validate(); !errors.Is(err, ErrNoMachines) {
+		t.Errorf("want ErrNoMachines, got %v", err)
+	}
+}
+
+func TestRescale(t *testing.T) {
+	s := Speeds{2, 4, 6}
+	r := s.Rescale()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 1 || r[1] != 2 || r[2] != 3 {
+		t.Errorf("rescaled %v", r)
+	}
+	if s[0] != 2 {
+		t.Error("Rescale modified the receiver")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	s := Speeds{1, 2, 4}
+	if s.Max() != 4 || s.Min() != 1 || s.Sum() != 7 {
+		t.Errorf("max/min/sum = %g/%g/%g", s.Max(), s.Min(), s.Sum())
+	}
+	if got := s.ArithmeticMean(); math.Abs(got-7.0/3) > 1e-12 {
+		t.Errorf("arithmetic mean %g", got)
+	}
+	wantH := 3 / (1 + 0.5 + 0.25)
+	if got := s.HarmonicMean(); math.Abs(got-wantH) > 1e-12 {
+		t.Errorf("harmonic mean %g, want %g", got, wantH)
+	}
+}
+
+func TestHarmonicLeqArithmetic(t *testing.T) {
+	// Property: harmonic mean ≤ arithmetic mean (AM–HM inequality),
+	// which the paper's Ψ₁ shift n/4·(1/s̄_h − 1/s̄_a) ≥ ... relies on.
+	f := func(seed uint64) bool {
+		s, err := RandomIntegers(10, 6, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		return s.HarmonicMean() <= s.ArithmeticMean()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGranularityIntegers(t *testing.T) {
+	s := Speeds{1, 3, 7}
+	eps, err := s.Granularity(1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 1 {
+		t.Errorf("granularity %g, want 1", eps)
+	}
+}
+
+func TestGranularityHalves(t *testing.T) {
+	s := Speeds{1, 1.5, 2.5}
+	eps, err := s.Granularity(1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eps-0.5) > 1e-9 {
+		t.Errorf("granularity %g, want 0.5", eps)
+	}
+}
+
+func TestGranularityIrrational(t *testing.T) {
+	s := Speeds{1, math.Sqrt2}
+	if _, err := s.Granularity(1e-12); err == nil {
+		t.Error("irrational speed ratio admitted a granularity")
+	}
+}

@@ -1,0 +1,189 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEigen computes all eigenvalues (ascending) and an orthonormal
+// eigenbasis of the symmetric matrix a using the cyclic Jacobi method.
+// The input is not modified. Intended for the moderate sizes used in the
+// experiments (n up to ~1500); cost is O(n³) per sweep with typically
+// 6-12 sweeps.
+func SymEigen(a *Dense) (values []float64, vectors *Dense, err error) {
+	const (
+		tol       = 1e-12
+		maxSweeps = 64
+	)
+	n := a.Rows()
+	if !a.IsSymmetric(1e-9) {
+		return nil, nil, fmt.Errorf("matrix: SymEigen requires a symmetric matrix")
+	}
+	w := a.Clone()
+	v := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	offDiag := func() float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += w.At(i, j) * w.At(i, j)
+			}
+		}
+		return s
+	}
+	frob := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			frob += w.At(i, j) * w.At(i, j)
+		}
+	}
+	threshold := tol * tol * frob
+	if threshold == 0 {
+		threshold = tol
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if offDiag() <= threshold {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation W <- Jᵀ W J on rows/cols p and q.
+				for k := 0; k < n; k++ {
+					akp, akq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{val: w.At(i, i), idx: i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val < pairs[j].val })
+	values = make([]float64, n)
+	vectors = NewDense(n, n)
+	for newIdx, p := range pairs {
+		values[newIdx] = p.val
+		for k := 0; k < n; k++ {
+			vectors.Set(k, newIdx, v.At(k, p.idx))
+		}
+	}
+	return values, vectors, nil
+}
+
+// MatVec is any linear operator on R^n. Implementations must write M·x
+// into dst (len(dst) == len(x)).
+type MatVec interface {
+	Dim() int
+	Apply(dst, x []float64)
+}
+
+// PowerOpts configures SecondSmallestEigenvalue.
+type PowerOpts struct {
+	// MaxIter bounds the number of power iterations (default 20000).
+	MaxIter int
+	// Tol is the relative eigenvalue convergence tolerance (default 1e-10).
+	Tol float64
+	// Shift must satisfy Shift >= λ_max(M); the iteration runs on
+	// Shift·I − M. For a graph Laplacian, 2Δ is always valid.
+	Shift float64
+	// Project, if non-nil, is called each iteration to project the iterate
+	// onto the orthogonal complement of known eigenvectors (e.g. the
+	// all-ones vector for a Laplacian).
+	Project func(v []float64)
+	// Seed initializes the start vector deterministically.
+	Seed uint64
+}
+
+// SecondSmallestEigenvalue estimates the smallest eigenvalue of M
+// restricted to the subspace maintained by opts.Project, by running power
+// iteration on the shifted operator Shift·I − M. For a Laplacian with
+// Project removing the all-ones component this yields λ₂.
+func SecondSmallestEigenvalue(m MatVec, opts PowerOpts) (float64, []float64, error) {
+	n := m.Dim()
+	if n == 0 {
+		return 0, nil, fmt.Errorf("matrix: empty operator")
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 20000
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+	if opts.Shift <= 0 {
+		return 0, nil, fmt.Errorf("matrix: PowerOpts.Shift must be positive")
+	}
+	// Deterministic pseudo-random start vector (SplitMix64-style hash).
+	v := make([]float64, n)
+	x := opts.Seed*0x9e3779b97f4a7c15 + 0x1234567
+	for i := range v {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		v[i] = float64(z>>11)/(1<<53) - 0.5
+	}
+	if opts.Project != nil {
+		opts.Project(v)
+	}
+	if Normalize(v) == 0 {
+		return 0, nil, fmt.Errorf("matrix: start vector vanished under projection")
+	}
+	tmp := make([]float64, n)
+	prev := math.Inf(1)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// tmp = (Shift·I − M)·v
+		m.Apply(tmp, v)
+		for i := range tmp {
+			tmp[i] = opts.Shift*v[i] - tmp[i]
+		}
+		if opts.Project != nil {
+			opts.Project(tmp)
+		}
+		if Normalize(tmp) == 0 {
+			return 0, nil, fmt.Errorf("matrix: iterate vanished")
+		}
+		copy(v, tmp)
+		// Rayleigh quotient of M at v.
+		m.Apply(tmp, v)
+		lambda := Dot(v, tmp)
+		if math.Abs(lambda-prev) <= opts.Tol*(math.Abs(lambda)+1e-300) {
+			return lambda, v, nil
+		}
+		prev = lambda
+	}
+	return prev, v, nil
+}

@@ -1,0 +1,118 @@
+// Package matrix is a small dense linear-algebra substrate (stdlib only)
+// sufficient for the spectral analysis in the paper: symmetric dense
+// matrices, a cyclic Jacobi eigensolver, and projected power iteration for
+// extreme eigenvalues of large sparse-ish operators.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// ErrDimension is returned when operand shapes are incompatible.
+var ErrDimension = errors.New("matrix: incompatible dimensions")
+
+// NewDense returns a zero rows×cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic("matrix: non-positive dimensions")
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns m[i,j].
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add increments m[i,j] by v.
+func (m *Dense) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// MulVec computes y = M·x.
+func (m *Dense) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("%w: MulVec %dx%d by vec %d", ErrDimension, m.rows, m.cols, len(x))
+	}
+	y := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Dense) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Dot returns the standard inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm.
+func Norm2(a []float64) float64 { return math.Sqrt(Dot(a, a)) }
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Normalize scales v to unit Euclidean norm in place and returns the
+// original norm. A zero vector is left unchanged.
+func Normalize(v []float64) float64 {
+	n := Norm2(v)
+	if n > 0 {
+		Scale(1/n, v)
+	}
+	return n
+}

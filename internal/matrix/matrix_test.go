@@ -1,0 +1,234 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 2)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At(1,2)=%g, want 7", m.At(1, 2))
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	y, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", y)
+	}
+	if _, err := m.MulVec([]float64{1}); !errors.Is(err, ErrDimension) {
+		t.Errorf("want ErrDimension, got %v", err)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{3, 4}
+	if Norm2(a) != 5 {
+		t.Errorf("Norm2 = %g", Norm2(a))
+	}
+	if Dot(a, a) != 25 {
+		t.Errorf("Dot = %g", Dot(a, a))
+	}
+	b := []float64{1, 1}
+	AXPY(2, a, b)
+	if b[0] != 7 || b[1] != 9 {
+		t.Errorf("AXPY = %v", b)
+	}
+	v := []float64{0, 3}
+	if n := Normalize(v); n != 3 || v[1] != 1 {
+		t.Errorf("Normalize: n=%g v=%v", n, v)
+	}
+	z := []float64{0, 0}
+	if n := Normalize(z); n != 0 {
+		t.Errorf("Normalize zero vector: %g", n)
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	m := NewDense(3, 3)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 1)
+	m.Set(2, 2, 2)
+	vals, vecs, err := SymEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-10 {
+			t.Errorf("eigenvalue %d = %g, want %g", i, vals[i], want[i])
+		}
+	}
+	if vecs == nil {
+		t.Fatal("nil eigenvectors")
+	}
+}
+
+func TestSymEigen2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	m := NewDense(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	vals, vecs, err := SymEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-10 || math.Abs(vals[1]-3) > 1e-10 {
+		t.Fatalf("eigenvalues %v, want [1 3]", vals)
+	}
+	// Verify M·v = λ·v for both pairs.
+	for k := 0; k < 2; k++ {
+		v := []float64{vecs.At(0, k), vecs.At(1, k)}
+		mv, _ := m.MulVec(v)
+		for i := range v {
+			if math.Abs(mv[i]-vals[k]*v[i]) > 1e-9 {
+				t.Errorf("eigenpair %d violated: Mv=%v λv=%v", k, mv, []float64{vals[k] * v[0], vals[k] * v[1]})
+			}
+		}
+	}
+}
+
+func TestSymEigenRejectsAsymmetric(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 1)
+	if _, _, err := SymEigen(m); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+}
+
+func TestSymEigenOrthonormalBasis(t *testing.T) {
+	// Property: for random symmetric matrices, the eigenbasis is
+	// orthonormal and reconstructs the matrix.
+	f := func(seed int64) bool {
+		const n = 5
+		m := NewDense(n, n)
+		x := uint64(seed)
+		next := func() float64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return float64(int64(x>>33))/float64(1<<30) - 1
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := next()
+				m.Set(i, j, v)
+				m.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := SymEigen(m)
+		if err != nil {
+			return false
+		}
+		// Ascending order.
+		for i := 1; i < n; i++ {
+			if vals[i] < vals[i-1]-1e-12 {
+				return false
+			}
+		}
+		// Orthonormality.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += vecs.At(k, a) * vecs.At(k, b)
+				}
+				want := 0.0
+				if a == b {
+					want = 1
+				}
+				if math.Abs(s-want) > 1e-8 {
+					return false
+				}
+			}
+		}
+		// Reconstruction: M = V·diag(vals)·Vᵀ.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += vecs.At(i, k) * vals[k] * vecs.At(j, k)
+				}
+				if math.Abs(s-m.At(i, j)) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pathLaplacianOp is a MatVec for the Laplacian of the n-path, used to
+// exercise the power iteration without importing package spectral
+// (which would create an import cycle in tests).
+type pathLaplacianOp struct{ n int }
+
+func (p pathLaplacianOp) Dim() int { return p.n }
+func (p pathLaplacianOp) Apply(dst, x []float64) {
+	for i := 0; i < p.n; i++ {
+		d := 0.0
+		if i > 0 {
+			d += x[i] - x[i-1]
+		}
+		if i < p.n-1 {
+			d += x[i] - x[i+1]
+		}
+		dst[i] = d
+	}
+}
+
+func TestSecondSmallestEigenvaluePath(t *testing.T) {
+	const n = 40
+	want := 2 - 2*math.Cos(math.Pi/float64(n))
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1 / math.Sqrt(float64(n))
+	}
+	got, vec, err := SecondSmallestEigenvalue(pathLaplacianOp{n: n}, PowerOpts{
+		Shift: 4,
+		Seed:  1,
+		Project: func(v []float64) {
+			c := Dot(v, ones)
+			AXPY(-c, ones, v)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want)/want > 1e-4 {
+		t.Errorf("λ₂(P_%d) = %.8f, want %.8f", n, got, want)
+	}
+	if len(vec) != n {
+		t.Errorf("eigenvector length %d", len(vec))
+	}
+}
+
+func TestSecondSmallestEigenvalueValidation(t *testing.T) {
+	if _, _, err := SecondSmallestEigenvalue(pathLaplacianOp{n: 4}, PowerOpts{Shift: 0}); err == nil {
+		t.Error("zero shift accepted")
+	}
+}

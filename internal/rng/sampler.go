@@ -1,0 +1,169 @@
+package rng
+
+import "math"
+
+// Binomial returns a sample from Binomial(n, p): the number of successes
+// in n independent trials with success probability p.
+//
+// The sampler is exact (up to floating-point pmf evaluation): it inverts
+// the CDF by walking outward from the mode, which costs O(sqrt(n·p·q))
+// expected steps. This keeps per-round simulation cost proportional to the
+// number of edges rather than the number of tasks, without changing the
+// sampled distribution relative to per-task Bernoulli coin flips.
+func (r *Stream) Binomial(n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	case n == 1:
+		if r.Bernoulli(p) {
+			return 1
+		}
+		return 0
+	}
+
+	// Small n: direct inversion from 0 is cheapest and avoids Lgamma.
+	if n < 16 {
+		return r.binomialSmall(n, p)
+	}
+
+	q := 1 - p
+	// Mode of Binomial(n,p).
+	mode := int(math.Floor(float64(n+1) * p))
+	if mode > n {
+		mode = n
+	}
+	logPmfMode := logChoose(n, mode) + float64(mode)*math.Log(p) + float64(n-mode)*math.Log(q)
+	pmfMode := math.Exp(logPmfMode)
+
+	u := r.Float64()
+
+	// Walk outward from the mode: k = mode, mode+1, mode-1, mode+2, ...
+	// using the pmf recurrence
+	//   pmf(k+1) = pmf(k) · (n-k)/(k+1) · p/q
+	//   pmf(k-1) = pmf(k) · k/(n-k+1) · q/p.
+	ratio := p / q
+	upK, upPmf := mode, pmfMode     // last value consumed going up
+	downK, downPmf := mode, pmfMode // last value consumed going down
+	acc := pmfMode
+	if u < acc {
+		return mode
+	}
+	for {
+		advanced := false
+		if upK < n {
+			upPmf *= float64(n-upK) / float64(upK+1) * ratio
+			upK++
+			acc += upPmf
+			if u < acc {
+				return upK
+			}
+			advanced = true
+		}
+		if downK > 0 {
+			downPmf *= float64(downK) / float64(n-downK+1) / ratio
+			downK--
+			acc += downPmf
+			if u < acc {
+				return downK
+			}
+			advanced = true
+		}
+		if !advanced {
+			// Entire support consumed; u landed in the floating-point
+			// residue. The mode is the least-surprising answer.
+			return mode
+		}
+	}
+}
+
+// binomialSmall inverts the CDF from k = 0; only used for small n.
+func (r *Stream) binomialSmall(n int, p float64) int {
+	q := 1 - p
+	pmf := math.Pow(q, float64(n))
+	u := r.Float64()
+	acc := pmf
+	k := 0
+	ratio := p / q
+	for u >= acc && k < n {
+		pmf *= float64(n-k) / float64(k+1) * ratio
+		k++
+		acc += pmf
+	}
+	return k
+}
+
+// logChoose returns log(C(n,k)) using math.Lgamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// EqualSplit distributes n trials uniformly over k equally likely
+// categories (a multinomial with equal probabilities), via sequential
+// conditional binomials. The result has k entries summing to n.
+func (r *Stream) EqualSplit(n, k int) []int {
+	counts := make([]int, k)
+	if n <= 0 || k <= 0 {
+		return counts
+	}
+	remaining := n
+	for i := 0; i < k-1 && remaining > 0; i++ {
+		c := r.Binomial(remaining, 1/float64(k-i))
+		counts[i] = c
+		remaining -= c
+	}
+	counts[k-1] = remaining
+	return counts
+}
+
+// Multinomial distributes n trials over len(probs) categories with the
+// given probabilities (which must be non-negative; they are normalized by
+// their sum). The result slice has one count per category and sums to n.
+// Sampling is by sequential conditional binomials, which is exact.
+func (r *Stream) Multinomial(n int, probs []float64) []int {
+	counts := make([]int, len(probs))
+	if n <= 0 || len(probs) == 0 {
+		return counts
+	}
+	total := 0.0
+	for _, p := range probs {
+		if p > 0 {
+			total += p
+		}
+	}
+	remaining := n
+	for i, p := range probs {
+		if remaining == 0 {
+			break
+		}
+		if i == len(probs)-1 {
+			counts[i] = remaining
+			break
+		}
+		if p <= 0 || total <= 0 {
+			continue
+		}
+		c := r.Binomial(remaining, p/total)
+		counts[i] = c
+		remaining -= c
+		total -= p
+	}
+	// If trailing categories all had zero probability, stack the remainder
+	// onto the last category. (Cannot happen when probs are a proper
+	// distribution, but keep the invariant sum==n anyway.)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum < n {
+		counts[len(counts)-1] += n - sum
+	}
+	return counts
+}

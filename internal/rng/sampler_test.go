@@ -1,0 +1,241 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(1)
+	cases := []struct {
+		n    int
+		p    float64
+		want int
+	}{
+		{0, 0.5, 0},
+		{-3, 0.5, 0},
+		{10, 0, 0},
+		{10, -1, 0},
+		{10, 1, 10},
+		{10, 2, 10},
+	}
+	for _, c := range cases {
+		if got := r.Binomial(c.n, c.p); got != c.want {
+			t.Errorf("Binomial(%d,%g) = %d, want %d", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+func TestBinomialRange(t *testing.T) {
+	f := func(seed uint64, n int, p float64) bool {
+		if n < 0 {
+			n = -n
+		}
+		n %= 10000
+		p = math.Abs(p)
+		p -= math.Floor(p) // p in [0,1)
+		k := New(seed).Binomial(n, p)
+		return k >= 0 && k <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{5, 0.3},
+		{12, 0.5},
+		{100, 0.05},
+		{1000, 0.9},
+		{100000, 0.001},
+		{100000, 0.5},
+	}
+	r := New(77)
+	const trials = 20000
+	for _, c := range cases {
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < trials; i++ {
+			k := float64(r.Binomial(c.n, c.p))
+			sum += k
+			sumSq += k * k
+		}
+		mean := sum / trials
+		variance := sumSq/trials - mean*mean
+		wantMean := float64(c.n) * c.p
+		wantVar := float64(c.n) * c.p * (1 - c.p)
+		// 6-sigma tolerance on the sample mean.
+		tol := 6 * math.Sqrt(wantVar/trials)
+		if math.Abs(mean-wantMean) > tol+1e-9 {
+			t.Errorf("Binomial(%d,%g): mean %.3f, want %.3f ± %.3f", c.n, c.p, mean, wantMean, tol)
+		}
+		if wantVar > 0 && math.Abs(variance-wantVar)/wantVar > 0.1 {
+			t.Errorf("Binomial(%d,%g): variance %.3f, want %.3f", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialExactPMFSmall(t *testing.T) {
+	// Chi-squared-style check of the full pmf for a small case.
+	const n, trials = 6, 120000
+	const p = 0.37
+	r := New(88)
+	counts := make([]int, n+1)
+	for i := 0; i < trials; i++ {
+		counts[r.Binomial(n, p)]++
+	}
+	choose := func(n, k int) float64 {
+		return math.Exp(logChoose(n, k))
+	}
+	for k := 0; k <= n; k++ {
+		want := choose(n, k) * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k)) * trials
+		if want < 20 {
+			continue
+		}
+		got := float64(counts[k])
+		if math.Abs(got-want) > 6*math.Sqrt(want) {
+			t.Errorf("pmf(%d): observed %d, expected %.0f", k, counts[k], want)
+		}
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{10, 0, 0},
+		{10, 10, 0},
+		{4, 2, math.Log(6)},
+		{10, 3, math.Log(120)},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, c := range cases {
+		if got := logChoose(c.n, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("logChoose(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(logChoose(5, 6), -1) || !math.IsInf(logChoose(5, -1), -1) {
+		t.Error("logChoose outside support should be -Inf")
+	}
+}
+
+func TestMultinomialSumsToN(t *testing.T) {
+	f := func(seed uint64, n int) bool {
+		if n < 0 {
+			n = -n
+		}
+		n %= 5000
+		probs := []float64{0.1, 0.4, 0.2, 0.3}
+		counts := New(seed).Multinomial(n, probs)
+		sum := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultinomialZeroProbability(t *testing.T) {
+	r := New(5)
+	counts := r.Multinomial(1000, []float64{0, 1, 0})
+	if counts[0] != 0 || counts[2] != 0 || counts[1] != 1000 {
+		t.Fatalf("Multinomial with point mass misallocated: %v", counts)
+	}
+}
+
+func TestMultinomialMeans(t *testing.T) {
+	r := New(6)
+	probs := []float64{0.5, 0.25, 0.25}
+	const n, trials = 100, 20000
+	sums := make([]float64, len(probs))
+	for i := 0; i < trials; i++ {
+		for j, c := range r.Multinomial(n, probs) {
+			sums[j] += float64(c)
+		}
+	}
+	for j, p := range probs {
+		mean := sums[j] / trials
+		want := float64(n) * p
+		if math.Abs(mean-want) > 0.5 {
+			t.Errorf("category %d mean %.2f, want %.2f", j, mean, want)
+		}
+	}
+}
+
+func TestEqualSplitSumsToN(t *testing.T) {
+	f := func(seed uint64, n, k int) bool {
+		if n < 0 {
+			n = -n
+		}
+		if k < 0 {
+			k = -k
+		}
+		n %= 10000
+		k = k%64 + 1
+		counts := New(seed).EqualSplit(n, k)
+		if len(counts) != k {
+			return false
+		}
+		sum := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualSplitUniform(t *testing.T) {
+	r := New(7)
+	const n, k, trials = 60, 6, 20000
+	sums := make([]float64, k)
+	for i := 0; i < trials; i++ {
+		for j, c := range r.EqualSplit(n, k) {
+			sums[j] += float64(c)
+		}
+	}
+	want := float64(n) / k
+	for j := range sums {
+		mean := sums[j] / trials
+		if math.Abs(mean-want) > 0.3 {
+			t.Errorf("slot %d mean %.2f, want %.2f", j, mean, want)
+		}
+	}
+}
+
+func BenchmarkBinomialSmallNP(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Binomial(1000, 0.002)
+	}
+}
+
+func BenchmarkBinomialLargeNP(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Binomial(1_000_000, 0.4)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}

@@ -1,0 +1,349 @@
+// Package spectral implements the spectral graph theory the paper's
+// analysis rests on: the Laplacian L(G), the generalized Laplacian LS⁻¹
+// of Elsässer–Monien–Preis used for machines with speeds, numeric and
+// closed-form computation of the algebraic connectivity λ₂, the classical
+// bounds the paper cites (Fiedler, Mohar, Cheeger), and the S-weighted
+// inner product ⟨x,y⟩_S = Σᵢ xᵢyᵢ/sᵢ.
+package spectral
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+// Laplacian returns the dense Laplacian L(G): L_ii = deg(i),
+// L_ij = −1 for edges.
+func Laplacian(g *graph.Graph) *matrix.Dense {
+	n := g.N()
+	l := matrix.NewDense(n, n)
+	for v := 0; v < n; v++ {
+		l.Set(v, v, float64(g.Degree(v)))
+		for _, w := range g.Neighbors(v) {
+			l.Set(v, int(w), -1)
+		}
+	}
+	return l
+}
+
+// LaplacianOp is a matrix-free operator computing x ↦ L(G)·x directly
+// from the adjacency structure; O(n+m) per application.
+type LaplacianOp struct {
+	g *graph.Graph
+}
+
+// NewLaplacianOp wraps g as a matrix-free Laplacian operator.
+func NewLaplacianOp(g *graph.Graph) *LaplacianOp { return &LaplacianOp{g: g} }
+
+// Dim implements matrix.MatVec.
+func (op *LaplacianOp) Dim() int { return op.g.N() }
+
+// Apply implements matrix.MatVec: dst = L·x.
+func (op *LaplacianOp) Apply(dst, x []float64) {
+	for v := 0; v < op.g.N(); v++ {
+		s := float64(op.g.Degree(v)) * x[v]
+		for _, w := range op.g.Neighbors(v) {
+			s -= x[w]
+		}
+		dst[v] = s
+	}
+}
+
+// SymGeneralizedOp is the symmetrized generalized Laplacian
+// B = S^{−1/2} L S^{−1/2}. B is similar to LS⁻¹ (Lemma 1.13 in the
+// paper), so they share eigenvalues; B's eigenvector for eigenvalue 0 is
+// √s, which the projected power iteration removes to extract µ₂.
+type SymGeneralizedOp struct {
+	g        *graph.Graph
+	invSqrtS []float64
+}
+
+// NewSymGeneralizedOp wraps g and the speed vector s (all entries > 0).
+func NewSymGeneralizedOp(g *graph.Graph, speeds []float64) (*SymGeneralizedOp, error) {
+	if len(speeds) != g.N() {
+		return nil, fmt.Errorf("spectral: %d speeds for %d vertices", len(speeds), g.N())
+	}
+	inv := make([]float64, len(speeds))
+	for i, s := range speeds {
+		if s <= 0 {
+			return nil, fmt.Errorf("spectral: non-positive speed %g at vertex %d", s, i)
+		}
+		inv[i] = 1 / math.Sqrt(s)
+	}
+	return &SymGeneralizedOp{g: g, invSqrtS: inv}, nil
+}
+
+// Dim implements matrix.MatVec.
+func (op *SymGeneralizedOp) Dim() int { return op.g.N() }
+
+// Apply implements matrix.MatVec: dst = S^{−1/2} L S^{−1/2} x.
+func (op *SymGeneralizedOp) Apply(dst, x []float64) {
+	n := op.g.N()
+	// y = S^{−1/2} x
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = op.invSqrtS[i] * x[i]
+	}
+	for v := 0; v < n; v++ {
+		s := float64(op.g.Degree(v)) * y[v]
+		for _, w := range op.g.Neighbors(v) {
+			s -= y[w]
+		}
+		dst[v] = op.invSqrtS[v] * s
+	}
+}
+
+// Lambda2 computes λ₂(L(G)) numerically. For n ≤ denseCutoff it uses the
+// Jacobi dense eigensolver (exact up to FP); otherwise projected power
+// iteration on 2Δ·I − L with the all-ones direction removed.
+func Lambda2(g *graph.Graph) (float64, error) {
+	const denseCutoff = 220
+	n := g.N()
+	if n == 1 {
+		return 0, nil
+	}
+	if !g.IsConnected() {
+		return 0, graph.ErrNotConnected
+	}
+	if n <= denseCutoff {
+		vals, _, err := matrix.SymEigen(Laplacian(g))
+		if err != nil {
+			return 0, err
+		}
+		return vals[1], nil
+	}
+	op := NewLaplacianOp(g)
+	shift := 2 * float64(g.MaxDegree())
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1 / math.Sqrt(float64(n))
+	}
+	lambda, _, err := matrix.SecondSmallestEigenvalue(op, matrix.PowerOpts{
+		Shift: shift,
+		Seed:  uint64(n)*2654435761 + 17,
+		Project: func(v []float64) {
+			c := matrix.Dot(v, ones)
+			matrix.AXPY(-c, ones, v)
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return lambda, nil
+}
+
+// Mu2 computes µ₂, the second-smallest eigenvalue of the generalized
+// Laplacian LS⁻¹, via the symmetric similarity transform.
+func Mu2(g *graph.Graph, speeds []float64) (float64, error) {
+	n := g.N()
+	if n == 1 {
+		return 0, nil
+	}
+	if !g.IsConnected() {
+		return 0, graph.ErrNotConnected
+	}
+	op, err := NewSymGeneralizedOp(g, speeds)
+	if err != nil {
+		return 0, err
+	}
+	// Kernel direction of B is √s; remove it.
+	sqrtS := make([]float64, n)
+	for i, s := range speeds {
+		sqrtS[i] = math.Sqrt(s)
+	}
+	matrix.Normalize(sqrtS)
+	// Shift: λ_max(B) ≤ λ_max(L)/s_min ≤ 2Δ/s_min.
+	sMin := speeds[0]
+	for _, s := range speeds {
+		if s < sMin {
+			sMin = s
+		}
+	}
+	shift := 2 * float64(g.MaxDegree()) / sMin
+	mu, _, err := matrix.SecondSmallestEigenvalue(op, matrix.PowerOpts{
+		Shift: shift,
+		Seed:  uint64(n)*0x9e3779b9 + 3,
+		Project: func(v []float64) {
+			c := matrix.Dot(v, sqrtS)
+			matrix.AXPY(-c, sqrtS, v)
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return mu, nil
+}
+
+// SInner returns the generalized dot product ⟨x,y⟩_S = Σᵢ xᵢ·yᵢ/sᵢ
+// (Definition 1.11 in the paper).
+func SInner(x, y, speeds []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i] / speeds[i]
+	}
+	return s
+}
+
+// FiedlerUpperBound returns λ₂ ≤ n/(n−1)·min-degree (Lemma 1.7).
+func FiedlerUpperBound(g *graph.Graph) float64 {
+	n := float64(g.N())
+	if n <= 1 {
+		return 0
+	}
+	return n / (n - 1) * float64(g.MinDegree())
+}
+
+// MoharLowerBound returns λ₂ ≥ 4/(n·diam(G)) (rearranged Lemma 1.5).
+func MoharLowerBound(g *graph.Graph) (float64, error) {
+	d, err := g.Diameter()
+	if err != nil {
+		return 0, err
+	}
+	if d == 0 {
+		return 0, nil
+	}
+	return 4 / (float64(g.N()) * float64(d)), nil
+}
+
+// UniversalLowerBound returns λ₂ ≥ 4/n² (Corollary 1.6).
+func UniversalLowerBound(n int) float64 {
+	return 4 / (float64(n) * float64(n))
+}
+
+// Isoperimetric computes the isoperimetric (Cheeger) number
+// i(G) = min_{|S| ≤ n/2} |δS|/|S| by exhaustive subset enumeration.
+// Exponential in n; only valid for n ≤ 24.
+func Isoperimetric(g *graph.Graph) (float64, error) {
+	n := g.N()
+	if n > 24 {
+		return 0, fmt.Errorf("spectral: isoperimetric enumeration limited to n ≤ 24, got %d", n)
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("spectral: isoperimetric number undefined for n < 2")
+	}
+	best := math.Inf(1)
+	for mask := uint32(1); mask < 1<<uint(n)-1; mask++ {
+		size := popcount(mask)
+		if size > n/2 {
+			continue
+		}
+		boundary := 0
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) == 0 {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if mask&(1<<uint(w)) == 0 {
+					boundary++
+				}
+			}
+		}
+		if r := float64(boundary) / float64(size); r < best {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+func popcount(x uint32) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// CheegerBounds returns the Cheeger sandwich i²/(2Δ) ≤ λ₂ ≤ 2i
+// (Lemma 1.10) for graphs small enough to enumerate.
+func CheegerBounds(g *graph.Graph) (lower, upper float64, err error) {
+	i, err := Isoperimetric(g)
+	if err != nil {
+		return 0, 0, err
+	}
+	delta := float64(g.MaxDegree())
+	return i * i / (2 * delta), 2 * i, nil
+}
+
+// Closed-form algebraic connectivities for the Table-1 graph classes.
+
+// Lambda2Complete returns λ₂(K_n) = n.
+func Lambda2Complete(n int) float64 { return float64(n) }
+
+// Lambda2Ring returns λ₂(C_n) = 2−2cos(2π/n).
+func Lambda2Ring(n int) float64 { return 2 - 2*math.Cos(2*math.Pi/float64(n)) }
+
+// Lambda2Path returns λ₂(P_n) = 2−2cos(π/n).
+func Lambda2Path(n int) float64 { return 2 - 2*math.Cos(math.Pi/float64(n)) }
+
+// Lambda2Mesh returns λ₂ of the r×c grid: the Cartesian product of paths,
+// so λ₂ = min over the two factors.
+func Lambda2Mesh(r, c int) float64 {
+	return math.Min(Lambda2Path(r), Lambda2Path(c))
+}
+
+// Lambda2Torus returns λ₂ of the r×c torus (product of rings).
+func Lambda2Torus(r, c int) float64 {
+	return math.Min(Lambda2Ring(r), Lambda2Ring(c))
+}
+
+// Lambda2Hypercube returns λ₂(Q_d) = 2.
+func Lambda2Hypercube(d int) float64 {
+	if d < 1 {
+		return 0
+	}
+	return 2
+}
+
+// Lambda2Star returns λ₂(K_{1,n−1}) = 1.
+func Lambda2Star(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 1
+}
+
+// Lambda2Circulant returns λ₂ of the circulant C_n(offsets):
+// the Laplacian eigenvalues are Σ_o (2 − 2cos(2πko/n)) over k = 0..n−1
+// (with the n/2 offset contributing half), and λ₂ is the smallest
+// non-trivial one.
+func Lambda2Circulant(n int, offsets []int) float64 {
+	best := math.Inf(1)
+	for k := 1; k < n; k++ {
+		ev := 0.0
+		for _, o := range offsets {
+			term := 2 - 2*math.Cos(2*math.Pi*float64(k)*float64(o)/float64(n))
+			if 2*o == n {
+				term /= 2 // the antipodal offset yields a single edge
+			}
+			ev += term
+		}
+		if ev < best {
+			best = ev
+		}
+	}
+	return best
+}
+
+// Lambda2CompleteBipartite returns λ₂(K_{a,b}) = min(a,b).
+func Lambda2CompleteBipartite(a, b int) float64 {
+	if a < b {
+		return float64(a)
+	}
+	return float64(b)
+}
+
+// Lambda2TorusND returns λ₂ of the d-dimensional torus with the given
+// sides: Cartesian products sum spectra, so λ₂ = min over dimensions of
+// the cycle λ₂.
+func Lambda2TorusND(sides []int) float64 {
+	best := math.Inf(1)
+	for _, s := range sides {
+		if v := Lambda2Ring(s); v < best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,282 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/rng"
+)
+
+func TestLaplacianStructure(t *testing.T) {
+	g, err := graph.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Laplacian(g)
+	for i := 0; i < 5; i++ {
+		rowSum := 0.0
+		for j := 0; j < 5; j++ {
+			rowSum += l.At(i, j)
+			if i != j && l.At(i, j) != 0 && l.At(i, j) != -1 {
+				t.Errorf("L[%d,%d] = %g", i, j, l.At(i, j))
+			}
+		}
+		if rowSum != 0 {
+			t.Errorf("row %d sums to %g, want 0", i, rowSum)
+		}
+		if l.At(i, i) != float64(g.Degree(i)) {
+			t.Errorf("L[%d,%d] = %g, want deg %d", i, i, l.At(i, i), g.Degree(i))
+		}
+	}
+}
+
+func TestLaplacianOpMatchesDense(t *testing.T) {
+	stream := rng.New(3)
+	g, err := graph.ErdosRenyi(15, 0.4, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Laplacian(g)
+	op := NewLaplacianOp(g)
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = stream.Float64() - 0.5
+	}
+	want, err := l.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, g.N())
+	op.Apply(got, x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("operator/dense mismatch at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLambda2ClosedForms(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+		want  float64
+	}{
+		{"complete-12", func() (*graph.Graph, error) { return graph.Complete(12) }, Lambda2Complete(12)},
+		{"ring-16", func() (*graph.Graph, error) { return graph.Ring(16) }, Lambda2Ring(16)},
+		{"path-16", func() (*graph.Graph, error) { return graph.Path(16) }, Lambda2Path(16)},
+		{"mesh-4x6", func() (*graph.Graph, error) { return graph.Mesh(4, 6) }, Lambda2Mesh(4, 6)},
+		{"torus-4x5", func() (*graph.Graph, error) { return graph.Torus(4, 5) }, Lambda2Torus(4, 5)},
+		{"hypercube-4", func() (*graph.Graph, error) { return graph.Hypercube(4) }, Lambda2Hypercube(4)},
+		{"star-9", func() (*graph.Graph, error) { return graph.Star(9) }, Lambda2Star(9)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Lambda2(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-c.want)/c.want > 1e-6 {
+				t.Errorf("numeric λ₂ = %.8f, closed form %.8f", got, c.want)
+			}
+		})
+	}
+}
+
+func TestLambda2LargeGraphPowerIteration(t *testing.T) {
+	// n > denseCutoff exercises the projected power iteration path.
+	d := 9 // Q_9: 512 vertices, λ₂ = 2, well separated from λ₃ = 4... no:
+	// hypercube eigenvalues are 2k with multiplicities; λ₂=2, gap to next
+	// distinct value 4 is large, so power iteration converges fast.
+	g, err := graph.Hypercube(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Lambda2(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-4 {
+		t.Errorf("λ₂(Q_%d) = %.6f, want 2", d, got)
+	}
+}
+
+func TestLambda2Disconnected(t *testing.T) {
+	g, err := graph.FromEdges("two", 4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lambda2(g); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestMu2UniformSpeedsEqualsLambda2(t *testing.T) {
+	g, err := graph.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Lambda2(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Mu2(g, machine.Uniform(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m2-l2)/l2 > 1e-5 {
+		t.Errorf("µ₂ = %.8f, λ₂ = %.8f (should coincide for unit speeds)", m2, l2)
+	}
+}
+
+func TestMu2InterlacingCorollary116(t *testing.T) {
+	// Property (Corollary 1.16): λ₂/s_max ≤ µ₂ ≤ λ₂/s_min.
+	f := func(seed uint64) bool {
+		stream := rng.New(seed)
+		g, err := graph.ErdosRenyi(18, 0.35, stream)
+		if err != nil {
+			return true
+		}
+		speeds, err := machine.RandomIntegers(g.N(), 5, stream)
+		if err != nil {
+			return false
+		}
+		l2, err := Lambda2(g)
+		if err != nil {
+			return false
+		}
+		m2, err := Mu2(g, speeds)
+		if err != nil {
+			return false
+		}
+		const slack = 1e-6
+		return m2 >= l2/speeds.Max()-slack && m2 <= l2/speeds.Min()+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMu2Validation(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Mu2(g, []float64{1, 1}); err == nil {
+		t.Error("wrong-length speeds accepted")
+	}
+	if _, err := Mu2(g, []float64{1, 1, 0, 1}); err == nil {
+		t.Error("zero speed accepted")
+	}
+}
+
+func TestSInner(t *testing.T) {
+	x := []float64{2, 3}
+	y := []float64{4, 5}
+	s := []float64{2, 5}
+	want := 2*4/2.0 + 3*5/5.0
+	if got := SInner(x, y, s); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SInner = %g, want %g", got, want)
+	}
+}
+
+func TestClassicalBounds(t *testing.T) {
+	// Check Fiedler (Lemma 1.7), Mohar (Lemma 1.5) and the universal
+	// bound (Corollary 1.6) against the true λ₂ on several graphs.
+	builders := []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Ring(12) },
+		func() (*graph.Graph, error) { return graph.Complete(9) },
+		func() (*graph.Graph, error) { return graph.Path(14) },
+		func() (*graph.Graph, error) { return graph.Hypercube(4) },
+		func() (*graph.Graph, error) { return graph.Star(8) },
+	}
+	for _, b := range builders {
+		g, err := b()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Lambda2(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if upper := FiedlerUpperBound(g); l2 > upper+1e-9 {
+			t.Errorf("%s: λ₂=%.4f exceeds Fiedler bound %.4f", g.Name(), l2, upper)
+		}
+		lower, err := MoharLowerBound(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l2 < lower-1e-9 {
+			t.Errorf("%s: λ₂=%.4f below Mohar bound %.4f", g.Name(), l2, lower)
+		}
+		if uni := UniversalLowerBound(g.N()); l2 < uni-1e-9 {
+			t.Errorf("%s: λ₂=%.4f below universal bound %.4f", g.Name(), l2, uni)
+		}
+	}
+}
+
+func TestCheegerSandwich(t *testing.T) {
+	builders := []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Ring(10) },
+		func() (*graph.Graph, error) { return graph.Complete(8) },
+		func() (*graph.Graph, error) { return graph.Path(9) },
+	}
+	for _, b := range builders {
+		g, err := b()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Lambda2(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lower, upper, err := CheegerBounds(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l2 < lower-1e-9 || l2 > upper+1e-9 {
+			t.Errorf("%s: Cheeger sandwich violated: %.4f ≤ %.4f ≤ %.4f", g.Name(), lower, l2, upper)
+		}
+	}
+}
+
+func TestIsoperimetricKnownValues(t *testing.T) {
+	// i(K_n) = ceil(n/2) for even split: boundary = k·(n−k), |S| = k = n/2
+	// minimizing gives n/2 (for even n, i = n/2).
+	g, err := graph.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := Isoperimetric(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i-3) > 1e-12 {
+		t.Errorf("i(K_6) = %g, want 3", i)
+	}
+	// Ring: cutting an arc of length k has boundary 2, so i = 2/(n/2).
+	r, err := graph.Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := Isoperimetric(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ir-0.5) > 1e-12 {
+		t.Errorf("i(C_8) = %g, want 0.5", ir)
+	}
+	big, err := graph.Ring(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Isoperimetric(big); err == nil {
+		t.Error("n > 24 accepted for exhaustive isoperimetric")
+	}
+}

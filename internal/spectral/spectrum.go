@@ -1,0 +1,110 @@
+package spectral
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+// Spectrum computes the full Laplacian spectrum λ₁ ≤ … ≤ λ_n of G with
+// the dense Jacobi eigensolver. Intended for the moderate sizes used in
+// analysis and tests (O(n³)).
+func Spectrum(g *graph.Graph) ([]float64, error) {
+	vals, _, err := matrix.SymEigen(Laplacian(g))
+	if err != nil {
+		return nil, fmt.Errorf("laplacian spectrum: %w", err)
+	}
+	return vals, nil
+}
+
+// GeneralizedSpectrum computes the full spectrum µ₁ ≤ … ≤ µ_n of the
+// generalized Laplacian LS⁻¹ via its symmetric similarity transform
+// B = S^{−1/2} L S^{−1/2} (Lemma 1.13: similar matrices share
+// eigenvalues, and B is symmetric so Jacobi applies).
+func GeneralizedSpectrum(g *graph.Graph, speeds []float64) ([]float64, error) {
+	n := g.N()
+	if len(speeds) != n {
+		return nil, fmt.Errorf("spectral: %d speeds for %d vertices", len(speeds), n)
+	}
+	op, err := NewSymGeneralizedOp(g, speeds)
+	if err != nil {
+		return nil, err
+	}
+	// Materialize B densely by applying the operator to basis vectors.
+	b := matrix.NewDense(n, n)
+	e := make([]float64, n)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		op.Apply(col, e)
+		for i := 0; i < n; i++ {
+			b.Set(i, j, col[i])
+		}
+	}
+	vals, _, err := matrix.SymEigen(b)
+	if err != nil {
+		return nil, fmt.Errorf("generalized spectrum: %w", err)
+	}
+	return vals, nil
+}
+
+// CheckInterlacing verifies the Lemma 1.15 inequalities relating the
+// spectra of L and LS⁻¹:
+//
+//	µ_{i+j−1} ≥ λ_i / s_j   (speeds sorted descending)
+//	µ_{i+j−n} ≤ λ_i / s_j
+//
+// for all index pairs in range. It returns the first violated inequality
+// as an error, or nil if all hold within tol. Used by the E11 experiment
+// and the property-test suite.
+func CheckInterlacing(lambda, mu, speedsDesc []float64, tol float64) error {
+	n := len(lambda)
+	if len(mu) != n || len(speedsDesc) != n {
+		return fmt.Errorf("spectral: mismatched spectrum lengths %d/%d/%d", len(lambda), len(mu), len(speedsDesc))
+	}
+	for k := 1; k < n; k++ {
+		if speedsDesc[k] > speedsDesc[k-1]+tol {
+			return fmt.Errorf("spectral: speeds not sorted descending at %d", k)
+		}
+	}
+	// 1-based indices i, j as in the paper.
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			if k := i + j - 1; k >= 1 && k <= n {
+				lhs := mu[k-1]
+				rhs := lambda[i-1] / speedsDesc[j-1]
+				if lhs < rhs-tol {
+					return fmt.Errorf("spectral: µ_%d=%.6g < λ_%d/s_%d=%.6g (lower interlacing)", k, lhs, i, j, rhs)
+				}
+			}
+			if k := i + j - n; k >= 1 && k <= n {
+				lhs := mu[k-1]
+				rhs := lambda[i-1] / speedsDesc[j-1]
+				if lhs > rhs+tol {
+					return fmt.Errorf("spectral: µ_%d=%.6g > λ_%d/s_%d=%.6g (upper interlacing)", k, lhs, i, j, rhs)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FiedlerVector returns the eigenvector for λ₂ of L(G), computed
+// densely. The sign convention is arbitrary; the vector has unit norm
+// and is orthogonal to the all-ones vector.
+func FiedlerVector(g *graph.Graph) ([]float64, error) {
+	_, vecs, err := matrix.SymEigen(Laplacian(g))
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v[i] = vecs.At(i, 1)
+	}
+	return v, nil
+}

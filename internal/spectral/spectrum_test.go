@@ -1,0 +1,211 @@
+package spectral
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/matrix"
+	"repro/internal/rng"
+)
+
+func TestSpectrumCompleteGraph(t *testing.T) {
+	// L(K_n) has eigenvalues 0 and n (multiplicity n−1).
+	g, err := graph.Complete(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := Spectrum(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]) > 1e-9 {
+		t.Errorf("λ₁ = %g, want 0", vals[0])
+	}
+	for i := 1; i < 7; i++ {
+		if math.Abs(vals[i]-7) > 1e-8 {
+			t.Errorf("λ_%d = %g, want 7", i+1, vals[i])
+		}
+	}
+}
+
+func TestSpectrumTraceEqualsDegreeSum(t *testing.T) {
+	// tr(L) = Σ deg(v) = Σ λᵢ.
+	f := func(seed uint64) bool {
+		g, err := graph.ErdosRenyi(12, 0.4, rng.New(seed))
+		if err != nil {
+			return true
+		}
+		vals, err := Spectrum(g)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		return math.Abs(sum-float64(g.DegreeSum())) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralizedSpectrumUnitSpeeds(t *testing.T) {
+	g, err := graph.Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, err := Spectrum(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := GeneralizedSpectrum(g, machine.Uniform(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lam {
+		if math.Abs(lam[i]-mu[i]) > 1e-8 {
+			t.Fatalf("spectrum %d: λ=%g µ=%g must coincide for unit speeds", i, lam[i], mu[i])
+		}
+	}
+}
+
+func TestLemma115InterlacingHolds(t *testing.T) {
+	// Full Weyl/Horn interlacing between λ(L) and µ(LS⁻¹).
+	f := func(seed uint64) bool {
+		stream := rng.New(seed)
+		g, err := graph.ErdosRenyi(10, 0.45, stream)
+		if err != nil {
+			return true
+		}
+		speeds, err := machine.RandomIntegers(g.N(), 4, stream)
+		if err != nil {
+			return false
+		}
+		lam, err := Spectrum(g)
+		if err != nil {
+			return false
+		}
+		mu, err := GeneralizedSpectrum(g, speeds)
+		if err != nil {
+			return false
+		}
+		desc := append([]float64(nil), speeds...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(desc)))
+		return CheckInterlacing(lam, mu, desc, 1e-7) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInterlacingDetectsViolation(t *testing.T) {
+	lam := []float64{0, 1, 2}
+	// Claim speeds all 1, so µ must equal interlace λ with s=1; a fake µ
+	// spectrum far above λ_1/s_n must violate the upper inequality.
+	mu := []float64{5, 6, 7}
+	desc := []float64{1, 1, 1}
+	if err := CheckInterlacing(lam, mu, desc, 1e-9); err == nil {
+		t.Error("fabricated spectrum passed interlacing")
+	}
+	if err := CheckInterlacing(lam, mu[:2], desc, 1e-9); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := CheckInterlacing(lam, lam, []float64{1, 2, 3}, 1e-9); err == nil {
+		t.Error("ascending speeds accepted")
+	}
+}
+
+func TestFiedlerVectorProperties(t *testing.T) {
+	g, err := graph.Path(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := FiedlerVector(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit norm, orthogonal to 1, and Rayleigh quotient equals λ₂.
+	if math.Abs(matrix.Norm2(v)-1) > 1e-8 {
+		t.Errorf("Fiedler vector norm %g", matrix.Norm2(v))
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if math.Abs(sum) > 1e-8 {
+		t.Errorf("Fiedler vector not orthogonal to 1: sum %g", sum)
+	}
+	op := NewLaplacianOp(g)
+	lv := make([]float64, len(v))
+	op.Apply(lv, v)
+	rayleigh := matrix.Dot(v, lv)
+	if want := Lambda2Path(10); math.Abs(rayleigh-want) > 1e-8 {
+		t.Errorf("Rayleigh quotient %g, want λ₂ = %g", rayleigh, want)
+	}
+	// For a path, the Fiedler vector is monotone along the path.
+	increasing, decreasing := true, true
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[i-1] {
+			increasing = false
+		}
+		if v[i] > v[i-1] {
+			decreasing = false
+		}
+	}
+	if !increasing && !decreasing {
+		t.Error("path Fiedler vector not monotone")
+	}
+}
+
+func TestLambda2CirculantClosedForm(t *testing.T) {
+	// C_n(1) is the ring.
+	if a, b := Lambda2Circulant(12, []int{1}), Lambda2Ring(12); math.Abs(a-b) > 1e-12 {
+		t.Errorf("circulant(1) %g vs ring %g", a, b)
+	}
+	// Numeric cross-check for C_10(1,2).
+	g, err := graph.Circulant(10, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, err := Lambda2(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := Lambda2Circulant(10, []int{1, 2})
+	if math.Abs(num-closed)/closed > 1e-6 {
+		t.Errorf("C_10(1,2): numeric %g vs closed %g", num, closed)
+	}
+}
+
+func TestLambda2CompleteBipartiteClosedForm(t *testing.T) {
+	g, err := graph.CompleteBipartite(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, err := Lambda2(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Lambda2CompleteBipartite(3, 5); math.Abs(num-want) > 1e-6 {
+		t.Errorf("λ₂(K_{3,5}) = %g, want %g", num, want)
+	}
+}
+
+func TestLambda2TorusNDClosedForm(t *testing.T) {
+	g, err := graph.TorusND([]int{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, err := Lambda2(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Lambda2TorusND([]int{3, 4, 5}); math.Abs(num-want)/want > 1e-6 {
+		t.Errorf("λ₂(torus 3×4×5) = %g, want %g", num, want)
+	}
+}

@@ -1,0 +1,151 @@
+// Package task models the selfish clients' jobs: weight multisets for the
+// weighted model of Section 4 (weights wℓ ∈ (0,1]) and generators for the
+// workloads used in the experiments. Uniform tasks (Section 3) are
+// represented implicitly by per-node counts in package core; this package
+// supplies the weighted representation and weight distributions.
+package task
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// ErrNoTasks is returned when a generator is asked for zero tasks.
+var ErrNoTasks = errors.New("task: need at least one task")
+
+// Weights is a multiset of task weights, each in (0,1].
+type Weights []float64
+
+// UniformWeights returns m tasks all of weight w.
+func UniformWeights(m int, w float64) (Weights, error) {
+	if m <= 0 {
+		return nil, ErrNoTasks
+	}
+	if w <= 0 || w > 1 {
+		return nil, fmt.Errorf("task: weight must be in (0,1], got %g", w)
+	}
+	ws := make(Weights, m)
+	for i := range ws {
+		ws[i] = w
+	}
+	return ws, nil
+}
+
+// RandomWeights returns m tasks with weights uniform in [lo, hi] ⊆ (0,1].
+func RandomWeights(m int, lo, hi float64, stream *rng.Stream) (Weights, error) {
+	if m <= 0 {
+		return nil, ErrNoTasks
+	}
+	if lo <= 0 || hi > 1 || lo > hi {
+		return nil, fmt.Errorf("task: need 0 < lo <= hi <= 1, got [%g,%g]", lo, hi)
+	}
+	ws := make(Weights, m)
+	for i := range ws {
+		ws[i] = lo + (hi-lo)*stream.Float64()
+	}
+	return ws, nil
+}
+
+// Bimodal returns m tasks: a fraction heavyFrac of weight heavy, the rest
+// of weight light. Both weights must lie in (0,1].
+func Bimodal(m int, heavyFrac, heavy, light float64, stream *rng.Stream) (Weights, error) {
+	if m <= 0 {
+		return nil, ErrNoTasks
+	}
+	if heavy <= 0 || heavy > 1 || light <= 0 || light > 1 {
+		return nil, fmt.Errorf("task: weights must be in (0,1], got heavy=%g light=%g", heavy, light)
+	}
+	if heavyFrac < 0 || heavyFrac > 1 {
+		return nil, fmt.Errorf("task: heavyFrac must be in [0,1], got %g", heavyFrac)
+	}
+	ws := make(Weights, m)
+	for i := range ws {
+		if stream.Bernoulli(heavyFrac) {
+			ws[i] = heavy
+		} else {
+			ws[i] = light
+		}
+	}
+	return ws, nil
+}
+
+// ParetoTruncated returns m tasks with weights following a Pareto(shape)
+// distribution truncated and rescaled into (minW, 1]. Heavier tails for
+// smaller shape.
+func ParetoTruncated(m int, shape, minW float64, stream *rng.Stream) (Weights, error) {
+	if m <= 0 {
+		return nil, ErrNoTasks
+	}
+	if shape <= 0 {
+		return nil, fmt.Errorf("task: shape must be positive, got %g", shape)
+	}
+	if minW <= 0 || minW >= 1 {
+		return nil, fmt.Errorf("task: minW must be in (0,1), got %g", minW)
+	}
+	ws := make(Weights, m)
+	for i := range ws {
+		// Inverse-CDF Pareto on [1, 1/minW], then invert into (minW, 1].
+		u := stream.Float64()
+		hi := 1 / minW
+		x := math.Pow(1-u*(1-math.Pow(hi, -shape)), -1/shape)
+		ws[i] = 1 / x // in [minW, 1]
+	}
+	return ws, nil
+}
+
+// Total returns W = Σ wℓ.
+func (w Weights) Total() float64 {
+	t := 0.0
+	for _, v := range w {
+		t += v
+	}
+	return t
+}
+
+// Min returns the smallest weight (0 for an empty multiset).
+func (w Weights) Min() float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	m := w[0]
+	for _, v := range w[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest weight (0 for an empty multiset).
+func (w Weights) Max() float64 {
+	m := 0.0
+	for _, v := range w {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Validate checks all weights lie in (0,1].
+func (w Weights) Validate() error {
+	for i, v := range w {
+		if v <= 0 || v > 1 || math.IsNaN(v) {
+			return fmt.Errorf("task: weight %g at task %d outside (0,1]", v, i)
+		}
+	}
+	return nil
+}
+
+// Sorted returns a descending-sorted copy, useful for deterministic
+// placement strategies.
+func (w Weights) Sorted() Weights {
+	out := make(Weights, len(w))
+	copy(out, w)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}

@@ -1,0 +1,151 @@
+package task
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestUniformWeights(t *testing.T) {
+	w, err := UniformWeights(5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 5 || w.Total() != 2.5 {
+		t.Errorf("weights %v", w)
+	}
+	if _, err := UniformWeights(0, 0.5); !errors.Is(err, ErrNoTasks) {
+		t.Errorf("want ErrNoTasks, got %v", err)
+	}
+	if _, err := UniformWeights(3, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := UniformWeights(3, 1.5); err == nil {
+		t.Error("weight > 1 accepted")
+	}
+}
+
+func TestRandomWeightsRange(t *testing.T) {
+	w, err := RandomWeights(1000, 0.2, 0.8, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range w {
+		if v < 0.2 || v > 0.8 {
+			t.Fatalf("weight %g outside [0.2,0.8]", v)
+		}
+	}
+	if _, err := RandomWeights(10, 0, 0.5, rng.New(1)); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := RandomWeights(10, 0.6, 0.5, rng.New(1)); err == nil {
+		t.Error("lo>hi accepted")
+	}
+}
+
+func TestBimodal(t *testing.T) {
+	w, err := Bimodal(2000, 0.25, 1.0, 0.1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := 0
+	for _, v := range w {
+		switch v {
+		case 1.0:
+			heavy++
+		case 0.1:
+		default:
+			t.Fatalf("unexpected weight %g", v)
+		}
+	}
+	frac := float64(heavy) / float64(len(w))
+	if math.Abs(frac-0.25) > 0.05 {
+		t.Errorf("heavy fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestParetoTruncated(t *testing.T) {
+	w, err := ParetoTruncated(5000, 1.5, 0.05, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Min() < 0.05-1e-12 {
+		t.Errorf("min weight %g below floor", w.Min())
+	}
+	if w.Max() > 1+1e-12 {
+		t.Errorf("max weight %g above 1", w.Max())
+	}
+	if _, err := ParetoTruncated(5, -1, 0.1, rng.New(1)); err == nil {
+		t.Error("negative shape accepted")
+	}
+	if _, err := ParetoTruncated(5, 1, 1.5, rng.New(1)); err == nil {
+		t.Error("minW >= 1 accepted")
+	}
+}
+
+func TestMinMaxTotal(t *testing.T) {
+	w := Weights{0.3, 0.9, 0.5}
+	if w.Min() != 0.3 || w.Max() != 0.9 {
+		t.Errorf("min/max %g/%g", w.Min(), w.Max())
+	}
+	if math.Abs(w.Total()-1.7) > 1e-12 {
+		t.Errorf("total %g", w.Total())
+	}
+	var empty Weights
+	if empty.Min() != 0 || empty.Max() != 0 || empty.Total() != 0 {
+		t.Error("empty multiset aggregates nonzero")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Weights{0.5, 1.0}).Validate(); err != nil {
+		t.Errorf("valid weights rejected: %v", err)
+	}
+	for _, bad := range []Weights{{0}, {-0.1}, {1.1}, {math.NaN()}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid weights %v accepted", bad)
+		}
+	}
+}
+
+func TestSorted(t *testing.T) {
+	w := Weights{0.2, 0.9, 0.5}
+	s := w.Sorted()
+	if s[0] != 0.9 || s[1] != 0.5 || s[2] != 0.2 {
+		t.Errorf("sorted %v", s)
+	}
+	if w[0] != 0.2 {
+		t.Error("Sorted modified the receiver")
+	}
+}
+
+func TestGeneratorsAlwaysValid(t *testing.T) {
+	f := func(seed uint64, m int) bool {
+		if m < 0 {
+			m = -m
+		}
+		m = m%500 + 1
+		stream := rng.New(seed)
+		w1, err := RandomWeights(m, 0.1, 1.0, stream)
+		if err != nil || w1.Validate() != nil || len(w1) != m {
+			return false
+		}
+		w2, err := ParetoTruncated(m, 2, 0.1, stream)
+		if err != nil || w2.Validate() != nil || len(w2) != m {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package trace serializes simulation traces (the potential/imbalance
+// time series recorded by core.RunUniform and core.RunWeighted) to CSV
+// and JSON Lines, for plotting and for archiving experiment runs.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// ErrEmptyTrace is returned when asked to serialize an empty trace.
+var ErrEmptyTrace = errors.New("trace: empty trace")
+
+// WriteCSV writes the trace as CSV with a header row.
+func WriteCSV(w io.Writer, points []core.TracePoint) error {
+	if len(points) == 0 {
+		return ErrEmptyTrace
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"round", "psi0", "psi1", "ldelta", "moves"}); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	for _, p := range points {
+		rec := []string{
+			strconv.Itoa(p.Round),
+			strconv.FormatFloat(p.Psi0, 'g', -1, 64),
+			strconv.FormatFloat(p.Psi1, 'g', -1, 64),
+			strconv.FormatFloat(p.LDelta, 'g', -1, 64),
+			strconv.FormatInt(p.Moves, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSONL writes the trace as JSON Lines (one TracePoint per line).
+func WriteJSONL(w io.Writer, points []core.TracePoint) error {
+	if len(points) == 0 {
+		return ErrEmptyTrace
+	}
+	enc := json.NewEncoder(w)
+	for _, p := range points {
+		if err := enc.Encode(p); err != nil {
+			return fmt.Errorf("encode point: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadCSV parses a trace previously written by WriteCSV.
+func ReadCSV(r io.Reader) ([]core.TracePoint, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, ErrEmptyTrace
+	}
+	points := make([]core.TracePoint, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("row %d: %d fields, want 5", i+1, len(rec))
+		}
+		round, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("row %d round: %w", i+1, err)
+		}
+		psi0, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("row %d psi0: %w", i+1, err)
+		}
+		psi1, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("row %d psi1: %w", i+1, err)
+		}
+		ld, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("row %d ldelta: %w", i+1, err)
+		}
+		moves, err := strconv.ParseInt(rec[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("row %d moves: %w", i+1, err)
+		}
+		points = append(points, core.TracePoint{
+			Round: round, Psi0: psi0, Psi1: psi1, LDelta: ld, Moves: moves,
+		})
+	}
+	return points, nil
+}
+
+// Summary condenses a trace: initial/final potential, rounds covered,
+// and the per-round geometric decay rate of Ψ₀ estimated from the
+// endpoints.
+type Summary struct {
+	Rounds     int     `json:"rounds"`
+	Psi0Start  float64 `json:"psi0Start"`
+	Psi0End    float64 `json:"psi0End"`
+	DecayRate  float64 `json:"decayRatePerRound"`
+	TotalMoves int64   `json:"totalMoves"`
+}
+
+// Summarize computes a Summary from a trace.
+func Summarize(points []core.TracePoint) (Summary, error) {
+	if len(points) == 0 {
+		return Summary{}, ErrEmptyTrace
+	}
+	first, last := points[0], points[len(points)-1]
+	s := Summary{
+		Rounds:     last.Round - first.Round,
+		Psi0Start:  first.Psi0,
+		Psi0End:    last.Psi0,
+		TotalMoves: last.Moves,
+	}
+	if s.Rounds > 0 && first.Psi0 > 0 && last.Psi0 > 0 && last.Psi0 < first.Psi0 {
+		// Ψ₀(end) = Ψ₀(start)·rate^rounds.
+		s.DecayRate = math.Pow(last.Psi0/first.Psi0, 1/float64(s.Rounds))
+	}
+	return s, nil
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func samplePoints() []core.TracePoint {
+	return []core.TracePoint{
+		{Round: 0, Psi0: 1000, Psi1: 1010, LDelta: 30, Moves: 0},
+		{Round: 10, Psi0: 250, Psi1: 260, LDelta: 14, Moves: 420},
+		{Round: 20, Psi0: 62.5, Psi1: 70, LDelta: 7, Moves: 700},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, samplePoints()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := samplePoints()
+	if len(got) != len(want) {
+		t.Fatalf("%d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("want ErrEmptyTrace, got %v", err)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, samplePoints()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3", len(lines))
+	}
+	if !strings.Contains(lines[0], `"psi0":1000`) {
+		t.Errorf("first line %q missing psi0", lines[0])
+	}
+	if err := WriteJSONL(&buf, nil); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("want ErrEmptyTrace, got %v", err)
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("round,psi0,psi1,ldelta,moves\n")); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("header-only: %v", err)
+	}
+	if _, err := ReadCSV(strings.NewReader("round,psi0,psi1,ldelta,moves\nx,1,2,3,4\n")); err == nil {
+		t.Error("non-numeric round accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize(samplePoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds != 20 || s.Psi0Start != 1000 || s.Psi0End != 62.5 || s.TotalMoves != 700 {
+		t.Errorf("summary %+v", s)
+	}
+	// 1000·rate^20 = 62.5 ⇒ rate = (1/16)^(1/20).
+	want := math.Pow(1.0/16, 1.0/20)
+	if math.Abs(s.DecayRate-want) > 1e-12 {
+		t.Errorf("decay rate %g, want %g", s.DecayRate, want)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("empty summarize: %v", err)
+	}
+}
+
+func TestSummarizeNoDecay(t *testing.T) {
+	points := []core.TracePoint{
+		{Round: 0, Psi0: 100},
+		{Round: 5, Psi0: 100},
+	}
+	s, err := Summarize(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecayRate != 0 {
+		t.Errorf("flat trace decay rate %g, want 0", s.DecayRate)
+	}
+}

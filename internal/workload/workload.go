@@ -1,0 +1,128 @@
+// Package workload generates initial task placements and scenario
+// presets for the experiments: where the m tasks start (the adversarial
+// all-on-one-node start used for worst-case convergence measurements,
+// uniformly random placement, proportional-to-speed placement) for both
+// the uniform and the weighted task model.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// ErrBadPlacement is returned for invalid placement parameters.
+var ErrBadPlacement = errors.New("workload: invalid placement parameters")
+
+// AllOnOne places all m tasks on node target of an n-node network — the
+// maximal-potential start (Ψ₀ ≈ m², cf. Lemma 3.15's Ψ₀(X₀) ≤ m² bound).
+func AllOnOne(n int, m int64, target int) ([]int64, error) {
+	if n <= 0 || m < 0 || target < 0 || target >= n {
+		return nil, fmt.Errorf("%w: n=%d m=%d target=%d", ErrBadPlacement, n, m, target)
+	}
+	counts := make([]int64, n)
+	counts[target] = m
+	return counts, nil
+}
+
+// UniformRandom places each of the m tasks on an independently uniform
+// node.
+func UniformRandom(n int, m int64, stream *rng.Stream) ([]int64, error) {
+	if n <= 0 || m < 0 {
+		return nil, fmt.Errorf("%w: n=%d m=%d", ErrBadPlacement, n, m)
+	}
+	counts := make([]int64, n)
+	// Batch by equal multinomial split rather than m draws.
+	if m > 0 {
+		split := stream.EqualSplit(int(m), n)
+		for i, c := range split {
+			counts[i] = int64(c)
+		}
+	}
+	return counts, nil
+}
+
+// Proportional places tasks proportionally to the given speeds, i.e.
+// near the balanced state w̄ = m·s/S, rounding down and distributing the
+// remainder to the fastest machines. Useful as a near-equilibrium start.
+func Proportional(speeds []float64, m int64) ([]int64, error) {
+	n := len(speeds)
+	if n == 0 || m < 0 {
+		return nil, fmt.Errorf("%w: n=%d m=%d", ErrBadPlacement, n, m)
+	}
+	total := 0.0
+	for _, s := range speeds {
+		total += s
+	}
+	counts := make([]int64, n)
+	assigned := int64(0)
+	for i, s := range speeds {
+		c := int64(float64(m) * s / total)
+		counts[i] = c
+		assigned += c
+	}
+	// Distribute the remainder round-robin over the fastest machines.
+	order := argsortDesc(speeds)
+	for k := 0; assigned < m; k++ {
+		counts[order[k%n]]++
+		assigned++
+	}
+	return counts, nil
+}
+
+// TwoCorners splits m tasks between two nodes (the classic bipartite
+// imbalance start): ceil(m/2) on a, floor(m/2) on b.
+func TwoCorners(n int, m int64, a, b int) ([]int64, error) {
+	if n <= 0 || m < 0 || a < 0 || b < 0 || a >= n || b >= n || a == b {
+		return nil, fmt.Errorf("%w: n=%d m=%d a=%d b=%d", ErrBadPlacement, n, m, a, b)
+	}
+	counts := make([]int64, n)
+	counts[a] = (m + 1) / 2
+	counts[b] = m / 2
+	return counts, nil
+}
+
+// argsortDesc returns indices sorting v descending (simple selection
+// order; n is small relative to simulation cost).
+func argsortDesc(v []float64) []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < len(idx); i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if v[idx[j]] > v[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx
+}
+
+// WeightedAllOnOne places all weighted tasks on node target.
+func WeightedAllOnOne(n int, weights task.Weights, target int) ([]task.Weights, error) {
+	if n <= 0 || target < 0 || target >= n {
+		return nil, fmt.Errorf("%w: n=%d target=%d", ErrBadPlacement, n, target)
+	}
+	perNode := make([]task.Weights, n)
+	perNode[target] = append(task.Weights(nil), weights...)
+	return perNode, nil
+}
+
+// WeightedUniformRandom places each weighted task on an independently
+// uniform node.
+func WeightedUniformRandom(n int, weights task.Weights, stream *rng.Stream) ([]task.Weights, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadPlacement, n)
+	}
+	perNode := make([]task.Weights, n)
+	for _, w := range weights {
+		i := stream.Intn(n)
+		perNode[i] = append(perNode[i], w)
+	}
+	return perNode, nil
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+func TestAllOnOne(t *testing.T) {
+	counts, err := AllOnOne(5, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		want := int64(0)
+		if i == 2 {
+			want = 100
+		}
+		if c != want {
+			t.Errorf("counts[%d] = %d, want %d", i, c, want)
+		}
+	}
+	if _, err := AllOnOne(5, 10, 5); !errors.Is(err, ErrBadPlacement) {
+		t.Errorf("out-of-range target: %v", err)
+	}
+	if _, err := AllOnOne(0, 10, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestUniformRandomSum(t *testing.T) {
+	f := func(seed uint64, m int64) bool {
+		if m < 0 {
+			m = -m
+		}
+		m %= 10000
+		counts, err := UniformRandom(7, m, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		sum := int64(0)
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRandomRoughlyBalanced(t *testing.T) {
+	counts, err := UniformRandom(10, 100000, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("node %d has %d tasks, expected ~10000", i, c)
+		}
+	}
+}
+
+func TestProportionalExact(t *testing.T) {
+	counts, err := Proportional([]float64{1, 2, 1}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 10 || counts[1] != 20 || counts[2] != 10 {
+		t.Errorf("proportional counts %v", counts)
+	}
+}
+
+func TestProportionalRemainderGoesToFastest(t *testing.T) {
+	counts, err := Proportional([]float64{1, 3}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// floor: 2 + 6 = 8, remainder 1 → fastest (index 1).
+	if counts[0] != 2 || counts[1] != 7 {
+		t.Errorf("counts %v, want [2 7]", counts)
+	}
+	sum := counts[0] + counts[1]
+	if sum != 9 {
+		t.Errorf("sum %d", sum)
+	}
+}
+
+func TestTwoCorners(t *testing.T) {
+	counts, err := TwoCorners(6, 11, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 6 || counts[5] != 5 {
+		t.Errorf("counts %v", counts)
+	}
+	if _, err := TwoCorners(6, 10, 2, 2); err == nil {
+		t.Error("a == b accepted")
+	}
+}
+
+func TestWeightedAllOnOne(t *testing.T) {
+	ws := task.Weights{0.5, 0.7}
+	perNode, err := WeightedAllOnOne(4, ws, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perNode[1]) != 2 || len(perNode[0]) != 0 {
+		t.Errorf("placement %v", perNode)
+	}
+	perNode[1][0] = 0.9
+	if ws[0] == 0.9 {
+		t.Error("placement aliases input weights")
+	}
+}
+
+func TestWeightedUniformRandomKeepsAllTasks(t *testing.T) {
+	ws, err := task.RandomWeights(500, 0.1, 1, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := WeightedUniformRandom(7, ws, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, node := range perNode {
+		total += len(node)
+	}
+	if total != 500 {
+		t.Errorf("placed %d tasks, want 500", total)
+	}
+}
