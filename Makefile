@@ -1,0 +1,28 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs `make ci`'s
+# constituent steps with the same flags.
+
+GO ?= go
+
+.PHONY: build vet test race bench-check table1 ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Compile-and-run every benchmark exactly once, as a smoke check.
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Regenerate the empirical counterpart of the paper's Table 1.
+table1:
+	$(GO) test -run '^$$' -bench Table1 -benchtime 3x .
+
+ci: vet build race bench-check

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestRunDropSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error { return runDrop(8, 16, 1) })
+	if !strings.HasPrefix(out, "class,n,gamma,theory_ratio,measured_ratio") {
+		t.Errorf("missing CSV header:\n%s", out)
+	}
+	for _, class := range []string{"complete", "ring", "torus", "hypercube"} {
+		if !strings.Contains(out, class+",") {
+			t.Errorf("missing class %q row:\n%s", class, out)
+		}
+	}
+}
+
+func TestRunGranularitySmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error { return runGranularity(4, 16, 3, 1) })
+	if !strings.HasPrefix(out, "epsilon,alpha,mean_rounds,stderr,theory_bound") {
+		t.Errorf("missing CSV header:\n%s", out)
+	}
+	if got := strings.Count(strings.TrimSpace(out), "\n"); got != 3 {
+		t.Errorf("want 3 data rows (ε = 1, 0.5, 0.25), got %d:\n%s", got, out)
+	}
+}
+
+func TestRunWeightedComparisonSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error { return runWeightedComparison(8, 16, 1, 1) })
+	if !strings.HasPrefix(out, "class,n,m,alg2_rounds") {
+		t.Errorf("missing CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "torus,") {
+		t.Errorf("missing torus row:\n%s", out)
+	}
+}
+
+func TestRunDiffusionSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error { return runDiffusion(8, 16, 1) })
+	if !strings.HasPrefix(out, "round,mean_l2_distance,drift_norm") {
+		t.Errorf("missing CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "\n50,") {
+		t.Errorf("missing round-50 row:\n%s", out)
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestRunSmoke executes the diffusion comparison end to end and checks
+// that every scheme column is reported.
+func TestRunSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, run)
+	for _, want := range []string{"continuous", "rounded", "rand-rounded", "selfish", "instance:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

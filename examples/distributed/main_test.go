@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestRunSmoke executes the actor-network example end to end. Its
+// output is itself the acceptance check for the dist engines: the
+// sequential replay of the concurrent run must match exactly.
+func TestRunSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, run)
+	for _, want := range []string{
+		"processor goroutines",
+		"exact NE after",
+		"sequential engine reproduced the concurrent trajectory exactly",
+		"NE=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "unexpected!") {
+		t.Errorf("concurrent and sequential trajectories diverged:\n%s", out)
+	}
+}

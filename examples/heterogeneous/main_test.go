@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestRunSmoke executes the heterogeneous-cluster example end to end
+// and checks the headline verification lines.
+func TestRunSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, run)
+	for _, want := range []string{"speed 4:", "speed 2:", "speed 1:", "max deviation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

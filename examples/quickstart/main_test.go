@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestRunSmoke executes the example end to end and checks the headline
+// output lines.
+func TestRunSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, run)
+	for _, want := range []string{
+		"phase 1:",
+		"phase 2: exact NE after",
+		"is Nash equilibrium: true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

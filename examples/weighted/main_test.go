@@ -1,0 +1,18 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestRunSmoke executes the Algorithm 2 vs baseline race end to end.
+func TestRunSmoke(t *testing.T) {
+	out := testutil.CaptureStdout(t, run)
+	for _, want := range []string{"algorithm 2", "baseline", "migration volume:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

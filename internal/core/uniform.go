@@ -11,6 +11,25 @@ type UniformProtocol interface {
 	Step(st *UniformState, round uint64, base *rng.Stream) int64
 }
 
+// UniformNodeProtocol is a UniformProtocol whose round factorizes into
+// independent per-node decisions on the round-start snapshot: node i's
+// migrations depend only on its own task count, the loads of itself and
+// its direct neighbors, and the stream base.At(round, i). That locality
+// is exactly the paper's model, and it is what lets the concurrent
+// engines in package dist (fork–join runtime, actor network) execute the
+// decisions in parallel while reproducing the sequential trajectory
+// bit-for-bit.
+type UniformNodeProtocol interface {
+	UniformProtocol
+	// DecideNode computes node i's outgoing migrations for one round
+	// using only information local to i: its task count wi, its load li,
+	// the round-start loads of its neighbors (nbLoads, indexed like
+	// Graph.Neighbors(i)), and its per-round stream. The first deg(i)
+	// entries of out are overwritten with the number of tasks sent to
+	// each neighbor; the return value is their sum.
+	DecideNode(sys *System, i int, wi int64, li float64, nbLoads []float64, nodeStream *rng.Stream, out []int64) int64
+}
+
 // Algorithm1 is the paper's protocol for uniform tasks on machines with
 // speeds (p. 5):
 //
@@ -31,7 +50,7 @@ type Algorithm1 struct {
 	Alpha float64
 }
 
-var _ UniformProtocol = Algorithm1{}
+var _ UniformNodeProtocol = Algorithm1{}
 
 // Name implements UniformProtocol.
 func (p Algorithm1) Name() string { return "algorithm1" }
@@ -46,44 +65,94 @@ func (p Algorithm1) effectiveAlpha(sys *System) float64 {
 
 // Step implements UniformProtocol.
 func (p Algorithm1) Step(st *UniformState, round uint64, base *rng.Stream) int64 {
-	sys := st.sys
-	g := sys.g
-	n := g.N()
+	return stepNodewise(st, round, base, p)
+}
+
+// DecideNode implements UniformNodeProtocol: the batched (multinomial +
+// binomial) sampling of node i's per-task coin flips.
+func (p Algorithm1) DecideNode(sys *System, i int, wi int64, li float64, nbLoads []float64, nodeStream *rng.Stream, out []int64) int64 {
+	nbs := sys.g.Neighbors(i)
+	deg := len(nbs)
+	for idx := 0; idx < deg; idx++ {
+		out[idx] = 0
+	}
+	if wi == 0 {
+		return 0
+	}
 	alpha := p.effectiveAlpha(sys)
+	picks := nodeStream.EqualSplit(int(wi), deg)
+	moves := int64(0)
+	for idx, jj := range nbs {
+		c := picks[idx]
+		if c == 0 {
+			continue
+		}
+		j := int(jj)
+		lj := nbLoads[idx]
+		if li-lj <= 1/sys.speeds[j] {
+			continue
+		}
+		pij := migrationProb(sys, i, j, li, lj, alpha, float64(wi))
+		k := int64(nodeStream.Binomial(c, pij))
+		if k > 0 {
+			out[idx] = k
+			moves += k
+		}
+	}
+	return moves
+}
+
+// stepNodewise runs one synchronous round of a node-decomposable protocol
+// on the sequential engine: decide every node on the round-start load
+// snapshot, then apply the aggregated deltas. Package dist executes the
+// same DecideNode calls concurrently; because node i's round-r stream
+// base.At(r, i) is derived purely from the seed, the trajectories agree
+// exactly.
+func stepNodewise(st *UniformState, round uint64, base *rng.Stream, p UniformNodeProtocol) int64 {
+	sys := st.sys
+	n := sys.g.N()
 	loads := st.Loads() // round-start snapshot: all tasks act concurrently
 	delta := make([]int64, n)
+	maxDeg := sys.maxDeg
+	nb := make([]float64, maxDeg)
+	out := make([]int64, maxDeg)
+	moves := DecideRange(sys, p, st.counts, loads, base.Split(round), 0, n, nb, out, delta)
+	st.applyDelta(delta)
+	return moves
+}
+
+// DecideRange evaluates p.DecideNode for every node in [lo, hi) of one
+// round-start snapshot (counts, loads), accumulating migration deltas
+// into delta and returning the total moves. nb and out are scratch
+// buffers of at least MaxDegree elements. It is the single source of
+// truth for the decide-and-merge loop: the sequential engine runs it
+// over [0, n) and the fork–join workers in package dist run it over
+// their shards, which is what keeps the engines bit-identical.
+func DecideRange(sys *System, p UniformNodeProtocol, counts []int64, loads []float64, roundStream *rng.Stream, lo, hi int, nb []float64, out, delta []int64) int64 {
+	g := sys.g
 	moves := int64(0)
-	roundStream := base.Split(round)
-	for i := 0; i < n; i++ {
-		wi := st.counts[i]
+	for i := lo; i < hi; i++ {
+		wi := counts[i]
 		if wi == 0 {
 			continue
 		}
-		nodeStream := roundStream.Split(uint64(i))
 		nbs := g.Neighbors(i)
 		deg := len(nbs)
-		picks := nodeStream.EqualSplit(int(wi), deg)
-		li := loads[i]
 		for idx, jj := range nbs {
-			c := picks[idx]
-			if c == 0 {
-				continue
-			}
-			j := int(jj)
-			sj := sys.speeds[j]
-			if li-loads[j] <= 1/sj {
-				continue
-			}
-			pij := migrationProb(sys, i, j, li, loads[j], alpha, float64(wi))
-			k := int64(nodeStream.Binomial(c, pij))
-			if k > 0 {
-				delta[i] -= k
-				delta[j] += k
-				moves += k
+			nb[idx] = loads[jj]
+		}
+		m := p.DecideNode(sys, i, wi, loads[i], nb[:deg], roundStream.Split(uint64(i)), out)
+		if m == 0 {
+			continue
+		}
+		moves += m
+		delta[i] -= m
+		for idx := 0; idx < deg; idx++ {
+			if out[idx] > 0 {
+				delta[nbs[idx]] += out[idx]
 			}
 		}
 	}
-	st.applyDelta(delta)
 	return moves
 }
 
@@ -113,42 +182,40 @@ type Algorithm1PerTask struct {
 	Alpha float64
 }
 
-var _ UniformProtocol = Algorithm1PerTask{}
+var _ UniformNodeProtocol = Algorithm1PerTask{}
 
 // Name implements UniformProtocol.
 func (p Algorithm1PerTask) Name() string { return "algorithm1-pertask" }
 
 // Step implements UniformProtocol.
 func (p Algorithm1PerTask) Step(st *UniformState, round uint64, base *rng.Stream) int64 {
-	sys := st.sys
-	g := sys.g
-	n := g.N()
+	return stepNodewise(st, round, base, p)
+}
+
+// DecideNode implements UniformNodeProtocol: the literal per-task loop.
+func (p Algorithm1PerTask) DecideNode(sys *System, i int, wi int64, li float64, nbLoads []float64, nodeStream *rng.Stream, out []int64) int64 {
+	nbs := sys.g.Neighbors(i)
+	deg := len(nbs)
+	for idx := 0; idx < deg; idx++ {
+		out[idx] = 0
+	}
+	if wi == 0 {
+		return 0
+	}
 	alpha := Algorithm1{Alpha: p.Alpha}.effectiveAlpha(sys)
-	loads := st.Loads()
-	delta := make([]int64, n)
 	moves := int64(0)
-	roundStream := base.Split(round)
-	for i := 0; i < n; i++ {
-		wi := st.counts[i]
-		if wi == 0 {
+	for t := int64(0); t < wi; t++ {
+		idx := nodeStream.Intn(deg)
+		j := int(nbs[idx])
+		lj := nbLoads[idx]
+		if li-lj <= 1/sys.speeds[j] {
 			continue
 		}
-		nodeStream := roundStream.Split(uint64(i))
-		nbs := g.Neighbors(i)
-		li := loads[i]
-		for t := int64(0); t < wi; t++ {
-			j := int(nbs[nodeStream.Intn(len(nbs))])
-			if li-loads[j] <= 1/sys.speeds[j] {
-				continue
-			}
-			pij := migrationProb(sys, i, j, li, loads[j], alpha, float64(wi))
-			if nodeStream.Bernoulli(pij) {
-				delta[i]--
-				delta[j]++
-				moves++
-			}
+		pij := migrationProb(sys, i, j, li, lj, alpha, float64(wi))
+		if nodeStream.Bernoulli(pij) {
+			out[idx]++
+			moves++
 		}
 	}
-	st.applyDelta(delta)
 	return moves
 }

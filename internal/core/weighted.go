@@ -31,7 +31,18 @@ type Algorithm2 struct {
 	Alpha float64
 }
 
-var _ WeightedProtocol = Algorithm2{}
+// WeightedNodeProtocol is a WeightedProtocol whose round factorizes into
+// independent per-node decisions on the round-start snapshot, the
+// weighted analogue of UniformNodeProtocol. Package dist executes
+// DecideNode concurrently; ApplyMoves is deterministic in the multiset
+// of pending moves, so concurrent and sequential execution produce the
+// same state.
+type WeightedNodeProtocol interface {
+	WeightedProtocol
+	DecideNode(st *WeightedState, i int, loads []float64, nodeStream *rng.Stream) []TaskMove
+}
+
+var _ WeightedNodeProtocol = Algorithm2{}
 
 // Name implements WeightedProtocol.
 func (p Algorithm2) Name() string { return "algorithm2" }

@@ -1,0 +1,559 @@
+package dist
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// buildCase constructs a system and an adversarial start for one test
+// configuration.
+func buildCase(t *testing.T, build func() (*graph.Graph, error), speeds func(n int) (machine.Speeds, error), tasksPerNode int64) (*core.System, []int64) {
+	t.Helper()
+	g, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	sp, err := speeds(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := workload.TwoCorners(n, tasksPerNode*int64(n), 0, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, counts
+}
+
+func uniformSpeeds(n int) (machine.Speeds, error) { return machine.Uniform(n), nil }
+
+func twoClassSpeeds(n int) (machine.Speeds, error) { return machine.TwoClass(n, 0.25, 2) }
+
+func randomSpeeds(n int) (machine.Speeds, error) {
+	return machine.RandomIntegers(n, 3, rng.New(uint64(n)))
+}
+
+// engineCases is the table shared by the equivalence tests: several
+// graph families × speed profiles × seeds.
+var engineCases = []struct {
+	name   string
+	build  func() (*graph.Graph, error)
+	speeds func(n int) (machine.Speeds, error)
+	seed   uint64
+	rounds uint64
+}{
+	{"ring16-uniform", func() (*graph.Graph, error) { return graph.Ring(16) }, uniformSpeeds, 1, 60},
+	{"torus4x4-twoclass", func() (*graph.Graph, error) { return graph.Torus(4, 4) }, twoClassSpeeds, 2, 60},
+	{"hypercube4-random", func() (*graph.Graph, error) { return graph.Hypercube(4) }, randomSpeeds, 3, 50},
+	{"complete12-random", func() (*graph.Graph, error) { return graph.Complete(12) }, randomSpeeds, 4, 40},
+	{"mesh3x5-twoclass", func() (*graph.Graph, error) { return graph.Mesh(3, 5) }, twoClassSpeeds, 5, 60},
+}
+
+// TestForkJoinMatchesSequential checks round-by-round bit-equality of
+// the fork–join runtime against the sequential engine: identical move
+// totals and identical per-node counts after every round.
+func TestForkJoinMatchesSequential(t *testing.T) {
+	for _, tc := range engineCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			sys, counts := buildCase(t, tc.build, tc.speeds, 50)
+			seq, err := core.NewUniformState(sys, counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := NewRuntime(sys, core.Algorithm1{}, counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+
+			proto := core.Algorithm1{}
+			baseSeq, baseRT := rng.New(tc.seed), rng.New(tc.seed)
+			for r := uint64(1); r <= tc.rounds; r++ {
+				wantMoves := proto.Step(seq, r, baseSeq)
+				gotMoves, err := rt.Round(r, baseRT)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotMoves != wantMoves {
+					t.Fatalf("round %d: forkjoin moved %d tasks, sequential %d", r, gotMoves, wantMoves)
+				}
+				for i, c := range rt.Counts() {
+					if c != seq.Count(i) {
+						t.Fatalf("round %d node %d: forkjoin=%d sequential=%d", r, i, c, seq.Count(i))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNetworkMatchesSequential checks the actor engine the same way.
+func TestNetworkMatchesSequential(t *testing.T) {
+	for _, tc := range engineCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			sys, counts := buildCase(t, tc.build, tc.speeds, 50)
+			seq, err := core.NewUniformState(sys, counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net, err := NewNetwork(sys, counts, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer net.Close()
+
+			proto := core.Algorithm1{}
+			baseSeq, baseNet := rng.New(tc.seed), rng.New(tc.seed)
+			for r := uint64(1); r <= tc.rounds; r++ {
+				wantMoves := proto.Step(seq, r, baseSeq)
+				gotMoves, err := net.Step(r, baseNet)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotMoves != wantMoves {
+					t.Fatalf("round %d: actors moved %d tasks, sequential %d", r, gotMoves, wantMoves)
+				}
+				for i, c := range net.Counts() {
+					if c != seq.Count(i) {
+						t.Fatalf("round %d node %d: actors=%d sequential=%d", r, i, c, seq.Count(i))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWeightedForkJoinMatchesSequential checks exact state equality
+// (node weights and task multisets, element for element) of the
+// weighted fork–join runtime against the sequential Algorithm 2.
+func TestWeightedForkJoinMatchesSequential(t *testing.T) {
+	for _, tc := range engineCases[:3] {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			g, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := g.N()
+			sp, err := tc.speeds(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := core.NewSystem(g, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			weights, err := task.RandomWeights(40*n, 0.1, 1, rng.New(tc.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			perNode, err := workload.WeightedAllOnOne(n, weights, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := core.NewWeightedState(sys, perNode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := NewWeightedRuntime(sys, perNode, core.Algorithm2{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+
+			proto := core.Algorithm2{}
+			baseSeq, baseRT := rng.New(tc.seed+100), rng.New(tc.seed+100)
+			for r := uint64(1); r <= 30; r++ {
+				wantMoves := int64(proto.Step(seq, r, baseSeq))
+				gotMoves, err := rt.Round(r, baseRT)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotMoves != wantMoves {
+					t.Fatalf("round %d: forkjoin moved %d tasks, sequential %d", r, gotMoves, wantMoves)
+				}
+			}
+			got := rt.State()
+			for i := 0; i < n; i++ {
+				if got.NodeWeight(i) != seq.NodeWeight(i) {
+					t.Fatalf("node %d: weight forkjoin=%g sequential=%g", i, got.NodeWeight(i), seq.NodeWeight(i))
+				}
+				gw, sw := got.TaskWeights(i), seq.TaskWeights(i)
+				if len(gw) != len(sw) {
+					t.Fatalf("node %d: %d tasks vs %d", i, len(gw), len(sw))
+				}
+				for k := range gw {
+					if gw[k] != sw[k] {
+						t.Fatalf("node %d task %d: %g vs %g", i, k, gw[k], sw[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForkJoinPerTaskProtocol checks that the runtime is generic over
+// UniformNodeProtocol by running the literal per-task formulation.
+func TestForkJoinPerTaskProtocol(t *testing.T) {
+	sys, counts := buildCase(t, func() (*graph.Graph, error) { return graph.Ring(12) }, uniformSpeeds, 20)
+	seq, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(sys, core.Algorithm1PerTask{}, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	proto := core.Algorithm1PerTask{}
+	baseSeq, baseRT := rng.New(9), rng.New(9)
+	for r := uint64(1); r <= 25; r++ {
+		proto.Step(seq, r, baseSeq)
+		if _, err := rt.Round(r, baseRT); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range rt.Counts() {
+		if c != seq.Count(i) {
+			t.Fatalf("node %d: forkjoin=%d sequential=%d", i, c, seq.Count(i))
+		}
+	}
+}
+
+// uniformEngine is the surface the determinism test drives: one round
+// under an explicit base stream, current counts, shutdown.
+type uniformEngine interface {
+	Counts() []int64
+	Close() error
+}
+
+// TestDeterminism runs each engine twice with the same seed and demands
+// identical trajectories, and with a different seed and demands a
+// different one (overwhelmingly likely on this instance).
+func TestDeterminism(t *testing.T) {
+	sys, counts := buildCase(t, func() (*graph.Graph, error) { return graph.Torus(4, 4) }, twoClassSpeeds, 50)
+	step := func(e uniformEngine, r uint64, base *rng.Stream) error {
+		switch e := e.(type) {
+		case *Runtime:
+			_, err := e.Round(r, base)
+			return err
+		case *Network:
+			_, err := e.Step(r, base)
+			return err
+		}
+		return nil
+	}
+	run := func(newEngine func() (uniformEngine, error), seed uint64, rounds uint64) []int64 {
+		t.Helper()
+		e, err := newEngine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		base := rng.New(seed)
+		for r := uint64(1); r <= rounds; r++ {
+			if err := step(e, r, base); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e.Counts()
+	}
+	for _, eng := range []struct {
+		name string
+		mk   func() (uniformEngine, error)
+	}{
+		{"forkjoin", func() (uniformEngine, error) { return NewRuntime(sys, core.Algorithm1{}, counts) }},
+		{"actors", func() (uniformEngine, error) { return NewNetwork(sys, counts, 0) }},
+	} {
+		a := run(eng.mk, 42, 40)
+		b := run(eng.mk, 42, 40)
+		c := run(eng.mk, 43, 40)
+		same, diff := true, false
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+			}
+			if a[i] != c[i] {
+				diff = true
+			}
+		}
+		if !same {
+			t.Errorf("%s: same seed produced different trajectories", eng.name)
+		}
+		if !diff {
+			t.Errorf("%s: different seeds produced identical final states", eng.name)
+		}
+	}
+}
+
+// TestNetworkRunReplay drives Run to a Nash equilibrium and replays the
+// same number of rounds sequentially with the same seed.
+func TestNetworkRunReplay(t *testing.T) {
+	sys, counts := buildCase(t, func() (*graph.Graph, error) { return graph.Torus(4, 4) }, twoClassSpeeds, 40)
+	net, err := NewNetwork(sys, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	const seed = 17
+	rounds, converged, err := net.Run(200_000, seed, core.StopAtNash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !converged {
+		t.Fatal("network did not reach a Nash equilibrium")
+	}
+	st, err := net.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.IsNash(st) {
+		t.Error("Run reported convergence but the state is not a NE")
+	}
+	seq, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rng.New(seed)
+	proto := core.Algorithm1{}
+	for r := uint64(1); r <= uint64(rounds); r++ {
+		proto.Step(seq, r, base)
+	}
+	for i, c := range net.Counts() {
+		if c != seq.Count(i) {
+			t.Fatalf("node %d after %d rounds: actors=%d sequential=%d", i, rounds, c, seq.Count(i))
+		}
+	}
+}
+
+// TestRunStopImmediately checks the round-0 stop path.
+func TestRunStopImmediately(t *testing.T) {
+	sys, counts := buildCase(t, func() (*graph.Graph, error) { return graph.Ring(8) }, uniformSpeeds, 10)
+	net, err := NewNetwork(sys, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	rounds, converged, err := net.Run(100, 1, func(*core.UniformState) bool { return true })
+	if err != nil || rounds != 0 || !converged {
+		t.Fatalf("Run = (%d, %v, %v), want (0, true, nil)", rounds, converged, err)
+	}
+}
+
+// TestCloseIdempotent checks that Close can be called repeatedly and
+// that operations after Close fail with ErrClosed.
+func TestCloseIdempotent(t *testing.T) {
+	sys, counts := buildCase(t, func() (*graph.Graph, error) { return graph.Ring(8) }, uniformSpeeds, 10)
+	rt, err := NewRuntime(sys, core.Algorithm1{}, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := rt.Round(1, rng.New(1)); err != ErrClosed {
+		t.Errorf("Round after Close: %v, want ErrClosed", err)
+	}
+
+	net, err := NewNetwork(sys, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := net.Step(1, rng.New(1)); err != ErrClosed {
+		t.Errorf("Step after Close: %v, want ErrClosed", err)
+	}
+	if _, _, err := net.Run(10, 1, nil); err != ErrClosed {
+		t.Errorf("Run after Close: %v, want ErrClosed", err)
+	}
+
+	weights, err := task.RandomWeights(100, 0.1, 1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(sys.N(), weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrt, err := NewWeightedRuntime(sys, perNode, core.Algorithm2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrt.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := wrt.Round(1, rng.New(1)); err != ErrClosed {
+		t.Errorf("Round after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestNoGoroutineLeak creates, exercises and closes every engine kind
+// and checks the goroutine count settles back.
+func TestNoGoroutineLeak(t *testing.T) {
+	sys, counts := buildCase(t, func() (*graph.Graph, error) { return graph.Torus(4, 4) }, uniformSpeeds, 20)
+	weights, err := task.RandomWeights(100, 0.1, 1, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(sys.N(), weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for rep := 0; rep < 3; rep++ {
+		rt, err := NewRuntime(sys, core.Algorithm1{}, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := NewNetwork(sys, counts, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrt, err := NewWeightedRuntime(sys, perNode, core.Algorithm2{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := rng.New(uint64(rep))
+		for r := uint64(1); r <= 5; r++ {
+			if _, err := rt.Round(r, base); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := net.Step(r, base); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := wrt.Round(r, base); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rt.Close()
+		net.Close()
+		wrt.Close()
+	}
+	// Goroutines unwind asynchronously after the kick channels close.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestConstructorValidation checks the error paths.
+func TestConstructorValidation(t *testing.T) {
+	sys, counts := buildCase(t, func() (*graph.Graph, error) { return graph.Ring(8) }, uniformSpeeds, 10)
+	if _, err := NewRuntime(nil, core.Algorithm1{}, counts); err == nil {
+		t.Error("NewRuntime accepted a nil system")
+	}
+	if _, err := NewRuntime(sys, nil, counts); err == nil {
+		t.Error("NewRuntime accepted a nil protocol")
+	}
+	if _, err := NewRuntime(sys, core.Algorithm1{}, counts[:3]); err == nil {
+		t.Error("NewRuntime accepted a short count vector")
+	}
+	if _, err := NewNetwork(nil, counts, 0); err == nil {
+		t.Error("NewNetwork accepted a nil system")
+	}
+	if _, err := NewNetwork(sys, []int64{-1}, 0); err == nil {
+		t.Error("NewNetwork accepted bad counts")
+	}
+	if _, err := NewWeightedRuntime(sys, nil, core.Algorithm2{}); err == nil {
+		t.Error("NewWeightedRuntime accepted nil tasks")
+	}
+	if _, err := NewWeightedRuntime(sys, make([]task.Weights, sys.N()), nil); err == nil {
+		t.Error("NewWeightedRuntime accepted a nil protocol")
+	}
+	rt, err := NewRuntime(sys, core.Algorithm1{}, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := rt.Round(1, nil); err == nil {
+		t.Error("Round accepted a nil base stream")
+	}
+	net, err := NewNetwork(sys, counts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if _, _, err := net.Run(0, 1, nil); err == nil {
+		t.Error("Run accepted non-positive maxRounds")
+	}
+	// A nil base on the network falls back to the constructor stream.
+	if _, err := net.Step(1, nil); err != nil {
+		t.Errorf("Step with nil base: %v", err)
+	}
+}
+
+// TestConservation checks task conservation on both uniform engines over
+// a long run.
+func TestConservation(t *testing.T) {
+	sys, counts := buildCase(t, func() (*graph.Graph, error) { return graph.Hypercube(4) }, randomSpeeds, 30)
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	rt, err := NewRuntime(sys, core.Algorithm1{}, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	net, err := NewNetwork(sys, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	base1, base2 := rng.New(3), rng.New(3)
+	for r := uint64(1); r <= 100; r++ {
+		if _, err := rt.Round(r, base1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Step(r, base2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := func(cs []int64) int64 {
+		s := int64(0)
+		for _, c := range cs {
+			s += c
+		}
+		return s
+	}
+	if got := sum(rt.Counts()); got != total {
+		t.Errorf("forkjoin lost tasks: %d vs %d", got, total)
+	}
+	if got := sum(net.Counts()); got != total {
+		t.Errorf("actors lost tasks: %d vs %d", got, total)
+	}
+}

@@ -1,0 +1,24 @@
+// Package dist provides concurrent execution engines for the
+// load-balancing protocols of package core: the paper describes a
+// distributed protocol, and this package runs it distributed.
+//
+// Three engines share one determinism contract with the sequential
+// engine in core — node i's randomness in round r comes from the stream
+// base.At(r, i), which is derived purely from the seed (package rng), so
+// every engine produces bit-identical trajectories for the same seed:
+//
+//   - Runtime is a fork–join engine for uniform tasks: a fixed worker
+//     pool shards the nodes, each worker evaluates its nodes'
+//     UniformNodeProtocol decisions against the round-start snapshot,
+//     and the per-worker deltas are merged at the join barrier.
+//   - Network is an actor engine: one goroutine per processor, channels
+//     as network links. Each round a node exchanges 2·deg(i) messages
+//     with its neighbors (a load announcement and a task transfer per
+//     incident edge) — the paper's locality model made literal.
+//   - WeightedRuntime is the fork–join skeleton over core.WeightedState
+//     and a WeightedNodeProtocol (Algorithm 2).
+//
+// All engines are driven from a single goroutine (Round/Step/Run are
+// serialized internally) and are data-race free; Close is idempotent and
+// releases every goroutine the engine started.
+package dist

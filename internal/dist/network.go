@@ -1,0 +1,241 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"sync"
+)
+
+// message is one payload on a directed edge channel. Each round every
+// directed edge carries exactly two messages in order: first a load
+// announcement, then a task transfer, so a node exchanges 2·deg(i)
+// messages per round — the protocol's message complexity.
+type message struct {
+	load float64 // phase 1: sender's round-start load
+	k    int64   // phase 2: tasks migrating along this edge
+}
+
+// nodeReport is a node actor's end-of-round report to the driver.
+type nodeReport struct {
+	node  int
+	count int64
+	moves int64
+}
+
+// Network is the actor engine: one goroutine per processor, channels as
+// network links. Per round a node announces its load to its neighbors,
+// runs Algorithm 1's local decision on the received loads, transfers
+// tasks along its edges and applies the transfers it receives — no node
+// touches any non-neighbor state. The per-node streams base.At(r, i)
+// make the execution bit-identical to the sequential engine under the
+// same seed.
+type Network struct {
+	sys   *core.System
+	proto core.UniformNodeProtocol
+
+	mu     sync.Mutex
+	closed bool
+	base   *rng.Stream // default stream (constructor seed); Run re-seeds
+	counts []int64     // latest post-round snapshot, driver-owned
+	// cmds kicks each actor into one round by handing it the round
+	// stream base.Split(r); the actor derives its own .Split(i).
+	cmds   []chan *rng.Stream
+	report chan nodeReport
+}
+
+// NewNetwork validates the instance and starts one actor goroutine per
+// processor, running Algorithm 1 with the paper's default damping. seed
+// seeds the network's default stream, used when Step is driven without
+// an external base stream; Run overrides it with its own seed argument.
+func NewNetwork(sys *core.System, counts []int64, seed uint64) (*Network, error) {
+	if sys == nil {
+		return nil, errors.New("dist: nil system")
+	}
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		return nil, err
+	}
+	n := sys.N()
+	g := sys.Graph()
+	nw := &Network{
+		sys:    sys,
+		proto:  core.Algorithm1{},
+		base:   rng.New(seed),
+		counts: st.Counts(),
+		cmds:   make([]chan *rng.Stream, n),
+		report: make(chan nodeReport, n),
+	}
+	// One channel per directed edge, capacity 2 (load + transfer) so
+	// sends never block and rounds cannot deadlock. in[i][idx] carries
+	// messages from Neighbors(i)[idx] to i.
+	in := make([][]chan message, n)
+	pos := make([]map[int32]int, n) // neighbor id → index in i's list
+	for i := 0; i < n; i++ {
+		nbs := g.Neighbors(i)
+		in[i] = make([]chan message, len(nbs))
+		pos[i] = make(map[int32]int, len(nbs))
+		for idx, j := range nbs {
+			in[i][idx] = make(chan message, 2)
+			pos[i][j] = idx
+		}
+	}
+	for i := 0; i < n; i++ {
+		nbs := g.Neighbors(i)
+		out := make([]chan message, len(nbs))
+		for idx, j := range nbs {
+			out[idx] = in[j][pos[j][int32(i)]]
+		}
+		nw.cmds[i] = make(chan *rng.Stream, 1)
+		go nw.node(i, nw.counts[i], in[i], out, nw.cmds[i])
+	}
+	return nw, nil
+}
+
+// node is one processor actor: it owns its task count and communicates
+// only over its incident edges.
+func (nw *Network) node(i int, wi int64, in, out []chan message, cmds chan *rng.Stream) {
+	g := nw.sys.Graph()
+	deg := g.Degree(i)
+	si := nw.sys.Speed(i)
+	nbLoads := make([]float64, deg)
+	flows := make([]int64, deg)
+	for roundStream := range cmds {
+		li := float64(wi) / si
+		// Phase 1: announce the round-start load to every neighbor.
+		for idx := range out {
+			out[idx] <- message{load: li}
+		}
+		for idx := range in {
+			nbLoads[idx] = (<-in[idx]).load
+		}
+		// Local decision on the node's own stream for this round.
+		moves := nw.proto.DecideNode(nw.sys, i, wi, li, nbLoads, roundStream.Split(uint64(i)), flows)
+		// Phase 2: transfer tasks (a message per edge, even when zero,
+		// to keep the round synchronous).
+		for idx := range out {
+			out[idx] <- message{k: flows[idx]}
+		}
+		wi -= moves
+		for idx := range in {
+			wi += (<-in[idx]).k
+		}
+		nw.report <- nodeReport{node: i, count: wi, moves: moves}
+	}
+}
+
+// Step executes one synchronous round r across all actors and returns
+// the number of migrated tasks. A nil base uses the network's default
+// stream.
+func (nw *Network) Step(r uint64, base *rng.Stream) (int64, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.stepLocked(r, base)
+}
+
+func (nw *Network) stepLocked(r uint64, base *rng.Stream) (int64, error) {
+	if nw.closed {
+		return 0, ErrClosed
+	}
+	if base == nil {
+		base = nw.base
+	}
+	roundStream := base.Split(r)
+	for i := range nw.cmds {
+		nw.cmds[i] <- roundStream
+	}
+	moves := int64(0)
+	for range nw.counts {
+		rep := <-nw.report
+		nw.counts[rep.node] = rep.count
+		moves += rep.moves
+	}
+	return moves, nil
+}
+
+// Run drives the network from round 1 with a fresh stream for seed until
+// stop is satisfied (checked after every round on a materialized state)
+// or maxRounds is exhausted. It returns the number of rounds executed
+// and whether the stop condition was met; a nil stop runs all maxRounds
+// and reports converged.
+//
+// Run is meant to drive a network still in its initial distribution:
+// then replaying the same number of rounds on the sequential engine
+// with the same seed reproduces Counts exactly. Calling Run after
+// earlier Steps (or a second time) restarts round numbering at 1 from
+// the current counts, so that replay identity — and, for a repeated
+// seed, independence from the earlier randomness — no longer holds.
+func (nw *Network) Run(maxRounds int, seed uint64, stop core.UniformStop) (int, bool, error) {
+	if maxRounds <= 0 {
+		return 0, false, fmt.Errorf("dist: maxRounds must be positive, got %d", maxRounds)
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.closed {
+		return 0, false, ErrClosed
+	}
+	base := rng.New(seed)
+	nw.base = base
+	if stop != nil {
+		st, err := core.NewUniformState(nw.sys, nw.counts)
+		if err != nil {
+			return 0, false, err
+		}
+		if stop(st) {
+			return 0, true, nil
+		}
+	}
+	for r := 1; r <= maxRounds; r++ {
+		if _, err := nw.stepLocked(uint64(r), base); err != nil {
+			return r - 1, false, err
+		}
+		if stop == nil {
+			continue
+		}
+		st, err := core.NewUniformState(nw.sys, nw.counts)
+		if err != nil {
+			return r, false, err
+		}
+		if stop(st) {
+			return r, true, nil
+		}
+	}
+	return maxRounds, stop == nil, nil
+}
+
+// Counts returns a copy of the per-node task counts after the last
+// completed round.
+func (nw *Network) Counts() []int64 {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	out := make([]int64, len(nw.counts))
+	copy(out, nw.counts)
+	return out
+}
+
+// State materializes the current distribution as a core.UniformState.
+func (nw *Network) State() (*core.UniformState, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.closed {
+		return nil, ErrClosed
+	}
+	return core.NewUniformState(nw.sys, nw.counts)
+}
+
+// Close stops every actor goroutine. It is idempotent; steps after
+// Close return ErrClosed.
+func (nw *Network) Close() error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.closed {
+		return nil
+	}
+	nw.closed = true
+	for _, ch := range nw.cmds {
+		close(ch)
+	}
+	return nil
+}

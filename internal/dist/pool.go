@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// pool is the fork–join scaffolding shared by Runtime and
+// WeightedRuntime: a fixed set of workers over contiguous node shards,
+// kicked once per round with the round stream and joined on a
+// WaitGroup. Engines embed a pool and supply the per-round shard body;
+// all pool methods must be called under the engine's mutex.
+type pool struct {
+	workers          int
+	shardLo, shardHi []int
+	kick             []chan *rng.Stream
+	wg               sync.WaitGroup
+	closed           bool
+}
+
+// newPool sizes a pool for n nodes (one worker per core, at most one
+// per node) and starts the workers. body(w, roundStream) evaluates
+// shard [shardLo[w], shardHi[w]) for one round; it runs on the worker
+// goroutine, bracketed by the dispatch/join edges, so it may freely
+// read engine state the driver does not mutate mid-round.
+func newPool(n int, body func(w int, roundStream *rng.Stream)) *pool {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &pool{
+		workers: workers,
+		shardLo: make([]int, workers),
+		shardHi: make([]int, workers),
+		kick:    make([]chan *rng.Stream, workers),
+	}
+	per, extra := n/workers, n%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := per
+		if w < extra {
+			size++
+		}
+		p.shardLo[w], p.shardHi[w] = lo, lo+size
+		lo += size
+		p.kick[w] = make(chan *rng.Stream)
+		go func(w int) {
+			for roundStream := range p.kick[w] {
+				body(w, roundStream)
+				p.wg.Done()
+			}
+		}(w)
+	}
+	return p
+}
+
+// dispatch runs one round across all workers and blocks until the join
+// barrier.
+func (p *pool) dispatch(roundStream *rng.Stream) {
+	p.wg.Add(p.workers)
+	for _, ch := range p.kick {
+		ch <- roundStream
+	}
+	p.wg.Wait()
+}
+
+// close stops the workers. Idempotent.
+func (p *pool) close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.kick {
+		close(ch)
+	}
+}

@@ -1,0 +1,143 @@
+package dist
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// ErrClosed is returned by Round/Step/Run on an engine whose Close has
+// already been called.
+var ErrClosed = errors.New("dist: engine is closed")
+
+// Runtime is the fork–join concurrent engine for uniform tasks. A fixed
+// pool of workers shards the processors; each Round the workers evaluate
+// their nodes' protocol decisions in parallel against the round-start
+// load snapshot and accumulate migration deltas locally, which the
+// driver merges at the join barrier. Because integer delta merging is
+// order-independent and node i's stream is base.At(r, i) regardless of
+// which worker evaluates it, the trajectory is bit-identical to the
+// sequential engine's under the same seed.
+//
+// Round, Counts, State and Close may be called from any goroutine (they
+// serialize on an internal mutex), but Rounds are executed one at a
+// time.
+type Runtime struct {
+	sys   *core.System
+	proto core.UniformNodeProtocol
+
+	mu     sync.Mutex
+	pool   *pool
+	counts []int64
+	loads  []float64
+	// Worker-private buffers, indexed by worker: migration deltas and
+	// move totals merged after the join, plus DecideRange scratch.
+	deltas [][]int64
+	moves  []int64
+	nbBuf  [][]float64
+	outBuf [][]int64
+}
+
+// NewRuntime validates the instance and starts the worker pool. counts
+// is copied.
+func NewRuntime(sys *core.System, proto core.UniformNodeProtocol, counts []int64) (*Runtime, error) {
+	if sys == nil {
+		return nil, errors.New("dist: nil system")
+	}
+	if proto == nil {
+		return nil, errors.New("dist: nil protocol")
+	}
+	// Reuse the state constructor for count validation (length, sign).
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		return nil, err
+	}
+	n := sys.N()
+	rt := &Runtime{
+		sys:    sys,
+		proto:  proto,
+		counts: st.Counts(),
+		loads:  make([]float64, n),
+	}
+	rt.pool = newPool(n, rt.runShard)
+	maxDeg := sys.MaxDegree()
+	rt.deltas = make([][]int64, rt.pool.workers)
+	rt.moves = make([]int64, rt.pool.workers)
+	rt.nbBuf = make([][]float64, rt.pool.workers)
+	rt.outBuf = make([][]int64, rt.pool.workers)
+	for w := 0; w < rt.pool.workers; w++ {
+		rt.deltas[w] = make([]int64, n)
+		rt.nbBuf[w] = make([]float64, maxDeg)
+		rt.outBuf[w] = make([]int64, maxDeg)
+	}
+	return rt, nil
+}
+
+// runShard evaluates shard w for one round into the worker-private
+// delta buffer. The loop body is core.DecideRange — the same code the
+// sequential engine runs — which is what keeps the trajectories
+// bit-identical.
+func (rt *Runtime) runShard(w int, roundStream *rng.Stream) {
+	delta := rt.deltas[w]
+	for i := range delta {
+		delta[i] = 0
+	}
+	rt.moves[w] = core.DecideRange(rt.sys, rt.proto, rt.counts, rt.loads, roundStream,
+		rt.pool.shardLo[w], rt.pool.shardHi[w], rt.nbBuf[w], rt.outBuf[w], delta)
+}
+
+// Round executes one synchronous protocol round r, drawing randomness
+// from base exactly as the sequential engine does, and returns the
+// number of migrated tasks.
+func (rt *Runtime) Round(r uint64, base *rng.Stream) (int64, error) {
+	if base == nil {
+		return 0, errors.New("dist: nil base stream")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.pool.closed {
+		return 0, ErrClosed
+	}
+	for i, c := range rt.counts {
+		rt.loads[i] = float64(c) / rt.sys.Speed(i)
+	}
+	rt.pool.dispatch(base.Split(r))
+	moves := int64(0)
+	for w := 0; w < rt.pool.workers; w++ {
+		moves += rt.moves[w]
+		for i, d := range rt.deltas[w] {
+			if d != 0 {
+				rt.counts[i] += d
+			}
+		}
+	}
+	return moves, nil
+}
+
+// Counts returns a copy of the current per-node task counts.
+func (rt *Runtime) Counts() []int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]int64, len(rt.counts))
+	copy(out, rt.counts)
+	return out
+}
+
+// State materializes the current distribution as a core.UniformState,
+// e.g. for potential evaluation or Nash predicates.
+func (rt *Runtime) State() (*core.UniformState, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return core.NewUniformState(rt.sys, rt.counts)
+}
+
+// Close stops the worker pool. It is idempotent; rounds after Close
+// return ErrClosed.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.pool.close()
+	return nil
+}

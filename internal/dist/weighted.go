@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// WeightedRuntime is the fork–join engine for weighted tasks: the same
+// worker-pool skeleton as Runtime, but over a core.WeightedState and a
+// WeightedNodeProtocol (Algorithm 2). Workers decide their nodes'
+// migrations in parallel against the round-start snapshot; the pending
+// moves are applied sequentially at the join barrier with
+// core.ApplyMoves, which is deterministic in the multiset of moves, so
+// the trajectory matches the sequential engine's exactly.
+type WeightedRuntime struct {
+	sys   *core.System
+	proto core.WeightedNodeProtocol
+
+	mu      sync.Mutex
+	pool    *pool
+	st      *core.WeightedState
+	loads   []float64
+	pending [][]core.TaskMove // per-worker decision output
+}
+
+// NewWeightedRuntime validates the instance (perNode is copied into the
+// internal state) and starts the worker pool.
+func NewWeightedRuntime(sys *core.System, perNode []task.Weights, proto core.WeightedNodeProtocol) (*WeightedRuntime, error) {
+	if sys == nil {
+		return nil, errors.New("dist: nil system")
+	}
+	if proto == nil {
+		return nil, errors.New("dist: nil protocol")
+	}
+	st, err := core.NewWeightedState(sys, perNode)
+	if err != nil {
+		return nil, err
+	}
+	n := sys.N()
+	rt := &WeightedRuntime{
+		sys:   sys,
+		proto: proto,
+		st:    st,
+		loads: make([]float64, n),
+	}
+	rt.pool = newPool(n, rt.runShard)
+	rt.pending = make([][]core.TaskMove, rt.pool.workers)
+	return rt, nil
+}
+
+// runShard decides the migrations of shard w's nodes for one round. It
+// only reads the shared state; all mutation happens in Round after the
+// join.
+func (rt *WeightedRuntime) runShard(w int, roundStream *rng.Stream) {
+	pend := rt.pending[w][:0]
+	for i := rt.pool.shardLo[w]; i < rt.pool.shardHi[w]; i++ {
+		pend = append(pend, rt.proto.DecideNode(rt.st, i, rt.loads, roundStream.Split(uint64(i)))...)
+	}
+	rt.pending[w] = pend
+}
+
+// Round executes one synchronous round r and returns the number of
+// migrated tasks.
+func (rt *WeightedRuntime) Round(r uint64, base *rng.Stream) (int64, error) {
+	if base == nil {
+		return 0, errors.New("dist: nil base stream")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.pool.closed {
+		return 0, ErrClosed
+	}
+	for i := range rt.loads {
+		rt.loads[i] = rt.st.Load(i)
+	}
+	rt.pool.dispatch(base.Split(r))
+	var pending []core.TaskMove
+	for w := 0; w < rt.pool.workers; w++ {
+		pending = append(pending, rt.pending[w]...)
+	}
+	return int64(core.ApplyMoves(rt.st, pending)), nil
+}
+
+// NodeWeights returns a copy of the current per-node total weights Wᵢ.
+func (rt *WeightedRuntime) NodeWeights() []float64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]float64, rt.sys.N())
+	for i := range out {
+		out[i] = rt.st.NodeWeight(i)
+	}
+	return out
+}
+
+// State returns an independent deep copy of the current weighted state.
+func (rt *WeightedRuntime) State() *core.WeightedState {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.st.Clone()
+}
+
+// Close stops the worker pool. It is idempotent; rounds after Close
+// return ErrClosed.
+func (rt *WeightedRuntime) Close() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.pool.close()
+	return nil
+}

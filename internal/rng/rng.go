@@ -72,6 +72,19 @@ func (r *Stream) Split(index uint64) *Stream {
 	return fromIdentity(splitmix64(&x))
 }
 
+// At pins the simulator's keying contract for (round, node) streams:
+// At(r, i) ≡ Split(r).Split(i). The sequential engine in package core
+// and the concurrent engines in package dist draw node i's round-r
+// randomness from exactly this stream (they derive Split(r) once per
+// round and Split(i) per node, which is identical). Because the
+// derivation reads only the parent's immutable identity, At is safe to
+// call from many goroutines on a shared base stream, and engines that
+// evaluate nodes in different orders (or in parallel) still produce
+// identical trajectories.
+func (r *Stream) At(round, node uint64) *Stream {
+	return r.Split(round).Split(node)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits (xoshiro256**).

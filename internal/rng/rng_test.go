@@ -250,3 +250,39 @@ func TestSplitDerivationIsPure(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAtKeyingContract pins the (round, node) stream derivation that the
+// sequential and concurrent engines share: At(r, i) ≡ Split(r).Split(i),
+// unaffected by how much the parent or siblings have been consumed, and
+// stable when called concurrently on one shared base stream.
+func TestAtKeyingContract(t *testing.T) {
+	base := New(99)
+	want := base.Split(7).Split(3).Uint64()
+	if got := base.At(7, 3).Uint64(); got != want {
+		t.Fatalf("At(7,3) = %d, want Split(7).Split(3) = %d", got, want)
+	}
+	// Consuming the parent must not perturb the derivation.
+	base.Uint64()
+	base.Split(7).Uint64()
+	if got := base.At(7, 3).Uint64(); got != want {
+		t.Fatalf("At(7,3) after parent draws = %d, want %d", got, want)
+	}
+	// Concurrent derivation from a shared base (run under -race).
+	const workers = 8
+	results := make([]uint64, workers)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			results[w] = base.At(7, 3).Uint64()
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for w, got := range results {
+		if got != want {
+			t.Fatalf("worker %d: At(7,3) = %d, want %d", w, got, want)
+		}
+	}
+}
