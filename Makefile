@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-check table1 ci
+.PHONY: build vet test race bench-check bench-json table1 ci
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,16 @@ race:
 # Compile-and-run every benchmark exactly once, as a smoke check.
 bench-check:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Run the Table-1 and batching benchmarks once and emit BENCH_core.json
+# (ns/op plus the rounds/theory-rounds metrics) via cmd/benchjson. CI
+# uploads the file as a non-gating artifact so the performance
+# trajectory is tracked across PRs. Two steps (not a pipe) so a failing
+# benchmark run fails the target instead of writing a truncated JSON.
+bench-json:
+	$(GO) test -run '^$$' -bench 'Table1|RoundBatchedVsPerTask' -benchtime 1x . > BENCH_core.txt
+	$(GO) run ./cmd/benchjson < BENCH_core.txt > BENCH_core.json
+	rm -f BENCH_core.txt
 
 # Regenerate the empirical counterpart of the paper's Table 1.
 table1:

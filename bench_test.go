@@ -130,7 +130,7 @@ func BenchmarkBaselineComparison(b *testing.B) {
 			ratios := 0.0
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := experiments.CompareWeighted(class, 16, 32, 0.25, 1, uint64(i+1))
+				res, err := experiments.CompareWeighted(class, 16, 32, 0.25, 1, uint64(i+1), 1)
 				if err != nil {
 					b.Fatal(err)
 				}

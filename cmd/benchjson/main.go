@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` text output (stdin) into
+// a JSON array (stdout), one element per benchmark with its iteration
+// count and every reported metric (ns/op, B/op, and the simulator's
+// custom metrics such as rounds and theory-rounds). CI pipes the Table-1
+// and batching benchmarks through it into BENCH_core.json, the uploaded
+// artifact that tracks the performance trajectory across PRs:
+//
+//	go test -run '^$' -bench 'Table1|RoundBatchedVsPerTask' -benchtime 1x . | benchjson > BENCH_core.json
+//
+// Map keys are sorted by encoding/json, so equal measurements marshal to
+// identical bytes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// -procs suffix (sub-benchmarks keep their slash-separated path).
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the name (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics holds every "value unit" pair of the line, keyed by unit.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	benches, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(benches) == 0 {
+		log.Print("warning: no benchmark lines on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(benches); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parse extracts benchmark result lines from go-test bench output. Lines
+// not starting with "Benchmark" (headers, PASS/ok trailers, log output)
+// are skipped.
+func parse(r io.Reader) ([]Bench, error) {
+	benches := []Bench{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "name iterations {value unit}..." — at least
+		// four fields and an even metric tail.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		b.Name, b.Procs = splitProcs(strings.TrimPrefix(fields[0], "Benchmark"))
+		for k := 2; k+1 < len(fields); k += 2 {
+			v, err := strconv.ParseFloat(fields[k], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad metric value %q", line, fields[k])
+			}
+			b.Metrics[fields[k+1]] = v
+		}
+		benches = append(benches, b)
+	}
+	return benches, sc.Err()
+}
+
+// splitProcs strips the trailing "-N" GOMAXPROCS suffix, if present.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 0
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0
+	}
+	return name[:i], procs
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU @ 2.00GHz
+BenchmarkTable1ApproxComplete-8   	       1	  12345678 ns/op	        42.00 rounds	        55.50 theory-rounds
+BenchmarkBaselineComparison/complete-8 	       2	   9876543 ns/op	         1.75 baseline/alg2-rounds
+BenchmarkSpeedGranularity/eps=0.5-8 	       1	   1000000 ns/op	       321.00 rounds
+BenchmarkRoundBatchedVsPerTask/batched-8 	     100	     50000 ns/op	     128 B/op	       2 allocs/op
+BenchmarkNoProcs 	       3	       111 ns/op
+PASS
+ok  	repro	3.456s
+`
+
+func TestParse(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 5 {
+		t.Fatalf("parsed %d benches, want 5", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "Table1ApproxComplete" || b.Procs != 8 || b.Iterations != 1 {
+		t.Errorf("bench 0: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 12345678 || b.Metrics["rounds"] != 42 || b.Metrics["theory-rounds"] != 55.5 {
+		t.Errorf("bench 0 metrics: %v", b.Metrics)
+	}
+	if got := benches[1].Name; got != "BaselineComparison/complete" {
+		t.Errorf("sub-bench name %q", got)
+	}
+	if got := benches[2].Name; got != "SpeedGranularity/eps=0.5" {
+		t.Errorf("param sub-bench name %q (dash handling)", got)
+	}
+	if got := benches[3].Metrics["allocs/op"]; got != 2 {
+		t.Errorf("allocs metric %g", got)
+	}
+	if b := benches[4]; b.Name != "NoProcs" || b.Procs != 0 {
+		t.Errorf("procs-less bench: %+v", b)
+	}
+}
+
+func TestParseEmptyAndMalformed(t *testing.T) {
+	benches, err := parse(strings.NewReader("PASS\nok repro 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 0 {
+		t.Errorf("parsed %d benches from non-bench output", len(benches))
+	}
+	// A "Benchmark..." log line with non-numeric iterations is skipped,
+	// not an error.
+	benches, err = parse(strings.NewReader("BenchmarkFoo starting warmup now extra\n"))
+	if err != nil || len(benches) != 0 {
+		t.Errorf("malformed line: benches=%d err=%v", len(benches), err)
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"Foo-8", "Foo", 8},
+		{"Foo/eps=0.5-16", "Foo/eps=0.5", 16},
+		{"Foo", "Foo", 0},
+		{"Foo-bar", "Foo-bar", 0},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}

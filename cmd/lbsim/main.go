@@ -7,6 +7,7 @@
 //	lbsim -graph ring -n 64 -tasks 6400 -seed 7
 //	lbsim -graph torus -n 100 -tasks 50000 -speeds twoclass -smax 4
 //	lbsim -graph hypercube -n 64 -model weighted -protocol baseline
+//	lbsim -graph torus -n 256 -engine forkjoin -trace 100
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/rng"
 	"repro/internal/spectral"
@@ -43,6 +45,7 @@ func run() error {
 		speedsArg = flag.String("speeds", "uniform", "speed profile: uniform|twoclass|integers")
 		smax      = flag.Float64("smax", 4, "maximum speed for non-uniform profiles")
 		model     = flag.String("model", "uniform", "task model: uniform|weighted")
+		engine    = flag.String("engine", "seq", "execution engine: seq|forkjoin|actor (uniform) or seq|forkjoin (weighted); identical trajectories")
 		protocol  = flag.String("protocol", "paper", "weighted protocol: paper|literal|baseline")
 		eps       = flag.Float64("eps", 0.25, "epsilon for the approximate-NE stop")
 		maxRounds = flag.Int("maxrounds", 2_000_000, "safety cap on rounds")
@@ -75,9 +78,9 @@ func run() error {
 		sys.Gamma(), sys.PsiCritical(), 2*sys.ApproxPhaseRounds(m), sys.ExactPhaseRounds(1))
 
 	if *model == "weighted" {
-		return runWeighted(sys, m, *protocol, *eps, *seed, *maxRounds, *trace)
+		return runWeighted(sys, m, *engine, *protocol, *eps, *seed, *maxRounds, *trace)
 	}
-	return runUniform(sys, m, *placement, *eps, *seed, *maxRounds, *trace, *analyze)
+	return runUniform(sys, m, *engine, *placement, *eps, *seed, *maxRounds, *trace, *analyze)
 }
 
 func buildGraph(name string, n int, seed uint64) (*graph.Graph, float64, error) {
@@ -147,7 +150,7 @@ func buildSpeeds(profile string, n int, smax float64, seed uint64) (machine.Spee
 	}
 }
 
-func runUniform(sys *core.System, m int64, placement string, eps float64, seed uint64, maxRounds, trace int, analyze bool) error {
+func runUniform(sys *core.System, m int64, engine, placement string, eps float64, seed uint64, maxRounds, trace int, analyze bool) error {
 	n := sys.N()
 	var counts []int64
 	var err error
@@ -168,31 +171,39 @@ func runUniform(sys *core.System, m int64, placement string, eps float64, seed u
 	if err != nil {
 		return err
 	}
-	fmt.Printf("start:    Ψ₀=%.4g  L_Δ=%.2f\n", core.Psi0(st), core.LDelta(st))
+	fmt.Printf("start:    Ψ₀=%.4g  L_Δ=%.2f  engine=%s\n", core.Psi0(st), core.LDelta(st), engine)
 
+	// The three phases chain through the final counts of each run; every
+	// phase executes on the selected engine through the shared driver.
 	threshold := 4 * sys.PsiCritical()
-	res1, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtPsi0Below(threshold),
-		core.RunOpts{MaxRounds: maxRounds, Seed: seed, TraceEvery: trace})
+	res1, counts, err := harness.RunUniformEngine(engine, sys, core.Algorithm1{}, counts,
+		core.StopAtPsi0Below(threshold), core.RunOpts{MaxRounds: maxRounds, Seed: seed, TraceEvery: trace})
 	if err != nil {
 		return fmt.Errorf("phase 1: %w", err)
 	}
 	fmt.Printf("phase 1:  Ψ₀ ≤ 4ψ_c after %d rounds (%d moves)\n", res1.Rounds, res1.Moves)
 	emitTrace(res1, trace)
 	if analyze {
+		if st, err = core.NewUniformState(sys, counts); err != nil {
+			return err
+		}
 		fmt.Print(analysis.Format(analysis.Analyze(st, 0)))
 	}
 
-	res2, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtApproxNash(eps),
-		core.RunOpts{MaxRounds: maxRounds, Seed: seed + 1})
+	res2, counts, err := harness.RunUniformEngine(engine, sys, core.Algorithm1{}, counts,
+		core.StopAtApproxNash(eps), core.RunOpts{MaxRounds: maxRounds, Seed: seed + 1})
 	if err != nil {
 		return fmt.Errorf("phase 2 (approx): %w", err)
 	}
 	fmt.Printf("phase 2:  %.3g-approximate NE after %d more rounds\n", eps, res2.Rounds)
 
-	res3, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtNash(),
-		core.RunOpts{MaxRounds: maxRounds, Seed: seed + 2})
+	res3, counts, err := harness.RunUniformEngine(engine, sys, core.Algorithm1{}, counts,
+		core.StopAtNash(), core.RunOpts{MaxRounds: maxRounds, Seed: seed + 2})
 	if err != nil {
 		return fmt.Errorf("phase 3 (exact): %w", err)
+	}
+	if st, err = core.NewUniformState(sys, counts); err != nil {
+		return err
 	}
 	fmt.Printf("phase 3:  exact NE after %d more rounds; final L_Δ=%.3f\n", res3.Rounds, core.LDelta(st))
 	if analyze {
@@ -201,17 +212,13 @@ func runUniform(sys *core.System, m int64, placement string, eps float64, seed u
 	return nil
 }
 
-func runWeighted(sys *core.System, m int64, protocol string, eps float64, seed uint64, maxRounds, trace int) error {
+func runWeighted(sys *core.System, m int64, engine, protocol string, eps float64, seed uint64, maxRounds, trace int) error {
 	n := sys.N()
 	weights, err := task.RandomWeights(int(m), 0.1, 1.0, rng.New(seed+3))
 	if err != nil {
 		return err
 	}
 	perNode, err := workload.WeightedAllOnOne(n, weights, 0)
-	if err != nil {
-		return err
-	}
-	st, err := core.NewWeightedState(sys, perNode)
 	if err != nil {
 		return err
 	}
@@ -226,11 +233,15 @@ func runWeighted(sys *core.System, m int64, protocol string, eps float64, seed u
 	default:
 		return fmt.Errorf("unknown weighted protocol %q", protocol)
 	}
-	fmt.Printf("start:    W=%.1f  Ψ₀=%.4g  L_Δ=%.2f  protocol=%s\n",
-		st.TotalWeight(), core.WeightedPsi0(st), core.WeightedLDelta(st), proto.Name())
+	start, err := core.NewWeightedState(sys, perNode)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("start:    W=%.1f  Ψ₀=%.4g  L_Δ=%.2f  protocol=%s  engine=%s\n",
+		start.TotalWeight(), core.WeightedPsi0(start), core.WeightedLDelta(start), proto.Name(), engine)
 
-	res, err := core.RunWeighted(st, proto, core.StopAtWeightedApproxNash(eps),
-		core.RunOpts{MaxRounds: maxRounds, Seed: seed, TraceEvery: trace})
+	res, st, err := harness.RunWeightedEngine(engine, sys, proto, perNode,
+		core.StopAtWeightedApproxNash(eps), core.RunOpts{MaxRounds: maxRounds, Seed: seed, TraceEvery: trace})
 	if err != nil {
 		return err
 	}

@@ -6,9 +6,13 @@
 //   - weighted:    Algorithm 2 vs the [6] baseline on weighted instances
 //   - diffusion:   protocol mean trajectory vs expected-flow diffusion
 //
+// All experiments fan their independent repetitions over the concurrent
+// harness worker pool; -workers bounds the parallelism (0 = all cores)
+// and the output is byte-identical for any worker count.
+//
 // Example:
 //
-//	sweep -experiment granularity -n 16 -seed 3
+//	sweep -experiment granularity -n 16 -seed 3 -workers 4
 package main
 
 import (
@@ -20,9 +24,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/diffusion"
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/rng"
-	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -41,38 +45,52 @@ func run() error {
 		tpn        = flag.Int("taskspernode", 64, "tasks per node")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		repeats    = flag.Int("repeats", 3, "repetitions")
+		workers    = flag.Int("workers", 0, "concurrent jobs (0 = all cores)")
 	)
 	flag.Parse()
 
 	switch *experiment {
 	case "drop":
-		return runDrop(*n, *tpn, *seed)
+		return runDrop(*n, *tpn, *seed, *workers)
 	case "granularity":
-		return runGranularity(*n, *tpn, *seed, *repeats)
+		return runGranularity(*n, *tpn, *seed, *repeats, *workers)
 	case "weighted":
-		return runWeightedComparison(*n, *tpn, *seed, *repeats)
+		return runWeightedComparison(*n, *tpn, *seed, *repeats, *workers)
 	case "diffusion":
-		return runDiffusion(*n, *tpn, *seed)
+		return runDiffusion(*n, *tpn, *seed, *workers)
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 }
 
-func runDrop(n, tpn int, seed uint64) error {
-	fmt.Println("class,n,gamma,theory_ratio,measured_ratio")
-	for _, class := range experiments.Table1Classes() {
-		res, err := experiments.MeasurePotentialDrop(class, n, tpn, seed, false)
+// runDrop traces the four classes concurrently (one job per class) and
+// prints the rows in class order.
+func runDrop(n, tpn int, seed uint64, workers int) error {
+	classes := experiments.Table1Classes()
+	results := make([]experiments.PotentialDropResult, len(classes))
+	err := harness.ForEach(len(classes), workers, func(i int) error {
+		res, err := experiments.MeasurePotentialDrop(classes[i], n, tpn, seed, false)
 		if err != nil {
 			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("class,n,gamma,theory_ratio,measured_ratio")
+	for i, class := range classes {
+		res := results[i]
 		fmt.Printf("%s,%d,%.2f,%.6f,%.6f\n", class.Key, res.N, res.Gamma, res.TheoryRatio, res.MeanDropRatio)
 	}
 	return nil
 }
 
 // runGranularity measures exact-NE convergence as the speed granularity
-// ε̄ shrinks (Theorem 1.2 predicts rounds ∝ 1/ε̄² in the worst case).
-func runGranularity(n, tpn int, seed uint64, repeats int) error {
+// ε̄ shrinks (Theorem 1.2 predicts rounds ∝ 1/ε̄² in the worst case). The
+// ε values × repetitions form one harness matrix.
+func runGranularity(n, tpn int, seed uint64, repeats, workers int) error {
 	class, err := experiments.ClassByKey("torus")
 	if err != nil {
 		return err
@@ -83,8 +101,14 @@ func runGranularity(n, tpn int, seed uint64, repeats int) error {
 	}
 	actualN := g.N()
 	m := int64(tpn) * int64(actualN)
-	fmt.Println("epsilon,alpha,mean_rounds,stderr,theory_bound")
-	for _, eps := range []float64{1, 0.5, 0.25} {
+	type inst struct {
+		sys              *core.System
+		actualEps, alpha float64
+	}
+	epsTargets := []float64{1, 0.5, 0.25}
+	insts := make([]inst, len(epsTargets))
+	cells := make([]harness.Cell, len(epsTargets))
+	for ei, eps := range epsTargets {
 		speeds, err := machine.Granular(actualN, eps, 4, rng.New(seed))
 		if err != nil {
 			return err
@@ -101,33 +125,47 @@ func runGranularity(n, tpn int, seed uint64, repeats int) error {
 		if err != nil {
 			return err
 		}
-		var agg stats.Welford
-		for rep := 0; rep < repeats; rep++ {
+		insts[ei] = inst{sys: sys, actualEps: actualEps, alpha: alpha}
+		cells[ei] = harness.Cell{
+			Class: class.Key, N: actualN, M: m,
+			Workload: "allonone", Engine: harness.EngineSeq,
+			Param: fmt.Sprintf("eps=%.3g", actualEps),
+		}
+	}
+	mx := harness.Matrix{
+		Cells: cells, Repeats: repeats, Seed: seed, Workers: workers,
+		Run: func(ci, rep int, jobSeed uint64) (harness.Result, error) {
+			in := insts[ci]
 			counts, err := workload.AllOnOne(actualN, m, 0)
 			if err != nil {
-				return err
+				return harness.Result{}, err
 			}
-			st, err := core.NewUniformState(sys, counts)
+			run, _, err := harness.RunUniformEngine(harness.EngineSeq, in.sys,
+				core.Algorithm1{Alpha: in.alpha}, counts, core.StopAtNash(),
+				core.RunOpts{MaxRounds: 20_000_000, Seed: jobSeed, CheckEvery: 4})
 			if err != nil {
-				return err
+				return harness.Result{}, err
 			}
-			res, err := core.RunUniform(st, core.Algorithm1{Alpha: alpha}, core.StopAtNash(),
-				core.RunOpts{MaxRounds: 20_000_000, Seed: seed + uint64(rep), CheckEvery: 4})
-			if err != nil {
-				return err
-			}
-			agg.Add(float64(res.Rounds))
-		}
+			return harness.Result{Rounds: float64(run.Rounds), Moves: float64(run.Moves), Converged: run.Converged}, nil
+		},
+	}
+	sums, err := mx.Execute()
+	if err != nil {
+		return err
+	}
+	fmt.Println("epsilon,alpha,mean_rounds,stderr,theory_bound")
+	for ei, s := range sums {
+		in := insts[ei]
 		fmt.Printf("%.3g,%.3g,%.1f,%.2f,%.3g\n",
-			actualEps, alpha, agg.Mean(), agg.StdErr(), sys.ExactPhaseRounds(actualEps))
+			in.actualEps, in.alpha, s.RoundsMean, s.RoundsStdErr, in.sys.ExactPhaseRounds(in.actualEps))
 	}
 	return nil
 }
 
-func runWeightedComparison(n, tpn int, seed uint64, repeats int) error {
+func runWeightedComparison(n, tpn int, seed uint64, repeats, workers int) error {
 	fmt.Println("class,n,m,alg2_rounds,alg2_stderr,baseline_rounds,baseline_stderr,ratio")
 	for _, class := range experiments.Table1Classes() {
-		res, err := experiments.CompareWeighted(class, n, tpn, 0.25, repeats, seed)
+		res, err := experiments.CompareWeighted(class, n, tpn, 0.25, repeats, seed, workers)
 		if err != nil {
 			return err
 		}
@@ -140,8 +178,10 @@ func runWeightedComparison(n, tpn int, seed uint64, repeats int) error {
 
 // runDiffusion compares the protocol's empirical mean trajectory with the
 // deterministic expected-flow diffusion (the paper: "in expectation, our
-// protocols mimic continuous diffusion").
-func runDiffusion(n, tpn int, seed uint64) error {
+// protocols mimic continuous diffusion"). The (rounds, trial) grid fans
+// out over the pool; the per-rounds mean is folded in trial order so the
+// output does not depend on the worker count.
+func runDiffusion(n, tpn int, seed uint64, workers int) error {
 	class, err := experiments.ClassByKey("torus")
 	if err != nil {
 		return err
@@ -165,25 +205,39 @@ func runDiffusion(n, tpn int, seed uint64) error {
 		x[i] = float64(c)
 	}
 	const trials = 200
+	roundsList := []int{1, 2, 5, 10, 20, 50}
+	vecs := make([][]float64, len(roundsList)*trials)
+	err = harness.ForEach(len(vecs), workers, func(k int) error {
+		ri, trial := k/trials, k%trials
+		st, err := core.NewUniformState(sys, counts)
+		if err != nil {
+			return err
+		}
+		base := rng.New(seed + uint64(trial))
+		proto := core.Algorithm1{}
+		for r := uint64(1); r <= uint64(roundsList[ri]); r++ {
+			proto.Step(st, r, base)
+		}
+		v := make([]float64, actualN)
+		for i := range v {
+			v[i] = float64(st.Count(i))
+		}
+		vecs[k] = v
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Println("round,mean_l2_distance,drift_norm")
-	for _, rounds := range []int{1, 2, 5, 10, 20, 50} {
+	for ri, rounds := range roundsList {
 		drift, err := diffusion.ExpectedFlow(sys, x, 0, rounds)
 		if err != nil {
 			return err
 		}
 		meanEnd := make([]float64, actualN)
-		for k := 0; k < trials; k++ {
-			st, err := core.NewUniformState(sys, counts)
-			if err != nil {
-				return err
-			}
-			base := rng.New(seed + uint64(k))
-			proto := core.Algorithm1{}
-			for r := uint64(1); r <= uint64(rounds); r++ {
-				proto.Step(st, r, base)
-			}
-			for i := 0; i < actualN; i++ {
-				meanEnd[i] += float64(st.Count(i))
+		for trial := 0; trial < trials; trial++ {
+			for i, v := range vecs[ri*trials+trial] {
+				meanEnd[i] += v
 			}
 		}
 		dist, norm := 0.0, 0.0

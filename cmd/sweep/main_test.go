@@ -8,7 +8,7 @@ import (
 )
 
 func TestRunDropSmoke(t *testing.T) {
-	out := testutil.CaptureStdout(t, func() error { return runDrop(8, 16, 1) })
+	out := testutil.CaptureStdout(t, func() error { return runDrop(8, 16, 1, 2) })
 	if !strings.HasPrefix(out, "class,n,gamma,theory_ratio,measured_ratio") {
 		t.Errorf("missing CSV header:\n%s", out)
 	}
@@ -20,7 +20,7 @@ func TestRunDropSmoke(t *testing.T) {
 }
 
 func TestRunGranularitySmoke(t *testing.T) {
-	out := testutil.CaptureStdout(t, func() error { return runGranularity(4, 16, 3, 1) })
+	out := testutil.CaptureStdout(t, func() error { return runGranularity(4, 16, 3, 1, 2) })
 	if !strings.HasPrefix(out, "epsilon,alpha,mean_rounds,stderr,theory_bound") {
 		t.Errorf("missing CSV header:\n%s", out)
 	}
@@ -30,7 +30,7 @@ func TestRunGranularitySmoke(t *testing.T) {
 }
 
 func TestRunWeightedComparisonSmoke(t *testing.T) {
-	out := testutil.CaptureStdout(t, func() error { return runWeightedComparison(8, 16, 1, 1) })
+	out := testutil.CaptureStdout(t, func() error { return runWeightedComparison(8, 16, 1, 1, 2) })
 	if !strings.HasPrefix(out, "class,n,m,alg2_rounds") {
 		t.Errorf("missing CSV header:\n%s", out)
 	}
@@ -40,11 +40,30 @@ func TestRunWeightedComparisonSmoke(t *testing.T) {
 }
 
 func TestRunDiffusionSmoke(t *testing.T) {
-	out := testutil.CaptureStdout(t, func() error { return runDiffusion(8, 16, 1) })
+	out := testutil.CaptureStdout(t, func() error { return runDiffusion(8, 16, 1, 2) })
 	if !strings.HasPrefix(out, "round,mean_l2_distance,drift_norm") {
 		t.Errorf("missing CSV header:\n%s", out)
 	}
 	if !strings.Contains(out, "\n50,") {
 		t.Errorf("missing round-50 row:\n%s", out)
+	}
+}
+
+// TestSweepWorkerCountInvariance checks the orchestrator determinism
+// promise end to end on a real experiment: the same matrix and seed
+// produce byte-identical CSV whether the repetitions run on one worker
+// or many.
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) string {
+		return testutil.CaptureStdout(t, func() error { return runGranularity(4, 16, 3, 2, workers) })
+	}
+	if seq, par := run(1), run(8); seq != par {
+		t.Errorf("granularity output differs by worker count:\n-- workers=1 --\n%s-- workers=8 --\n%s", seq, par)
+	}
+	runW := func(workers int) string {
+		return testutil.CaptureStdout(t, func() error { return runWeightedComparison(8, 16, 1, 2, workers) })
+	}
+	if seq, par := runW(1), runW(8); seq != par {
+		t.Errorf("weighted output differs by worker count:\n-- workers=1 --\n%s-- workers=8 --\n%s", seq, par)
 	}
 }

@@ -9,11 +9,14 @@
 //	  concrete size, with exact λ₂ and Δ per instance — the analytic
 //	  reproduction of the printed table;
 //
-//	table1 -mode measure -sizes 16,32,64,128 -repeats 3
+//	table1 -mode measure -sizes 16,32,64,128 -repeats 3 -workers 4
 //	  runs the protocol over a size sweep, measures rounds to the
 //	  Ψ₀ ≤ 4ψ_c state (Theorem 1.1 phase) and to the exact NE
 //	  (Theorem 1.2), and fits log–log scaling exponents against the
-//	  table's predictions.
+//	  table's predictions. Repetitions execute concurrently on the
+//	  harness worker pool (-workers, 0 = all cores) and -engine picks
+//	  the execution engine (seq|forkjoin|actor — the trajectories, and
+//	  therefore the table, are identical).
 package main
 
 import (
@@ -49,6 +52,8 @@ func run() error {
 		approxEps = flag.Float64("approxeps", 0, "if > 0, measure rounds to a fixed ε-approximate NE instead of the Ψ₀ ≤ 4ψ_c phase")
 		classesFl = flag.String("classes", "complete,ring,torus,hypercube", "classes to include")
 		jsonOut   = flag.Bool("json", false, "emit JSON instead of text")
+		workers   = flag.Int("workers", 0, "concurrent repetitions in -mode measure (0 = all cores)")
+		engine    = flag.String("engine", "seq", "execution engine: seq|forkjoin|actor (identical trajectories)")
 	)
 	flag.Parse()
 
@@ -87,6 +92,7 @@ func run() error {
 			}
 			opts := experiments.MeasureOpts{
 				Sizes: sizes, TasksPerNode: *tpn, Repeats: *repeats, Seed: *seed,
+				Workers: *workers, Engine: *engine,
 			}
 			var res experiments.SweepResult
 			var label string

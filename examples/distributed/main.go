@@ -53,13 +53,21 @@ func run() error {
 	}
 	defer net.Close()
 
+	// The actor network is a core.Engine, so the shared driver gives it
+	// stop conditions and potential tracing exactly like the sequential
+	// engine — one Drive call replaces the bespoke run loop.
 	const seed = 7
 	fmt.Printf("network: %s with %d processor goroutines\n", g, n)
-	rounds, converged, err := net.Run(500_000, seed, core.StopAtNash())
+	res, err := core.Drive[*core.UniformState](net, core.StopAtNash(),
+		core.RunOpts{MaxRounds: 500_000, Seed: seed, TraceEvery: 2000})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("actors:  exact NE after %d rounds (converged=%v)\n", rounds, converged)
+	rounds := res.Rounds
+	fmt.Printf("actors:  exact NE after %d rounds (converged=%v, %d moves)\n", rounds, res.Converged, res.Moves)
+	for _, p := range res.Trace {
+		fmt.Printf("trace:   round %6d  Ψ₀=%-12.4g L_Δ=%.3f\n", p.Round, p.Psi0, p.LDelta)
+	}
 
 	// Replay sequentially with the same seed and compare trajectories.
 	seq, err := core.NewUniformState(sys, counts)

@@ -72,6 +72,16 @@ func LDelta(st *UniformState) float64 {
 	return max
 }
 
+// Psi0 implements the State surface of the shared driver; it returns
+// Ψ₀(x) (the package-level Psi0).
+func (st *UniformState) Psi0() float64 { return Psi0(st) }
+
+// Psi1 implements the State surface; it returns Ψ₁(x).
+func (st *UniformState) Psi1() float64 { return Psi1(st) }
+
+// LDelta implements the State surface; it returns L_Δ(x).
+func (st *UniformState) LDelta() float64 { return LDelta(st) }
+
 // WeightedPhi0 returns Φ₀(x) = Σ Wᵢ²/sᵢ for a weighted state.
 func WeightedPhi0(st *WeightedState) float64 {
 	s := 0.0
@@ -105,3 +115,15 @@ func WeightedLDelta(st *WeightedState) float64 {
 	}
 	return max
 }
+
+// Psi0 implements the State surface of the shared driver; it returns the
+// weighted Ψ₀(x).
+func (st *WeightedState) Psi0() float64 { return WeightedPsi0(st) }
+
+// Psi1 implements the State surface. The Ψ₁ refinement (Definition 3.19)
+// is specific to the uniform model; weighted traces record 0 and the
+// JSON field is omitted.
+func (st *WeightedState) Psi1() float64 { return 0 }
+
+// LDelta implements the State surface; it returns the weighted L_Δ(x).
+func (st *WeightedState) LDelta() float64 { return WeightedLDelta(st) }

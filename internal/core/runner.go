@@ -55,6 +55,155 @@ func (o RunOpts) validate() error {
 	return nil
 }
 
+// State is the observable surface a simulation state exposes to the
+// shared driver: the potentials sampled into TracePoints. Both
+// *UniformState and *WeightedState implement it, which is what lets one
+// generic driver serve both task models.
+type State interface {
+	Psi0() float64
+	Psi1() float64
+	LDelta() float64
+}
+
+// Engine is a simulation that the shared driver advances round by round.
+// Step executes synchronous round r, drawing all randomness from streams
+// derived from base (the keying contract rng.Stream.At pins down), and
+// returns the number of migrated tasks. State exposes the current
+// distribution for stop conditions and trace sampling; the returned
+// value is a read-only view that is valid until the next Step.
+//
+// The sequential protocols implement Engine through the adapters behind
+// RunUniform/RunWeighted; the concurrent engines in package dist
+// (fork–join Runtime, actor Network, WeightedRuntime) implement it
+// directly. Because every engine draws node i's round-r randomness from
+// base.At(r, i), driving any of them through Drive with the same seed
+// yields bit-identical trajectories — and therefore identical
+// RunResults and traces.
+type Engine[S State] interface {
+	Step(round uint64, base *rng.Stream) (int64, error)
+	State() (S, error)
+}
+
+// Drive is the single run loop shared by every engine and both task
+// models: it executes protocol rounds until stop returns true or
+// opts.MaxRounds is exhausted, evaluating the stop condition every
+// CheckEvery rounds and sampling a TracePoint every TraceEvery rounds.
+// On every completed run — convergence, nil-stop completion, or the
+// ErrMaxRounds exit — round 0 and the final round are always included
+// in the trace; only an engine failure (a Step or State error, e.g.
+// ErrClosed) returns the partial result as-is. A nil stop runs all
+// MaxRounds and reports convergence; a non-nil stop that never fires
+// yields an error wrapping ErrMaxRounds.
+func Drive[S State](e Engine[S], stop func(S) bool, opts RunOpts) (RunResult, error) {
+	if err := opts.validate(); err != nil {
+		return RunResult{}, err
+	}
+	if e == nil {
+		return RunResult{}, errors.New("core: nil engine")
+	}
+	check := opts.CheckEvery
+	if check == 0 {
+		check = 1
+	}
+	base := rng.New(opts.Seed)
+	var res RunResult
+	lastTraced := -1
+	record := func(round int) error {
+		if opts.TraceEvery <= 0 || round == lastTraced {
+			return nil
+		}
+		st, err := e.State()
+		if err != nil {
+			return err
+		}
+		res.Trace = append(res.Trace, TracePoint{
+			Round:  round,
+			Psi0:   st.Psi0(),
+			Psi1:   st.Psi1(),
+			LDelta: st.LDelta(),
+			Moves:  res.Moves,
+		})
+		lastTraced = round
+		return nil
+	}
+	if err := record(0); err != nil {
+		return res, err
+	}
+	if stop != nil {
+		st, err := e.State()
+		if err != nil {
+			return res, err
+		}
+		if stop(st) {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	for round := 1; round <= opts.MaxRounds; round++ {
+		moves, err := e.Step(uint64(round), base)
+		if err != nil {
+			return res, err
+		}
+		res.Moves += moves
+		res.Rounds = round
+		if opts.TraceEvery > 0 && round%opts.TraceEvery == 0 {
+			if err := record(round); err != nil {
+				return res, err
+			}
+		}
+		if stop != nil && round%check == 0 {
+			st, err := e.State()
+			if err != nil {
+				return res, err
+			}
+			if stop(st) {
+				res.Converged = true
+				if err := record(round); err != nil {
+					return res, err
+				}
+				return res, nil
+			}
+		}
+	}
+	// The run ended at MaxRounds (either a nil stop ran to completion or
+	// the stop condition never fired): the final round still belongs in
+	// the trace.
+	if err := record(res.Rounds); err != nil {
+		return res, err
+	}
+	if stop == nil {
+		res.Converged = true
+		return res, nil
+	}
+	return res, fmt.Errorf("%w after %d rounds", ErrMaxRounds, res.Rounds)
+}
+
+// seqUniform adapts a sequential (state, protocol) pair to the Engine
+// surface. Step mutates the caller's state in place, so after Drive
+// returns the state holds the final distribution.
+type seqUniform struct {
+	st *UniformState
+	p  UniformProtocol
+}
+
+func (e seqUniform) Step(round uint64, base *rng.Stream) (int64, error) {
+	return e.p.Step(e.st, round, base), nil
+}
+
+func (e seqUniform) State() (*UniformState, error) { return e.st, nil }
+
+// seqWeighted adapts a sequential weighted (state, protocol) pair.
+type seqWeighted struct {
+	st *WeightedState
+	p  WeightedProtocol
+}
+
+func (e seqWeighted) Step(round uint64, base *rng.Stream) (int64, error) {
+	return int64(e.p.Step(e.st, round, base)), nil
+}
+
+func (e seqWeighted) State() (*WeightedState, error) { return e.st, nil }
+
 // UniformStop decides whether a uniform-state run may stop.
 type UniformStop func(*UniformState) bool
 
@@ -69,59 +218,17 @@ func StopAtApproxNash(eps float64) UniformStop {
 // StopAtPsi0Below stops once Ψ₀(x) ≤ threshold (e.g. 4·ψ_c for the
 // Theorem 1.1 phase).
 func StopAtPsi0Below(threshold float64) UniformStop {
-	return func(st *UniformState) bool { return Psi0(st) <= threshold }
+	return func(st *UniformState) bool { return st.Psi0() <= threshold }
 }
 
-// RunUniform executes protocol rounds until stop returns true or
-// opts.MaxRounds is exhausted. A nil stop runs all MaxRounds.
+// RunUniform executes protocol rounds on the sequential engine until
+// stop returns true or opts.MaxRounds is exhausted. A nil stop runs all
+// MaxRounds. It is a thin wrapper over Drive.
 func RunUniform(st *UniformState, p UniformProtocol, stop UniformStop, opts RunOpts) (RunResult, error) {
-	if err := opts.validate(); err != nil {
-		return RunResult{}, err
-	}
 	if st == nil || p == nil {
 		return RunResult{}, errors.New("core: nil state or protocol")
 	}
-	check := opts.CheckEvery
-	if check == 0 {
-		check = 1
-	}
-	base := rng.New(opts.Seed)
-	var res RunResult
-	record := func(round int) {
-		if opts.TraceEvery > 0 {
-			res.Trace = append(res.Trace, TracePoint{
-				Round:  round,
-				Psi0:   Psi0(st),
-				Psi1:   Psi1(st),
-				LDelta: LDelta(st),
-				Moves:  res.Moves,
-			})
-		}
-	}
-	record(0)
-	if stop != nil && stop(st) {
-		res.Converged = true
-		return res, nil
-	}
-	for round := 1; round <= opts.MaxRounds; round++ {
-		res.Moves += p.Step(st, uint64(round), base)
-		res.Rounds = round
-		if opts.TraceEvery > 0 && round%opts.TraceEvery == 0 {
-			record(round)
-		}
-		if stop != nil && round%check == 0 && stop(st) {
-			res.Converged = true
-			if opts.TraceEvery > 0 && round%opts.TraceEvery != 0 {
-				record(round)
-			}
-			return res, nil
-		}
-	}
-	if stop == nil {
-		res.Converged = true
-		return res, nil
-	}
-	return res, fmt.Errorf("%w after %d rounds", ErrMaxRounds, res.Rounds)
+	return Drive[*UniformState](seqUniform{st: st, p: p}, stop, opts)
 }
 
 // WeightedStop decides whether a weighted-state run may stop.
@@ -141,56 +248,15 @@ func StopAtWeightedApproxNash(eps float64) WeightedStop {
 
 // StopAtWeightedPsi0Below stops once Ψ₀ ≤ threshold.
 func StopAtWeightedPsi0Below(threshold float64) WeightedStop {
-	return func(st *WeightedState) bool { return WeightedPsi0(st) <= threshold }
+	return func(st *WeightedState) bool { return st.Psi0() <= threshold }
 }
 
-// RunWeighted executes weighted protocol rounds until stop returns true
-// or opts.MaxRounds is exhausted. A nil stop runs all MaxRounds.
+// RunWeighted executes weighted protocol rounds on the sequential engine
+// until stop returns true or opts.MaxRounds is exhausted. A nil stop
+// runs all MaxRounds. It is a thin wrapper over Drive.
 func RunWeighted(st *WeightedState, p WeightedProtocol, stop WeightedStop, opts RunOpts) (RunResult, error) {
-	if err := opts.validate(); err != nil {
-		return RunResult{}, err
-	}
 	if st == nil || p == nil {
 		return RunResult{}, errors.New("core: nil state or protocol")
 	}
-	check := opts.CheckEvery
-	if check == 0 {
-		check = 1
-	}
-	base := rng.New(opts.Seed)
-	var res RunResult
-	record := func(round int) {
-		if opts.TraceEvery > 0 {
-			res.Trace = append(res.Trace, TracePoint{
-				Round:  round,
-				Psi0:   WeightedPsi0(st),
-				LDelta: WeightedLDelta(st),
-				Moves:  res.Moves,
-			})
-		}
-	}
-	record(0)
-	if stop != nil && stop(st) {
-		res.Converged = true
-		return res, nil
-	}
-	for round := 1; round <= opts.MaxRounds; round++ {
-		res.Moves += int64(p.Step(st, uint64(round), base))
-		res.Rounds = round
-		if opts.TraceEvery > 0 && round%opts.TraceEvery == 0 {
-			record(round)
-		}
-		if stop != nil && round%check == 0 && stop(st) {
-			res.Converged = true
-			if opts.TraceEvery > 0 && round%opts.TraceEvery != 0 {
-				record(round)
-			}
-			return res, nil
-		}
-	}
-	if stop == nil {
-		res.Converged = true
-		return res, nil
-	}
-	return res, fmt.Errorf("%w after %d rounds", ErrMaxRounds, res.Rounds)
+	return Drive[*WeightedState](seqWeighted{st: st, p: p}, stop, opts)
 }

@@ -94,6 +94,78 @@ func TestRunUniformTrace(t *testing.T) {
 	}
 }
 
+// TestRunTraceIncludesFinalRound pins the RunOpts.TraceEvery contract
+// ("round 0 and the final round are always included") on every exit
+// path: nil-stop completion, the ErrMaxRounds exit, and convergence at
+// a round that is not a sampling multiple.
+func TestRunTraceIncludesFinalRound(t *testing.T) {
+	sys := testSystem(t, 4)
+	mkState := func() *UniformState {
+		counts, err := workload.AllOnOne(4, 400, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewUniformState(sys, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	lastRound := func(res RunResult) int {
+		if len(res.Trace) == 0 {
+			t.Fatal("empty trace")
+		}
+		return res.Trace[len(res.Trace)-1].Round
+	}
+
+	// nil stop, MaxRounds not a multiple of TraceEvery.
+	res, err := RunUniform(mkState(), Algorithm1{}, nil, RunOpts{MaxRounds: 25, Seed: 3, TraceEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lastRound(res); got != 25 {
+		t.Errorf("nil stop: last trace point at round %d, want 25", got)
+	}
+
+	// Never-true stop: the ErrMaxRounds exit must still trace round 25.
+	res, err = RunUniform(mkState(), Algorithm1{}, func(*UniformState) bool { return false },
+		RunOpts{MaxRounds: 25, Seed: 3, TraceEvery: 10})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("want ErrMaxRounds, got %v", err)
+	}
+	if got := lastRound(res); got != 25 {
+		t.Errorf("ErrMaxRounds: last trace point at round %d, want 25", got)
+	}
+
+	// MaxRounds a multiple of TraceEvery: exactly one point for the
+	// final round, not a duplicate.
+	res, err = RunUniform(mkState(), Algorithm1{}, nil, RunOpts{MaxRounds: 20, Seed: 3, TraceEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lastRound(res); got != 20 {
+		t.Errorf("multiple: last trace point at round %d, want 20", got)
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Round == res.Trace[i-1].Round {
+			t.Errorf("duplicate trace point at round %d", res.Trace[i].Round)
+		}
+	}
+
+	// Convergence at a round between sampling multiples still records it.
+	res, err = RunUniform(mkState(), Algorithm1{}, StopAtNash(),
+		RunOpts{MaxRounds: 100_000, Seed: 5, TraceEvery: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if got := lastRound(res); got != res.Rounds {
+		t.Errorf("convergence: last trace point at round %d, want %d", got, res.Rounds)
+	}
+}
+
 func TestRunUniformCheckEvery(t *testing.T) {
 	sys := testSystem(t, 4)
 	counts, err := workload.AllOnOne(4, 200, 0)

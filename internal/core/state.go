@@ -170,11 +170,12 @@ func (st *WeightedState) Deviation(i int) float64 {
 // Clone returns an independent deep copy.
 func (st *WeightedState) Clone() *WeightedState {
 	cp := &WeightedState{
-		sys:        st.sys,
-		tasks:      make([][]float64, len(st.tasks)),
-		nodeWeight: append([]float64(nil), st.nodeWeight...),
-		totalW:     st.totalW,
-		count:      st.count,
+		sys:            st.sys,
+		tasks:          make([][]float64, len(st.tasks)),
+		nodeWeight:     append([]float64(nil), st.nodeWeight...),
+		totalW:         st.totalW,
+		count:          st.count,
+		sinceRecompute: st.sinceRecompute,
 	}
 	for i, ts := range st.tasks {
 		cp.tasks[i] = append([]float64(nil), ts...)

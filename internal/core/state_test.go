@@ -7,6 +7,26 @@ import (
 	"repro/internal/task"
 )
 
+// TestWeightedCloneKeepsRecomputeSchedule guards against clones silently
+// resetting the FP-drift recompute counter: a cloned state must rebuild
+// its cached weights on the same schedule as the original.
+func TestWeightedCloneKeepsRecomputeSchedule(t *testing.T) {
+	sys := testSystem(t, 4)
+	st, err := NewWeightedState(sys, []task.Weights{{0.5, 0.25}, {0.75}, nil, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.moveTask(0, 0, 2)
+	st.moveTask(1, 0, 3)
+	if st.sinceRecompute != 2 {
+		t.Fatalf("sinceRecompute = %d after two moves, want 2", st.sinceRecompute)
+	}
+	cp := st.Clone()
+	if cp.sinceRecompute != st.sinceRecompute {
+		t.Errorf("Clone dropped sinceRecompute: got %d, want %d", cp.sinceRecompute, st.sinceRecompute)
+	}
+}
+
 func TestUniformStateBasics(t *testing.T) {
 	sys := testSystem(t, 4)
 	st, err := NewUniformState(sys, []int64{3, 1, 0, 4})

@@ -190,7 +190,10 @@ func TestWeightedForkJoinMatchesSequential(t *testing.T) {
 					t.Fatalf("round %d: forkjoin moved %d tasks, sequential %d", r, gotMoves, wantMoves)
 				}
 			}
-			got := rt.State()
+			got, err := rt.State()
+			if err != nil {
+				t.Fatal(err)
+			}
 			for i := 0; i < n; i++ {
 				if got.NodeWeight(i) != seq.NodeWeight(i) {
 					t.Fatalf("node %d: weight forkjoin=%g sequential=%g", i, got.NodeWeight(i), seq.NodeWeight(i))

@@ -36,6 +36,11 @@ type Network struct {
 	sys   *core.System
 	proto core.UniformNodeProtocol
 
+	// runMu serializes whole Run invocations against each other; mu
+	// serializes the per-round/state methods. Run acquires runMu for its
+	// full duration and mu only per round, so Counts/State stay callable
+	// mid-run while two concurrent Runs can never interleave rounds.
+	runMu  sync.Mutex
 	mu     sync.Mutex
 	closed bool
 	base   *rng.Stream // default stream (constructor seed); Run re-seeds
@@ -51,8 +56,18 @@ type Network struct {
 // seeds the network's default stream, used when Step is driven without
 // an external base stream; Run overrides it with its own seed argument.
 func NewNetwork(sys *core.System, counts []int64, seed uint64) (*Network, error) {
+	return NewNetworkWith(sys, counts, seed, core.Algorithm1{})
+}
+
+// NewNetworkWith is NewNetwork with an explicit node protocol, so the
+// actor engine is generic over UniformNodeProtocol like the fork–join
+// runtime.
+func NewNetworkWith(sys *core.System, counts []int64, seed uint64, proto core.UniformNodeProtocol) (*Network, error) {
 	if sys == nil {
 		return nil, errors.New("dist: nil system")
+	}
+	if proto == nil {
+		return nil, errors.New("dist: nil protocol")
 	}
 	st, err := core.NewUniformState(sys, counts)
 	if err != nil {
@@ -62,7 +77,7 @@ func NewNetwork(sys *core.System, counts []int64, seed uint64) (*Network, error)
 	g := sys.Graph()
 	nw := &Network{
 		sys:    sys,
-		proto:  core.Algorithm1{},
+		proto:  proto,
 		base:   rng.New(seed),
 		counts: st.Counts(),
 		cmds:   make([]chan *rng.Stream, n),
@@ -126,9 +141,13 @@ func (nw *Network) node(i int, wi int64, in, out []chan message, cmds chan *rng.
 	}
 }
 
+// Network is driven through the shared core.Drive loop via the
+// core.Engine surface (Step + State).
+var _ core.Engine[*core.UniformState] = (*Network)(nil)
+
 // Step executes one synchronous round r across all actors and returns
 // the number of migrated tasks. A nil base uses the network's default
-// stream.
+// stream. Step implements core.Engine.
 func (nw *Network) Step(r uint64, base *rng.Stream) (int64, error) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
@@ -167,42 +186,33 @@ func (nw *Network) stepLocked(r uint64, base *rng.Stream) (int64, error) {
 // earlier Steps (or a second time) restarts round numbering at 1 from
 // the current counts, so that replay identity — and, for a repeated
 // seed, independence from the earlier randomness — no longer holds.
+//
+// Concurrent Runs serialize: the second starts only after the first
+// finishes. Counts and State remain callable mid-run; Close during a
+// Run aborts it at the next round with ErrClosed.
 func (nw *Network) Run(maxRounds int, seed uint64, stop core.UniformStop) (int, bool, error) {
 	if maxRounds <= 0 {
 		return 0, false, fmt.Errorf("dist: maxRounds must be positive, got %d", maxRounds)
 	}
+	nw.runMu.Lock()
+	defer nw.runMu.Unlock()
 	nw.mu.Lock()
-	defer nw.mu.Unlock()
 	if nw.closed {
+		nw.mu.Unlock()
 		return 0, false, ErrClosed
 	}
-	base := rng.New(seed)
-	nw.base = base
-	if stop != nil {
-		st, err := core.NewUniformState(nw.sys, nw.counts)
-		if err != nil {
-			return 0, false, err
-		}
-		if stop(st) {
-			return 0, true, nil
-		}
+	// Re-seed the default stream so Steps after Run continue from the
+	// same randomness source, matching the documented semantics.
+	nw.base = rng.New(seed)
+	nw.mu.Unlock()
+	res, err := core.Drive[*core.UniformState](nw, stop, core.RunOpts{MaxRounds: maxRounds, Seed: seed})
+	if errors.Is(err, core.ErrMaxRounds) {
+		return res.Rounds, false, nil
 	}
-	for r := 1; r <= maxRounds; r++ {
-		if _, err := nw.stepLocked(uint64(r), base); err != nil {
-			return r - 1, false, err
-		}
-		if stop == nil {
-			continue
-		}
-		st, err := core.NewUniformState(nw.sys, nw.counts)
-		if err != nil {
-			return r, false, err
-		}
-		if stop(st) {
-			return r, true, nil
-		}
+	if err != nil {
+		return res.Rounds, false, err
 	}
-	return maxRounds, stop == nil, nil
+	return res.Rounds, res.Converged, nil
 }
 
 // Counts returns a copy of the per-node task counts after the last

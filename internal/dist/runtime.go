@@ -88,6 +88,17 @@ func (rt *Runtime) runShard(w int, roundStream *rng.Stream) {
 		rt.pool.shardLo[w], rt.pool.shardHi[w], rt.nbBuf[w], rt.outBuf[w], delta)
 }
 
+// Runtime is driven through the shared core.Drive loop via the
+// core.Engine surface (Step + State).
+var _ core.Engine[*core.UniformState] = (*Runtime)(nil)
+
+// Step implements core.Engine: it executes one synchronous round, so a
+// Runtime can be driven by core.Drive with stop conditions and tracing
+// exactly like the sequential engine.
+func (rt *Runtime) Step(r uint64, base *rng.Stream) (int64, error) {
+	return rt.Round(r, base)
+}
+
 // Round executes one synchronous protocol round r, drawing randomness
 // from base exactly as the sequential engine does, and returns the
 // number of migrated tasks.

@@ -63,6 +63,17 @@ func (rt *WeightedRuntime) runShard(w int, roundStream *rng.Stream) {
 	rt.pending[w] = pend
 }
 
+// WeightedRuntime is driven through the shared core.Drive loop via the
+// core.Engine surface (Step + State).
+var _ core.Engine[*core.WeightedState] = (*WeightedRuntime)(nil)
+
+// Step implements core.Engine: it executes one synchronous round, so a
+// WeightedRuntime can be driven by core.Drive with stop conditions and
+// tracing exactly like the sequential engine.
+func (rt *WeightedRuntime) Step(r uint64, base *rng.Stream) (int64, error) {
+	return rt.Round(r, base)
+}
+
 // Round executes one synchronous round r and returns the number of
 // migrated tasks.
 func (rt *WeightedRuntime) Round(r uint64, base *rng.Stream) (int64, error) {
@@ -96,8 +107,19 @@ func (rt *WeightedRuntime) NodeWeights() []float64 {
 	return out
 }
 
-// State returns an independent deep copy of the current weighted state.
-func (rt *WeightedRuntime) State() *core.WeightedState {
+// State implements core.Engine: it returns the runtime's live weighted
+// state as a read-only view, valid until the next Round. Stop conditions
+// and potential sampling read it between rounds without copying; use
+// Snapshot for an independent deep copy.
+func (rt *WeightedRuntime) State() (*core.WeightedState, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.st, nil
+}
+
+// Snapshot returns an independent deep copy of the current weighted
+// state.
+func (rt *WeightedRuntime) Snapshot() *core.WeightedState {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.st.Clone()

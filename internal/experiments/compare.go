@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -33,8 +35,12 @@ type WeightedComparison struct {
 }
 
 // CompareWeighted races Algorithm 2 against the [6]-style baseline until
-// both reach an ε-approximate NE, from the same initial placements.
-func CompareWeighted(class GraphClass, n, tasksPerNode int, eps float64, repeats int, seed uint64) (WeightedComparison, error) {
+// both reach an ε-approximate NE, from the same initial placements. The
+// protocol axis × repetitions form a harness matrix executed over
+// workers concurrent jobs (≤ 0 means GOMAXPROCS); placements and run
+// seeds depend only on (seed, repetition), so both protocols see
+// identical instances and the result is independent of workers.
+func CompareWeighted(class GraphClass, n, tasksPerNode int, eps float64, repeats int, seed uint64, workers int) (WeightedComparison, error) {
 	g, err := class.Build(n)
 	if err != nil {
 		return WeightedComparison{}, err
@@ -56,39 +62,46 @@ func CompareWeighted(class GraphClass, n, tasksPerNode int, eps float64, repeats
 		PredictedAlg2:    sys.WeightedApproxPhaseRounds(int64(m)),
 		WeightDistString: "uniform(0.1,1.0)",
 	}
-	var aggA, aggB stats.Welford
 	const maxRounds = 2_000_000
-	for rep := 0; rep < repeats; rep++ {
-		weights, err := task.RandomWeights(m, 0.1, 1.0, stream.Split(uint64(100+rep)))
-		if err != nil {
-			return res, err
+	protos := []core.WeightedProtocol{core.Algorithm2{}, core.BaselineWeighted{}}
+	cells := make([]harness.Cell, len(protos))
+	for ci, p := range protos {
+		cells[ci] = harness.Cell{
+			Class: class.Key, N: actualN, M: int64(m),
+			Workload: "weighted-random", Engine: harness.EngineSeq,
+			Param: "proto=" + p.Name(),
 		}
-		placement, err := workload.WeightedUniformRandom(actualN, weights, stream.Split(uint64(200+rep)))
-		if err != nil {
-			return res, err
-		}
-		stA, err := core.NewWeightedState(sys, placement)
-		if err != nil {
-			return res, err
-		}
-		stB := stA.Clone()
-		runA, errA := core.RunWeighted(stA, core.Algorithm2{}, core.StopAtWeightedApproxNash(eps), core.RunOpts{
-			MaxRounds: maxRounds, Seed: seed + uint64(rep), CheckEvery: 4,
-		})
-		if errA == nil {
-			res.Alg2Converged++
-		}
-		aggA.Add(float64(runA.Rounds))
-		runB, errB := core.RunWeighted(stB, core.BaselineWeighted{}, core.StopAtWeightedApproxNash(eps), core.RunOpts{
-			MaxRounds: maxRounds, Seed: seed + uint64(rep), CheckEvery: 4,
-		})
-		if errB == nil {
-			res.BaseConverged++
-		}
-		aggB.Add(float64(runB.Rounds))
 	}
-	res.Alg2Rounds, res.Alg2StdErr = aggA.Mean(), aggA.StdErr()
-	res.BaselineRounds, res.BaselineStdErr = aggB.Mean(), aggB.StdErr()
+	mx := harness.Matrix{
+		Cells: cells, Repeats: repeats, Seed: seed, Workers: workers,
+		Run: func(ci, rep int, _ uint64) (harness.Result, error) {
+			// Derive the instance from (seed, rep) only — Split reads the
+			// parent's immutable identity, so concurrent jobs are safe and
+			// both protocols start from identical placements.
+			weights, err := task.RandomWeights(m, 0.1, 1.0, stream.Split(uint64(100+rep)))
+			if err != nil {
+				return harness.Result{}, err
+			}
+			placement, err := workload.WeightedUniformRandom(actualN, weights, stream.Split(uint64(200+rep)))
+			if err != nil {
+				return harness.Result{}, err
+			}
+			run, _, err := harness.RunWeightedEngine(harness.EngineSeq, sys, protos[ci], placement,
+				core.StopAtWeightedApproxNash(eps), core.RunOpts{
+					MaxRounds: maxRounds, Seed: seed + uint64(rep), CheckEvery: 4,
+				})
+			if err != nil && !errors.Is(err, core.ErrMaxRounds) {
+				return harness.Result{}, err
+			}
+			return harness.Result{Rounds: float64(run.Rounds), Moves: float64(run.Moves), Converged: err == nil}, nil
+		},
+	}
+	sums, err := mx.Execute()
+	if err != nil {
+		return res, err
+	}
+	res.Alg2Rounds, res.Alg2StdErr, res.Alg2Converged = sums[0].RoundsMean, sums[0].RoundsStdErr, sums[0].Converged
+	res.BaselineRounds, res.BaselineStdErr, res.BaseConverged = sums[1].RoundsMean, sums[1].RoundsStdErr, sums[1].Converged
 	if res.Alg2Rounds > 0 {
 		res.RoundsRatioB2A = res.BaselineRounds / res.Alg2Rounds
 	}

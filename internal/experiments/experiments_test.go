@@ -176,6 +176,47 @@ func TestMeasureApproxNESmall(t *testing.T) {
 	}
 }
 
+// TestMeasureSweepInvariance checks the two orthogonal axes the harness
+// rewrite introduced: the worker count must not change the measured
+// sweep at all, and neither may the execution engine (all engines run
+// the identical trajectory through the shared driver).
+func TestMeasureSweepInvariance(t *testing.T) {
+	class, err := ClassByKey("complete")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MeasureOpts{Sizes: []int{8, 12}, TasksPerNode: 16, Repeats: 2, Seed: 5, Workers: 1}
+	ref, err := MeasureApproxPhase(class, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name string
+		opts MeasureOpts
+	}{
+		{"workers=4", MeasureOpts{Sizes: base.Sizes, TasksPerNode: 16, Repeats: 2, Seed: 5, Workers: 4}},
+		{"engine=forkjoin", MeasureOpts{Sizes: base.Sizes, TasksPerNode: 16, Repeats: 2, Seed: 5, Workers: 4, Engine: "forkjoin"}},
+		{"engine=actor", MeasureOpts{Sizes: base.Sizes, TasksPerNode: 16, Repeats: 2, Seed: 5, Workers: 2, Engine: "actor"}},
+	} {
+		got, err := MeasureApproxPhase(class, variant.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", variant.name, err)
+		}
+		if len(got.Points) != len(ref.Points) {
+			t.Fatalf("%s: %d points, want %d", variant.name, len(got.Points), len(ref.Points))
+		}
+		for i := range ref.Points {
+			if got.Points[i] != ref.Points[i] {
+				t.Errorf("%s: point %d = %+v, want %+v", variant.name, i, got.Points[i], ref.Points[i])
+			}
+		}
+		if got.FittedExponent != ref.FittedExponent || got.R2 != ref.R2 {
+			t.Errorf("%s: fit (%g, %g), want (%g, %g)", variant.name,
+				got.FittedExponent, got.R2, ref.FittedExponent, ref.R2)
+		}
+	}
+}
+
 func TestSweepCSV(t *testing.T) {
 	res := SweepResult{
 		Class:             "Test",
@@ -208,7 +249,7 @@ func TestCompareWeightedSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := CompareWeighted(class, 8, 16, 0.3, 2, 3)
+	res, err := CompareWeighted(class, 8, 16, 0.3, 2, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

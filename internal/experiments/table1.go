@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -122,8 +123,15 @@ type MeasureOpts struct {
 	Repeats int
 	// Seed for reproducibility.
 	Seed uint64
-	// MaxRounds safety cap per run (default 20,000,000 / n).
+	// MaxRounds safety cap per run (0 means the sweep family's default).
 	MaxRounds int
+	// Workers bounds the number of concurrently executing repetitions
+	// (≤ 0 means GOMAXPROCS). Results are identical for any value.
+	Workers int
+	// Engine selects the execution engine per run — seq, forkjoin or
+	// actor (default seq). All engines run through the shared driver
+	// and produce identical trajectories.
+	Engine string
 }
 
 func (o *MeasureOpts) defaults() {
@@ -135,13 +143,41 @@ func (o *MeasureOpts) defaults() {
 	}
 }
 
-// MeasureApproxPhase measures, for one graph class, the rounds needed
-// from the all-on-one start until Ψ₀ ≤ 4·ψ_c — the phase bounded by
-// Theorem 1.1 — over a size sweep, and fits the log–log scaling exponent.
-func MeasureApproxPhase(class GraphClass, opts MeasureOpts) (SweepResult, error) {
+// phaseSpec parameterizes one empirical sweep family: stop condition,
+// theory prediction per instance, safety cap, and the predicted log–log
+// scaling exponent. The three Measure* entry points are thin wrappers
+// over measureSweep with different specs.
+type phaseSpec struct {
+	name       string
+	defaultMax int
+	// seedSalt decorrelates the sweep families: with the same
+	// MeasureOpts.Seed, the approx-phase, approx-NE and exact-NE sweeps
+	// must draw independent trajectories, not replay each other.
+	seedSalt  uint64
+	exponent  func(GraphClass) float64
+	stop      func(sys *core.System) core.UniformStop
+	predicted func(sys *core.System, m int64) float64
+}
+
+// measureSweep measures, for one graph class, the rounds needed from the
+// all-on-one start until the spec's stop condition fires, over a size
+// sweep with concurrently executed repetitions, and fits the log–log
+// scaling exponent. One harness cell per size; repetitions fan out over
+// the worker pool.
+func measureSweep(class GraphClass, opts MeasureOpts, sp phaseSpec) (SweepResult, error) {
 	opts.defaults()
-	res := SweepResult{Class: class.Display, PredictedExponent: class.ApproxExponent}
-	var xs, ys []float64
+	res := SweepResult{Class: class.Display, PredictedExponent: sp.exponent(class)}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = sp.defaultMax
+	}
+	type inst struct {
+		sys       *core.System
+		stop      core.UniformStop
+		predicted float64
+	}
+	insts := make([]inst, 0, len(opts.Sizes))
+	cells := make([]harness.Cell, 0, len(opts.Sizes))
 	for _, n := range opts.Sizes {
 		g, err := class.Build(n)
 		if err != nil {
@@ -153,41 +189,43 @@ func MeasureApproxPhase(class GraphClass, opts MeasureOpts) (SweepResult, error)
 		if err != nil {
 			return res, err
 		}
-		maxRounds := opts.MaxRounds
-		if maxRounds <= 0 {
-			maxRounds = 4_000_000
-		}
-		threshold := 4 * sys.PsiCritical()
-		var agg stats.Welford
-		for rep := 0; rep < opts.Repeats; rep++ {
-			counts, err := workload.AllOnOne(actualN, m, 0)
+		insts = append(insts, inst{sys: sys, stop: sp.stop(sys), predicted: sp.predicted(sys, m)})
+		cells = append(cells, harness.Cell{
+			Class: class.Key, N: actualN, M: m,
+			Workload: "allonone", Engine: opts.Engine, Param: sp.name,
+		})
+	}
+	mx := harness.Matrix{
+		Cells: cells, Repeats: opts.Repeats, Seed: opts.Seed + sp.seedSalt, Workers: opts.Workers,
+		Run: func(ci, rep int, seed uint64) (harness.Result, error) {
+			in, cell := insts[ci], cells[ci]
+			counts, err := workload.AllOnOne(cell.N, cell.M, 0)
 			if err != nil {
-				return res, err
+				return harness.Result{}, err
 			}
-			st, err := core.NewUniformState(sys, counts)
-			if err != nil {
-				return res, err
-			}
-			run, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtPsi0Below(threshold), core.RunOpts{
-				MaxRounds:  maxRounds,
-				Seed:       opts.Seed + uint64(n)*1000 + uint64(rep),
-				CheckEvery: 1,
+			run, _, err := harness.RunUniformEngine(cell.Engine, in.sys, core.Algorithm1{}, counts, in.stop, core.RunOpts{
+				MaxRounds: maxRounds, Seed: seed, CheckEvery: 1,
 			})
 			if err != nil {
-				return res, fmt.Errorf("%s n=%d rep=%d: %w", class.Key, actualN, rep, err)
+				return harness.Result{}, err
 			}
-			agg.Add(float64(run.Rounds))
-		}
+			return harness.Result{Rounds: float64(run.Rounds), Moves: float64(run.Moves), Converged: run.Converged}, nil
+		},
+	}
+	sums, err := mx.Execute()
+	if err != nil {
+		return res, err
+	}
+	var xs, ys []float64
+	for si, s := range sums {
 		point := SweepPoint{
-			N:          actualN,
-			M:          m,
-			MeanRounds: agg.Mean(),
-			StdErr:     agg.StdErr(),
-			Predicted:  2 * sys.ApproxPhaseRounds(m),
-			Repeats:    opts.Repeats,
+			N: s.N, M: s.M,
+			MeanRounds: s.RoundsMean, StdErr: s.RoundsStdErr,
+			Predicted: insts[si].predicted,
+			Repeats:   s.Repeats,
 		}
 		res.Points = append(res.Points, point)
-		xs = append(xs, float64(actualN))
+		xs = append(xs, float64(s.N))
 		ys = append(ys, maxf(point.MeanRounds, 1))
 	}
 	if len(xs) >= 2 {
@@ -198,6 +236,21 @@ func MeasureApproxPhase(class GraphClass, opts MeasureOpts) (SweepResult, error)
 		}
 	}
 	return res, nil
+}
+
+// MeasureApproxPhase measures, for one graph class, the rounds needed
+// from the all-on-one start until Ψ₀ ≤ 4·ψ_c — the phase bounded by
+// Theorem 1.1 — over a size sweep, and fits the log–log scaling exponent.
+func MeasureApproxPhase(class GraphClass, opts MeasureOpts) (SweepResult, error) {
+	return measureSweep(class, opts, phaseSpec{
+		name:       "approx-phase",
+		defaultMax: 4_000_000,
+		exponent:   func(c GraphClass) float64 { return c.ApproxExponent },
+		stop: func(sys *core.System) core.UniformStop {
+			return core.StopAtPsi0Below(4 * sys.PsiCritical())
+		},
+		predicted: func(sys *core.System, m int64) float64 { return 2 * sys.ApproxPhaseRounds(m) },
+	})
 }
 
 // MeasureApproxNE measures rounds from the all-on-one start until the
@@ -208,128 +261,32 @@ func MeasureApproxPhase(class GraphClass, opts MeasureOpts) (SweepResult, error)
 // ln(m/n)·Δ/λ₂ is Θ(ln m) on the complete graph, Θ(n·ln) on the torus,
 // Θ(n²·ln) on the ring and Θ(ln n·ln) on the hypercube.
 func MeasureApproxNE(class GraphClass, eps float64, opts MeasureOpts) (SweepResult, error) {
-	opts.defaults()
-	res := SweepResult{Class: class.Display, PredictedExponent: class.ApproxExponent}
-	var xs, ys []float64
-	for _, n := range opts.Sizes {
-		g, err := class.Build(n)
-		if err != nil {
-			return res, fmt.Errorf("build %s(%d): %w", class.Key, n, err)
-		}
-		actualN := g.N()
-		m := int64(opts.TasksPerNode) * int64(actualN)
-		sys, err := core.NewSystem(g, machine.Uniform(actualN), core.WithLambda2(class.Lambda2(g)))
-		if err != nil {
-			return res, err
-		}
-		maxRounds := opts.MaxRounds
-		if maxRounds <= 0 {
-			maxRounds = 8_000_000
-		}
-		var agg stats.Welford
-		for rep := 0; rep < opts.Repeats; rep++ {
-			counts, err := workload.AllOnOne(actualN, m, 0)
-			if err != nil {
-				return res, err
-			}
-			st, err := core.NewUniformState(sys, counts)
-			if err != nil {
-				return res, err
-			}
-			run, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtApproxNash(eps), core.RunOpts{
-				MaxRounds:  maxRounds,
-				Seed:       opts.Seed + uint64(n)*1000 + uint64(rep) + 13,
-				CheckEvery: 1,
-			})
-			if err != nil {
-				return res, fmt.Errorf("%s n=%d rep=%d: %w", class.Key, actualN, rep, err)
-			}
-			agg.Add(float64(run.Rounds))
-		}
-		point := SweepPoint{
-			N:          actualN,
-			M:          m,
-			MeanRounds: agg.Mean(),
-			StdErr:     agg.StdErr(),
-			Predicted:  2 * sys.ApproxPhaseRounds(m),
-			Repeats:    opts.Repeats,
-		}
-		res.Points = append(res.Points, point)
-		xs = append(xs, float64(actualN))
-		ys = append(ys, maxf(point.MeanRounds, 1))
-	}
-	if len(xs) >= 2 {
-		exp, _, r2, err := stats.FitPowerLaw(xs, ys)
-		if err == nil {
-			res.FittedExponent = exp
-			res.R2 = r2
-		}
-	}
-	return res, nil
+	return measureSweep(class, opts, phaseSpec{
+		name:       fmt.Sprintf("%g-approx-ne", eps),
+		defaultMax: 8_000_000,
+		seedSalt:   13,
+		exponent:   func(c GraphClass) float64 { return c.ApproxExponent },
+		stop: func(sys *core.System) core.UniformStop {
+			return core.StopAtApproxNash(eps)
+		},
+		predicted: func(sys *core.System, m int64) float64 { return 2 * sys.ApproxPhaseRounds(m) },
+	})
 }
 
 // MeasureExactPhase measures rounds from the all-on-one start to an
 // exact Nash equilibrium (uniform speeds, so granularity ε̄ = 1) and fits
 // the scaling exponent against the Theorem 1.2 prediction.
 func MeasureExactPhase(class GraphClass, opts MeasureOpts) (SweepResult, error) {
-	opts.defaults()
-	res := SweepResult{Class: class.Display, PredictedExponent: class.ExactExponent}
-	var xs, ys []float64
-	for _, n := range opts.Sizes {
-		g, err := class.Build(n)
-		if err != nil {
-			return res, fmt.Errorf("build %s(%d): %w", class.Key, n, err)
-		}
-		actualN := g.N()
-		m := int64(opts.TasksPerNode) * int64(actualN)
-		sys, err := core.NewSystem(g, machine.Uniform(actualN), core.WithLambda2(class.Lambda2(g)))
-		if err != nil {
-			return res, err
-		}
-		maxRounds := opts.MaxRounds
-		if maxRounds <= 0 {
-			maxRounds = 8_000_000
-		}
-		var agg stats.Welford
-		for rep := 0; rep < opts.Repeats; rep++ {
-			counts, err := workload.AllOnOne(actualN, m, 0)
-			if err != nil {
-				return res, err
-			}
-			st, err := core.NewUniformState(sys, counts)
-			if err != nil {
-				return res, err
-			}
-			run, err := core.RunUniform(st, core.Algorithm1{}, core.StopAtNash(), core.RunOpts{
-				MaxRounds:  maxRounds,
-				Seed:       opts.Seed + uint64(n)*1000 + uint64(rep) + 7,
-				CheckEvery: 1,
-			})
-			if err != nil {
-				return res, fmt.Errorf("%s n=%d rep=%d: %w", class.Key, actualN, rep, err)
-			}
-			agg.Add(float64(run.Rounds))
-		}
-		point := SweepPoint{
-			N:          actualN,
-			M:          m,
-			MeanRounds: agg.Mean(),
-			StdErr:     agg.StdErr(),
-			Predicted:  sys.ExactPhaseRounds(1),
-			Repeats:    opts.Repeats,
-		}
-		res.Points = append(res.Points, point)
-		xs = append(xs, float64(actualN))
-		ys = append(ys, maxf(point.MeanRounds, 1))
-	}
-	if len(xs) >= 2 {
-		exp, _, r2, err := stats.FitPowerLaw(xs, ys)
-		if err == nil {
-			res.FittedExponent = exp
-			res.R2 = r2
-		}
-	}
-	return res, nil
+	return measureSweep(class, opts, phaseSpec{
+		name:       "exact-ne",
+		defaultMax: 8_000_000,
+		seedSalt:   7,
+		exponent:   func(c GraphClass) float64 { return c.ExactExponent },
+		stop: func(sys *core.System) core.UniformStop {
+			return core.StopAtNash()
+		},
+		predicted: func(sys *core.System, m int64) float64 { return sys.ExactPhaseRounds(1) },
+	})
 }
 
 // SweepCSV renders a sweep result as CSV (one row per size).

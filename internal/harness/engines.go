@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/task"
+)
+
+// Engine names accepted by the dispatchers. Every engine draws node i's
+// round-r randomness from the same (seed, r, i)-keyed stream, so for a
+// given seed all of them execute the identical trajectory — the choice
+// only affects how the rounds are computed (one goroutine, a fork–join
+// worker pool, or one actor per processor).
+const (
+	// EngineSeq is the sequential reference engine in package core.
+	EngineSeq = "seq"
+	// EngineForkJoin is the worker-pool engine dist.Runtime (uniform)
+	// or dist.WeightedRuntime (weighted).
+	EngineForkJoin = "forkjoin"
+	// EngineActor is the goroutine-per-processor engine dist.Network
+	// (uniform tasks only).
+	EngineActor = "actor"
+)
+
+// UniformEngines lists the engine names RunUniformEngine accepts.
+func UniformEngines() []string { return []string{EngineSeq, EngineForkJoin, EngineActor} }
+
+// WeightedEngines lists the engine names RunWeightedEngine accepts.
+func WeightedEngines() []string { return []string{EngineSeq, EngineForkJoin} }
+
+// RunUniformEngine runs one uniform-task simulation on the named engine
+// ("" means seq) through the shared core.Drive loop, and returns the run
+// result together with the final per-node task counts (valid on the
+// ErrMaxRounds path too, so callers can chain phases).
+func RunUniformEngine(engine string, sys *core.System, proto core.UniformNodeProtocol, counts []int64, stop core.UniformStop, opts core.RunOpts) (core.RunResult, []int64, error) {
+	switch engine {
+	case "", EngineSeq:
+		st, err := core.NewUniformState(sys, counts)
+		if err != nil {
+			return core.RunResult{}, nil, err
+		}
+		res, err := core.RunUniform(st, proto, stop, opts)
+		return res, st.Counts(), err
+	case EngineForkJoin:
+		rt, err := dist.NewRuntime(sys, proto, counts)
+		if err != nil {
+			return core.RunResult{}, nil, err
+		}
+		defer rt.Close()
+		res, err := core.Drive[*core.UniformState](rt, stop, opts)
+		return res, rt.Counts(), err
+	case EngineActor:
+		nw, err := dist.NewNetworkWith(sys, counts, opts.Seed, proto)
+		if err != nil {
+			return core.RunResult{}, nil, err
+		}
+		defer nw.Close()
+		res, err := core.Drive[*core.UniformState](nw, stop, opts)
+		return res, nw.Counts(), err
+	default:
+		return core.RunResult{}, nil, fmt.Errorf("harness: unknown uniform engine %q (want seq|forkjoin|actor)", engine)
+	}
+}
+
+// RunWeightedEngine runs one weighted-task simulation on the named
+// engine ("" means seq) through the shared core.Drive loop, and returns
+// the run result together with the final weighted state. The forkjoin
+// engine requires a protocol whose round factorizes into per-node
+// decisions (core.WeightedNodeProtocol).
+func RunWeightedEngine(engine string, sys *core.System, proto core.WeightedProtocol, perNode []task.Weights, stop core.WeightedStop, opts core.RunOpts) (core.RunResult, *core.WeightedState, error) {
+	switch engine {
+	case "", EngineSeq:
+		st, err := core.NewWeightedState(sys, perNode)
+		if err != nil {
+			return core.RunResult{}, nil, err
+		}
+		res, err := core.RunWeighted(st, proto, stop, opts)
+		return res, st, err
+	case EngineForkJoin:
+		np, ok := proto.(core.WeightedNodeProtocol)
+		if !ok {
+			return core.RunResult{}, nil, fmt.Errorf("harness: protocol %s does not factorize into per-node decisions; the forkjoin engine requires a core.WeightedNodeProtocol", proto.Name())
+		}
+		rt, err := dist.NewWeightedRuntime(sys, perNode, np)
+		if err != nil {
+			return core.RunResult{}, nil, err
+		}
+		defer rt.Close()
+		res, err := core.Drive[*core.WeightedState](rt, stop, opts)
+		st, stErr := rt.State()
+		if stErr != nil && err == nil {
+			err = stErr
+		}
+		return res, st, err
+	default:
+		return core.RunResult{}, nil, fmt.Errorf("harness: unknown weighted engine %q (want seq|forkjoin)", engine)
+	}
+}

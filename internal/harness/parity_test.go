@@ -1,0 +1,216 @@
+// Engine-parity acceptance tests: every engine, driven through the
+// shared core.Drive loop, must reproduce the sequential reference
+// bit-for-bit — identical RunResult (rounds, convergence, moves),
+// identical trace floats, identical final state — on every Table-1
+// graph class. The tests live in an external package so they can reuse
+// the class definitions from internal/experiments, which itself builds
+// on harness.
+package harness_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// buildUniform constructs a Table-1 instance with two-class speeds and
+// an adversarial two-corner start.
+func buildUniform(t *testing.T, class experiments.GraphClass, n int) (*core.System, []int64) {
+	t.Helper()
+	g, err := class.Build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actualN := g.N()
+	speeds, err := machine.TwoClass(actualN, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, speeds, core.WithLambda2(class.Lambda2(g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := workload.TwoCorners(actualN, int64(50*actualN), 0, actualN-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, counts
+}
+
+// sameRun compares two RunResults for exact equality, traces included.
+func sameRun(t *testing.T, engine string, want, got core.RunResult) {
+	t.Helper()
+	if got.Rounds != want.Rounds || got.Converged != want.Converged || got.Moves != want.Moves {
+		t.Fatalf("%s: RunResult (rounds=%d conv=%v moves=%d), want (rounds=%d conv=%v moves=%d)",
+			engine, got.Rounds, got.Converged, got.Moves, want.Rounds, want.Converged, want.Moves)
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("%s: %d trace points, want %d", engine, len(got.Trace), len(want.Trace))
+	}
+	for k := range want.Trace {
+		if got.Trace[k] != want.Trace[k] {
+			t.Fatalf("%s: trace[%d] = %+v, want %+v", engine, k, got.Trace[k], want.Trace[k])
+		}
+	}
+}
+
+// TestUniformEngineParity drives the sequential engine, the fork–join
+// runtime and the actor network through the unified driver on every
+// Table-1 class, with a stop condition, tracing, and a CheckEvery that
+// does not divide TraceEvery, and demands bit-identical results.
+func TestUniformEngineParity(t *testing.T) {
+	for _, class := range experiments.Table1Classes() {
+		class := class
+		t.Run(class.Key, func(t *testing.T) {
+			t.Parallel()
+			sys, counts := buildUniform(t, class, 16)
+			stop := core.StopAtPsi0Below(4 * sys.PsiCritical())
+			opts := core.RunOpts{MaxRounds: 200_000, Seed: 11, TraceEvery: 7, CheckEvery: 3}
+
+			ref, refCounts, err := harness.RunUniformEngine(harness.EngineSeq, sys, core.Algorithm1{}, counts, stop, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ref.Converged || ref.Rounds == 0 {
+				t.Fatalf("reference run did not converge meaningfully: %+v", ref)
+			}
+			if last := ref.Trace[len(ref.Trace)-1].Round; last != ref.Rounds {
+				t.Fatalf("reference trace ends at round %d, want %d", last, ref.Rounds)
+			}
+			for _, engine := range []string{harness.EngineForkJoin, harness.EngineActor} {
+				res, gotCounts, err := harness.RunUniformEngine(engine, sys, core.Algorithm1{}, counts, stop, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", engine, err)
+				}
+				sameRun(t, engine, ref, res)
+				for i := range refCounts {
+					if gotCounts[i] != refCounts[i] {
+						t.Fatalf("%s: node %d count %d, want %d", engine, i, gotCounts[i], refCounts[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUniformEngineParityMaxRounds checks the no-stop path (fixed round
+// budget) where the final round must appear in every engine's trace.
+func TestUniformEngineParityMaxRounds(t *testing.T) {
+	class, err := experiments.ClassByKey("torus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, counts := buildUniform(t, class, 16)
+	opts := core.RunOpts{MaxRounds: 45, Seed: 4, TraceEvery: 10}
+	ref, _, err := harness.RunUniformEngine(harness.EngineSeq, sys, core.Algorithm1{}, counts, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := ref.Trace[len(ref.Trace)-1].Round; last != 45 {
+		t.Fatalf("final round missing from trace: last point at %d", last)
+	}
+	for _, engine := range []string{harness.EngineForkJoin, harness.EngineActor} {
+		res, _, err := harness.RunUniformEngine(engine, sys, core.Algorithm1{}, counts, nil, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		sameRun(t, engine, ref, res)
+	}
+}
+
+// TestWeightedEngineParity drives Algorithm 2 sequentially and on the
+// weighted fork–join runtime through the unified driver on every
+// Table-1 class and demands identical results and final states.
+func TestWeightedEngineParity(t *testing.T) {
+	for _, class := range experiments.Table1Classes() {
+		class := class
+		t.Run(class.Key, func(t *testing.T) {
+			t.Parallel()
+			g, err := class.Build(16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := g.N()
+			sys, err := core.NewSystem(g, machine.Uniform(n), core.WithLambda2(class.Lambda2(g)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			weights, err := task.RandomWeights(60*n, 0.1, 1, rng.New(9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			perNode, err := workload.WeightedAllOnOne(n, weights, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop := core.StopAtWeightedPsi0Below(4 * sys.PsiCriticalWeighted())
+			opts := core.RunOpts{MaxRounds: 300_000, Seed: 21, TraceEvery: 5, CheckEvery: 2}
+
+			ref, refState, err := harness.RunWeightedEngine(harness.EngineSeq, sys, core.Algorithm2{}, perNode, stop, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, gotState, err := harness.RunWeightedEngine(harness.EngineForkJoin, sys, core.Algorithm2{}, perNode, stop, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRun(t, harness.EngineForkJoin, ref, res)
+			for i := 0; i < n; i++ {
+				if gotState.NodeWeight(i) != refState.NodeWeight(i) {
+					t.Fatalf("node %d: weight %g, want %g", i, gotState.NodeWeight(i), refState.NodeWeight(i))
+				}
+				gw, rw := gotState.TaskWeights(i), refState.TaskWeights(i)
+				if len(gw) != len(rw) {
+					t.Fatalf("node %d: %d tasks, want %d", i, len(gw), len(rw))
+				}
+				for k := range gw {
+					if gw[k] != rw[k] {
+						t.Fatalf("node %d task %d: %g, want %g", i, k, gw[k], rw[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineDispatchErrors covers the dispatcher's rejection paths.
+func TestEngineDispatchErrors(t *testing.T) {
+	class, err := experiments.ClassByKey("ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, counts := buildUniform(t, class, 8)
+	opts := core.RunOpts{MaxRounds: 10, Seed: 1}
+	if _, _, err := harness.RunUniformEngine("warp", sys, core.Algorithm1{}, counts, nil, opts); err == nil {
+		t.Error("unknown uniform engine accepted")
+	}
+	perNode := make([]task.Weights, sys.N())
+	if _, _, err := harness.RunWeightedEngine("warp", sys, core.Algorithm2{}, perNode, nil, opts); err == nil {
+		t.Error("unknown weighted engine accepted")
+	}
+	// The baseline protocol does not factorize into per-node decisions,
+	// so the fork–join engine must reject it rather than mis-run it.
+	if _, _, err := harness.RunWeightedEngine(harness.EngineForkJoin, sys, core.BaselineWeighted{}, perNode, nil, opts); err == nil {
+		t.Error("forkjoin accepted a non-node weighted protocol")
+	}
+	// ErrMaxRounds passes through with the final counts intact.
+	never := func(*core.UniformState) bool { return false }
+	_, got, err := harness.RunUniformEngine(harness.EngineForkJoin, sys, core.Algorithm1{}, counts, never, opts)
+	if !errors.Is(err, core.ErrMaxRounds) {
+		t.Fatalf("want ErrMaxRounds, got %v", err)
+	}
+	var total int64
+	for _, c := range got {
+		total += c
+	}
+	if want := int64(50 * sys.N()); total != want {
+		t.Errorf("counts after ErrMaxRounds sum to %d, want %d", total, want)
+	}
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) over a pool of at most
+// workers goroutines (≤ 0 means GOMAXPROCS) and blocks until the pool
+// drains. A failed call aborts the pool: jobs not yet started are
+// skipped (in-flight jobs finish), so one broken cell cannot burn the
+// compute budget of the whole matrix. Among the errors that did occur,
+// the lowest-index one is returned. Callers that need results must
+// write them into a slice indexed by i — never append from fn — to keep
+// the output deterministic.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if errs[i] = fn(i); errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var aborted atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for !aborted.Load() {
+					i := int(next.Add(1))
+					if i >= n {
+						return
+					}
+					if errs[i] = fn(i); errs[i] != nil {
+						aborted.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("harness: job %d: %w", i, err)
+		}
+	}
+	return nil
+}
