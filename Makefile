@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-check bench-json table1 ci
+.PHONY: build vet test race bench-check bench-json table1 cover fuzz-short ci
 
 build:
 	$(GO) build ./...
@@ -21,18 +21,36 @@ race:
 bench-check:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Run the Table-1 and batching benchmarks once and emit BENCH_core.json
-# (ns/op plus the rounds/theory-rounds metrics) via cmd/benchjson. CI
-# uploads the file as a non-gating artifact so the performance
-# trajectory is tracked across PRs. Two steps (not a pipe) so a failing
+# Run the Table-1, batching and dynamic-event benchmarks once and emit
+# BENCH_core.json (ns/op plus the rounds/theory-rounds metrics) via
+# cmd/benchjson. CI uploads the file as a non-gating artifact so the
+# performance trajectory — including the dynamic event-application hot
+# path — is tracked across PRs. Two steps (not a pipe) so a failing
 # benchmark run fails the target instead of writing a truncated JSON.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Table1|RoundBatchedVsPerTask' -benchtime 1x . > BENCH_core.txt
+	$(GO) test -run '^$$' -bench 'Table1|RoundBatchedVsPerTask|DynamicEvents' -benchtime 1x . > BENCH_core.txt
 	$(GO) run ./cmd/benchjson < BENCH_core.txt > BENCH_core.json
 	rm -f BENCH_core.txt
 
 # Regenerate the empirical counterpart of the paper's Table 1.
 table1:
 	$(GO) test -run '^$$' -bench Table1 -benchtime 3x .
+
+# Aggregate coverage profile + per-function summary.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+# Short native-fuzzing pass over the samplers and graph generators
+# (each -fuzz run accepts exactly one target, hence one line per
+# target). CI runs this on every push; longer local sessions can raise
+# FUZZTIME.
+FUZZTIME ?= 5s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzBinomial$$' -fuzztime $(FUZZTIME) ./internal/rng
+	$(GO) test -run '^$$' -fuzz '^FuzzPoisson$$' -fuzztime $(FUZZTIME) ./internal/rng
+	$(GO) test -run '^$$' -fuzz '^FuzzMultinomial$$' -fuzztime $(FUZZTIME) ./internal/rng
+	$(GO) test -run '^$$' -fuzz '^FuzzEqualSplit$$' -fuzztime $(FUZZTIME) ./internal/rng
+	$(GO) test -run '^$$' -fuzz '^FuzzGenerators$$' -fuzztime $(FUZZTIME) ./internal/graph
 
 ci: vet build race bench-check

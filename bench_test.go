@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diffusion"
 	"repro/internal/dist"
+	"repro/internal/dynamics"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/machine"
@@ -394,6 +395,62 @@ func BenchmarkAlphaAblation(b *testing.B) {
 }
 
 // --- Ablation: sequential engine vs goroutine runtimes ---
+
+// BenchmarkDynamicEvents measures the dynamic-workload hot path: event
+// generation (Poisson arrivals + speed-proportional completions keyed
+// by round) and its application to the state, per round, on a
+// 256-node torus. This is the per-round overhead the dynamic regime
+// adds on top of the protocol itself; bench-json tracks it in
+// BENCH_core.json.
+func BenchmarkDynamicEvents(b *testing.B) {
+	sys := mustSystem(b, mustClass(b, "torus"), 256)
+	n := sys.N()
+	w := dynamics.Workload{Seed: 7, ArrivalRate: float64(n), ServiceRate: 1.25, BurstEvery: 64, BurstSize: int64(8 * n)}
+	b.Run("generate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w.UniformEvents(sys, uint64(i+1))
+		}
+	})
+	b.Run("generate+apply", func(b *testing.B) {
+		counts, err := workload.Proportional(sys.Speeds(), int64(64*n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := core.NewUniformState(sys, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if batch := w.UniformEvents(sys, uint64(i+1)); batch != nil {
+				if _, err := st.ApplyEvents(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("full-round", func(b *testing.B) {
+		counts, err := workload.Proportional(sys.Speeds(), int64(64*n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := core.NewUniformState(sys, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proto := core.Algorithm1{}
+		base := rng.New(3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if batch := w.UniformEvents(sys, uint64(i+1)); batch != nil {
+				if _, err := st.ApplyEvents(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			proto.Step(st, uint64(i+1), base)
+		}
+	})
+}
 
 func BenchmarkDistRuntime(b *testing.B) {
 	sys := mustSystem(b, mustClass(b, "torus"), 64)

@@ -8,6 +8,15 @@
 //	lbsim -graph torus -n 100 -tasks 50000 -speeds twoclass -smax 4
 //	lbsim -graph hypercube -n 64 -model weighted -protocol baseline
 //	lbsim -graph torus -n 256 -engine forkjoin -trace 100
+//
+// With any of -arrivals, -departures or -churn set, lbsim switches to
+// the dynamic regime: tasks arrive and complete while the protocol
+// runs, nodes periodically leave and join, and the report shows the
+// steady-state metrics (time-averaged Ψ₀, post-burst recovery) instead
+// of convergence phases:
+//
+//	lbsim -graph torus -n 64 -arrivals 32 -departures 0.6 -horizon 500
+//	lbsim -graph ring -n 32 -arrivals 16 -departures 0.7 -churn 100 -engine actor
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/dynamics"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/harness"
@@ -52,6 +62,14 @@ func run() error {
 		trace     = flag.Int("trace", 0, "emit a potential trace every k rounds (0 = off)")
 		placement = flag.String("placement", "corner", "initial placement: corner|random|proportional")
 		analyze   = flag.Bool("analyze", false, "print a state diagnostic after each phase (uniform model)")
+
+		arrivals   = flag.Float64("arrivals", 0, "dynamic: expected task arrivals per round (Poisson, spread over nodes)")
+		departures = flag.Float64("departures", 0, "dynamic: per-unit-speed task completion rate (Poisson(rate·sᵢ) per node)")
+		churn      = flag.Int("churn", 0, "dynamic: alternate node leave/join every k rounds (0 = off)")
+		burstEvery = flag.Int("burstevery", 0, "dynamic: burst arrival period in rounds (0 = off)")
+		burstSize  = flag.Int64("burstsize", 0, "dynamic: tasks per burst (default m/4 when bursts are on)")
+		horizon    = flag.Int("horizon", 500, "dynamic: rounds of continuous traffic")
+		eventSeed  = flag.Uint64("eventseed", 0, "dynamic: event-stream seed (default seed+17)")
 	)
 	flag.Parse()
 
@@ -77,10 +95,147 @@ func run() error {
 	fmt.Printf("theory:   γ=%.1f  ψ_c=%.1f  T_approx≤%.0f  T_exact≤%.3g\n",
 		sys.Gamma(), sys.PsiCritical(), 2*sys.ApproxPhaseRounds(m), sys.ExactPhaseRounds(1))
 
+	if *arrivals < 0 || *departures < 0 || *churn < 0 || *burstEvery < 0 || *burstSize < 0 {
+		return fmt.Errorf("dynamic flags must be non-negative (arrivals=%g departures=%g churn=%d burstevery=%d burstsize=%d)",
+			*arrivals, *departures, *churn, *burstEvery, *burstSize)
+	}
+	if *arrivals > 0 || *departures > 0 || *churn > 0 || *burstEvery > 0 {
+		dyn := dynCfg{
+			arrivals: *arrivals, departures: *departures, churn: *churn,
+			burstEvery: *burstEvery, burstSize: *burstSize,
+			horizon: *horizon, eventSeed: *eventSeed, trace: *trace,
+		}
+		if dyn.eventSeed == 0 {
+			dyn.eventSeed = *seed + 17
+		}
+		if dyn.burstEvery > 0 && dyn.burstSize <= 0 {
+			dyn.burstSize = m / 4
+		}
+		return runDynamic(sys, m, *model, *engine, *protocol, *placement, *seed, dyn)
+	}
 	if *model == "weighted" {
 		return runWeighted(sys, m, *engine, *protocol, *eps, *seed, *maxRounds, *trace)
 	}
 	return runUniform(sys, m, *engine, *placement, *eps, *seed, *maxRounds, *trace, *analyze)
+}
+
+// dynCfg bundles the dynamic-regime flags.
+type dynCfg struct {
+	arrivals, departures float64
+	churn                int
+	burstEvery           int
+	burstSize            int64
+	horizon              int
+	eventSeed            uint64
+	trace                int
+}
+
+// runDynamic executes the dynamic regime: continuous arrivals and
+// completions (and optional bursts and churn) over a fixed horizon,
+// reporting steady-state metrics and the event ledger.
+func runDynamic(sys *core.System, m int64, model, engine, protocol, placement string, seed uint64, cfg dynCfg) error {
+	w := dynamics.Workload{
+		Seed:        cfg.eventSeed,
+		ArrivalRate: cfg.arrivals,
+		ServiceRate: cfg.departures,
+		BurstEvery:  cfg.burstEvery,
+		BurstSize:   cfg.burstSize,
+	}
+	opts := harness.DynamicOpts{
+		MaxRounds: cfg.horizon,
+		Seed:      seed,
+		Workload:  w,
+		Churn:     dynamics.AlternatingChurn(cfg.horizon, cfg.churn),
+	}
+	fmt.Printf("dynamic:  horizon=%d  λ=%g/round  μ=%g·sᵢ/round  burst=%d@%d  churn every %d  engine=%s\n",
+		cfg.horizon, cfg.arrivals, cfg.departures, cfg.burstSize, cfg.burstEvery, cfg.churn, engine)
+
+	var res harness.DynamicResult
+	var err error
+	if model == "weighted" {
+		proto, perr := weightedProtocol(protocol)
+		if perr != nil {
+			return perr
+		}
+		weights, werr := task.RandomWeights(int(m), 0.1, 1.0, rng.New(seed+3))
+		if werr != nil {
+			return werr
+		}
+		perNode, werr := workload.WeightedAllOnOne(sys.N(), weights, 0)
+		if werr != nil {
+			return werr
+		}
+		res, err = harness.RunWeightedDynamic(engine, sys, proto, perNode, opts)
+	} else {
+		counts, cerr := initialCounts(sys, m, placement, seed)
+		if cerr != nil {
+			return cerr
+		}
+		res, err = harness.RunUniformDynamic(engine, sys, core.Algorithm1{}, counts, opts)
+	}
+	if err != nil {
+		return err
+	}
+	if model == "weighted" {
+		fmt.Printf("traffic:  %d event batches: +%d/−%d tasks (+%.1f/−%.1f weight)\n",
+			res.Ledger.Batches, res.Ledger.ArrivedTasks, res.Ledger.DepartedTasks,
+			res.Ledger.ArrivedWeight, res.Ledger.DepartedWeight)
+	} else {
+		fmt.Printf("traffic:  %d event batches: +%d/−%d tasks\n",
+			res.Ledger.Batches, res.Ledger.Arrived, res.Ledger.Departed)
+	}
+	fmt.Printf("run:      %d rounds in %d epochs, %d protocol moves, final n=%d\n",
+		res.Rounds, res.Epochs, res.Moves, res.FinalN)
+	mtr := res.Metrics
+	fmt.Printf("steady:   Ψ̄₀=%.4g  max Ψ₀=%.4g  final Ψ₀=%.4g\n", mtr.TimeAvgPsi0, mtr.MaxPsi0, mtr.FinalPsi0)
+	if mtr.Bursts > 0 {
+		fmt.Printf("recovery: %d/%d bursts recovered, mean %.1f rounds\n",
+			mtr.BurstsRecovered, mtr.Bursts, mtr.RecoveryMeanRounds)
+	}
+	if cfg.trace > 0 {
+		// The dynamic runner traces every round for its metrics; honor
+		// the -trace k sampling contract on output (round 0 and the
+		// final round always included, like the static path).
+		var pts []core.TracePoint
+		for i, p := range res.Trace {
+			if i == 0 || i == len(res.Trace)-1 || p.Round%cfg.trace == 0 {
+				pts = append(pts, p)
+			}
+		}
+		emitTrace(core.RunResult{Trace: pts}, cfg.trace)
+	}
+	return nil
+}
+
+// weightedProtocol resolves the -protocol flag (shared by the static
+// and dynamic weighted paths).
+func weightedProtocol(name string) (core.WeightedProtocol, error) {
+	switch name {
+	case "paper":
+		return core.Algorithm2{}, nil
+	case "literal":
+		return core.Algorithm2Literal{}, nil
+	case "baseline":
+		return core.BaselineWeighted{}, nil
+	default:
+		return nil, fmt.Errorf("unknown weighted protocol %q", name)
+	}
+}
+
+// initialCounts builds the initial uniform placement (shared by the
+// static and dynamic paths).
+func initialCounts(sys *core.System, m int64, placement string, seed uint64) ([]int64, error) {
+	n := sys.N()
+	switch placement {
+	case "corner":
+		return workload.AllOnOne(n, m, 0)
+	case "random":
+		return workload.UniformRandom(n, m, rng.New(seed+2))
+	case "proportional":
+		return workload.Proportional(sys.Speeds(), m)
+	default:
+		return nil, fmt.Errorf("unknown placement %q", placement)
+	}
 }
 
 func buildGraph(name string, n int, seed uint64) (*graph.Graph, float64, error) {
@@ -151,19 +306,7 @@ func buildSpeeds(profile string, n int, smax float64, seed uint64) (machine.Spee
 }
 
 func runUniform(sys *core.System, m int64, engine, placement string, eps float64, seed uint64, maxRounds, trace int, analyze bool) error {
-	n := sys.N()
-	var counts []int64
-	var err error
-	switch placement {
-	case "corner":
-		counts, err = workload.AllOnOne(n, m, 0)
-	case "random":
-		counts, err = workload.UniformRandom(n, m, rng.New(seed+2))
-	case "proportional":
-		counts, err = workload.Proportional(sys.Speeds(), m)
-	default:
-		err = fmt.Errorf("unknown placement %q", placement)
-	}
+	counts, err := initialCounts(sys, m, placement, seed)
 	if err != nil {
 		return err
 	}
@@ -222,16 +365,9 @@ func runWeighted(sys *core.System, m int64, engine, protocol string, eps float64
 	if err != nil {
 		return err
 	}
-	var proto core.WeightedProtocol
-	switch protocol {
-	case "paper":
-		proto = core.Algorithm2{}
-	case "literal":
-		proto = core.Algorithm2Literal{}
-	case "baseline":
-		proto = core.BaselineWeighted{}
-	default:
-		return fmt.Errorf("unknown weighted protocol %q", protocol)
+	proto, err := weightedProtocol(protocol)
+	if err != nil {
+		return err
 	}
 	start, err := core.NewWeightedState(sys, perNode)
 	if err != nil {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
 
 func TestBuildGraphClasses(t *testing.T) {
 	for _, name := range []string{"complete", "ring", "path", "torus", "mesh", "hypercube", "star", "regular"} {
@@ -47,5 +52,60 @@ func TestSqrtSide(t *testing.T) {
 		if got := sqrtSide(c.n); got != c.want {
 			t.Errorf("sqrtSide(%d) = %d, want %d", c.n, got, c.want)
 		}
+	}
+}
+
+func TestRunDynamicSmoke(t *testing.T) {
+	g, lambda2, err := buildGraph("torus", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds, err := buildSpeeds("twoclass", g.N(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, speeds, core.WithLambda2(lambda2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dynCfg{
+		arrivals: 8, departures: 0.5, churn: 20,
+		burstEvery: 15, burstSize: 40,
+		horizon: 50, eventSeed: 18,
+	}
+	for _, model := range []string{"uniform", "weighted"} {
+		if err := runDynamic(sys, 400, model, "seq", "paper", "corner", 1, cfg); err != nil {
+			t.Errorf("runDynamic(%s): %v", model, err)
+		}
+	}
+	if err := runDynamic(sys, 400, "uniform", "forkjoin", "paper", "random", 1, cfg); err != nil {
+		t.Errorf("runDynamic(forkjoin): %v", err)
+	}
+}
+
+func TestInitialCounts(t *testing.T) {
+	g, lambda2, err := buildGraph("ring", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, machine.Uniform(g.N()), core.WithLambda2(lambda2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, placement := range []string{"corner", "random", "proportional"} {
+		counts, err := initialCounts(sys, 80, placement, 1)
+		if err != nil {
+			t.Fatalf("initialCounts(%s): %v", placement, err)
+		}
+		sum := int64(0)
+		for _, c := range counts {
+			sum += c
+		}
+		if sum != 80 {
+			t.Errorf("initialCounts(%s): sum %d, want 80", placement, sum)
+		}
+	}
+	if _, err := initialCounts(sys, 80, "nope", 1); err == nil {
+		t.Error("unknown placement accepted")
 	}
 }

@@ -5,6 +5,7 @@
 //   - granularity: exact-NE rounds vs speed granularity ε̄ (Theorem 1.2)
 //   - weighted:    Algorithm 2 vs the [6] baseline on weighted instances
 //   - diffusion:   protocol mean trajectory vs expected-flow diffusion
+//   - dynamic:     steady-state Ψ₀ under online arrivals/departures/churn
 //
 // All experiments fan their independent repetitions over the concurrent
 // harness worker pool; -workers bounds the parallelism (0 = all cores)
@@ -40,12 +41,15 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "drop", "drop|granularity|weighted|diffusion")
+		experiment = flag.String("experiment", "drop", "drop|granularity|weighted|diffusion|dynamic")
 		n          = flag.Int("n", 16, "instance size")
 		tpn        = flag.Int("taskspernode", 64, "tasks per node")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		repeats    = flag.Int("repeats", 3, "repetitions")
 		workers    = flag.Int("workers", 0, "concurrent jobs (0 = all cores)")
+		horizon    = flag.Int("horizon", 400, "dynamic: rounds of continuous traffic")
+		churnEvery = flag.Int("churnevery", 0, "dynamic: leave/join every k rounds (0 = no churn)")
+		engine     = flag.String("engine", "seq", "dynamic: execution engine seq|forkjoin|actor")
 	)
 	flag.Parse()
 
@@ -58,9 +62,26 @@ func run() error {
 		return runWeightedComparison(*n, *tpn, *seed, *repeats, *workers)
 	case "diffusion":
 		return runDiffusion(*n, *tpn, *seed, *workers)
+	case "dynamic":
+		return runDynamic(experiments.DynamicConfig{
+			N: *n, TasksPerNode: *tpn, Horizon: *horizon, ChurnEvery: *churnEvery,
+			Repeats: *repeats, Seed: *seed, Engine: *engine, Workers: *workers,
+		})
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
+}
+
+// runDynamic prints the steady-state summary and the CSV rows of the
+// dynamic workload matrix.
+func runDynamic(cfg experiments.DynamicConfig) error {
+	sums, err := experiments.MeasureDynamic(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatDynamic(sums))
+	fmt.Print(harness.CSV(sums))
+	return nil
 }
 
 // runDrop traces the four classes concurrently (one job per class) and

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/experiments"
 	"repro/internal/testutil"
 )
 
@@ -65,5 +66,14 @@ func TestSweepWorkerCountInvariance(t *testing.T) {
 	}
 	if seq, par := runW(1), runW(8); seq != par {
 		t.Errorf("weighted output differs by worker count:\n-- workers=1 --\n%s-- workers=8 --\n%s", seq, par)
+	}
+}
+
+func TestRunDynamicSmoke(t *testing.T) {
+	if err := runDynamic(experiments.DynamicConfig{
+		N: 8, TasksPerNode: 16, Horizon: 40, ChurnEvery: 15,
+		Repeats: 1, Seed: 5, Engine: "seq", Workers: 2,
+	}); err != nil {
+		t.Fatal(err)
 	}
 }

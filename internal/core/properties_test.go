@@ -78,7 +78,11 @@ func TestStepNeverMovesAgainstTheGradient(t *testing.T) {
 		for i := 0; i < g.N(); i++ {
 			minimal := true
 			for _, jj := range g.Neighbors(i) {
-				if loads[int(jj)] < loads[i]-1/sys.Speed(int(jj)) {
+				// Use the protocol's exact eligibility expression
+				// (li − lj > 1/sj): the algebraically equivalent
+				// lj < li − 1/sj can round differently and falsely
+				// flag a legal move.
+				if loads[i]-loads[int(jj)] > 1/sys.Speed(int(jj)) {
 					// A neighbor is low enough that i could send to it.
 					minimal = false
 					break

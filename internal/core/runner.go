@@ -30,6 +30,9 @@ type RunResult struct {
 	Moves int64
 	// Trace holds sampled potentials if tracing was enabled.
 	Trace []TracePoint
+	// Ledger accumulates the workload events applied through
+	// RunOpts.Events (zero for static runs).
+	Ledger EventLedger
 }
 
 // RunOpts configures a simulation run.
@@ -43,6 +46,12 @@ type RunOpts struct {
 	TraceEvery int
 	// CheckEvery evaluates the stop condition every k rounds (default 1).
 	CheckEvery int
+	// Events, when non-nil, supplies the workload mutation applied
+	// immediately before each round r (a nil batch means no events that
+	// round). The engine must implement DynamicEngine. Events must be a
+	// pure function of r — it is how the dynamics layer keys its event
+	// streams — so that every engine replays the identical workload.
+	Events func(round uint64) *EventBatch
 }
 
 func (o RunOpts) validate() error {
@@ -105,6 +114,14 @@ func Drive[S State](e Engine[S], stop func(S) bool, opts RunOpts) (RunResult, er
 	if check == 0 {
 		check = 1
 	}
+	var dyn DynamicEngine
+	if opts.Events != nil {
+		var ok bool
+		dyn, ok = any(e).(DynamicEngine)
+		if !ok {
+			return RunResult{}, fmt.Errorf("core: engine %T does not support workload events", e)
+		}
+	}
 	base := rng.New(opts.Seed)
 	var res RunResult
 	lastTraced := -1
@@ -140,6 +157,16 @@ func Drive[S State](e Engine[S], stop func(S) bool, opts RunOpts) (RunResult, er
 		}
 	}
 	for round := 1; round <= opts.MaxRounds; round++ {
+		if dyn != nil {
+			if batch := opts.Events(uint64(round)); batch != nil {
+				led, err := dyn.ApplyEvents(batch)
+				if err != nil {
+					return res, err
+				}
+				led.Batches = 1
+				res.Ledger.Add(led)
+			}
+		}
 		moves, err := e.Step(uint64(round), base)
 		if err != nil {
 			return res, err
@@ -192,6 +219,11 @@ func (e seqUniform) Step(round uint64, base *rng.Stream) (int64, error) {
 
 func (e seqUniform) State() (*UniformState, error) { return e.st, nil }
 
+// ApplyEvents implements DynamicEngine by mutating the caller's state.
+func (e seqUniform) ApplyEvents(batch *EventBatch) (EventLedger, error) {
+	return e.st.ApplyEvents(batch)
+}
+
 // seqWeighted adapts a sequential weighted (state, protocol) pair.
 type seqWeighted struct {
 	st *WeightedState
@@ -203,6 +235,11 @@ func (e seqWeighted) Step(round uint64, base *rng.Stream) (int64, error) {
 }
 
 func (e seqWeighted) State() (*WeightedState, error) { return e.st, nil }
+
+// ApplyEvents implements DynamicEngine by mutating the caller's state.
+func (e seqWeighted) ApplyEvents(batch *EventBatch) (EventLedger, error) {
+	return e.st.ApplyEvents(batch)
+}
 
 // UniformStop decides whether a uniform-state run may stop.
 type UniformStop func(*UniformState) bool

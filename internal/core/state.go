@@ -45,7 +45,10 @@ func (st *UniformState) Counts() []int64 {
 	return out
 }
 
-// Total returns m, the (time-invariant) number of tasks.
+// Total returns m, the number of tasks. It is invariant under protocol
+// rounds (migrations conserve tasks); under dynamic workloads it moves
+// with Inject/Drain/ApplyEvents and is conserved only net of the
+// EventLedger.
 func (st *UniformState) Total() int64 { return st.total }
 
 // Load returns ℓᵢ = wᵢ/sᵢ.

@@ -560,3 +560,182 @@ func TestConservation(t *testing.T) {
 		t.Errorf("actors lost tasks: %d vs %d", got, total)
 	}
 }
+
+// TestApplyEventsAcrossEngines applies the same event batches directly
+// to all three engines interleaved with rounds and checks that their
+// counts stay identical to the sequential state's, that ledgers agree,
+// and that departures clamp identically.
+func TestApplyEventsAcrossEngines(t *testing.T) {
+	sys, counts := buildCase(t, func() (*graph.Graph, error) { return graph.Torus(4, 4) }, twoClassSpeeds, 8)
+	n := sys.N()
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(sys, core.Algorithm1{}, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	net, err := NewNetwork(sys, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	proto := core.Algorithm1{}
+	baseSeq, base1, base2 := rng.New(5), rng.New(5), rng.New(5)
+	evStream := rng.New(99)
+	for r := uint64(1); r <= 40; r++ {
+		batch := &core.EventBatch{
+			Arrivals:   make([]int64, n),
+			Departures: make([]int64, n),
+		}
+		for i := 0; i < n; i++ {
+			batch.Arrivals[i] = int64(evStream.Intn(5))
+			// Oversized requests exercise the clamping path.
+			batch.Departures[i] = int64(evStream.Intn(200))
+		}
+		ledSeq, err := st.ApplyEvents(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ledFJ, err := rt.ApplyEvents(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ledNet, err := net.ApplyEvents(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ledSeq != ledFJ || ledSeq != ledNet {
+			t.Fatalf("round %d: ledgers diverge: seq %+v fj %+v net %+v", r, ledSeq, ledFJ, ledNet)
+		}
+		proto.Step(st, r, baseSeq)
+		if _, err := rt.Round(r, base1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Step(r, base2); err != nil {
+			t.Fatal(err)
+		}
+		want := st.Counts()
+		for name, got := range map[string][]int64{"forkjoin": rt.Counts(), "actor": net.Counts()} {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("round %d %s: count[%d] = %d, want %d", r, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestApplyEventsWeightedRuntime mirrors the uniform test for the
+// weighted engine: identical injections/drains against the sequential
+// state, exact task-multiset equality after each round.
+func TestApplyEventsWeightedRuntime(t *testing.T) {
+	g, err := graph.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	sys, err := core.NewSystem(g, machine.Uniform(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights, err := task.RandomWeights(12*n, 0.1, 1, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(n, weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.NewWeightedState(sys, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewWeightedRuntime(sys, perNode, core.Algorithm2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	proto := core.Algorithm2{}
+	baseSeq, baseFJ := rng.New(6), rng.New(6)
+	evStream := rng.New(101)
+	for r := uint64(1); r <= 30; r++ {
+		batch := &core.EventBatch{
+			WeightArrivals:   make([][]float64, n),
+			WeightDepartures: make([]int64, n),
+		}
+		for i := 0; i < n; i++ {
+			for k := evStream.Intn(3); k > 0; k-- {
+				batch.WeightArrivals[i] = append(batch.WeightArrivals[i], 0.1+0.9*evStream.Float64())
+			}
+			batch.WeightDepartures[i] = int64(evStream.Intn(4))
+		}
+		ledSeq, err := st.ApplyEvents(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ledFJ, err := rt.ApplyEvents(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ledSeq != ledFJ {
+			t.Fatalf("round %d: ledgers diverge: %+v vs %+v", r, ledSeq, ledFJ)
+		}
+		proto.Step(st, r, baseSeq)
+		if _, err := rt.Round(r, baseFJ); err != nil {
+			t.Fatal(err)
+		}
+		got, err := rt.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			gw, ww := got.TaskWeights(i), st.TaskWeights(i)
+			if len(gw) != len(ww) {
+				t.Fatalf("round %d node %d: %d tasks, want %d", r, i, len(gw), len(ww))
+			}
+			for k := range gw {
+				if gw[k] != ww[k] {
+					t.Fatalf("round %d node %d task %d: %g, want %g", r, i, k, gw[k], ww[k])
+				}
+			}
+		}
+	}
+}
+
+// TestApplyEventsClosedEngines: events after Close must fail with
+// ErrClosed on every engine.
+func TestApplyEventsClosedEngines(t *testing.T) {
+	sys, counts := buildCase(t, func() (*graph.Graph, error) { return graph.Ring(8) }, uniformSpeeds, 4)
+	batch := &core.EventBatch{Arrivals: make([]int64, sys.N())}
+
+	rt, err := NewRuntime(sys, core.Algorithm1{}, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+	if _, err := rt.ApplyEvents(batch); err != ErrClosed {
+		t.Errorf("runtime: %v, want ErrClosed", err)
+	}
+	net, err := NewNetwork(sys, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Close()
+	if _, err := net.ApplyEvents(batch); err != ErrClosed {
+		t.Errorf("network: %v, want ErrClosed", err)
+	}
+	perNode := make([]task.Weights, sys.N())
+	wrt, err := NewWeightedRuntime(sys, perNode, core.Algorithm2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrt.Close()
+	if _, err := wrt.ApplyEvents(batch); err != ErrClosed {
+		t.Errorf("weighted: %v, want ErrClosed", err)
+	}
+}

@@ -25,6 +25,17 @@ type nodeReport struct {
 	moves int64
 }
 
+// nodeCmd kicks an actor into one round: the round stream it derives its
+// own .Split(i) from, plus the pre-round workload delta (arrivals minus
+// clamped departures) the driver accumulated through ApplyEvents. The
+// actor applies delta to its task count before announcing its load, so
+// the round's decisions see the post-event state — the same order the
+// sequential engine and the fork–join runtime use.
+type nodeCmd struct {
+	stream *rng.Stream
+	delta  int64
+}
+
 // Network is the actor engine: one goroutine per processor, channels as
 // network links. Per round a node announces its load to its neighbors,
 // runs Algorithm 1's local decision on the received loads, transfers
@@ -45,9 +56,12 @@ type Network struct {
 	closed bool
 	base   *rng.Stream // default stream (constructor seed); Run re-seeds
 	counts []int64     // latest post-round snapshot, driver-owned
-	// cmds kicks each actor into one round by handing it the round
-	// stream base.Split(r); the actor derives its own .Split(i).
-	cmds   []chan *rng.Stream
+	// pending holds per-node workload deltas accepted by ApplyEvents but
+	// not yet handed to the actors; stepLocked drains it into the round
+	// commands. nil until the first event batch arrives.
+	pending []int64
+	// cmds kicks each actor into one round with its nodeCmd.
+	cmds   []chan nodeCmd
 	report chan nodeReport
 }
 
@@ -80,7 +94,7 @@ func NewNetworkWith(sys *core.System, counts []int64, seed uint64, proto core.Un
 		proto:  proto,
 		base:   rng.New(seed),
 		counts: st.Counts(),
-		cmds:   make([]chan *rng.Stream, n),
+		cmds:   make([]chan nodeCmd, n),
 		report: make(chan nodeReport, n),
 	}
 	// One channel per directed edge, capacity 2 (load + transfer) so
@@ -103,7 +117,7 @@ func NewNetworkWith(sys *core.System, counts []int64, seed uint64, proto core.Un
 		for idx, j := range nbs {
 			out[idx] = in[j][pos[j][int32(i)]]
 		}
-		nw.cmds[i] = make(chan *rng.Stream, 1)
+		nw.cmds[i] = make(chan nodeCmd, 1)
 		go nw.node(i, nw.counts[i], in[i], out, nw.cmds[i])
 	}
 	return nw, nil
@@ -111,13 +125,18 @@ func NewNetworkWith(sys *core.System, counts []int64, seed uint64, proto core.Un
 
 // node is one processor actor: it owns its task count and communicates
 // only over its incident edges.
-func (nw *Network) node(i int, wi int64, in, out []chan message, cmds chan *rng.Stream) {
+func (nw *Network) node(i int, wi int64, in, out []chan message, cmds chan nodeCmd) {
 	g := nw.sys.Graph()
 	deg := g.Degree(i)
 	si := nw.sys.Speed(i)
 	nbLoads := make([]float64, deg)
 	flows := make([]int64, deg)
-	for roundStream := range cmds {
+	for cmd := range cmds {
+		roundStream := cmd.stream
+		// Apply the round's workload events (arrivals minus departures)
+		// before any protocol work; the driver already clamped departures
+		// to the tasks present, so wi stays non-negative.
+		wi += cmd.delta
 		li := float64(wi) / si
 		// Phase 1: announce the round-start load to every neighbor.
 		for idx := range out {
@@ -163,7 +182,12 @@ func (nw *Network) stepLocked(r uint64, base *rng.Stream) (int64, error) {
 	}
 	roundStream := base.Split(r)
 	for i := range nw.cmds {
-		nw.cmds[i] <- roundStream
+		d := int64(0)
+		if nw.pending != nil {
+			d = nw.pending[i]
+			nw.pending[i] = 0
+		}
+		nw.cmds[i] <- nodeCmd{stream: roundStream, delta: d}
 	}
 	moves := int64(0)
 	for range nw.counts {
@@ -213,6 +237,23 @@ func (nw *Network) Run(maxRounds int, seed uint64, stop core.UniformStop) (int, 
 		return res.Rounds, false, err
 	}
 	return res.Rounds, res.Converged, nil
+}
+
+// ApplyEvents implements core.DynamicEngine. The driver-owned snapshot
+// nw.counts mirrors the actors' post-round counts exactly, so departures
+// are clamped against the same state every other engine sees; the net
+// per-node deltas are parked in nw.pending and delivered to the actors
+// with the next round's commands, before any load announcement.
+func (nw *Network) ApplyEvents(batch *core.EventBatch) (core.EventLedger, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.closed {
+		return core.EventLedger{}, ErrClosed
+	}
+	if nw.pending == nil {
+		nw.pending = make([]int64, len(nw.counts))
+	}
+	return core.ApplyCountsBatch(nw.counts, batch, nw.pending)
 }
 
 // Counts returns a copy of the per-node task counts after the last

@@ -127,6 +127,19 @@ func (rt *Runtime) Round(r uint64, base *rng.Stream) (int64, error) {
 	return moves, nil
 }
 
+// ApplyEvents implements core.DynamicEngine: it applies a pre-round
+// workload mutation (arrivals, clamped departures) to the shared counts
+// under the engine mutex, so a Runtime can serve dynamic workloads
+// through core.Drive exactly like the sequential engine.
+func (rt *Runtime) ApplyEvents(batch *core.EventBatch) (core.EventLedger, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.pool.closed {
+		return core.EventLedger{}, ErrClosed
+	}
+	return core.ApplyCountsBatch(rt.counts, batch, nil)
+}
+
 // Counts returns a copy of the current per-node task counts.
 func (rt *Runtime) Counts() []int64 {
 	rt.mu.Lock()

@@ -96,6 +96,17 @@ func (rt *WeightedRuntime) Round(r uint64, base *rng.Stream) (int64, error) {
 	return int64(core.ApplyMoves(rt.st, pending)), nil
 }
 
+// ApplyEvents implements core.DynamicEngine: it applies a pre-round
+// weighted workload mutation to the live state under the engine mutex.
+func (rt *WeightedRuntime) ApplyEvents(batch *core.EventBatch) (core.EventLedger, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.pool.closed {
+		return core.EventLedger{}, ErrClosed
+	}
+	return rt.st.ApplyEvents(batch)
+}
+
 // NodeWeights returns a copy of the current per-node total weights Wᵢ.
 func (rt *WeightedRuntime) NodeWeights() []float64 {
 	rt.mu.Lock()

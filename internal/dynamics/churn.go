@@ -1,0 +1,278 @@
+package dynamics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// ChurnKind distinguishes node departures from node joins.
+type ChurnKind uint8
+
+const (
+	// ChurnLeave removes a node: its tasks are rehomed to its neighbors
+	// round-robin and the neighbors are rewired into a path so the
+	// network stays connected.
+	ChurnLeave ChurnKind = iota
+	// ChurnJoin appends a fresh empty node wired to Degree existing
+	// nodes chosen uniformly at random.
+	ChurnJoin
+)
+
+// String implements fmt.Stringer.
+func (k ChurnKind) String() string {
+	if k == ChurnJoin {
+		return "join"
+	}
+	return "leave"
+}
+
+// ChurnEvent is one topology change, applied before the protocol round
+// Round (the event's randomness — victim choice, attachment points — is
+// keyed by Round, so the schedule is replayable).
+type ChurnEvent struct {
+	// Round is the global round before which the event applies (≥ 1).
+	Round int
+	Kind  ChurnKind
+	// Node is the departing node for ChurnLeave, or -1 for a uniformly
+	// random victim. Ignored for ChurnJoin.
+	Node int
+	// Degree is the joining node's edge count (default 2, clamped to the
+	// current size). Ignored for ChurnLeave.
+	Degree int
+	// Speed is the joining node's speed (default 1). Ignored for
+	// ChurnLeave.
+	Speed float64
+	// Seq disambiguates multiple events scheduled at the same round:
+	// each (Round, Seq) pair gets an independent stream, so same-round
+	// events draw uncorrelated victims/attachment points. The harness
+	// numbers same-round events by plan position automatically.
+	Seq int
+}
+
+// AlternatingChurn builds the standard churn plan used by the harness
+// and cmd/lbsim: every `every` rounds up to horizon, alternately a
+// random node leaves and a degree-2 node joins, so the network size
+// oscillates around its initial value.
+func AlternatingChurn(horizon, every int) []ChurnEvent {
+	if every <= 0 || horizon <= 0 {
+		return nil
+	}
+	var plan []ChurnEvent
+	kind := ChurnLeave
+	for r := every; r <= horizon; r += every {
+		plan = append(plan, ChurnEvent{Round: r, Kind: kind, Node: -1, Degree: 2})
+		if kind == ChurnLeave {
+			kind = ChurnJoin
+		} else {
+			kind = ChurnLeave
+		}
+	}
+	return plan
+}
+
+// churnPatch is the outcome of rewiring the topology for one event:
+// the successor system plus the node mapping oldOf[newI] → old id (-1
+// for a joined node), in the form core's Resize APIs consume.
+type churnPatch struct {
+	sys   *core.System
+	oldOf []int
+	// leave-only: the victim (old id), its old neighbors, and the
+	// round-robin offset used to rehome its tasks.
+	victim int
+	nbs    []int32
+	start  int
+}
+
+// churnName tags the graph name once, so repeated churn does not grow
+// an unbounded suffix chain.
+func churnName(name string) string {
+	if strings.HasSuffix(name, "~churn") {
+		return name
+	}
+	return name + "~churn"
+}
+
+// rewire computes the successor topology for ev using the event's
+// deterministic stream. It does not touch task state.
+func rewire(sys *core.System, ev ChurnEvent, stream *rng.Stream) (churnPatch, error) {
+	g := sys.Graph()
+	n := g.N()
+	switch ev.Kind {
+	case ChurnLeave:
+		if n < 3 {
+			return churnPatch{}, fmt.Errorf("dynamics: cannot remove a node from a %d-node network", n)
+		}
+		victim := ev.Node
+		if victim < 0 {
+			victim = stream.Intn(n)
+		}
+		if victim >= n {
+			return churnPatch{}, fmt.Errorf("dynamics: leave victim %d out of range [0,%d)", victim, n)
+		}
+		nbs := g.Neighbors(victim)
+		if len(nbs) == 0 {
+			return churnPatch{}, fmt.Errorf("dynamics: victim %d has no neighbors", victim)
+		}
+		start := stream.Intn(len(nbs))
+		newID := func(old int32) int {
+			if int(old) > victim {
+				return int(old) - 1
+			}
+			return int(old)
+		}
+		var edges []graph.Edge
+		for _, e := range g.Edges() {
+			if e.U == victim || e.V == victim {
+				continue
+			}
+			edges = append(edges, graph.Edge{U: newID(int32(e.U)), V: newID(int32(e.V))})
+		}
+		// Rewire the victim's neighbors into a path (consecutive pairs in
+		// sorted order) so its removal cannot disconnect the network.
+		for k := 0; k+1 < len(nbs); k++ {
+			if !g.HasEdge(int(nbs[k]), int(nbs[k+1])) {
+				edges = append(edges, graph.Edge{U: newID(nbs[k]), V: newID(nbs[k+1])})
+			}
+		}
+		ng, err := graph.FromEdges(churnName(g.Name()), n-1, edges)
+		if err != nil {
+			return churnPatch{}, fmt.Errorf("dynamics: leave rewiring: %w", err)
+		}
+		speeds := make(machine.Speeds, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != victim {
+				speeds = append(speeds, sys.Speed(i))
+			}
+		}
+		nsys, err := core.NewSystem(ng, speeds.Rescale())
+		if err != nil {
+			return churnPatch{}, fmt.Errorf("dynamics: leave system: %w", err)
+		}
+		oldOf := make([]int, n-1)
+		for i := range oldOf {
+			if i >= victim {
+				oldOf[i] = i + 1
+			} else {
+				oldOf[i] = i
+			}
+		}
+		return churnPatch{sys: nsys, oldOf: oldOf, victim: victim, nbs: nbs, start: start}, nil
+
+	case ChurnJoin:
+		d := ev.Degree
+		if d <= 0 {
+			d = 2
+		}
+		if d > n {
+			d = n
+		}
+		targets := stream.Perm(n)[:d]
+		edges := g.Edges()
+		for _, t := range targets {
+			edges = append(edges, graph.Edge{U: t, V: n})
+		}
+		ng, err := graph.FromEdges(churnName(g.Name()), n+1, edges)
+		if err != nil {
+			return churnPatch{}, fmt.Errorf("dynamics: join wiring: %w", err)
+		}
+		speed := ev.Speed
+		if speed <= 0 {
+			speed = 1
+		}
+		speeds := append(sys.Speeds(), speed)
+		nsys, err := core.NewSystem(ng, speeds.Rescale())
+		if err != nil {
+			return churnPatch{}, fmt.Errorf("dynamics: join system: %w", err)
+		}
+		oldOf := make([]int, n+1)
+		for i := 0; i < n; i++ {
+			oldOf[i] = i
+		}
+		oldOf[n] = -1
+		return churnPatch{sys: nsys, oldOf: oldOf, victim: -1}, nil
+	}
+	return churnPatch{}, fmt.Errorf("dynamics: unknown churn kind %d", ev.Kind)
+}
+
+// ApplyChurnUniform applies ev to a uniform-model instance, returning
+// the successor system and task counts. For a leave, the victim's tasks
+// are rehomed to its neighbors round-robin (starting at a random
+// offset); joins add an empty node. The total task count is conserved
+// exactly, and all randomness comes from the (seed, ev.Round)-keyed
+// churn stream, so every engine sees the identical successor instance.
+func ApplyChurnUniform(sys *core.System, counts []int64, ev ChurnEvent, seed uint64) (*core.System, []int64, error) {
+	if len(counts) != sys.N() {
+		return nil, nil, fmt.Errorf("dynamics: %d counts for %d nodes", len(counts), sys.N())
+	}
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		return nil, nil, err
+	}
+	patch, err := rewire(sys, ev, churnStream(seed, ev.Round, ev.Seq))
+	if err != nil {
+		return nil, nil, err
+	}
+	if patch.victim >= 0 {
+		// Rehome the victim's tasks: an equal share to every neighbor,
+		// the remainder one-by-one from the random starting offset.
+		c := st.Drain(patch.victim, st.Count(patch.victim))
+		k := int64(len(patch.nbs))
+		share, rem := c/k, c%k
+		for idx, nb := range patch.nbs {
+			extra := int64(0)
+			if int64((idx-patch.start+len(patch.nbs))%len(patch.nbs)) < rem {
+				extra = 1
+			}
+			if err := st.Inject(int(nb), share+extra); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	nst, err := st.Resize(patch.sys, patch.oldOf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return patch.sys, nst.Counts(), nil
+}
+
+// ApplyChurnWeighted is the weighted-model analogue of
+// ApplyChurnUniform: the victim's tasks are dealt to its neighbors
+// round-robin in task order, preserving both the task count and (up to
+// float summation) the total weight.
+func ApplyChurnWeighted(sys *core.System, st *core.WeightedState, ev ChurnEvent, seed uint64) (*core.System, *core.WeightedState, error) {
+	if st == nil {
+		return nil, nil, fmt.Errorf("dynamics: nil weighted state")
+	}
+	patch, err := rewire(sys, ev, churnStream(seed, ev.Round, ev.Seq))
+	if err != nil {
+		return nil, nil, err
+	}
+	work := st.Clone()
+	if patch.victim >= 0 {
+		tasks := work.Drain(patch.victim, work.NodeTaskCount(patch.victim))
+		per := make([]task.Weights, len(patch.nbs))
+		for t, w := range tasks {
+			idx := (patch.start + t) % len(patch.nbs)
+			per[idx] = append(per[idx], w)
+		}
+		for idx, ws := range per {
+			if len(ws) == 0 {
+				continue
+			}
+			if err := work.Inject(int(patch.nbs[idx]), ws); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	nst, err := work.Resize(patch.sys, patch.oldOf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return patch.sys, nst, nil
+}

@@ -1,0 +1,409 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// families enumerates the graph builders the invariant tests sweep;
+// they cover every degree profile the rewiring has to survive (constant
+// degree, star hubs, trees, irregular random graphs).
+var families = []struct {
+	name  string
+	build func(n int, stream *rng.Stream) (*graph.Graph, error)
+}{
+	{"complete", func(n int, _ *rng.Stream) (*graph.Graph, error) { return graph.Complete(n) }},
+	{"ring", func(n int, _ *rng.Stream) (*graph.Graph, error) { return graph.Ring(n) }},
+	{"path", func(n int, _ *rng.Stream) (*graph.Graph, error) { return graph.Path(n) }},
+	{"torus", func(n int, _ *rng.Stream) (*graph.Graph, error) { return graph.Torus(4, (n+3)/4) }},
+	{"hypercube", func(n int, _ *rng.Stream) (*graph.Graph, error) { return graph.Hypercube(4) }},
+	{"star", func(n int, _ *rng.Stream) (*graph.Graph, error) { return graph.Star(n) }},
+	{"tree", func(n int, _ *rng.Stream) (*graph.Graph, error) { return graph.BinaryTree(n) }},
+	{"regular", func(n int, stream *rng.Stream) (*graph.Graph, error) { return graph.RandomRegular(n, 4, stream) }},
+}
+
+func buildSystem(t *testing.T, fam int, n int, stream *rng.Stream) *core.System {
+	t.Helper()
+	f := families[fam%len(families)]
+	g, err := f.build(n, stream)
+	if err != nil {
+		t.Fatalf("%s(%d): %v", f.name, n, err)
+	}
+	speeds, err := machine.TwoClass(g.N(), 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, speeds)
+	if err != nil {
+		t.Fatalf("%s: %v", f.name, err)
+	}
+	return sys
+}
+
+// randomWorkload derives workload parameters from a seed.
+func randomWorkload(seed uint64) Workload {
+	s := rng.New(seed)
+	w := Workload{
+		Seed:        s.Uint64(),
+		ArrivalRate: 8 * s.Float64(),
+		ServiceRate: 0.8 * s.Float64(),
+	}
+	if s.Bernoulli(0.5) {
+		w.BurstEvery = 2 + s.Intn(6)
+		w.BurstSize = int64(1 + s.Intn(40))
+	}
+	return w
+}
+
+// TestUniformConservationModuloLedger: on every family, a random event
+// sequence interleaved with protocol rounds preserves the task count
+// net of the applied ledger, exactly.
+func TestUniformConservationModuloLedger(t *testing.T) {
+	for fam := range families {
+		fam := fam
+		t.Run(families[fam].name, func(t *testing.T) {
+			t.Parallel()
+			f := func(seed uint64) bool {
+				stream := rng.New(seed)
+				sys := buildSystem(t, fam, 12+stream.Intn(8), stream.Split(1))
+				m := int64(20 * sys.N())
+				counts := make([]int64, sys.N())
+				counts[0] = m
+				st, err := core.NewUniformState(sys, counts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w := randomWorkload(seed)
+				events := func(r uint64) *core.EventBatch { return w.UniformEvents(sys, r) }
+				res, err := core.RunUniform(st, core.Algorithm1{}, nil, core.RunOpts{
+					MaxRounds: 25, Seed: seed ^ 0xabc, Events: events,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Exact integer conservation: final = initial + A − D.
+				if st.Total() != m+res.Ledger.Arrived-res.Ledger.Departed {
+					t.Logf("total %d, initial %d, ledger %+v", st.Total(), m, res.Ledger)
+					return false
+				}
+				// The state's cached total must agree with the counts.
+				sum := int64(0)
+				for i := 0; i < sys.N(); i++ {
+					if st.Count(i) < 0 {
+						t.Logf("negative count at %d", i)
+						return false
+					}
+					sum += st.Count(i)
+				}
+				return sum == st.Total()
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestWeightedConservationModuloLedger: the weighted analogue — task
+// count conserves exactly, total weight up to FP summation error.
+func TestWeightedConservationModuloLedger(t *testing.T) {
+	for fam := range families {
+		fam := fam
+		t.Run(families[fam].name, func(t *testing.T) {
+			t.Parallel()
+			f := func(seed uint64) bool {
+				stream := rng.New(seed)
+				sys := buildSystem(t, fam, 12+stream.Intn(8), stream.Split(1))
+				weights, err := task.RandomWeights(15*sys.N(), 0.1, 1, stream.Split(2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				perNode := make([]task.Weights, sys.N())
+				perNode[0] = weights
+				st, err := core.NewWeightedState(sys, perNode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m0, w0 := st.TaskCount(), st.TotalWeight()
+				w := randomWorkload(seed)
+				events := func(r uint64) *core.EventBatch { return w.WeightedEvents(sys, r) }
+				res, err := core.RunWeighted(st, core.Algorithm2{}, nil, core.RunOpts{
+					MaxRounds: 25, Seed: seed ^ 0xdef, Events: events,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if int64(st.TaskCount()) != int64(m0)+res.Ledger.ArrivedTasks-res.Ledger.DepartedTasks {
+					t.Logf("count %d, initial %d, ledger %+v", st.TaskCount(), m0, res.Ledger)
+					return false
+				}
+				want := w0 + res.Ledger.ArrivedWeight - res.Ledger.DepartedWeight
+				if math.Abs(st.TotalWeight()-want) > 1e-6*(1+math.Abs(want)) {
+					t.Logf("weight %g, want %g", st.TotalWeight(), want)
+					return false
+				}
+				// Cross-check the cached totals against a full recompute.
+				clone := st.Clone()
+				clone.RecomputeWeights()
+				return math.Abs(clone.TotalWeight()-st.TotalWeight()) < 1e-6*(1+math.Abs(want))
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestChurnUniformConservation: leave and join events preserve the task
+// count exactly and keep the network connected, on every family.
+func TestChurnUniformConservation(t *testing.T) {
+	for fam := range families {
+		fam := fam
+		t.Run(families[fam].name, func(t *testing.T) {
+			t.Parallel()
+			f := func(seed uint64) bool {
+				stream := rng.New(seed)
+				sys := buildSystem(t, fam, 12+stream.Intn(8), stream.Split(1))
+				counts := make([]int64, sys.N())
+				total := int64(0)
+				for i := range counts {
+					counts[i] = int64(stream.Intn(30))
+					total += counts[i]
+				}
+				// A random alternating sequence of churn events.
+				for step := 0; step < 6; step++ {
+					kind := ChurnLeave
+					if stream.Bernoulli(0.5) {
+						kind = ChurnJoin
+					}
+					ev := ChurnEvent{Round: step + 1, Kind: kind, Node: -1, Degree: 1 + stream.Intn(3)}
+					nsys, ncounts, err := ApplyChurnUniform(sys, counts, ev, seed+uint64(step))
+					if err != nil {
+						t.Fatal(err)
+					}
+					sys, counts = nsys, ncounts
+					sum := int64(0)
+					for i, c := range counts {
+						if c < 0 {
+							t.Logf("negative count at %d after %s", i, kind)
+							return false
+						}
+						sum += c
+					}
+					if sum != total {
+						t.Logf("after %s: sum %d, want %d", kind, sum, total)
+						return false
+					}
+					if !sys.Graph().IsConnected() {
+						t.Logf("after %s: disconnected", kind)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestChurnWeightedConservation: the weighted churn path preserves the
+// task multiset cardinality exactly and the weight up to FP error.
+func TestChurnWeightedConservation(t *testing.T) {
+	seeds := []uint64{1, 17, 9000}
+	for fam := range families {
+		fam := fam
+		t.Run(families[fam].name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				stream := rng.New(seed)
+				sys := buildSystem(t, fam, 12+stream.Intn(8), stream.Split(1))
+				weights, err := task.RandomWeights(10*sys.N(), 0.1, 1, stream.Split(2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				perNode := make([]task.Weights, sys.N())
+				perNode[0] = weights
+				st, err := core.NewWeightedState(sys, perNode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				count, weight := st.TaskCount(), st.TotalWeight()
+				for step := 0; step < 5; step++ {
+					kind := ChurnLeave
+					if stream.Bernoulli(0.5) {
+						kind = ChurnJoin
+					}
+					ev := ChurnEvent{Round: step + 1, Kind: kind, Node: -1, Degree: 2}
+					sys, st, err = ApplyChurnWeighted(sys, st, ev, seed+uint64(step))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if st.TaskCount() != count {
+						t.Fatalf("seed %d after %s: count %d, want %d", seed, kind, st.TaskCount(), count)
+					}
+					if math.Abs(st.TotalWeight()-weight) > 1e-9*(1+weight) {
+						t.Fatalf("seed %d after %s: weight %g, want %g", seed, kind, st.TotalWeight(), weight)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChurnLeaveRewiresConnectivity: removing any single node from any
+// family instance keeps the survivors connected (the victim's neighbors
+// are rewired into a path).
+func TestChurnLeaveRewiresConnectivity(t *testing.T) {
+	for fam := range families {
+		sys := buildSystem(t, fam, 14, rng.New(3))
+		for victim := 0; victim < sys.N(); victim++ {
+			counts := make([]int64, sys.N())
+			counts[victim] = 5 // force rehoming through the victim
+			ev := ChurnEvent{Round: 1, Kind: ChurnLeave, Node: victim}
+			nsys, ncounts, err := ApplyChurnUniform(sys, counts, ev, 1)
+			if err != nil {
+				t.Fatalf("%s victim %d: %v", families[fam].name, victim, err)
+			}
+			if !nsys.Graph().IsConnected() {
+				t.Fatalf("%s: removing %d disconnected the graph", families[fam].name, victim)
+			}
+			sum := int64(0)
+			for _, c := range ncounts {
+				sum += c
+			}
+			if sum != 5 {
+				t.Fatalf("%s victim %d: tasks lost (%d)", families[fam].name, victim, sum)
+			}
+		}
+	}
+}
+
+// TestChurnErrors covers the rejection paths.
+func TestChurnErrors(t *testing.T) {
+	g, err := graph.Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, machine.Uniform(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaving a 3-node ring is allowed; leaving a 2-node network is not.
+	nsys, counts, err := ApplyChurnUniform(sys, []int64{1, 1, 1}, ChurnEvent{Round: 1, Kind: ChurnLeave, Node: 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nsys.N() != 2 {
+		t.Fatalf("n = %d, want 2", nsys.N())
+	}
+	if _, _, err := ApplyChurnUniform(nsys, counts, ChurnEvent{Round: 2, Kind: ChurnLeave, Node: 0}, 1); err == nil {
+		t.Error("leave from a 2-node network accepted")
+	}
+	if _, _, err := ApplyChurnUniform(sys, []int64{1, 1}, ChurnEvent{Round: 1, Kind: ChurnLeave}, 1); err == nil {
+		t.Error("count/size mismatch accepted")
+	}
+	if _, _, err := ApplyChurnUniform(sys, []int64{1, 1, 1}, ChurnEvent{Round: 1, Kind: ChurnLeave, Node: 9}, 1); err == nil {
+		t.Error("out-of-range victim accepted")
+	}
+}
+
+// TestWorkloadPurity: the event stream is a pure function of
+// (seed, round) — recomputing any round yields the identical batch,
+// independent of evaluation order.
+func TestWorkloadPurity(t *testing.T) {
+	sys := buildSystem(t, 1, 12, rng.New(1))
+	w := Workload{Seed: 9, ArrivalRate: 5, ServiceRate: 0.4, BurstEvery: 3, BurstSize: 11}
+	forward := make([]*core.EventBatch, 20)
+	for r := 1; r < 20; r++ {
+		forward[r] = w.UniformEvents(sys, uint64(r))
+	}
+	for r := 19; r >= 1; r-- {
+		again := w.UniformEvents(sys, uint64(r))
+		a, b := forward[r], again
+		if (a == nil) != (b == nil) {
+			t.Fatalf("round %d: nil-ness differs", r)
+		}
+		if a == nil {
+			continue
+		}
+		for i := range a.Arrivals {
+			if a.Arrivals[i] != b.Arrivals[i] {
+				t.Fatalf("round %d node %d: arrivals %d != %d", r, i, a.Arrivals[i], b.Arrivals[i])
+			}
+		}
+		for i := range a.Departures {
+			if a.Departures[i] != b.Departures[i] {
+				t.Fatalf("round %d node %d: departures %d != %d", r, i, a.Departures[i], b.Departures[i])
+			}
+		}
+	}
+}
+
+// TestWorkloadValidate covers parameter validation.
+func TestWorkloadValidate(t *testing.T) {
+	if err := (Workload{}).Validate(); err != nil {
+		t.Errorf("zero workload rejected: %v", err)
+	}
+	if err := (Workload{ArrivalRate: -1}).Validate(); err == nil {
+		t.Error("negative arrival rate accepted")
+	}
+	if err := (Workload{MinWeight: 0.5, MaxWeight: 0.2}).Validate(); err == nil {
+		t.Error("inverted weight bounds accepted")
+	}
+	if err := (Workload{MaxWeight: 2}).Validate(); err == nil {
+		t.Error("overweight tasks accepted")
+	}
+	if !(Workload{}).IsZero() {
+		t.Error("zero workload not IsZero")
+	}
+	if (Workload{ArrivalRate: 1}).IsZero() {
+		t.Error("arrival workload reported zero")
+	}
+}
+
+// TestAlternatingChurn pins the plan shape.
+func TestAlternatingChurn(t *testing.T) {
+	plan := AlternatingChurn(100, 30)
+	if len(plan) != 3 {
+		t.Fatalf("%d events, want 3", len(plan))
+	}
+	wantRounds := []int{30, 60, 90}
+	wantKinds := []ChurnKind{ChurnLeave, ChurnJoin, ChurnLeave}
+	for i, ev := range plan {
+		if ev.Round != wantRounds[i] || ev.Kind != wantKinds[i] {
+			t.Errorf("event %d: %+v, want round %d kind %v", i, ev, wantRounds[i], wantKinds[i])
+		}
+	}
+	if AlternatingChurn(100, 0) != nil {
+		t.Error("every=0 produced a plan")
+	}
+}
+
+// TestChurnSeqDecorrelates: two events at the same round with distinct
+// Seq draw from independent streams (the harness numbers same-round
+// events by position), so stacked same-round churn is not correlated.
+func TestChurnSeqDecorrelates(t *testing.T) {
+	sys := buildSystem(t, 0, 16, rng.New(2)) // complete graph, any victim valid
+	// Probe the victim choice directly through the stream contract:
+	// distinct Seq must not yield the identical draw sequence.
+	same := 0
+	for trial := 0; trial < 32; trial++ {
+		a := churnStream(uint64(trial), 9, 0).Intn(sys.N())
+		b := churnStream(uint64(trial), 9, 1).Intn(sys.N())
+		if a == b {
+			same++
+		}
+	}
+	if same == 32 {
+		t.Fatal("Seq does not decorrelate same-round churn streams")
+	}
+}

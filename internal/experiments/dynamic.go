@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// DynamicConfig parameterizes the dynamic steady-state experiment: a
+// continuous arrival/service stream sized to the instance, periodic
+// bursts, and alternating node churn over a fixed horizon.
+type DynamicConfig struct {
+	// N and TasksPerNode size the instance (initial m = N·TasksPerNode).
+	N, TasksPerNode int
+	// Horizon is the number of rounds (default 400).
+	Horizon int
+	// ChurnEvery inserts an alternating leave/join every k rounds
+	// (0 disables churn).
+	ChurnEvery int
+	// Repeats, Seed, Engine and Workers mirror the other experiments.
+	Repeats int
+	Seed    uint64
+	Engine  string
+	Workers int
+}
+
+func (c *DynamicConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 16
+	}
+	if c.TasksPerNode <= 0 {
+		c.TasksPerNode = 64
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 400
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	if c.Engine == "" {
+		c.Engine = harness.EngineSeq
+	}
+}
+
+// dynamicWorkload sizes the traffic to the instance: background
+// arrivals of n tasks per round, service capacity 1.25× the arrival
+// rate (so queues stay finite), and a burst of a quarter of the initial
+// tasks every Horizon/4 rounds.
+func dynamicWorkload(sys *core.System, m int64, cfg DynamicConfig, seed uint64) dynamics.Workload {
+	n := float64(sys.N())
+	return dynamics.Workload{
+		Seed:        seed,
+		ArrivalRate: n,
+		ServiceRate: 1.25 * n / sys.STotal(),
+		BurstEvery:  cfg.Horizon / 4,
+		BurstSize:   m / 4,
+	}
+}
+
+// MeasureDynamic runs the dynamic steady-state experiment on every
+// Table-1 class: tasks arrive and complete continuously, a burst lands
+// every quarter horizon, and (optionally) nodes leave and join. Each
+// cell reports Value = time-averaged Ψ₀ — the steady-state imbalance
+// the balancer maintains under traffic — alongside the usual
+// rounds/moves aggregates. The matrix runs over the shared worker pool
+// and is byte-deterministic in (cfg, seeds) regardless of Workers.
+func MeasureDynamic(cfg DynamicConfig) ([]harness.CellSummary, error) {
+	cfg.defaults()
+	classes := Table1Classes()
+	type instance struct {
+		sys    *core.System
+		counts []int64
+		m      int64
+	}
+	instances := make([]instance, len(classes))
+	cells := make([]harness.Cell, len(classes))
+	for ci, class := range classes {
+		g, err := class.Build(cfg.N)
+		if err != nil {
+			return nil, err
+		}
+		actualN := g.N()
+		speeds, err := machine.TwoClass(actualN, 0.25, 2)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := core.NewSystem(g, speeds, core.WithLambda2(class.Lambda2(g)))
+		if err != nil {
+			return nil, err
+		}
+		m := int64(cfg.TasksPerNode) * int64(actualN)
+		counts, err := workload.Proportional(sys.Speeds(), m)
+		if err != nil {
+			return nil, err
+		}
+		instances[ci] = instance{sys: sys, counts: counts, m: m}
+		churn := "static"
+		if cfg.ChurnEvery > 0 {
+			churn = fmt.Sprintf("churn=%d", cfg.ChurnEvery)
+		}
+		cells[ci] = harness.Cell{
+			Class: class.Key, N: actualN, M: m,
+			Workload: "dynamic", Engine: cfg.Engine,
+			Param: fmt.Sprintf("horizon=%d/%s", cfg.Horizon, churn),
+		}
+	}
+	mx := harness.Matrix{
+		Cells: cells, Repeats: cfg.Repeats, Seed: cfg.Seed, Workers: cfg.Workers,
+		Run: func(ci, rep int, seed uint64) (harness.Result, error) {
+			inst := instances[ci]
+			opts := harness.DynamicOpts{
+				MaxRounds: cfg.Horizon,
+				Seed:      seed,
+				Workload:  dynamicWorkload(inst.sys, inst.m, cfg, seed+1),
+			}
+			if cfg.ChurnEvery > 0 {
+				opts.Churn = dynamics.AlternatingChurn(cfg.Horizon, cfg.ChurnEvery)
+			}
+			res, err := harness.RunUniformDynamic(cfg.Engine, inst.sys, core.Algorithm1{}, inst.counts, opts)
+			if err != nil {
+				return harness.Result{}, err
+			}
+			return harness.Result{
+				Rounds:    float64(res.Rounds),
+				Moves:     float64(res.Moves),
+				Converged: true,
+				Value:     res.Metrics.TimeAvgPsi0,
+			}, nil
+		},
+	}
+	return mx.Execute()
+}
+
+// FormatDynamic renders the dynamic steady-state summaries.
+func FormatDynamic(sums []harness.CellSummary) string {
+	var b strings.Builder
+	b.WriteString("dynamic steady state (Value = time-averaged Ψ₀)\n")
+	for _, s := range sums {
+		fmt.Fprintf(&b, "  %-10s n=%-4d m=%-7d %s: Ψ̄₀ = %.4g ± %.2g  (moves %.0f)\n",
+			s.Class, s.N, s.M, s.Param, s.ValueMean, s.ValueStdErr, s.MovesMean)
+	}
+	return b.String()
+}

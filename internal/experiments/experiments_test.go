@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/harness"
 )
 
 func TestTable1ClassesComplete(t *testing.T) {
@@ -281,5 +283,42 @@ func TestMeasurePotentialDropSmall(t *testing.T) {
 	// average while above ψ_c.
 	if res.MeanDropRatio > res.TheoryRatio+0.05 {
 		t.Errorf("measured ratio %.4f slower than theory %.4f", res.MeanDropRatio, res.TheoryRatio)
+	}
+}
+
+// TestMeasureDynamicSmall runs the dynamic steady-state experiment on a
+// small instance and checks shape, determinism-relevant population and
+// worker invariance of the rendered output.
+func TestMeasureDynamicSmall(t *testing.T) {
+	cfg := DynamicConfig{
+		N: 8, TasksPerNode: 16, Horizon: 60, ChurnEvery: 25,
+		Repeats: 2, Seed: 9, Engine: "seq",
+	}
+	cfg.Workers = 1
+	one, err := MeasureDynamic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != len(Table1Classes()) {
+		t.Fatalf("%d cells, want %d", len(one), len(Table1Classes()))
+	}
+	for _, s := range one {
+		if s.Repeats != 2 || s.Converged != 2 {
+			t.Errorf("%s: repeats %d converged %d", s.Class, s.Repeats, s.Converged)
+		}
+		if s.ValueMean <= 0 {
+			t.Errorf("%s: time-averaged Ψ₀ = %g, want > 0", s.Class, s.ValueMean)
+		}
+		if s.RoundsMean != float64(cfg.Horizon) {
+			t.Errorf("%s: rounds %g, want %d", s.Class, s.RoundsMean, cfg.Horizon)
+		}
+	}
+	cfg.Workers = 4
+	four, err := MeasureDynamic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if harness.CSV(one) != harness.CSV(four) {
+		t.Error("dynamic experiment output depends on worker count")
 	}
 }

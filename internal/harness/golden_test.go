@@ -1,0 +1,131 @@
+// Golden-trajectory regression tests: small static and dynamic runs
+// whose full JSON trajectories (per-round potential trace, final
+// counts, event ledger, steady-state metrics) are committed under
+// testdata/. Any accidental change to the rng keying contract, the
+// Drive loop, the event layer or the churn rewiring shifts the
+// trajectory and fails these loudly. Regenerate intentionally with
+//
+//	go test ./internal/harness -run TestGolden -update
+package harness_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trajectory fixtures")
+
+// goldenInstance is the fixed 8-node ring with two-class speeds every
+// golden trajectory runs on.
+func goldenInstance(t *testing.T) (*core.System, []int64) {
+	t.Helper()
+	g, err := graph.Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds, err := machine.TwoClass(8, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := workload.TwoCorners(8, 240, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, counts
+}
+
+// checkGolden marshals got and compares it byte-for-byte with the
+// committed fixture (or rewrites it under -update).
+func checkGolden(t *testing.T, name string, got any) {
+	t.Helper()
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the fixture)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("%s: trajectory drifted from the committed fixture.\nIf the change is intentional (a deliberate rng or driver change), regenerate with -update and call it out in the PR.\ngot:\n%s\nwant:\n%s", name, data, want)
+	}
+}
+
+// goldenStatic is the serialized form of the static fixture.
+type goldenStatic struct {
+	Result core.RunResult `json:"result"`
+	Counts []int64        `json:"counts"`
+}
+
+// TestGoldenStaticTrajectory replays the committed static run.
+func TestGoldenStaticTrajectory(t *testing.T) {
+	sys, counts := goldenInstance(t)
+	res, final, err := harness.RunUniformEngine(harness.EngineSeq, sys, core.Algorithm1{}, counts,
+		nil, core.RunOpts{MaxRounds: 30, Seed: 42, TraceEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_static.json", goldenStatic{Result: res, Counts: final})
+}
+
+// goldenDynamic is the serialized form of the dynamic fixture.
+type goldenDynamic struct {
+	Rounds  int                    `json:"rounds"`
+	Epochs  int                    `json:"epochs"`
+	Moves   int64                  `json:"moves"`
+	Ledger  core.EventLedger       `json:"ledger"`
+	FinalN  int                    `json:"finalN"`
+	Counts  []int64                `json:"counts"`
+	Metrics harness.DynamicMetrics `json:"metrics"`
+	Trace   []core.TracePoint      `json:"trace"`
+}
+
+// TestGoldenDynamicTrajectory replays the committed dynamic run —
+// arrivals, speed-proportional completions, a burst, one leave and one
+// join — through every layer of the stack.
+func TestGoldenDynamicTrajectory(t *testing.T) {
+	sys, counts := goldenInstance(t)
+	res, err := harness.RunUniformDynamic(harness.EngineSeq, sys, core.Algorithm1{}, counts, harness.DynamicOpts{
+		MaxRounds: 60,
+		Seed:      42,
+		Workload: dynamics.Workload{
+			Seed:        7,
+			ArrivalRate: 6,
+			ServiceRate: 0.5,
+			BurstEvery:  25,
+			BurstSize:   60,
+		},
+		Churn: dynamics.AlternatingChurn(60, 20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_dynamic.json", goldenDynamic{
+		Rounds: res.Rounds, Epochs: res.Epochs, Moves: res.Moves,
+		Ledger: res.Ledger, FinalN: res.FinalN, Counts: res.FinalCounts,
+		Metrics: res.Metrics, Trace: res.Trace,
+	})
+}

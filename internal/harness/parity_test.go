@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dynamics"
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/machine"
@@ -177,6 +178,177 @@ func TestWeightedEngineParity(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// dynamicTestOpts is the shared dynamic scenario of the parity tests:
+// continuous arrivals and speed-proportional completions, a burst every
+// 40 rounds, and alternating node churn every 60 rounds — every event
+// kind at once.
+func dynamicTestOpts(seed uint64) harness.DynamicOpts {
+	return harness.DynamicOpts{
+		MaxRounds: 200,
+		Seed:      seed,
+		Workload: dynamics.Workload{
+			Seed:        seed + 1000,
+			ArrivalRate: 12,
+			ServiceRate: 0.5,
+			BurstEvery:  40,
+			BurstSize:   150,
+		},
+		Churn: dynamics.AlternatingChurn(200, 60),
+	}
+}
+
+// sameDynamic compares two DynamicResults for exact equality — ledger,
+// merged trace floats, final counts, metrics.
+func sameDynamic(t *testing.T, engine string, want, got harness.DynamicResult) {
+	t.Helper()
+	if got.Rounds != want.Rounds || got.Epochs != want.Epochs || got.Moves != want.Moves ||
+		got.FinalN != want.FinalN {
+		t.Fatalf("%s: (rounds=%d epochs=%d moves=%d n=%d), want (rounds=%d epochs=%d moves=%d n=%d)",
+			engine, got.Rounds, got.Epochs, got.Moves, got.FinalN,
+			want.Rounds, want.Epochs, want.Moves, want.FinalN)
+	}
+	if got.Ledger != want.Ledger {
+		t.Fatalf("%s: ledger %+v, want %+v", engine, got.Ledger, want.Ledger)
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("%s: %d trace points, want %d", engine, len(got.Trace), len(want.Trace))
+	}
+	for k := range want.Trace {
+		if got.Trace[k] != want.Trace[k] {
+			t.Fatalf("%s: trace[%d] = %+v, want %+v", engine, k, got.Trace[k], want.Trace[k])
+		}
+	}
+	if got.Metrics != want.Metrics {
+		t.Fatalf("%s: metrics %+v, want %+v", engine, got.Metrics, want.Metrics)
+	}
+	for i := range want.FinalCounts {
+		if got.FinalCounts[i] != want.FinalCounts[i] {
+			t.Fatalf("%s: final count[%d] = %d, want %d", engine, i, got.FinalCounts[i], want.FinalCounts[i])
+		}
+	}
+}
+
+// TestUniformDynamicEngineParity is the dynamic-workload acceptance
+// test: a run with simultaneous arrivals, departures, bursts and node
+// churn must be bit-identical across seq, forkjoin and actor on every
+// Table-1 class, and must conserve tasks net of the event ledger.
+func TestUniformDynamicEngineParity(t *testing.T) {
+	for _, class := range experiments.Table1Classes() {
+		class := class
+		t.Run(class.Key, func(t *testing.T) {
+			t.Parallel()
+			sys, counts := buildUniform(t, class, 16)
+			initial := int64(0)
+			for _, c := range counts {
+				initial += c
+			}
+			opts := dynamicTestOpts(31)
+			ref, err := harness.RunUniformDynamic(harness.EngineSeq, sys, core.Algorithm1{}, counts, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Rounds != opts.MaxRounds || ref.Epochs < 2 {
+				t.Fatalf("reference run too short: %+v", ref)
+			}
+			if ref.Ledger.Arrived == 0 || ref.Ledger.Departed == 0 {
+				t.Fatalf("scenario generated no traffic: %+v", ref.Ledger)
+			}
+			final := int64(0)
+			for _, c := range ref.FinalCounts {
+				final += c
+			}
+			if final != initial+ref.Ledger.Arrived-ref.Ledger.Departed {
+				t.Fatalf("conservation: final %d, initial %d, ledger %+v", final, initial, ref.Ledger)
+			}
+			if ref.Metrics.TimeAvgPsi0 <= 0 || ref.Metrics.Bursts == 0 {
+				t.Fatalf("metrics not populated: %+v", ref.Metrics)
+			}
+			for _, engine := range []string{harness.EngineForkJoin, harness.EngineActor} {
+				res, err := harness.RunUniformDynamic(engine, sys, core.Algorithm1{}, counts, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", engine, err)
+				}
+				sameDynamic(t, engine, ref, res)
+			}
+		})
+	}
+}
+
+// TestWeightedDynamicEngineParity: the weighted dynamic path (arrivals
+// with random weights, completions, churn) must match between seq and
+// forkjoin, including the exact task multisets.
+func TestWeightedDynamicEngineParity(t *testing.T) {
+	class, err := experiments.ClassByKey("torus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := class.Build(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	sys, err := core.NewSystem(g, machine.Uniform(n), core.WithLambda2(class.Lambda2(g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights, err := task.RandomWeights(30*n, 0.1, 1, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(n, weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := dynamicTestOpts(77)
+	ref, err := harness.RunWeightedDynamic(harness.EngineSeq, sys, core.Algorithm2{}, perNode, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Ledger.ArrivedTasks == 0 || ref.Ledger.DepartedTasks == 0 {
+		t.Fatalf("scenario generated no weighted traffic: %+v", ref.Ledger)
+	}
+	if got, want := int64(ref.FinalState.TaskCount()), int64(30*n)+ref.Ledger.ArrivedTasks-ref.Ledger.DepartedTasks; got != want {
+		t.Fatalf("conservation: %d tasks, want %d", got, want)
+	}
+	res, err := harness.RunWeightedDynamic(harness.EngineForkJoin, sys, core.Algorithm2{}, perNode, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDynamic(t, harness.EngineForkJoin, ref, res)
+	for i := 0; i < ref.FinalState.System().N(); i++ {
+		gw, rw := res.FinalState.TaskWeights(i), ref.FinalState.TaskWeights(i)
+		if len(gw) != len(rw) {
+			t.Fatalf("node %d: %d tasks, want %d", i, len(gw), len(rw))
+		}
+		for k := range gw {
+			if gw[k] != rw[k] {
+				t.Fatalf("node %d task %d: %g, want %g", i, k, gw[k], rw[k])
+			}
+		}
+	}
+}
+
+// TestDynamicOptsValidation covers the dynamic runner's rejections.
+func TestDynamicOptsValidation(t *testing.T) {
+	class, err := experiments.ClassByKey("ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, counts := buildUniform(t, class, 8)
+	if _, err := harness.RunUniformDynamic(harness.EngineSeq, sys, core.Algorithm1{}, counts,
+		harness.DynamicOpts{MaxRounds: 0}); err == nil {
+		t.Error("MaxRounds=0 accepted")
+	}
+	if _, err := harness.RunUniformDynamic(harness.EngineSeq, sys, core.Algorithm1{}, counts,
+		harness.DynamicOpts{MaxRounds: 5, Workload: dynamics.Workload{ArrivalRate: -2}}); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	if _, err := harness.RunUniformDynamic("warp", sys, core.Algorithm1{}, counts,
+		harness.DynamicOpts{MaxRounds: 5}); err == nil {
+		t.Error("unknown engine accepted")
 	}
 }
 

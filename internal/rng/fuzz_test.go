@@ -1,0 +1,137 @@
+// Native fuzz targets for the discrete samplers. The samplers sit on
+// the simulator's hottest and most correctness-critical path (they are
+// what makes batched rounds distributionally exact), so the fuzzers
+// check the structural invariants — ranges, sums, determinism under
+// replay — over the whole parameter space, including the NaN/Inf and
+// negative corners the generators never produce.
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzBinomial(f *testing.F) {
+	f.Add(uint64(1), 10, 0.5)
+	f.Add(uint64(7), 0, 0.0)
+	f.Add(uint64(42), 1_000_000, 0.001)
+	f.Add(uint64(3), 15, 1.5)
+	f.Add(uint64(9), 64, math.NaN())
+	f.Fuzz(func(t *testing.T, seed uint64, n int, p float64) {
+		if n > 1<<24 {
+			n %= 1 << 24
+		}
+		a, b := New(seed), New(seed)
+		k := a.Binomial(n, p)
+		if n <= 0 {
+			if k != 0 {
+				t.Fatalf("Binomial(%d, %g) = %d, want 0", n, p, k)
+			}
+			return
+		}
+		if k < 0 || k > n {
+			t.Fatalf("Binomial(%d, %g) = %d out of [0, %d]", n, p, k, n)
+		}
+		if p <= 0 && k != 0 {
+			t.Fatalf("Binomial(%d, %g) = %d, want 0", n, p, k)
+		}
+		if p >= 1 && k != n {
+			t.Fatalf("Binomial(%d, %g) = %d, want %d", n, p, k, n)
+		}
+		if k2 := b.Binomial(n, p); k2 != k {
+			t.Fatalf("replay mismatch: %d != %d", k2, k)
+		}
+	})
+}
+
+func FuzzPoisson(f *testing.F) {
+	f.Add(uint64(1), 3.0)
+	f.Add(uint64(2), 0.0)
+	f.Add(uint64(3), 29.999)
+	f.Add(uint64(4), 30.0)
+	f.Add(uint64(5), 1e6)
+	f.Add(uint64(6), math.Inf(1))
+	f.Fuzz(func(t *testing.T, seed uint64, lambda float64) {
+		a, b := New(seed), New(seed)
+		k := a.Poisson(lambda)
+		if k < 0 {
+			t.Fatalf("Poisson(%g) = %d < 0", lambda, k)
+		}
+		if lambda <= 0 && k != 0 {
+			t.Fatalf("Poisson(%g) = %d, want 0", lambda, k)
+		}
+		if k2 := b.Poisson(lambda); k2 != k {
+			t.Fatalf("replay mismatch: %d != %d", k2, k)
+		}
+	})
+}
+
+func FuzzMultinomial(f *testing.F) {
+	f.Add(uint64(1), 100, 0.2, 0.3, 0.5)
+	f.Add(uint64(2), 0, 1.0, 0.0, 0.0)
+	f.Add(uint64(3), 77, -1.0, 2.0, 0.0)
+	f.Add(uint64(4), 12, math.NaN(), 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, seed uint64, n int, p0, p1, p2 float64) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 1 << 20
+		probs := []float64{p0, p1, p2}
+		a, b := New(seed), New(seed)
+		counts := a.Multinomial(n, probs)
+		if len(counts) != len(probs) {
+			t.Fatalf("%d counts for %d categories", len(counts), len(probs))
+		}
+		sum := 0
+		for i, c := range counts {
+			if c < 0 {
+				t.Fatalf("negative count %d in slot %d", c, i)
+			}
+			sum += c
+		}
+		if sum != n {
+			t.Fatalf("counts sum to %d, want %d (probs %v)", sum, n, probs)
+		}
+		counts2 := b.Multinomial(n, probs)
+		for i := range counts {
+			if counts[i] != counts2[i] {
+				t.Fatalf("replay mismatch at %d: %d != %d", i, counts[i], counts2[i])
+			}
+		}
+	})
+}
+
+func FuzzEqualSplit(f *testing.F) {
+	f.Add(uint64(1), 1000, 7)
+	f.Add(uint64(2), 0, 3)
+	f.Add(uint64(3), 64, 1)
+	f.Fuzz(func(t *testing.T, seed uint64, n, k int) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 1 << 20
+		if k > 1<<12 {
+			k %= 1 << 12
+		}
+		counts := New(seed).EqualSplit(n, k)
+		if k <= 0 {
+			if len(counts) != 0 {
+				t.Fatalf("EqualSplit(%d, %d) returned %d slots", n, k, len(counts))
+			}
+			return
+		}
+		if len(counts) != k {
+			t.Fatalf("%d slots, want %d", len(counts), k)
+		}
+		sum := 0
+		for i, c := range counts {
+			if c < 0 {
+				t.Fatalf("negative count %d in slot %d", c, i)
+			}
+			sum += c
+		}
+		if want := n; sum != want && n > 0 {
+			t.Fatalf("counts sum to %d, want %d", sum, want)
+		}
+	})
+}

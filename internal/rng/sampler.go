@@ -12,7 +12,10 @@ import "math"
 // sampled distribution relative to per-task Bernoulli coin flips.
 func (r *Stream) Binomial(n int, p float64) int {
 	switch {
-	case n <= 0 || p <= 0:
+	// A NaN probability fails every comparison below; without the
+	// explicit guard it would send the mode walk to int(NaN) and loop
+	// effectively forever (found by FuzzBinomial).
+	case n <= 0 || p <= 0 || math.IsNaN(p):
 		return 0
 	case p >= 1:
 		return n
@@ -105,12 +108,91 @@ func logChoose(n, k int) float64 {
 	return a - b - c
 }
 
+// maxPoissonLambda bounds the rate Poisson accepts: far above any
+// simulation event rate, yet small enough that the mode conversion to
+// int cannot overflow (int(lambda) is implementation-defined for
+// lambda ≥ 2⁶³ — saturating on arm64, wrapping negative on amd64) and
+// the O(√lambda) mode walk stays bounded.
+const maxPoissonLambda = 1 << 30
+
+// Poisson returns a sample from Poisson(lambda), the task-arrival and
+// task-completion distribution of the dynamic workload layer
+// (package dynamics). Like Binomial, it inverts the CDF exactly: for
+// small lambda by walking up from 0, for large lambda by walking outward
+// from the mode with the pmf recurrence pmf(k+1) = pmf(k)·λ/(k+1), which
+// costs O(sqrt(lambda)) expected steps. Rates above maxPoissonLambda
+// (including +Inf) are clamped to it.
+func (r *Stream) Poisson(lambda float64) int {
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return 0
+	}
+	if lambda > maxPoissonLambda {
+		lambda = maxPoissonLambda
+	}
+	if lambda < 30 {
+		pmf := math.Exp(-lambda)
+		u := r.Float64()
+		acc := pmf
+		k := 0
+		// The tail bound keeps the walk finite even if u lands in the
+		// floating-point residue above the accumulated CDF.
+		for u >= acc && k < 1<<20 {
+			k++
+			pmf *= lambda / float64(k)
+			acc += pmf
+		}
+		return k
+	}
+
+	mode := int(math.Floor(lambda))
+	lg, _ := math.Lgamma(float64(mode + 1))
+	pmfMode := math.Exp(float64(mode)*math.Log(lambda) - lambda - lg)
+	u := r.Float64()
+	upK, upPmf := mode, pmfMode
+	downK, downPmf := mode, pmfMode
+	acc := pmfMode
+	if u < acc {
+		return mode
+	}
+	for {
+		advanced := false
+		if upPmf > 0 {
+			upPmf *= lambda / float64(upK+1)
+			upK++
+			acc += upPmf
+			if u < acc {
+				return upK
+			}
+			advanced = true
+		}
+		if downK > 0 {
+			downPmf *= float64(downK) / lambda
+			downK--
+			acc += downPmf
+			if u < acc {
+				return downK
+			}
+			advanced = true
+		}
+		if !advanced {
+			// Entire representable support consumed; u landed in the
+			// floating-point residue.
+			return mode
+		}
+	}
+}
+
 // EqualSplit distributes n trials uniformly over k equally likely
 // categories (a multinomial with equal probabilities), via sequential
 // conditional binomials. The result has k entries summing to n.
 func (r *Stream) EqualSplit(n, k int) []int {
+	// Guard before the allocation: make([]int, k) panics for k < 0
+	// (found by FuzzEqualSplit).
+	if k <= 0 {
+		return nil
+	}
 	counts := make([]int, k)
-	if n <= 0 || k <= 0 {
+	if n <= 0 {
 		return counts
 	}
 	remaining := n

@@ -219,6 +219,102 @@ func TestEqualSplitUniform(t *testing.T) {
 	}
 }
 
+func TestPoissonEdgeCases(t *testing.T) {
+	r := New(1)
+	if got := r.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	if got := r.Poisson(-3); got != 0 {
+		t.Errorf("Poisson(-3) = %d, want 0", got)
+	}
+	if got := r.Poisson(math.NaN()); got != 0 {
+		t.Errorf("Poisson(NaN) = %d, want 0", got)
+	}
+	// Rates beyond the int-safe range clamp instead of overflowing the
+	// mode conversion (int(lambda) is implementation-defined ≥ 2⁶³).
+	for _, l := range []float64{1e19, math.Inf(1), math.MaxFloat64} {
+		if got := r.Poisson(l); got < 0 {
+			t.Errorf("Poisson(%g) = %d, want ≥ 0", l, got)
+		}
+	}
+}
+
+// TestPoissonMoments checks the sample mean and variance against
+// lambda on both the small-lambda inversion path and the large-lambda
+// mode-walk path.
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.3, 2.5, 12, 29.9, 30, 75, 400} {
+		r := New(77)
+		const trials = 20000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < trials; i++ {
+			k := float64(r.Poisson(lambda))
+			sum += k
+			sumSq += k * k
+		}
+		mean := sum / trials
+		variance := sumSq/trials - mean*mean
+		// Standard error of the mean is sqrt(lambda/trials); allow 5σ.
+		tol := 5 * math.Sqrt(lambda/trials)
+		if math.Abs(mean-lambda) > tol {
+			t.Errorf("lambda=%g: mean %.3f, want %.3f ± %.3f", lambda, mean, lambda, tol)
+		}
+		if math.Abs(variance-lambda) > 0.1*lambda+tol*5 {
+			t.Errorf("lambda=%g: variance %.3f, want ≈ %.3f", lambda, variance, lambda)
+		}
+	}
+}
+
+// TestPoissonDeterministic pins the keying contract: the same stream
+// position yields the same sample.
+func TestPoissonDeterministic(t *testing.T) {
+	for _, lambda := range []float64{0.9, 17, 64} {
+		a, b := New(5), New(5)
+		for i := 0; i < 200; i++ {
+			if ka, kb := a.Poisson(lambda), b.Poisson(lambda); ka != kb {
+				t.Fatalf("lambda=%g draw %d: %d != %d", lambda, i, ka, kb)
+			}
+		}
+	}
+}
+
+// TestPoissonExactPMFSmall compares the sampled distribution with the
+// exact pmf for a small lambda (chi-squared-style absolute check).
+func TestPoissonExactPMFSmall(t *testing.T) {
+	const lambda = 3.0
+	const trials = 60000
+	r := New(11)
+	histogram := make([]int, 30)
+	for i := 0; i < trials; i++ {
+		k := r.Poisson(lambda)
+		if k < len(histogram) {
+			histogram[k]++
+		}
+	}
+	pmf := math.Exp(-lambda)
+	for k := 0; k < 12; k++ {
+		got := float64(histogram[k]) / trials
+		if math.Abs(got-pmf) > 0.01 {
+			t.Errorf("P(X=%d): sampled %.4f, exact %.4f", k, got, pmf)
+		}
+		pmf *= lambda / float64(k+1)
+	}
+}
+
+func BenchmarkPoissonSmall(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Poisson(4)
+	}
+}
+
+func BenchmarkPoissonLarge(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Poisson(5000)
+	}
+}
+
 func BenchmarkBinomialSmallNP(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {
