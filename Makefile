@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-check bench-json table1 cover fuzz-short ci
+.PHONY: build vet test race bench-check bench-json bench-scale table1 cover fuzz-short ci
 
 build:
 	$(GO) build ./...
@@ -21,16 +21,26 @@ race:
 bench-check:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Run the Table-1, batching and dynamic-event benchmarks once and emit
-# BENCH_core.json (ns/op plus the rounds/theory-rounds metrics) via
-# cmd/benchjson. CI uploads the file as a non-gating artifact so the
-# performance trajectory — including the dynamic event-application hot
-# path — is tracked across PRs. Two steps (not a pipe) so a failing
-# benchmark run fails the target instead of writing a truncated JSON.
+# Run the Table-1, batching, dynamic-event and shard-round benchmarks
+# once and emit BENCH_core.json (ns/op plus the rounds/theory-rounds,
+# allocation and bytes-per-node metrics) via cmd/benchjson. CI uploads
+# the file as a non-gating artifact so the performance trajectory —
+# including the dynamic event-application and sharded-round hot paths —
+# is tracked across PRs. Two steps (not a pipe) so a failing benchmark
+# run fails the target instead of writing a truncated JSON.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Table1|RoundBatchedVsPerTask|DynamicEvents' -benchtime 1x . > BENCH_core.txt
+	$(GO) test -run '^$$' -bench 'Table1|RoundBatchedVsPerTask|DynamicEvents|ShardRound' -benchtime 1x . > BENCH_core.txt
 	$(GO) run ./cmd/benchjson < BENCH_core.txt > BENCH_core.json
 	rm -f BENCH_core.txt
+
+# Scaling benchmarks only (shard engine round + instance build at
+# n ∈ {10⁴, 10⁵, 10⁶}), emitted as BENCH_scale.json — the non-gating
+# artifact that records rounds/sec, allocs/round and state-bytes/node
+# versus n across PRs.
+bench-scale:
+	$(GO) test -run '^$$' -bench 'ShardRound|ShardBuild' -benchtime 1x . > BENCH_scale.txt
+	$(GO) run ./cmd/benchjson < BENCH_scale.txt > BENCH_scale.json
+	rm -f BENCH_scale.txt
 
 # Regenerate the empirical counterpart of the paper's Table 1.
 table1:

@@ -21,6 +21,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/machine"
 	"repro/internal/rng"
+	"repro/internal/shard"
 	"repro/internal/spectral"
 	"repro/internal/task"
 	"repro/internal/workload"
@@ -521,6 +522,87 @@ func BenchmarkDistRuntime(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Scaling: the CSR-backed shard engine at n ∈ {10⁴, 10⁵, 10⁶} ---
+
+// BenchmarkShardRound is the scaling benchmark BENCH_scale.json tracks:
+// one protocol round on a ring at n ∈ {10⁴, 10⁵, 10⁶} with every node
+// active (proportional placement), sequential engine vs shard engine.
+// ReportAllocs documents the shard hot path's allocation discipline —
+// allocations per round stay O(1) (the round stream) at every size, so
+// memory is bounded by the CSR arrays plus the flat state vectors,
+// which state-bytes/node reports (~44 B/node on a ring: 12 B CSR,
+// 8 B counts, 8 B loads, 8 B local delta, 4 B shard map, plus the
+// offsets word and cut-proportional flow capacity).
+func BenchmarkShardRound(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		g, err := graph.Ring(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := core.NewSystem(g, machine.Uniform(n), core.WithLambda2(spectral.Lambda2Ring(n)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		counts, err := workload.Proportional(sys.Speeds(), int64(64*n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("ring-n=%d/seq", n), func(b *testing.B) {
+			st, err := core.NewUniformState(sys, counts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			proto := core.Algorithm1{}
+			base := rng.New(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				proto.Step(st, uint64(i+1), base)
+			}
+		})
+		b.Run(fmt.Sprintf("ring-n=%d/shard", n), func(b *testing.B) {
+			// P pinned at 8 so the cross-shard flow path is always
+			// exercised, independent of the host's core count.
+			eng, err := shard.New(sys, core.Algorithm1{}, counts, shard.Options{Shards: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			base := rng.New(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Step(uint64(i+1), base); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(eng.Footprint())/float64(n), "state-bytes/node")
+			b.ReportMetric(float64(eng.Partition().CutEdges()), "cut-edges")
+		})
+	}
+}
+
+// BenchmarkShardBuild measures instance construction at scale: direct
+// CSR assembly plus partitioning, the cost the old edge-map path made
+// prohibitive for 10⁶ nodes.
+func BenchmarkShardBuild(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("ring-n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, err := graph.Ring(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := shard.NewPartition(g.CSR(), 8, shard.Contiguous); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Substrate micro-benchmarks ---

@@ -9,6 +9,13 @@
 //	lbsim -graph hypercube -n 64 -model weighted -protocol baseline
 //	lbsim -graph torus -n 256 -engine forkjoin -trace 100
 //
+// With -rounds k the convergence phases are skipped and exactly k
+// protocol rounds run, reporting throughput — the scale mode for the
+// shard engine, whose CSR-backed state handles million-node instances:
+//
+//	lbsim -graph ring -n 1000000 -engine shard -rounds 100
+//	lbsim -graph torus -n 250000 -engine shard -shards 8 -rounds 200
+//
 // With any of -arrivals, -departures or -churn set, lbsim switches to
 // the dynamic regime: tasks arrive and complete while the protocol
 // runs, nodes periodically leave and join, and the report shows the
@@ -24,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -55,13 +63,18 @@ func run() error {
 		speedsArg = flag.String("speeds", "uniform", "speed profile: uniform|twoclass|integers")
 		smax      = flag.Float64("smax", 4, "maximum speed for non-uniform profiles")
 		model     = flag.String("model", "uniform", "task model: uniform|weighted")
-		engine    = flag.String("engine", "seq", "execution engine: seq|forkjoin|actor (uniform) or seq|forkjoin (weighted); identical trajectories")
+		engine    = flag.String("engine", "seq", "execution engine: seq|forkjoin|actor|shard (uniform) or seq|forkjoin (weighted); identical trajectories")
 		protocol  = flag.String("protocol", "paper", "weighted protocol: paper|literal|baseline")
 		eps       = flag.Float64("eps", 0.25, "epsilon for the approximate-NE stop")
 		maxRounds = flag.Int("maxrounds", 2_000_000, "safety cap on rounds")
 		trace     = flag.Int("trace", 0, "emit a potential trace every k rounds (0 = off)")
 		placement = flag.String("placement", "corner", "initial placement: corner|random|proportional")
 		analyze   = flag.Bool("analyze", false, "print a state diagnostic after each phase (uniform model)")
+
+		fixedRounds   = flag.Int("rounds", 0, "run exactly k protocol rounds instead of the convergence phases (uniform model; reports throughput)")
+		distWorkers   = flag.Int("dist-workers", 0, "pin the forkjoin/shard worker-pool size (0 = all cores; identical trajectories)")
+		shards        = flag.Int("shards", 0, "shard engine: partition count P (0 = worker count)")
+		shardStrategy = flag.String("shard-strategy", "contiguous", "shard engine: partition strategy contiguous|degree")
 
 		arrivals   = flag.Float64("arrivals", 0, "dynamic: expected task arrivals per round (Poisson, spread over nodes)")
 		departures = flag.Float64("departures", 0, "dynamic: per-unit-speed task completion rate (Poisson(rate·sᵢ) per node)")
@@ -90,6 +103,7 @@ func run() error {
 	if m <= 0 {
 		m = 64 * int64(actualN)
 	}
+	eo := harness.EngineOpts{Workers: *distWorkers, Shards: *shards, Strategy: *shardStrategy}
 	fmt.Printf("instance: %s  Δ=%d  λ₂=%.5f  s_max=%g  S=%.0f  m=%d\n",
 		g, sys.MaxDegree(), sys.Lambda2(), sys.SMax(), sys.STotal(), m)
 	fmt.Printf("theory:   γ=%.1f  ψ_c=%.1f  T_approx≤%.0f  T_exact≤%.3g\n",
@@ -100,6 +114,9 @@ func run() error {
 			*arrivals, *departures, *churn, *burstEvery, *burstSize)
 	}
 	if *arrivals > 0 || *departures > 0 || *churn > 0 || *burstEvery > 0 {
+		if *fixedRounds > 0 {
+			return fmt.Errorf("-rounds conflicts with the dynamic flags; use -horizon to bound a dynamic run")
+		}
 		dyn := dynCfg{
 			arrivals: *arrivals, departures: *departures, churn: *churn,
 			burstEvery: *burstEvery, burstSize: *burstSize,
@@ -111,12 +128,18 @@ func run() error {
 		if dyn.burstEvery > 0 && dyn.burstSize <= 0 {
 			dyn.burstSize = m / 4
 		}
-		return runDynamic(sys, m, *model, *engine, *protocol, *placement, *seed, dyn)
+		return runDynamic(sys, m, *model, *engine, *protocol, *placement, *seed, dyn, eo)
+	}
+	if *fixedRounds > 0 {
+		if *model == "weighted" {
+			return fmt.Errorf("-rounds supports the uniform model only")
+		}
+		return runFixed(sys, m, *engine, *placement, *seed, *fixedRounds, *trace, eo)
 	}
 	if *model == "weighted" {
-		return runWeighted(sys, m, *engine, *protocol, *eps, *seed, *maxRounds, *trace)
+		return runWeighted(sys, m, *engine, *protocol, *eps, *seed, *maxRounds, *trace, eo)
 	}
-	return runUniform(sys, m, *engine, *placement, *eps, *seed, *maxRounds, *trace, *analyze)
+	return runUniform(sys, m, *engine, *placement, *eps, *seed, *maxRounds, *trace, *analyze, eo)
 }
 
 // dynCfg bundles the dynamic-regime flags.
@@ -133,7 +156,7 @@ type dynCfg struct {
 // runDynamic executes the dynamic regime: continuous arrivals and
 // completions (and optional bursts and churn) over a fixed horizon,
 // reporting steady-state metrics and the event ledger.
-func runDynamic(sys *core.System, m int64, model, engine, protocol, placement string, seed uint64, cfg dynCfg) error {
+func runDynamic(sys *core.System, m int64, model, engine, protocol, placement string, seed uint64, cfg dynCfg, eo harness.EngineOpts) error {
 	w := dynamics.Workload{
 		Seed:        cfg.eventSeed,
 		ArrivalRate: cfg.arrivals,
@@ -146,6 +169,7 @@ func runDynamic(sys *core.System, m int64, model, engine, protocol, placement st
 		Seed:      seed,
 		Workload:  w,
 		Churn:     dynamics.AlternatingChurn(cfg.horizon, cfg.churn),
+		Engine:    eo,
 	}
 	fmt.Printf("dynamic:  horizon=%d  λ=%g/round  μ=%g·sᵢ/round  burst=%d@%d  churn every %d  engine=%s\n",
 		cfg.horizon, cfg.arrivals, cfg.departures, cfg.burstSize, cfg.burstEvery, cfg.churn, engine)
@@ -305,7 +329,7 @@ func buildSpeeds(profile string, n int, smax float64, seed uint64) (machine.Spee
 	}
 }
 
-func runUniform(sys *core.System, m int64, engine, placement string, eps float64, seed uint64, maxRounds, trace int, analyze bool) error {
+func runUniform(sys *core.System, m int64, engine, placement string, eps float64, seed uint64, maxRounds, trace int, analyze bool, eo harness.EngineOpts) error {
 	counts, err := initialCounts(sys, m, placement, seed)
 	if err != nil {
 		return err
@@ -319,8 +343,8 @@ func runUniform(sys *core.System, m int64, engine, placement string, eps float64
 	// The three phases chain through the final counts of each run; every
 	// phase executes on the selected engine through the shared driver.
 	threshold := 4 * sys.PsiCritical()
-	res1, counts, err := harness.RunUniformEngine(engine, sys, core.Algorithm1{}, counts,
-		core.StopAtPsi0Below(threshold), core.RunOpts{MaxRounds: maxRounds, Seed: seed, TraceEvery: trace})
+	res1, counts, err := harness.RunUniformEngineOpts(engine, sys, core.Algorithm1{}, counts,
+		core.StopAtPsi0Below(threshold), core.RunOpts{MaxRounds: maxRounds, Seed: seed, TraceEvery: trace}, eo)
 	if err != nil {
 		return fmt.Errorf("phase 1: %w", err)
 	}
@@ -333,15 +357,15 @@ func runUniform(sys *core.System, m int64, engine, placement string, eps float64
 		fmt.Print(analysis.Format(analysis.Analyze(st, 0)))
 	}
 
-	res2, counts, err := harness.RunUniformEngine(engine, sys, core.Algorithm1{}, counts,
-		core.StopAtApproxNash(eps), core.RunOpts{MaxRounds: maxRounds, Seed: seed + 1})
+	res2, counts, err := harness.RunUniformEngineOpts(engine, sys, core.Algorithm1{}, counts,
+		core.StopAtApproxNash(eps), core.RunOpts{MaxRounds: maxRounds, Seed: seed + 1}, eo)
 	if err != nil {
 		return fmt.Errorf("phase 2 (approx): %w", err)
 	}
 	fmt.Printf("phase 2:  %.3g-approximate NE after %d more rounds\n", eps, res2.Rounds)
 
-	res3, counts, err := harness.RunUniformEngine(engine, sys, core.Algorithm1{}, counts,
-		core.StopAtNash(), core.RunOpts{MaxRounds: maxRounds, Seed: seed + 2})
+	res3, counts, err := harness.RunUniformEngineOpts(engine, sys, core.Algorithm1{}, counts,
+		core.StopAtNash(), core.RunOpts{MaxRounds: maxRounds, Seed: seed + 2}, eo)
 	if err != nil {
 		return fmt.Errorf("phase 3 (exact): %w", err)
 	}
@@ -355,7 +379,7 @@ func runUniform(sys *core.System, m int64, engine, placement string, eps float64
 	return nil
 }
 
-func runWeighted(sys *core.System, m int64, engine, protocol string, eps float64, seed uint64, maxRounds, trace int) error {
+func runWeighted(sys *core.System, m int64, engine, protocol string, eps float64, seed uint64, maxRounds, trace int, eo harness.EngineOpts) error {
 	n := sys.N()
 	weights, err := task.RandomWeights(int(m), 0.1, 1.0, rng.New(seed+3))
 	if err != nil {
@@ -376,8 +400,8 @@ func runWeighted(sys *core.System, m int64, engine, protocol string, eps float64
 	fmt.Printf("start:    W=%.1f  Ψ₀=%.4g  L_Δ=%.2f  protocol=%s  engine=%s\n",
 		start.TotalWeight(), core.WeightedPsi0(start), core.WeightedLDelta(start), proto.Name(), engine)
 
-	res, st, err := harness.RunWeightedEngine(engine, sys, proto, perNode,
-		core.StopAtWeightedApproxNash(eps), core.RunOpts{MaxRounds: maxRounds, Seed: seed, TraceEvery: trace})
+	res, st, err := harness.RunWeightedEngineOpts(engine, sys, proto, perNode,
+		core.StopAtWeightedApproxNash(eps), core.RunOpts{MaxRounds: maxRounds, Seed: seed, TraceEvery: trace}, eo)
 	if err != nil {
 		return err
 	}
@@ -385,6 +409,38 @@ func runWeighted(sys *core.System, m int64, engine, protocol string, eps float64
 	emitTrace(res, trace)
 	fmt.Printf("final:    Ψ₀=%.4g  L_Δ=%.3f  thresholdNE=%v exactNE=%v\n",
 		core.WeightedPsi0(st), core.WeightedLDelta(st), core.IsWeightedThresholdNE(st), core.IsWeightedNash(st))
+	return nil
+}
+
+// runFixed executes exactly `rounds` protocol rounds with no stop
+// condition — the scale mode: on the shard engine a million-node
+// instance runs in flat CSR-backed state, so the only O(n) costs are
+// the arrays themselves. Reports moves, final potentials and
+// throughput.
+func runFixed(sys *core.System, m int64, engine, placement string, seed uint64, rounds, trace int, eo harness.EngineOpts) error {
+	counts, err := initialCounts(sys, m, placement, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fixed:    %d rounds  engine=%s  workers=%d  shards=%d (%s)\n",
+		rounds, engine, eo.Workers, eo.Shards, eo.Strategy)
+	start := time.Now()
+	res, counts, err := harness.RunUniformEngineOpts(engine, sys, core.Algorithm1{}, counts, nil,
+		core.RunOpts{MaxRounds: rounds, Seed: seed, TraceEvery: trace}, eo)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		return err
+	}
+	perRound := elapsed / time.Duration(rounds)
+	fmt.Printf("run:      %d rounds in %v (%v/round, %.1f rounds/sec), %d moves\n",
+		res.Rounds, elapsed.Round(time.Millisecond), perRound.Round(time.Microsecond),
+		float64(res.Rounds)/elapsed.Seconds(), res.Moves)
+	fmt.Printf("final:    Ψ₀=%.6g  L_Δ=%.3f\n", core.Psi0(st), core.LDelta(st))
+	emitTrace(res, trace)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/machine"
 )
 
@@ -74,12 +75,46 @@ func TestRunDynamicSmoke(t *testing.T) {
 		horizon: 50, eventSeed: 18,
 	}
 	for _, model := range []string{"uniform", "weighted"} {
-		if err := runDynamic(sys, 400, model, "seq", "paper", "corner", 1, cfg); err != nil {
+		if err := runDynamic(sys, 400, model, "seq", "paper", "corner", 1, cfg, harness.EngineOpts{}); err != nil {
 			t.Errorf("runDynamic(%s): %v", model, err)
 		}
 	}
-	if err := runDynamic(sys, 400, "uniform", "forkjoin", "paper", "random", 1, cfg); err != nil {
+	if err := runDynamic(sys, 400, "uniform", "forkjoin", "paper", "random", 1, cfg, harness.EngineOpts{}); err != nil {
 		t.Errorf("runDynamic(forkjoin): %v", err)
+	}
+	if err := runDynamic(sys, 400, "uniform", "shard", "paper", "random", 1, cfg,
+		harness.EngineOpts{Shards: 3, Workers: 2}); err != nil {
+		t.Errorf("runDynamic(shard): %v", err)
+	}
+}
+
+// TestRunFixedSmoke covers the fixed-round scale mode on every uniform
+// engine, shard strategies included.
+func TestRunFixedSmoke(t *testing.T) {
+	g, lambda2, err := buildGraph("ring", 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, machine.Uniform(g.N()), core.WithLambda2(lambda2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		engine string
+		eo     harness.EngineOpts
+	}{
+		{"seq", harness.EngineOpts{}},
+		{"forkjoin", harness.EngineOpts{Workers: 2}},
+		{"shard", harness.EngineOpts{Shards: 5, Workers: 2}},
+		{"shard", harness.EngineOpts{Shards: 3, Strategy: "degree"}},
+	} {
+		if err := runFixed(sys, 24*64, tc.engine, "corner", 1, 30, 0, tc.eo); err != nil {
+			t.Errorf("runFixed(%s %+v): %v", tc.engine, tc.eo, err)
+		}
+	}
+	if err := runFixed(sys, 24*64, "shard", "corner", 1, 10, 0,
+		harness.EngineOpts{Strategy: "warp"}); err == nil {
+		t.Error("unknown shard strategy accepted")
 	}
 }
 

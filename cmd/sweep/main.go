@@ -49,7 +49,7 @@ func run() error {
 		workers    = flag.Int("workers", 0, "concurrent jobs (0 = all cores)")
 		horizon    = flag.Int("horizon", 400, "dynamic: rounds of continuous traffic")
 		churnEvery = flag.Int("churnevery", 0, "dynamic: leave/join every k rounds (0 = no churn)")
-		engine     = flag.String("engine", "seq", "dynamic: execution engine seq|forkjoin|actor")
+		engine     = flag.String("engine", "seq", "dynamic: execution engine seq|forkjoin|actor|shard")
 	)
 	flag.Parse()
 

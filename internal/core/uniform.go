@@ -73,17 +73,21 @@ func (p Algorithm1) Step(st *UniformState, round uint64, base *rng.Stream) int64
 func (p Algorithm1) DecideNode(sys *System, i int, wi int64, li float64, nbLoads []float64, nodeStream *rng.Stream, out []int64) int64 {
 	nbs := sys.g.Neighbors(i)
 	deg := len(nbs)
-	for idx := 0; idx < deg; idx++ {
-		out[idx] = 0
-	}
 	if wi == 0 {
+		for idx := 0; idx < deg; idx++ {
+			out[idx] = 0
+		}
 		return 0
 	}
 	alpha := p.effectiveAlpha(sys)
-	picks := nodeStream.EqualSplit(int(wi), deg)
+	// The multinomial picks are drawn straight into out (no per-node
+	// allocation); each slot is read into c before it is overwritten
+	// with the movers, so the aliasing is safe.
+	picks := nodeStream.EqualSplitInto(int(wi), deg, out)
 	moves := int64(0)
 	for idx, jj := range nbs {
-		c := picks[idx]
+		c := int(picks[idx])
+		out[idx] = 0
 		if c == 0 {
 			continue
 		}

@@ -739,3 +739,68 @@ func TestApplyEventsClosedEngines(t *testing.T) {
 		t.Errorf("weighted: %v, want ErrClosed", err)
 	}
 }
+
+// TestWithWorkersPinsPoolSize checks the Workers option: the pool must
+// honor an explicit size (still capped at one worker per node), default
+// to GOMAXPROCS when unset or non-positive, and — the invariant that
+// matters — produce the identical trajectory at every size.
+func TestWithWorkersPinsPoolSize(t *testing.T) {
+	sys, counts := buildCase(t, func() (*graph.Graph, error) { return graph.Ring(16) }, twoClassSpeeds, 30)
+	for _, tc := range []struct{ workers, want int }{
+		{1, 1},
+		{3, 3},
+		{16, 16},
+		{100, 16}, // capped at n
+		{0, min(runtime.GOMAXPROCS(0), 16)},
+		{-5, min(runtime.GOMAXPROCS(0), 16)},
+	} {
+		rt, err := NewRuntime(sys, core.Algorithm1{}, counts, WithWorkers(tc.workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.pool.workers != tc.want {
+			t.Errorf("WithWorkers(%d): pool has %d workers, want %d", tc.workers, rt.pool.workers, tc.want)
+		}
+		rt.Close()
+	}
+
+	// Trajectory invariance across pinned worker counts.
+	ref := runRounds(t, sys, counts, 1, 25)
+	for _, w := range []int{2, 5, 16} {
+		rt, err := NewRuntime(sys, core.Algorithm1{}, counts, WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := rng.New(77)
+		for r := uint64(1); r <= 25; r++ {
+			if _, err := rt.Round(r, base); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := rt.Counts()
+		rt.Close()
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: node %d count %d, want %d", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// runRounds executes rounds on a fresh pinned-worker runtime and
+// returns the final counts.
+func runRounds(t *testing.T, sys *core.System, counts []int64, workers int, rounds uint64) []int64 {
+	t.Helper()
+	rt, err := NewRuntime(sys, core.Algorithm1{}, counts, WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	base := rng.New(77)
+	for r := uint64(1); r <= rounds; r++ {
+		if _, err := rt.Round(r, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rt.Counts()
+}

@@ -20,13 +20,16 @@ type pool struct {
 	closed           bool
 }
 
-// newPool sizes a pool for n nodes (one worker per core, at most one
-// per node) and starts the workers. body(w, roundStream) evaluates
-// shard [shardLo[w], shardHi[w]) for one round; it runs on the worker
-// goroutine, bracketed by the dispatch/join edges, so it may freely
-// read engine state the driver does not mutate mid-round.
-func newPool(n int, body func(w int, roundStream *rng.Stream)) *pool {
-	workers := runtime.GOMAXPROCS(0)
+// newPool sizes a pool for n nodes (workers ≤ 0 means one worker per
+// core, and never more than one per node) and starts the workers.
+// body(w, roundStream) evaluates shard [shardLo[w], shardHi[w]) for one
+// round; it runs on the worker goroutine, bracketed by the
+// dispatch/join edges, so it may freely read engine state the driver
+// does not mutate mid-round.
+func newPool(n, workers int, body func(w int, roundStream *rng.Stream)) *pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}

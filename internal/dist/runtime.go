@@ -12,6 +12,29 @@ import (
 // already been called.
 var ErrClosed = errors.New("dist: engine is closed")
 
+// Option customizes Runtime and WeightedRuntime construction.
+type Option func(*config)
+
+type config struct {
+	workers int
+}
+
+// WithWorkers pins the fork–join worker-pool size (≤ 0 keeps the
+// default of one worker per core, capped at one per node). The
+// trajectory is bit-identical for any worker count; the option exists
+// so benchmarks and the harness can fix parallelism explicitly.
+func WithWorkers(workers int) Option {
+	return func(c *config) { c.workers = workers }
+}
+
+func applyOptions(opts []Option) config {
+	var c config
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c
+}
+
 // Runtime is the fork–join concurrent engine for uniform tasks. A fixed
 // pool of workers shards the processors; each Round the workers evaluate
 // their nodes' protocol decisions in parallel against the round-start
@@ -42,7 +65,7 @@ type Runtime struct {
 
 // NewRuntime validates the instance and starts the worker pool. counts
 // is copied.
-func NewRuntime(sys *core.System, proto core.UniformNodeProtocol, counts []int64) (*Runtime, error) {
+func NewRuntime(sys *core.System, proto core.UniformNodeProtocol, counts []int64, opts ...Option) (*Runtime, error) {
 	if sys == nil {
 		return nil, errors.New("dist: nil system")
 	}
@@ -61,7 +84,7 @@ func NewRuntime(sys *core.System, proto core.UniformNodeProtocol, counts []int64
 		counts: st.Counts(),
 		loads:  make([]float64, n),
 	}
-	rt.pool = newPool(n, rt.runShard)
+	rt.pool = newPool(n, applyOptions(opts).workers, rt.runShard)
 	maxDeg := sys.MaxDegree()
 	rt.deltas = make([][]int64, rt.pool.workers)
 	rt.moves = make([]int64, rt.pool.workers)

@@ -29,7 +29,7 @@ type WeightedRuntime struct {
 
 // NewWeightedRuntime validates the instance (perNode is copied into the
 // internal state) and starts the worker pool.
-func NewWeightedRuntime(sys *core.System, perNode []task.Weights, proto core.WeightedNodeProtocol) (*WeightedRuntime, error) {
+func NewWeightedRuntime(sys *core.System, perNode []task.Weights, proto core.WeightedNodeProtocol, opts ...Option) (*WeightedRuntime, error) {
 	if sys == nil {
 		return nil, errors.New("dist: nil system")
 	}
@@ -47,7 +47,7 @@ func NewWeightedRuntime(sys *core.System, perNode []task.Weights, proto core.Wei
 		st:    st,
 		loads: make([]float64, n),
 	}
-	rt.pool = newPool(n, rt.runShard)
+	rt.pool = newPool(n, applyOptions(opts).workers, rt.runShard)
 	rt.pending = make([][]core.TaskMove, rt.pool.workers)
 	return rt, nil
 }

@@ -1,6 +1,20 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
+
+// sortEdges orders an edge list lexicographically by (U, V), making
+// edge lists assembled via map dedup deterministic.
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].U != edges[b].U {
+			return edges[a].U < edges[b].U
+		}
+		return edges[a].V < edges[b].V
+	})
+}
 
 // Additional graph families beyond the Table-1 classes, used by the
 // extended experiments: circulants (rings with chords), complete
@@ -42,6 +56,11 @@ func Circulant(n int, offsets []int) (*Graph, error) {
 	for e := range edgeSet {
 		edges = append(edges, e)
 	}
+	// The map dedup above iterates in random order. FromEdges itself is
+	// order-independent (it sorts every CSR row), but hand it — and any
+	// future consumer of this list — a deterministic edge order anyway,
+	// so the construction has no order-sensitive inputs at all.
+	sortEdges(edges)
 	return FromEdges(fmt.Sprintf("circulant-%d-%v", n, offsets), n, edges)
 }
 

@@ -149,3 +149,32 @@ func TestTorusNDValidation(t *testing.T) {
 		t.Error("side 2 accepted")
 	}
 }
+
+// TestFamilyConstructionDeterministic is the regression test for the
+// map-iteration nondeterminism that used to lurk in Circulant: two
+// independent constructions of the same instance must be deep-equal,
+// CSR arrays included, for every family that assembles edges through a
+// dedup map or nested loops.
+func TestFamilyConstructionDeterministic(t *testing.T) {
+	build := map[string]func() (*Graph, error){
+		"circulant": func() (*Graph, error) { return Circulant(17, []int{1, 3, 5}) },
+		"circulant-antipodal": func() (*Graph, error) {
+			return Circulant(12, []int{2, 6})
+		},
+		"bipartite": func() (*Graph, error) { return CompleteBipartite(5, 8) },
+		"torusnd":   func() (*Graph, error) { return TorusND([]int{3, 4, 5}) },
+	}
+	for name, f := range build {
+		a, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			b, err := f()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			sameGraph(t, b, a)
+		}
+	}
+}

@@ -6,116 +6,65 @@ import (
 	"repro/internal/rng"
 )
 
+// The Table-1 families (and the other regular lattices) assemble their
+// CSR arrays directly — see csr.go — so building a million-node
+// instance costs exactly the final adjacency arrays, with no edge list,
+// edge map, or per-edge allocation in between.
+
 // Complete returns the complete graph K_n.
 func Complete(n int) (*Graph, error) {
-	if n <= 0 {
-		return nil, ErrEmptyGraph
+	c, err := CompleteCSR(n)
+	if err != nil {
+		return nil, err
 	}
-	edges := make([]Edge, 0, n*(n-1)/2)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			edges = append(edges, Edge{U: u, V: v})
-		}
-	}
-	return FromEdges(fmt.Sprintf("complete-%d", n), n, edges)
+	return c.Graph(), nil
 }
 
 // Ring returns the cycle C_n (n >= 3).
 func Ring(n int) (*Graph, error) {
-	if n < 3 {
-		return nil, fmt.Errorf("graph: ring needs n >= 3, got %d", n)
+	c, err := RingCSR(n)
+	if err != nil {
+		return nil, err
 	}
-	edges := make([]Edge, 0, n)
-	for u := 0; u < n; u++ {
-		v := (u + 1) % n
-		if u < v {
-			edges = append(edges, Edge{U: u, V: v})
-		} else {
-			edges = append(edges, Edge{U: v, V: u})
-		}
-	}
-	return FromEdges(fmt.Sprintf("ring-%d", n), n, edges)
+	return c.Graph(), nil
 }
 
 // Path returns the path P_n (n >= 1).
 func Path(n int) (*Graph, error) {
-	if n <= 0 {
-		return nil, ErrEmptyGraph
+	c, err := PathCSR(n)
+	if err != nil {
+		return nil, err
 	}
-	edges := make([]Edge, 0, n-1)
-	for u := 0; u+1 < n; u++ {
-		edges = append(edges, Edge{U: u, V: u + 1})
-	}
-	return FromEdges(fmt.Sprintf("path-%d", n), n, edges)
+	return c.Graph(), nil
 }
 
 // Mesh returns the rows×cols grid graph (open boundaries).
 // Vertex (r,c) has index r*cols+c.
 func Mesh(rows, cols int) (*Graph, error) {
-	if rows <= 0 || cols <= 0 {
-		return nil, ErrEmptyGraph
+	c, err := MeshCSR(rows, cols)
+	if err != nil {
+		return nil, err
 	}
-	n := rows * cols
-	edges := make([]Edge, 0, 2*n)
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			u := r*cols + c
-			if c+1 < cols {
-				edges = append(edges, Edge{U: u, V: u + 1})
-			}
-			if r+1 < rows {
-				edges = append(edges, Edge{U: u, V: u + cols})
-			}
-		}
-	}
-	return FromEdges(fmt.Sprintf("mesh-%dx%d", rows, cols), n, edges)
+	return c.Graph(), nil
 }
 
 // Torus returns the rows×cols torus (wrap-around grid). Dimensions must be
 // at least 3 so that no duplicate edges arise from the wrap.
 func Torus(rows, cols int) (*Graph, error) {
-	if rows < 3 || cols < 3 {
-		return nil, fmt.Errorf("graph: torus needs dims >= 3, got %dx%d", rows, cols)
+	c, err := TorusCSR(rows, cols)
+	if err != nil {
+		return nil, err
 	}
-	n := rows * cols
-	edges := make([]Edge, 0, 2*n)
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			u := r*cols + c
-			right := r*cols + (c+1)%cols
-			down := ((r+1)%rows)*cols + c
-			e1 := Edge{U: u, V: right}
-			if e1.U > e1.V {
-				e1.U, e1.V = e1.V, e1.U
-			}
-			e2 := Edge{U: u, V: down}
-			if e2.U > e2.V {
-				e2.U, e2.V = e2.V, e2.U
-			}
-			edges = append(edges, e1, e2)
-		}
-	}
-	// Each edge was produced exactly once: (u,right) from u only, (u,down)
-	// from u only, and wraps never coincide for dims >= 3.
-	return FromEdges(fmt.Sprintf("torus-%dx%d", rows, cols), n, edges)
+	return c.Graph(), nil
 }
 
 // Hypercube returns the d-dimensional hypercube Q_d on n = 2^d vertices.
 func Hypercube(d int) (*Graph, error) {
-	if d <= 0 || d > 30 {
-		return nil, fmt.Errorf("graph: hypercube dimension must be in [1,30], got %d", d)
+	c, err := HypercubeCSR(d)
+	if err != nil {
+		return nil, err
 	}
-	n := 1 << d
-	edges := make([]Edge, 0, n*d/2)
-	for u := 0; u < n; u++ {
-		for bit := 0; bit < d; bit++ {
-			v := u ^ (1 << bit)
-			if u < v {
-				edges = append(edges, Edge{U: u, V: v})
-			}
-		}
-	}
-	return FromEdges(fmt.Sprintf("hypercube-%d", d), n, edges)
+	return c.Graph(), nil
 }
 
 // Star returns the star K_{1,n-1} with center 0.

@@ -67,7 +67,11 @@ func FromEdges(name string, n int, edges []Edge) (*Graph, error) {
 	g.adj = make([]int32, g.offset[n])
 	cursor := make([]int32, n)
 	copy(cursor, g.offset[:n])
-	for e := range seen {
+	// Fill from the caller's slice, not the dedup map: together with the
+	// per-row sort below this makes the construction a pure function of
+	// the edge multiset, independent of both map iteration order and the
+	// caller's edge ordering.
+	for _, e := range edges {
 		g.adj[cursor[e.U]] = int32(e.V)
 		cursor[e.U]++
 		g.adj[cursor[e.V]] = int32(e.U)

@@ -33,6 +33,9 @@ type DynamicOpts struct {
 	// TraceEvery samples potentials every k rounds (default 1, which the
 	// steady-state and recovery metrics require).
 	TraceEvery int
+	// Engine tunes the execution engine (worker pins, shard count);
+	// the trajectory is identical for every setting.
+	Engine EngineOpts
 }
 
 func (o DynamicOpts) validate() error {
@@ -164,12 +167,12 @@ func RunUniformDynamic(engine string, sys *core.System, proto core.UniformNodePr
 	err := runDynamicLoop(opts, traceEvery, &res,
 		func(segLen int, epochSeed uint64, offset int) (core.RunResult, error) {
 			w, sysNow, off := opts.Workload, cursys, uint64(offset)
-			run, c, err := RunUniformEngine(engine, cursys, proto, cur, nil, core.RunOpts{
+			run, c, err := RunUniformEngineOpts(engine, cursys, proto, cur, nil, core.RunOpts{
 				MaxRounds:  segLen,
 				Seed:       epochSeed,
 				TraceEvery: traceEvery,
 				Events:     func(r uint64) *core.EventBatch { return w.UniformEvents(sysNow, off+r) },
-			})
+			}, opts.Engine)
 			if err == nil {
 				cur = c
 			}
@@ -213,12 +216,12 @@ func RunWeightedDynamic(engine string, sys *core.System, proto core.WeightedProt
 			for i := range per {
 				per[i] = st.TaskWeights(i)
 			}
-			run, got, err := RunWeightedEngine(engine, cursys, proto, per, nil, core.RunOpts{
+			run, got, err := RunWeightedEngineOpts(engine, cursys, proto, per, nil, core.RunOpts{
 				MaxRounds:  segLen,
 				Seed:       epochSeed,
 				TraceEvery: traceEvery,
 				Events:     func(r uint64) *core.EventBatch { return w.WeightedEvents(sysNow, off+r) },
-			})
+			}, opts.Engine)
 			if err == nil {
 				st = got
 			}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/shard"
 	"repro/internal/task"
 )
 
@@ -12,7 +13,8 @@ import (
 // round-r randomness from the same (seed, r, i)-keyed stream, so for a
 // given seed all of them execute the identical trajectory — the choice
 // only affects how the rounds are computed (one goroutine, a fork–join
-// worker pool, or one actor per processor).
+// worker pool, one actor per processor, or a CSR-sharded two-phase
+// pipeline).
 const (
 	// EngineSeq is the sequential reference engine in package core.
 	EngineSeq = "seq"
@@ -22,19 +24,46 @@ const (
 	// EngineActor is the goroutine-per-processor engine dist.Network
 	// (uniform tasks only).
 	EngineActor = "actor"
+	// EngineShard is the CSR-backed sharded engine shard.Engine
+	// (uniform tasks only), built for 10⁵⁺-node instances.
+	EngineShard = "shard"
 )
 
 // UniformEngines lists the engine names RunUniformEngine accepts.
-func UniformEngines() []string { return []string{EngineSeq, EngineForkJoin, EngineActor} }
+func UniformEngines() []string {
+	return []string{EngineSeq, EngineForkJoin, EngineActor, EngineShard}
+}
 
 // WeightedEngines lists the engine names RunWeightedEngine accepts.
 func WeightedEngines() []string { return []string{EngineSeq, EngineForkJoin} }
 
+// EngineOpts tunes how a named engine executes — never what it
+// computes: every combination yields the bit-identical trajectory, so
+// these knobs are free to vary per benchmark or deployment.
+type EngineOpts struct {
+	// Workers pins the worker-pool size for the forkjoin and shard
+	// engines (≤ 0 means GOMAXPROCS).
+	Workers int
+	// Shards sets the shard engine's partition count P (0 means
+	// Workers).
+	Shards int
+	// Strategy selects the shard partitioner: "contiguous" (default)
+	// or "degree".
+	Strategy string
+}
+
 // RunUniformEngine runs one uniform-task simulation on the named engine
-// ("" means seq) through the shared core.Drive loop, and returns the run
-// result together with the final per-node task counts (valid on the
-// ErrMaxRounds path too, so callers can chain phases).
+// ("" means seq) through the shared core.Drive loop with default
+// engine tuning; see RunUniformEngineOpts.
 func RunUniformEngine(engine string, sys *core.System, proto core.UniformNodeProtocol, counts []int64, stop core.UniformStop, opts core.RunOpts) (core.RunResult, []int64, error) {
+	return RunUniformEngineOpts(engine, sys, proto, counts, stop, opts, EngineOpts{})
+}
+
+// RunUniformEngineOpts runs one uniform-task simulation on the named
+// engine ("" means seq) through the shared core.Drive loop, and returns
+// the run result together with the final per-node task counts (valid on
+// the ErrMaxRounds path too, so callers can chain phases).
+func RunUniformEngineOpts(engine string, sys *core.System, proto core.UniformNodeProtocol, counts []int64, stop core.UniformStop, opts core.RunOpts, eo EngineOpts) (core.RunResult, []int64, error) {
 	switch engine {
 	case "", EngineSeq:
 		st, err := core.NewUniformState(sys, counts)
@@ -44,7 +73,7 @@ func RunUniformEngine(engine string, sys *core.System, proto core.UniformNodePro
 		res, err := core.RunUniform(st, proto, stop, opts)
 		return res, st.Counts(), err
 	case EngineForkJoin:
-		rt, err := dist.NewRuntime(sys, proto, counts)
+		rt, err := dist.NewRuntime(sys, proto, counts, dist.WithWorkers(eo.Workers))
 		if err != nil {
 			return core.RunResult{}, nil, err
 		}
@@ -59,17 +88,36 @@ func RunUniformEngine(engine string, sys *core.System, proto core.UniformNodePro
 		defer nw.Close()
 		res, err := core.Drive[*core.UniformState](nw, stop, opts)
 		return res, nw.Counts(), err
+	case EngineShard:
+		eng, err := shard.New(sys, proto, counts, shard.Options{
+			Shards:   eo.Shards,
+			Workers:  eo.Workers,
+			Strategy: shard.Strategy(eo.Strategy),
+		})
+		if err != nil {
+			return core.RunResult{}, nil, err
+		}
+		defer eng.Close()
+		res, err := core.Drive[*core.UniformState](eng, stop, opts)
+		return res, eng.Counts(), err
 	default:
-		return core.RunResult{}, nil, fmt.Errorf("harness: unknown uniform engine %q (want seq|forkjoin|actor)", engine)
+		return core.RunResult{}, nil, fmt.Errorf("harness: unknown uniform engine %q (want seq|forkjoin|actor|shard)", engine)
 	}
 }
 
 // RunWeightedEngine runs one weighted-task simulation on the named
+// engine ("" means seq) with default engine tuning; see
+// RunWeightedEngineOpts.
+func RunWeightedEngine(engine string, sys *core.System, proto core.WeightedProtocol, perNode []task.Weights, stop core.WeightedStop, opts core.RunOpts) (core.RunResult, *core.WeightedState, error) {
+	return RunWeightedEngineOpts(engine, sys, proto, perNode, stop, opts, EngineOpts{})
+}
+
+// RunWeightedEngineOpts runs one weighted-task simulation on the named
 // engine ("" means seq) through the shared core.Drive loop, and returns
 // the run result together with the final weighted state. The forkjoin
 // engine requires a protocol whose round factorizes into per-node
 // decisions (core.WeightedNodeProtocol).
-func RunWeightedEngine(engine string, sys *core.System, proto core.WeightedProtocol, perNode []task.Weights, stop core.WeightedStop, opts core.RunOpts) (core.RunResult, *core.WeightedState, error) {
+func RunWeightedEngineOpts(engine string, sys *core.System, proto core.WeightedProtocol, perNode []task.Weights, stop core.WeightedStop, opts core.RunOpts, eo EngineOpts) (core.RunResult, *core.WeightedState, error) {
 	switch engine {
 	case "", EngineSeq:
 		st, err := core.NewWeightedState(sys, perNode)
@@ -83,7 +131,7 @@ func RunWeightedEngine(engine string, sys *core.System, proto core.WeightedProto
 		if !ok {
 			return core.RunResult{}, nil, fmt.Errorf("harness: protocol %s does not factorize into per-node decisions; the forkjoin engine requires a core.WeightedNodeProtocol", proto.Name())
 		}
-		rt, err := dist.NewWeightedRuntime(sys, perNode, np)
+		rt, err := dist.NewWeightedRuntime(sys, perNode, np, dist.WithWorkers(eo.Workers))
 		if err != nil {
 			return core.RunResult{}, nil, err
 		}
@@ -94,6 +142,8 @@ func RunWeightedEngine(engine string, sys *core.System, proto core.WeightedProto
 			err = stErr
 		}
 		return res, st, err
+	case EngineShard:
+		return core.RunResult{}, nil, fmt.Errorf("harness: the shard engine is uniform-only; weighted engines are seq|forkjoin")
 	default:
 		return core.RunResult{}, nil, fmt.Errorf("harness: unknown weighted engine %q (want seq|forkjoin)", engine)
 	}

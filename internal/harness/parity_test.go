@@ -85,7 +85,7 @@ func TestUniformEngineParity(t *testing.T) {
 			if last := ref.Trace[len(ref.Trace)-1].Round; last != ref.Rounds {
 				t.Fatalf("reference trace ends at round %d, want %d", last, ref.Rounds)
 			}
-			for _, engine := range []string{harness.EngineForkJoin, harness.EngineActor} {
+			for _, engine := range []string{harness.EngineForkJoin, harness.EngineActor, harness.EngineShard} {
 				res, gotCounts, err := harness.RunUniformEngine(engine, sys, core.Algorithm1{}, counts, stop, opts)
 				if err != nil {
 					t.Fatalf("%s: %v", engine, err)
@@ -117,7 +117,7 @@ func TestUniformEngineParityMaxRounds(t *testing.T) {
 	if last := ref.Trace[len(ref.Trace)-1].Round; last != 45 {
 		t.Fatalf("final round missing from trace: last point at %d", last)
 	}
-	for _, engine := range []string{harness.EngineForkJoin, harness.EngineActor} {
+	for _, engine := range []string{harness.EngineForkJoin, harness.EngineActor, harness.EngineShard} {
 		res, _, err := harness.RunUniformEngine(engine, sys, core.Algorithm1{}, counts, nil, opts)
 		if err != nil {
 			t.Fatalf("%s: %v", engine, err)
@@ -266,7 +266,7 @@ func TestUniformDynamicEngineParity(t *testing.T) {
 			if ref.Metrics.TimeAvgPsi0 <= 0 || ref.Metrics.Bursts == 0 {
 				t.Fatalf("metrics not populated: %+v", ref.Metrics)
 			}
-			for _, engine := range []string{harness.EngineForkJoin, harness.EngineActor} {
+			for _, engine := range []string{harness.EngineForkJoin, harness.EngineActor, harness.EngineShard} {
 				res, err := harness.RunUniformDynamic(engine, sys, core.Algorithm1{}, counts, opts)
 				if err != nil {
 					t.Fatalf("%s: %v", engine, err)

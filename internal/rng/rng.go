@@ -48,17 +48,25 @@ func New(seed uint64) *Stream {
 // fromIdentity builds a stream whose state is expanded from an identity
 // word via SplitMix64.
 func fromIdentity(id uint64) *Stream {
-	st := Stream{id: id}
+	st := new(Stream)
+	expandInto(id, st)
+	return st
+}
+
+// expandInto writes the stream with the given identity into dst: the
+// single source of truth for state expansion, shared by New, Split and
+// SplitTo.
+func expandInto(id uint64, dst *Stream) {
+	dst.id = id
 	x := id
-	for i := range st.s {
-		st.s[i] = splitmix64(&x)
+	for i := range dst.s {
+		dst.s[i] = splitmix64(&x)
 	}
 	// xoshiro256** requires a non-zero state; SplitMix64 of any seed can
 	// produce all-zero only with negligible probability, but guard anyway.
-	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
-		st.s[0] = 0x9e3779b97f4a7c15
+	if dst.s[0]|dst.s[1]|dst.s[2]|dst.s[3] == 0 {
+		dst.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &st
 }
 
 // Split returns an independent child stream identified by index.
@@ -68,8 +76,20 @@ func fromIdentity(id uint64) *Stream {
 // child no matter how much the parent (or other children) have been
 // consumed.
 func (r *Stream) Split(index uint64) *Stream {
+	child := new(Stream)
+	r.SplitTo(index, child)
+	return child
+}
+
+// SplitTo is Split without the allocation: it writes the child stream
+// for index into dst. It is the single source of truth for the child
+// derivation (Split delegates here), and exists for the engines' hot
+// loops: a worker that reuses one scratch Stream per shard evaluates
+// millions of nodes per round with zero allocations, while still
+// drawing node i's randomness from the exact stream Split(i) returns.
+func (r *Stream) SplitTo(index uint64, dst *Stream) {
 	x := r.id ^ (index+1)*0xd1342543de82ef95
-	return fromIdentity(splitmix64(&x))
+	expandInto(splitmix64(&x), dst)
 }
 
 // At pins the simulator's keying contract for (round, node) streams:

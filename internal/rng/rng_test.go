@@ -286,3 +286,42 @@ func TestAtKeyingContract(t *testing.T) {
 		}
 	}
 }
+
+// TestSplitToMatchesSplit pins the allocation-free derivation: SplitTo
+// must produce a stream whose identity and draw sequence are identical
+// to Split's for the same index — it is the same keying contract, just
+// written into caller storage.
+func TestSplitToMatchesSplit(t *testing.T) {
+	base := New(99)
+	var scratch Stream
+	for _, idx := range []uint64{0, 1, 7, 1 << 40, ^uint64(0)} {
+		want := base.Split(idx)
+		base.SplitTo(idx, &scratch)
+		for k := 0; k < 32; k++ {
+			if got, w := scratch.Uint64(), want.Uint64(); got != w {
+				t.Fatalf("index %d draw %d: SplitTo %d, Split %d", idx, k, got, w)
+			}
+		}
+		// Children of the reused scratch must also agree.
+		if got, w := scratch.Split(3).Uint64(), want.Split(3).Uint64(); got != w {
+			t.Fatalf("index %d: grandchild mismatch %d vs %d", idx, got, w)
+		}
+	}
+}
+
+// TestSplitToReuseIsStateless checks that reusing one scratch Stream
+// across indices leaves no residue: deriving i after j gives the same
+// stream as deriving i fresh.
+func TestSplitToReuseIsStateless(t *testing.T) {
+	base := New(5)
+	var scratch Stream
+	base.SplitTo(11, &scratch)
+	scratch.Uint64() // consume in between
+	base.SplitTo(4, &scratch)
+	want := base.Split(4)
+	for k := 0; k < 8; k++ {
+		if got, w := scratch.Uint64(), want.Uint64(); got != w {
+			t.Fatalf("draw %d after reuse: %d, want %d", k, got, w)
+		}
+	}
+}

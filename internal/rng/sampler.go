@@ -205,6 +205,32 @@ func (r *Stream) EqualSplit(n, k int) []int {
 	return counts
 }
 
+// EqualSplitInto is EqualSplit without the allocation: it fills dst[:k]
+// (dst must have at least k elements) with the identical draws —
+// the same conditional binomials in the same order — and returns
+// dst[:k]. Engines whose decide loop must not allocate (package shard)
+// reuse one scratch buffer across nodes.
+func (r *Stream) EqualSplitInto(n, k int, dst []int64) []int64 {
+	if k <= 0 {
+		return nil
+	}
+	counts := dst[:k]
+	for i := range counts {
+		counts[i] = 0
+	}
+	if n <= 0 {
+		return counts
+	}
+	remaining := n
+	for i := 0; i < k-1 && remaining > 0; i++ {
+		c := r.Binomial(remaining, 1/float64(k-i))
+		counts[i] = int64(c)
+		remaining -= c
+	}
+	counts[k-1] = int64(remaining)
+	return counts
+}
+
 // Multinomial distributes n trials over len(probs) categories with the
 // given probabilities (which must be non-negative; they are normalized by
 // their sum). The result slice has one count per category and sums to n.

@@ -335,3 +335,42 @@ func BenchmarkUint64(b *testing.B) {
 		r.Uint64()
 	}
 }
+
+// TestEqualSplitIntoMatchesEqualSplit pins the allocation-free variant:
+// for identical stream states it must consume the same randomness and
+// produce the same counts as EqualSplit.
+func TestEqualSplitIntoMatchesEqualSplit(t *testing.T) {
+	buf := make([]int64, 64)
+	for _, tc := range []struct{ n, k int }{
+		{0, 4}, {1, 1}, {5, 3}, {100, 7}, {64, 64}, {1000, 2}, {3, 8},
+	} {
+		a, b := New(42), New(42)
+		want := a.EqualSplit(tc.n, tc.k)
+		got := b.EqualSplitInto(tc.n, tc.k, buf)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d k=%d: len %d, want %d", tc.n, tc.k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != int64(want[i]) {
+				t.Fatalf("n=%d k=%d slot %d: %d, want %d", tc.n, tc.k, i, got[i], want[i])
+			}
+		}
+		// Post-state must agree too: the same draws were consumed.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d k=%d: stream states diverged", tc.n, tc.k)
+		}
+	}
+	if got := New(1).EqualSplitInto(5, 0, buf); got != nil {
+		t.Fatalf("k=0: got %v, want nil", got)
+	}
+	// A dirty buffer must not leak into the result.
+	for i := range buf {
+		buf[i] = -7
+	}
+	got := New(9).EqualSplitInto(0, 5, buf)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("n=0 slot %d: %d, want 0", i, v)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Package shard is the large-scale execution engine: the fourth engine
+// of the simulator (after the sequential reference, the fork–join
+// runtime and the actor network), built for instances of 10⁵–10⁷
+// nodes where the others' pointer-heavy state and per-round
+// allocations dominate.
+//
+// Three layers:
+//
+//   - Data: the engine operates on the flat CSR view of the network
+//     (graph.CSR — []int32 offsets/neighbors) and flat []int64 counts /
+//     []float64 loads vectors. For the Table-1 families the CSR arrays
+//     are constructed directly (graph.RingCSR etc.), so a million-node
+//     instance never materializes an edge list or edge map.
+//
+//   - Partition: nodes are split into P contiguous shards, either by
+//     node count (Contiguous) or by degree mass (DegreeBalanced), with
+//     the cross-shard boundary precomputed: which nodes have external
+//     neighbors, and how many edges cross from shard s to shard d. The
+//     cross-edge counts pre-size the inter-shard flow buffers so the
+//     decide loop never grows a slice.
+//
+//   - Execution: each round runs in phases with barriers between
+//     them — (1) every shard refreshes its slice of the round-start
+//     load snapshot; (2) every shard evaluates its nodes'
+//     DecideNode calls, accumulating migrations into a dense local
+//     delta for in-shard destinations and into per-destination-shard
+//     flow lists for cross-shard ones; (3) every shard commits the
+//     deltas addressed to it — its own dense buffer plus the flow
+//     lists from every other shard. A node's counts are written only
+//     by its owning shard's committer, so there are no cross-shard
+//     data races by construction, and the hot path performs no
+//     allocations (worker streams are derived with rng.SplitTo into
+//     per-worker scratch, and protocol sampling runs through
+//     rng.EqualSplitInto).
+//
+// Determinism: node i's round-r randomness is drawn from the stream
+// base.At(r, i) — the same keying contract every other engine pins —
+// and delta commit is integer addition, which is order-independent. A
+// shard.Engine trajectory is therefore bit-identical to the sequential
+// engine's for any shard count, any worker count and either partition
+// strategy; the parity tests demand exactly that, statically and under
+// dynamic workloads, for P ∈ {1, 2, 7}.
+package shard

@@ -1,0 +1,196 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Strategy selects how the partitioner places the shard cut points.
+type Strategy string
+
+const (
+	// Contiguous splits the vertex range into P shards of (near-)equal
+	// node count. Right for the regular families, where degree is
+	// uniform and vertex index is already the best locality order.
+	Contiguous Strategy = "contiguous"
+	// DegreeBalanced splits the vertex range into P contiguous shards
+	// of (near-)equal degree mass, so skewed-degree graphs (stars,
+	// barbells, power laws) don't leave one worker holding all the
+	// edges. Shards remain contiguous index ranges — only the cut
+	// points move.
+	DegreeBalanced Strategy = "degree"
+)
+
+// Partition is an immutable split of a CSR graph's vertices into P
+// contiguous shards plus the precomputed cross-shard structure: the
+// directed cross-edge counts, which the two-phase engine uses to
+// pre-size its inter-shard flow buffers, and per-shard boundary node
+// lists for diagnostics (cut inspection, tests) and for future
+// frontier-restricted optimizations — the engine itself reads only the
+// counts.
+type Partition struct {
+	csr      *graph.CSR
+	strategy Strategy
+	p        int
+
+	lo, hi  []int32 // shard s owns vertices [lo[s], hi[s])
+	shardOf []int32 // vertex -> owning shard
+
+	// boundary[s] lists the vertices of shard s with at least one
+	// neighbor outside s, in ascending order.
+	boundary [][]int32
+	// crossEdges[s][d] counts directed edges from shard s into shard d
+	// (s ≠ d); it is an upper bound on — and the preallocated capacity
+	// of — the flow entries s can emit toward d in one round.
+	crossEdges [][]int
+}
+
+// NewPartition splits the graph into p shards with the given strategy
+// ("" means Contiguous). p is clamped to [1, n].
+func NewPartition(c *graph.CSR, p int, strategy Strategy) (*Partition, error) {
+	if c == nil {
+		return nil, fmt.Errorf("shard: nil graph")
+	}
+	n := c.N()
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	pt := &Partition{
+		csr:      c,
+		strategy: strategy,
+		p:        p,
+		lo:       make([]int32, p),
+		hi:       make([]int32, p),
+		shardOf:  make([]int32, n),
+	}
+	switch strategy {
+	case "", Contiguous:
+		pt.strategy = Contiguous
+		pt.cutByCount()
+	case DegreeBalanced:
+		pt.cutByDegree()
+	default:
+		return nil, fmt.Errorf("shard: unknown partition strategy %q (want %q or %q)", strategy, Contiguous, DegreeBalanced)
+	}
+	for s := 0; s < p; s++ {
+		for v := pt.lo[s]; v < pt.hi[s]; v++ {
+			pt.shardOf[v] = int32(s)
+		}
+	}
+	pt.computeBoundary()
+	return pt, nil
+}
+
+// cutByCount assigns near-equal vertex counts per shard.
+func (pt *Partition) cutByCount() {
+	n := pt.csr.N()
+	per, extra := n/pt.p, n%pt.p
+	lo := 0
+	for s := 0; s < pt.p; s++ {
+		size := per
+		if s < extra {
+			size++
+		}
+		pt.lo[s], pt.hi[s] = int32(lo), int32(lo+size)
+		lo += size
+	}
+}
+
+// cutByDegree walks the vertex range accumulating degree mass (deg+1,
+// so isolated stretches still carry weight) and closes shard s once its
+// share of the total is reached — while always leaving at least one
+// vertex for each remaining shard.
+func (pt *Partition) cutByDegree() {
+	c := pt.csr
+	n := c.N()
+	total := int64(c.DegreeSum()) + int64(n)
+	acc := int64(0)
+	s := 0
+	pt.lo[0] = 0
+	for v := 0; v < n && s < pt.p-1; v++ {
+		acc += int64(c.Degree(v)) + 1
+		remaining := pt.p - s - 1
+		// Close the shard when its mass share is reached — or when the
+		// node budget forces it (exactly one vertex left per remaining
+		// shard), so every shard stays non-empty even for p close to n.
+		mustClose := n-1-v == remaining
+		if mustClose || (acc*int64(pt.p) >= total*int64(s+1) && n-1-v >= remaining) {
+			pt.hi[s] = int32(v + 1)
+			pt.lo[s+1] = int32(v + 1)
+			s++
+		}
+	}
+	pt.hi[pt.p-1] = int32(n)
+}
+
+// computeBoundary fills the boundary node lists and the directed
+// cross-edge count matrix in one O(n + m) sweep.
+func (pt *Partition) computeBoundary() {
+	pt.boundary = make([][]int32, pt.p)
+	pt.crossEdges = make([][]int, pt.p)
+	for s := range pt.crossEdges {
+		pt.crossEdges[s] = make([]int, pt.p)
+	}
+	c := pt.csr
+	for s := 0; s < pt.p; s++ {
+		cross := pt.crossEdges[s]
+		for v := pt.lo[s]; v < pt.hi[s]; v++ {
+			external := false
+			for _, w := range c.Neighbors(int(v)) {
+				if d := pt.shardOf[w]; int(d) != s {
+					cross[d]++
+					external = true
+				}
+			}
+			if external {
+				pt.boundary[s] = append(pt.boundary[s], v)
+			}
+		}
+	}
+}
+
+// P returns the number of shards.
+func (pt *Partition) P() int { return pt.p }
+
+// Strategy returns the resolved placement strategy.
+func (pt *Partition) Strategy() Strategy { return pt.strategy }
+
+// Range returns the contiguous vertex range [lo, hi) owned by shard s.
+func (pt *Partition) Range(s int) (lo, hi int) { return int(pt.lo[s]), int(pt.hi[s]) }
+
+// ShardOf returns the shard owning vertex v.
+func (pt *Partition) ShardOf(v int) int { return int(pt.shardOf[v]) }
+
+// Boundary returns shard s's boundary vertices (ascending). The slice
+// aliases internal storage and must not be modified.
+func (pt *Partition) Boundary(s int) []int32 { return pt.boundary[s] }
+
+// CrossEdges returns the number of directed edges from shard s into
+// shard d.
+func (pt *Partition) CrossEdges(s, d int) int { return pt.crossEdges[s][d] }
+
+// CutEdges returns the total number of undirected edges crossing any
+// shard boundary — the partition-quality number the scaling experiment
+// reports.
+func (pt *Partition) CutEdges() int {
+	total := 0
+	for s := 0; s < pt.p; s++ {
+		for d := 0; d < pt.p; d++ {
+			total += pt.crossEdges[s][d]
+		}
+	}
+	return total / 2
+}
+
+// DegreeMass returns the degree+1 mass of shard s, for balance checks.
+func (pt *Partition) DegreeMass(s int) int64 {
+	mass := int64(0)
+	for v := pt.lo[s]; v < pt.hi[s]; v++ {
+		mass += int64(pt.csr.Degree(int(v))) + 1
+	}
+	return mass
+}

@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// mustCSR converts a generator result; generator errors on these fixed
+// instances are programming errors, hence panic.
+func mustCSR(g *graph.Graph, err error) *graph.CSR {
+	if err != nil {
+		panic(err)
+	}
+	return g.CSR()
+}
+
+// checkCover verifies the structural partition invariants: contiguous
+// non-overlapping shard ranges covering [0, n), a consistent ShardOf
+// map, boundary lists that contain exactly the nodes with external
+// neighbors, and cross-edge counts that tally the directed cut.
+func checkCover(t *testing.T, c *graph.CSR, pt *Partition) {
+	t.Helper()
+	n := c.N()
+	prev := 0
+	for s := 0; s < pt.P(); s++ {
+		lo, hi := pt.Range(s)
+		if lo != prev {
+			t.Fatalf("shard %d starts at %d, want %d", s, lo, prev)
+		}
+		if hi < lo {
+			t.Fatalf("shard %d has negative range [%d,%d)", s, lo, hi)
+		}
+		prev = hi
+		for v := lo; v < hi; v++ {
+			if pt.ShardOf(v) != s {
+				t.Fatalf("ShardOf(%d) = %d, want %d", v, pt.ShardOf(v), s)
+			}
+		}
+	}
+	if prev != n {
+		t.Fatalf("shards cover [0,%d), want [0,%d)", prev, n)
+	}
+	// Boundary and cross-edge ground truth by brute force.
+	for s := 0; s < pt.P(); s++ {
+		var wantBoundary []int32
+		wantCross := make([]int, pt.P())
+		lo, hi := pt.Range(s)
+		for v := lo; v < hi; v++ {
+			external := false
+			for _, w := range c.Neighbors(v) {
+				if d := pt.ShardOf(int(w)); d != s {
+					wantCross[d]++
+					external = true
+				}
+			}
+			if external {
+				wantBoundary = append(wantBoundary, int32(v))
+			}
+		}
+		got := pt.Boundary(s)
+		if len(got) != len(wantBoundary) {
+			t.Fatalf("shard %d: %d boundary nodes, want %d", s, len(got), len(wantBoundary))
+		}
+		for k := range got {
+			if got[k] != wantBoundary[k] {
+				t.Fatalf("shard %d boundary[%d] = %d, want %d", s, k, got[k], wantBoundary[k])
+			}
+		}
+		for d := 0; d < pt.P(); d++ {
+			if pt.CrossEdges(s, d) != wantCross[d] {
+				t.Fatalf("crossEdges[%d][%d] = %d, want %d", s, d, pt.CrossEdges(s, d), wantCross[d])
+			}
+		}
+		if pt.CrossEdges(s, s) != 0 {
+			t.Fatalf("shard %d counts internal edges as cross", s)
+		}
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	graphs := map[string]*graph.CSR{
+		"ring":    mustCSR(graph.Ring(37)),
+		"torus":   mustCSR(graph.Torus(5, 6)),
+		"hcube":   mustCSR(graph.Hypercube(5)),
+		"star":    mustCSR(graph.Star(40)),
+		"barbell": mustCSR(graph.Barbell(8, 5)),
+		"path":    mustCSR(graph.Path(11)),
+	}
+	for name, c := range graphs {
+		for _, p := range []int{1, 2, 3, 7, 16} {
+			for _, strat := range []Strategy{Contiguous, DegreeBalanced, ""} {
+				pt, err := NewPartition(c, p, strat)
+				if err != nil {
+					t.Fatalf("%s p=%d %q: %v", name, p, strat, err)
+				}
+				checkCover(t, c, pt)
+				wantP := p
+				if wantP > c.N() {
+					wantP = c.N()
+				}
+				if pt.P() != wantP {
+					t.Fatalf("%s p=%d: P() = %d, want %d", name, p, pt.P(), wantP)
+				}
+				// Every shard must be non-empty.
+				for s := 0; s < pt.P(); s++ {
+					if lo, hi := pt.Range(s); hi <= lo {
+						t.Fatalf("%s p=%d %q: shard %d empty", name, p, strat, s)
+					}
+				}
+			}
+		}
+	}
+	if _, err := NewPartition(graphs["ring"], 4, "warp"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if _, err := NewPartition(nil, 4, Contiguous); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+// TestDegreeBalancedBeatsContiguousOnSkew checks the point of the
+// degree strategy: on a star (all mass at the hub) the contiguous cut
+// gives shard 0 nearly everything, while the degree cut must spread the
+// remaining mass so no shard except the hub's exceeds roughly its
+// proportional share.
+func TestDegreeBalancedBeatsContiguousOnSkew(t *testing.T) {
+	// Barbell: two dense cliques at the ends of the index range with a
+	// sparse path between them. Contiguous-by-count puts both cliques'
+	// edge mass in the outer shards; degree balancing must even it out.
+	c := mustCSR(graph.Barbell(40, 200))
+	const p = 4
+	byCount, err := NewPartition(c, p, Contiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDegree, err := NewPartition(c, p, DegreeBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(pt *Partition) (max, min int64) {
+		min = 1 << 62
+		for s := 0; s < pt.P(); s++ {
+			m := pt.DegreeMass(s)
+			if m > max {
+				max = m
+			}
+			if m < min {
+				min = m
+			}
+		}
+		return max, min
+	}
+	cMax, cMin := spread(byCount)
+	dMax, dMin := spread(byDegree)
+	if dMax-dMin >= cMax-cMin {
+		t.Fatalf("degree balancing did not reduce spread: contiguous [%d,%d], degree [%d,%d]",
+			cMin, cMax, dMin, dMax)
+	}
+	// Degree shards must each stay within 2x of the ideal share.
+	total := int64(c.DegreeSum() + c.N())
+	ideal := total / p
+	if dMax > 2*ideal {
+		t.Fatalf("degree-balanced max mass %d exceeds 2x ideal %d", dMax, ideal)
+	}
+}
+
+// TestCutEdges checks the cut accounting on a ring, where the cut of a
+// contiguous P-way split is exactly P for P ≥ 2 (P boundary arcs in
+// each direction).
+func TestCutEdges(t *testing.T) {
+	c := mustCSR(graph.Ring(100))
+	for _, p := range []int{2, 4, 10} {
+		pt, err := NewPartition(c, p, Contiguous)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pt.CutEdges(); got != p {
+			t.Fatalf("P=%d: cut %d, want %d", p, got, p)
+		}
+	}
+	pt, err := NewPartition(c, 1, Contiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.CutEdges(); got != 0 {
+		t.Fatalf("P=1: cut %d, want 0", got)
+	}
+}

@@ -8,6 +8,7 @@ package workload
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/rng"
 	"repro/internal/task"
@@ -64,10 +65,14 @@ func Proportional(speeds []float64, m int64) ([]int64, error) {
 		assigned += c
 	}
 	// Distribute the remainder round-robin over the fastest machines.
-	order := argsortDesc(speeds)
-	for k := 0; assigned < m; k++ {
-		counts[order[k%n]]++
-		assigned++
+	// (Skipped entirely when the proportional shares are exact, e.g.
+	// uniform speeds — at 10⁶ nodes even the sort is worth avoiding.)
+	if assigned < m {
+		order := argsortDesc(speeds)
+		for k := 0; assigned < m; k++ {
+			counts[order[k%n]]++
+			assigned++
+		}
 	}
 	return counts, nil
 }
@@ -84,22 +89,20 @@ func TwoCorners(n int, m int64, a, b int) ([]int64, error) {
 	return counts, nil
 }
 
-// argsortDesc returns indices sorting v descending (simple selection
-// order; n is small relative to simulation cost).
+// argsortDesc returns indices sorting v descending, ties broken by
+// ascending index — the exact order the old selection sort produced,
+// but in O(n log n) so million-node placements stay cheap.
 func argsortDesc(v []float64) []int {
 	idx := make([]int, len(v))
 	for i := range idx {
 		idx[i] = i
 	}
-	for i := 0; i < len(idx); i++ {
-		best := i
-		for j := i + 1; j < len(idx); j++ {
-			if v[idx[j]] > v[idx[best]] {
-				best = j
-			}
+	sort.Slice(idx, func(a, b int) bool {
+		if v[idx[a]] != v[idx[b]] {
+			return v[idx[a]] > v[idx[b]]
 		}
-		idx[i], idx[best] = idx[best], idx[i]
-	}
+		return idx[a] < idx[b]
+	})
 	return idx
 }
 
