@@ -22,23 +22,25 @@ bench-check:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Run the Table-1, batching, dynamic-event and shard-round benchmarks
-# once and emit BENCH_core.json (ns/op plus the rounds/theory-rounds,
-# allocation and bytes-per-node metrics) via cmd/benchjson. CI uploads
-# the file as a non-gating artifact so the performance trajectory —
-# including the dynamic event-application and sharded-round hot paths —
-# is tracked across PRs. Two steps (not a pipe) so a failing benchmark
-# run fails the target instead of writing a truncated JSON.
+# (uniform ShardRound and WeightedShardRound both match) once and emit
+# BENCH_core.json (ns/op plus the rounds/theory-rounds, allocation and
+# bytes-per-node metrics) via cmd/benchjson. CI uploads the file as a
+# non-gating artifact so the performance trajectory — including the
+# dynamic event-application and sharded-round hot paths — is tracked
+# across PRs. Two steps (not a pipe) so a failing benchmark run fails
+# the target instead of writing a truncated JSON.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Table1|RoundBatchedVsPerTask|DynamicEvents|ShardRound' -benchtime 1x . > BENCH_core.txt
+	$(GO) test -run '^$$' -bench 'Table1|RoundBatchedVsPerTask|DynamicEvents|ShardRound|WeightedShardRound' -benchtime 1x . > BENCH_core.txt
 	$(GO) run ./cmd/benchjson < BENCH_core.txt > BENCH_core.json
 	rm -f BENCH_core.txt
 
-# Scaling benchmarks only (shard engine round + instance build at
-# n ∈ {10⁴, 10⁵, 10⁶}), emitted as BENCH_scale.json — the non-gating
-# artifact that records rounds/sec, allocs/round and state-bytes/node
-# versus n across PRs.
+# Scaling benchmarks only (uniform + weighted shard engine rounds and
+# instance build at n ∈ {10⁴, 10⁵, 10⁶}), emitted as BENCH_scale.json —
+# the non-gating artifact that records rounds/sec, allocs/round and
+# state-bytes/node versus n across PRs, for both task models from this
+# PR onward.
 bench-scale:
-	$(GO) test -run '^$$' -bench 'ShardRound|ShardBuild' -benchtime 1x . > BENCH_scale.txt
+	$(GO) test -run '^$$' -bench 'ShardRound|WeightedShardRound|ShardBuild' -benchtime 1x . > BENCH_scale.txt
 	$(GO) run ./cmd/benchjson < BENCH_scale.txt > BENCH_scale.json
 	rm -f BENCH_scale.txt
 

@@ -132,7 +132,7 @@ func BenchmarkBaselineComparison(b *testing.B) {
 			ratios := 0.0
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := experiments.CompareWeighted(class, 16, 32, 0.25, 1, uint64(i+1), 1)
+				res, err := experiments.CompareWeighted(class, 16, 32, 0.25, 1, uint64(i+1), 1, "seq")
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -575,6 +575,78 @@ func BenchmarkShardRound(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.Step(uint64(i+1), base); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(eng.Footprint())/float64(n), "state-bytes/node")
+			b.ReportMetric(float64(eng.Partition().CutEdges()), "cut-edges")
+		})
+	}
+}
+
+// BenchmarkWeightedShardRound is the weighted counterpart of
+// BenchmarkShardRound, tracked in BENCH_scale.json: one Algorithm-2
+// round on a ring at n ∈ {10⁴, 10⁵, 10⁶} with two-class speeds, 16
+// weighted tasks per node placed speed-proportionally (every node
+// active), sequential engine vs weighted shard engine. One untimed
+// warm-up round lets the flow and replay buffers reach steady state, so
+// ReportAllocs documents the amortized hot path: O(1) allocations per
+// round (the round stream) at every size — the flat task-weight pools
+// replace the sequential engine's per-node slices entirely, which
+// state-bytes/node reports.
+func BenchmarkWeightedShardRound(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		g, err := graph.Ring(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speeds, err := machine.TwoClass(n, 0.25, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := core.NewSystem(g, speeds, core.WithLambda2(spectral.Lambda2Ring(n)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		weights, err := task.RandomWeights(16*n, 0.1, 1, rng.New(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		perNode, err := workload.WeightedProportional(sys.Speeds(), weights)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("ring-n=%d/seq", n), func(b *testing.B) {
+			st, err := core.NewWeightedState(sys, perNode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			proto := core.Algorithm2{}
+			base := rng.New(1)
+			proto.Step(st, 1, base)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				proto.Step(st, uint64(i+2), base)
+			}
+		})
+		b.Run(fmt.Sprintf("ring-n=%d/shard", n), func(b *testing.B) {
+			// P pinned at 8 so the cross-shard flow path is always
+			// exercised, independent of the host's core count.
+			eng, err := shard.NewWeighted(sys, core.Algorithm2{}, perNode, shard.Options{Shards: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			base := rng.New(1)
+			if _, err := eng.Step(1, base); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Step(uint64(i+2), base); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -11,10 +11,13 @@
 //
 // With -rounds k the convergence phases are skipped and exactly k
 // protocol rounds run, reporting throughput — the scale mode for the
-// shard engine, whose CSR-backed state handles million-node instances:
+// shard engine, whose CSR-backed state handles million-node instances
+// in both task models:
 //
 //	lbsim -graph ring -n 1000000 -engine shard -rounds 100
 //	lbsim -graph torus -n 250000 -engine shard -shards 8 -rounds 200
+//	lbsim -graph ring -n 1000000 -model weighted -engine shard -rounds 100 \
+//	      -speeds twoclass -placement proportional
 //
 // With any of -arrivals, -departures or -churn set, lbsim switches to
 // the dynamic regime: tasks arrive and complete while the protocol
@@ -63,7 +66,7 @@ func run() error {
 		speedsArg = flag.String("speeds", "uniform", "speed profile: uniform|twoclass|integers")
 		smax      = flag.Float64("smax", 4, "maximum speed for non-uniform profiles")
 		model     = flag.String("model", "uniform", "task model: uniform|weighted")
-		engine    = flag.String("engine", "seq", "execution engine: seq|forkjoin|actor|shard (uniform) or seq|forkjoin (weighted); identical trajectories")
+		engine    = flag.String("engine", "seq", "execution engine: seq|forkjoin|actor|shard; see the engine matrix in README.md (identical trajectories)")
 		protocol  = flag.String("protocol", "paper", "weighted protocol: paper|literal|baseline")
 		eps       = flag.Float64("eps", 0.25, "epsilon for the approximate-NE stop")
 		maxRounds = flag.Int("maxrounds", 2_000_000, "safety cap on rounds")
@@ -71,7 +74,7 @@ func run() error {
 		placement = flag.String("placement", "corner", "initial placement: corner|random|proportional")
 		analyze   = flag.Bool("analyze", false, "print a state diagnostic after each phase (uniform model)")
 
-		fixedRounds   = flag.Int("rounds", 0, "run exactly k protocol rounds instead of the convergence phases (uniform model; reports throughput)")
+		fixedRounds   = flag.Int("rounds", 0, "run exactly k protocol rounds instead of the convergence phases (reports throughput; the scale mode for either model)")
 		distWorkers   = flag.Int("dist-workers", 0, "pin the forkjoin/shard worker-pool size (0 = all cores; identical trajectories)")
 		shards        = flag.Int("shards", 0, "shard engine: partition count P (0 = worker count)")
 		shardStrategy = flag.String("shard-strategy", "contiguous", "shard engine: partition strategy contiguous|degree")
@@ -132,12 +135,12 @@ func run() error {
 	}
 	if *fixedRounds > 0 {
 		if *model == "weighted" {
-			return fmt.Errorf("-rounds supports the uniform model only")
+			return runFixedWeighted(sys, m, *engine, *protocol, *placement, *seed, *fixedRounds, *trace, eo)
 		}
 		return runFixed(sys, m, *engine, *placement, *seed, *fixedRounds, *trace, eo)
 	}
 	if *model == "weighted" {
-		return runWeighted(sys, m, *engine, *protocol, *eps, *seed, *maxRounds, *trace, eo)
+		return runWeighted(sys, m, *engine, *protocol, *placement, *eps, *seed, *maxRounds, *trace, eo)
 	}
 	return runUniform(sys, m, *engine, *placement, *eps, *seed, *maxRounds, *trace, *analyze, eo)
 }
@@ -181,11 +184,7 @@ func runDynamic(sys *core.System, m int64, model, engine, protocol, placement st
 		if perr != nil {
 			return perr
 		}
-		weights, werr := task.RandomWeights(int(m), 0.1, 1.0, rng.New(seed+3))
-		if werr != nil {
-			return werr
-		}
-		perNode, werr := workload.WeightedAllOnOne(sys.N(), weights, 0)
+		perNode, werr := initialWeighted(sys, m, placement, seed)
 		if werr != nil {
 			return werr
 		}
@@ -243,6 +242,29 @@ func weightedProtocol(name string) (core.WeightedProtocol, error) {
 		return core.BaselineWeighted{}, nil
 	default:
 		return nil, fmt.Errorf("unknown weighted protocol %q", name)
+	}
+}
+
+// initialWeighted builds the initial weighted placement: m tasks with
+// uniform(0.1, 1.0) weights, placed by the -placement flag (shared by
+// the static, fixed-round and dynamic weighted paths). "proportional"
+// is the interesting start for heterogeneous -speeds profiles at scale:
+// every node active, loads near balance.
+func initialWeighted(sys *core.System, m int64, placement string, seed uint64) ([]task.Weights, error) {
+	weights, err := task.RandomWeights(int(m), 0.1, 1.0, rng.New(seed+3))
+	if err != nil {
+		return nil, err
+	}
+	n := sys.N()
+	switch placement {
+	case "corner":
+		return workload.WeightedAllOnOne(n, weights, 0)
+	case "random":
+		return workload.WeightedUniformRandom(n, weights, rng.New(seed+2))
+	case "proportional":
+		return workload.WeightedProportional(sys.Speeds(), weights)
+	default:
+		return nil, fmt.Errorf("unknown placement %q", placement)
 	}
 }
 
@@ -379,13 +401,8 @@ func runUniform(sys *core.System, m int64, engine, placement string, eps float64
 	return nil
 }
 
-func runWeighted(sys *core.System, m int64, engine, protocol string, eps float64, seed uint64, maxRounds, trace int, eo harness.EngineOpts) error {
-	n := sys.N()
-	weights, err := task.RandomWeights(int(m), 0.1, 1.0, rng.New(seed+3))
-	if err != nil {
-		return err
-	}
-	perNode, err := workload.WeightedAllOnOne(n, weights, 0)
+func runWeighted(sys *core.System, m int64, engine, protocol, placement string, eps float64, seed uint64, maxRounds, trace int, eo harness.EngineOpts) error {
+	perNode, err := initialWeighted(sys, m, placement, seed)
 	if err != nil {
 		return err
 	}
@@ -412,6 +429,33 @@ func runWeighted(sys *core.System, m int64, engine, protocol string, eps float64
 	return nil
 }
 
+// fixedHeader renders the scale-mode banner from the RESOLVED engine
+// parameters — what actually runs (GOMAXPROCS workers, shards clamped
+// and defaulted), never the raw flag values, which print as the
+// meaningless "workers=0 shards=0". Shard fields appear only for the
+// shard engine.
+func fixedHeader(rounds int, model, engine string, eo harness.EngineOpts) string {
+	if engine == harness.EngineShard {
+		return fmt.Sprintf("fixed:    %d rounds  model=%s  engine=%s  workers=%d  shards=%d (%s)",
+			rounds, model, engine, eo.Workers, eo.Shards, eo.Strategy)
+	}
+	return fmt.Sprintf("fixed:    %d rounds  model=%s  engine=%s  workers=%d",
+		rounds, model, engine, eo.Workers)
+}
+
+// fixedReport renders the scale-mode throughput line. Durations are
+// µs-rounded: rounding the total to milliseconds truncated
+// sub-millisecond runs to the nonsensical "5 rounds in 0s".
+func fixedReport(rounds int, elapsed time.Duration, moves int64) string {
+	perRound := time.Duration(0)
+	if rounds > 0 {
+		perRound = elapsed / time.Duration(rounds)
+	}
+	return fmt.Sprintf("run:      %d rounds in %v (%v/round, %.1f rounds/sec), %d moves",
+		rounds, elapsed.Round(time.Microsecond), perRound.Round(time.Microsecond),
+		float64(rounds)/elapsed.Seconds(), moves)
+}
+
 // runFixed executes exactly `rounds` protocol rounds with no stop
 // condition — the scale mode: on the shard engine a million-node
 // instance runs in flat CSR-backed state, so the only O(n) costs are
@@ -422,8 +466,7 @@ func runFixed(sys *core.System, m int64, engine, placement string, seed uint64, 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("fixed:    %d rounds  engine=%s  workers=%d  shards=%d (%s)\n",
-		rounds, engine, eo.Workers, eo.Shards, eo.Strategy)
+	fmt.Println(fixedHeader(rounds, "uniform", engine, eo.Resolved(engine, sys.N())))
 	start := time.Now()
 	res, counts, err := harness.RunUniformEngineOpts(engine, sys, core.Algorithm1{}, counts, nil,
 		core.RunOpts{MaxRounds: rounds, Seed: seed, TraceEvery: trace}, eo)
@@ -435,11 +478,38 @@ func runFixed(sys *core.System, m int64, engine, placement string, seed uint64, 
 	if err != nil {
 		return err
 	}
-	perRound := elapsed / time.Duration(rounds)
-	fmt.Printf("run:      %d rounds in %v (%v/round, %.1f rounds/sec), %d moves\n",
-		res.Rounds, elapsed.Round(time.Millisecond), perRound.Round(time.Microsecond),
-		float64(res.Rounds)/elapsed.Seconds(), res.Moves)
+	fmt.Println(fixedReport(res.Rounds, elapsed, res.Moves))
 	fmt.Printf("final:    Ψ₀=%.6g  L_Δ=%.3f\n", core.Psi0(st), core.LDelta(st))
+	emitTrace(res, trace)
+	return nil
+}
+
+// runFixedWeighted is the weighted scale mode: exactly `rounds` rounds
+// of the selected weighted protocol on the selected engine — on the
+// shard engine the weighted state is one flat task-weight pool per
+// shard, so a million-node heterogeneous instance runs without
+// pointer-heavy per-node structures. Pair with -placement proportional
+// and a non-uniform -speeds profile for the every-node-active regime.
+func runFixedWeighted(sys *core.System, m int64, engine, protocol, placement string, seed uint64, rounds, trace int, eo harness.EngineOpts) error {
+	perNode, err := initialWeighted(sys, m, placement, seed)
+	if err != nil {
+		return err
+	}
+	proto, err := weightedProtocol(protocol)
+	if err != nil {
+		return err
+	}
+	fmt.Println(fixedHeader(rounds, "weighted", engine, eo.Resolved(engine, sys.N())))
+	start := time.Now()
+	res, st, err := harness.RunWeightedEngineOpts(engine, sys, proto, perNode, nil,
+		core.RunOpts{MaxRounds: rounds, Seed: seed, TraceEvery: trace}, eo)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	fmt.Println(fixedReport(res.Rounds, elapsed, res.Moves))
+	fmt.Printf("final:    W=%.1f  Ψ₀=%.6g  L_Δ=%.3f\n",
+		st.TotalWeight(), core.WeightedPsi0(st), core.WeightedLDelta(st))
 	emitTrace(res, trace)
 	return nil
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -141,6 +143,89 @@ func TestInitialCounts(t *testing.T) {
 		}
 	}
 	if _, err := initialCounts(sys, 80, "nope", 1); err == nil {
+		t.Error("unknown placement accepted")
+	}
+}
+
+// TestFixedReportSubMillisecond pins the report-line bugfix: a
+// sub-millisecond run must print its real duration, not "0s" (the old
+// code rounded the total to milliseconds).
+func TestFixedReportSubMillisecond(t *testing.T) {
+	line := fixedReport(5, 110*time.Microsecond, 42)
+	if !strings.Contains(line, "5 rounds in 110µs") {
+		t.Errorf("report %q does not show the µs-rounded total", line)
+	}
+	if strings.Contains(line, "in 0s") {
+		t.Errorf("report %q truncates to 0s", line)
+	}
+	if !strings.Contains(line, "22µs/round") {
+		t.Errorf("report %q does not show the per-round time", line)
+	}
+	if !strings.Contains(line, "42 moves") {
+		t.Errorf("report %q does not show moves", line)
+	}
+	// Longer runs still read naturally.
+	if line := fixedReport(100, 377*time.Millisecond, 7); !strings.Contains(line, "100 rounds in 377ms") {
+		t.Errorf("report %q mangles a millisecond-scale total", line)
+	}
+}
+
+// TestFixedHeaderResolved pins the header bugfix: the banner reports
+// the resolved execution parameters, never the raw zero-valued flags,
+// and shard fields appear only for the shard engine.
+func TestFixedHeaderResolved(t *testing.T) {
+	eo := harness.EngineOpts{}.Resolved("shard", 1000)
+	line := fixedHeader(100, "weighted", "shard", eo)
+	if strings.Contains(line, "workers=0") || strings.Contains(line, "shards=0") {
+		t.Errorf("header %q reports unresolved flag values", line)
+	}
+	if !strings.Contains(line, "model=weighted") || !strings.Contains(line, "(contiguous)") {
+		t.Errorf("header %q missing model or resolved strategy", line)
+	}
+	seqLine := fixedHeader(30, "uniform", "seq", harness.EngineOpts{}.Resolved("seq", 24))
+	if strings.Contains(seqLine, "shards=") {
+		t.Errorf("header %q shows shard fields for the seq engine", seqLine)
+	}
+	if !strings.Contains(seqLine, "workers=1") {
+		t.Errorf("header %q does not resolve seq to one worker", seqLine)
+	}
+}
+
+// TestRunFixedWeightedSmoke covers the weighted fixed-round scale mode
+// on every weighted engine, strategies and placements included.
+func TestRunFixedWeightedSmoke(t *testing.T) {
+	g, lambda2, err := buildGraph("ring", 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds, err := buildSpeeds("twoclass", g.N(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, speeds, core.WithLambda2(lambda2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		engine    string
+		placement string
+		eo        harness.EngineOpts
+	}{
+		{"seq", "corner", harness.EngineOpts{}},
+		{"forkjoin", "random", harness.EngineOpts{Workers: 2}},
+		{"shard", "proportional", harness.EngineOpts{Shards: 5, Workers: 2}},
+		{"shard", "corner", harness.EngineOpts{Shards: 3, Strategy: "degree"}},
+	} {
+		if err := runFixedWeighted(sys, 24*16, tc.engine, "paper", tc.placement, 1, 20, 0, tc.eo); err != nil {
+			t.Errorf("runFixedWeighted(%s %s %+v): %v", tc.engine, tc.placement, tc.eo, err)
+		}
+	}
+	if err := runFixedWeighted(sys, 24*16, "shard", "baseline", "corner", 1, 5, 0,
+		harness.EngineOpts{}); err == nil {
+		t.Error("shard accepted the baseline protocol")
+	}
+	if err := runFixedWeighted(sys, 24*16, "seq", "paper", "nope", 1, 5, 0,
+		harness.EngineOpts{}); err == nil {
 		t.Error("unknown placement accepted")
 	}
 }

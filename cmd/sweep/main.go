@@ -49,7 +49,7 @@ func run() error {
 		workers    = flag.Int("workers", 0, "concurrent jobs (0 = all cores)")
 		horizon    = flag.Int("horizon", 400, "dynamic: rounds of continuous traffic")
 		churnEvery = flag.Int("churnevery", 0, "dynamic: leave/join every k rounds (0 = no churn)")
-		engine     = flag.String("engine", "seq", "dynamic: execution engine seq|forkjoin|actor|shard")
+		engine     = flag.String("engine", "seq", "dynamic/weighted: execution engine seq|forkjoin|actor|shard (see the engine matrix in README.md; identical trajectories)")
 	)
 	flag.Parse()
 
@@ -59,7 +59,7 @@ func run() error {
 	case "granularity":
 		return runGranularity(*n, *tpn, *seed, *repeats, *workers)
 	case "weighted":
-		return runWeightedComparison(*n, *tpn, *seed, *repeats, *workers)
+		return runWeightedComparison(*n, *tpn, *seed, *repeats, *workers, *engine)
 	case "diffusion":
 		return runDiffusion(*n, *tpn, *seed, *workers)
 	case "dynamic":
@@ -183,10 +183,10 @@ func runGranularity(n, tpn int, seed uint64, repeats, workers int) error {
 	return nil
 }
 
-func runWeightedComparison(n, tpn int, seed uint64, repeats, workers int) error {
+func runWeightedComparison(n, tpn int, seed uint64, repeats, workers int, engine string) error {
 	fmt.Println("class,n,m,alg2_rounds,alg2_stderr,baseline_rounds,baseline_stderr,ratio")
 	for _, class := range experiments.Table1Classes() {
-		res, err := experiments.CompareWeighted(class, n, tpn, 0.25, repeats, seed, workers)
+		res, err := experiments.CompareWeighted(class, n, tpn, 0.25, repeats, seed, workers, engine)
 		if err != nil {
 			return err
 		}

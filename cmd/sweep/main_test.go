@@ -31,7 +31,7 @@ func TestRunGranularitySmoke(t *testing.T) {
 }
 
 func TestRunWeightedComparisonSmoke(t *testing.T) {
-	out := testutil.CaptureStdout(t, func() error { return runWeightedComparison(8, 16, 1, 1, 2) })
+	out := testutil.CaptureStdout(t, func() error { return runWeightedComparison(8, 16, 1, 1, 2, "shard") })
 	if !strings.HasPrefix(out, "class,n,m,alg2_rounds") {
 		t.Errorf("missing CSV header:\n%s", out)
 	}
@@ -61,11 +61,17 @@ func TestSweepWorkerCountInvariance(t *testing.T) {
 	if seq, par := run(1), run(8); seq != par {
 		t.Errorf("granularity output differs by worker count:\n-- workers=1 --\n%s-- workers=8 --\n%s", seq, par)
 	}
-	runW := func(workers int) string {
-		return testutil.CaptureStdout(t, func() error { return runWeightedComparison(8, 16, 1, 2, workers) })
+	runW := func(workers int, engine string) string {
+		return testutil.CaptureStdout(t, func() error { return runWeightedComparison(8, 16, 1, 2, workers, engine) })
 	}
-	if seq, par := runW(1), runW(8); seq != par {
+	if seq, par := runW(1, "seq"), runW(8, "seq"); seq != par {
 		t.Errorf("weighted output differs by worker count:\n-- workers=1 --\n%s-- workers=8 --\n%s", seq, par)
+	}
+	// Engines execute identical trajectories, so the weighted comparison
+	// CSV is engine-invariant too (the baseline protocol falls back to
+	// seq on engines that cannot run it).
+	if seq, shard := runW(2, "seq"), runW(2, "shard"); seq != shard {
+		t.Errorf("weighted output differs by engine:\n-- seq --\n%s-- shard --\n%s", seq, shard)
 	}
 }
 

@@ -231,7 +231,7 @@ func (st *WeightedState) Inject(i int, ws []float64) error {
 	}
 	st.count += len(ws)
 	st.sinceRecompute += len(ws)
-	if st.sinceRecompute >= 1<<20 {
+	if st.sinceRecompute >= WeightRecomputeEvery {
 		st.RecomputeWeights()
 	}
 	return nil
@@ -256,7 +256,7 @@ func (st *WeightedState) Drain(i, k int) task.Weights {
 	}
 	st.count -= k
 	st.sinceRecompute += k
-	if st.sinceRecompute >= 1<<20 {
+	if st.sinceRecompute >= WeightRecomputeEvery {
 		st.RecomputeWeights()
 	}
 	return removed

@@ -92,6 +92,15 @@ func (st *UniformState) applyDelta(delta []int64) {
 	}
 }
 
+// WeightRecomputeEvery is the number of incremental weight updates
+// (task moves, injections, drains) after which the cached per-node
+// weight sums are rebuilt from the task multisets, bounding accumulated
+// floating-point drift. Exported so engines with their own flat storage
+// (package shard) fire the identical recompute at the identical update
+// count — the cache bits are observable through loads and potentials,
+// so trajectory parity requires matching the schedule exactly.
+const WeightRecomputeEvery = 1 << 20
+
 // WeightedState is the task distribution for the weighted model of
 // Section 4: each processor holds a multiset of task weights wℓ ∈ (0,1];
 // Wᵢ(x) = Σ_{ℓ∈x(i)} wℓ and ℓᵢ = Wᵢ/sᵢ.
@@ -197,9 +206,51 @@ func (st *WeightedState) moveTask(i, idx, j int) {
 	st.nodeWeight[i] -= w
 	st.nodeWeight[j] += w
 	st.sinceRecompute++
-	if st.sinceRecompute >= 1<<20 {
+	if st.sinceRecompute >= WeightRecomputeEvery {
 		st.RecomputeWeights()
 	}
+}
+
+// NewWeightedStateFromFlat builds a WeightedState from the flat
+// structure-of-arrays view an engine with contiguous storage maintains
+// (package shard): pool holds every task weight in node order, off
+// (length n+1, off[0] = 0, non-decreasing) delimits node i's segment as
+// pool[off[i]:off[i+1]], and nodeWeight, totalW and sinceRecompute are
+// adopted verbatim rather than recomputed. The verbatim adoption is the
+// point: the cached weight sums are observable through loads and
+// potentials, so an engine that maintains them with the exact
+// floating-point operation order of the sequential mutators must be
+// able to materialize a state with identical bits — re-summing here
+// would destroy that. The constructor takes ownership of pool (the task
+// slices alias it, with capacities pinned so later appends copy out);
+// nodeWeight is copied.
+func NewWeightedStateFromFlat(sys *System, pool []float64, off []int64, nodeWeight []float64, totalW float64, sinceRecompute int) (*WeightedState, error) {
+	n := sys.N()
+	if len(off) != n+1 {
+		return nil, fmt.Errorf("core: %d offsets for %d processors", len(off), n)
+	}
+	if off[0] != 0 || off[n] != int64(len(pool)) {
+		return nil, fmt.Errorf("core: offsets span [%d,%d) over a pool of %d weights", off[0], off[n], len(pool))
+	}
+	if len(nodeWeight) != n {
+		return nil, fmt.Errorf("core: %d node weights for %d processors", len(nodeWeight), n)
+	}
+	st := &WeightedState{
+		sys:            sys,
+		tasks:          make([][]float64, n),
+		nodeWeight:     append([]float64(nil), nodeWeight...),
+		totalW:         totalW,
+		count:          len(pool),
+		sinceRecompute: sinceRecompute,
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := off[i], off[i+1]
+		if lo > hi {
+			return nil, fmt.Errorf("core: offsets decrease at node %d", i)
+		}
+		st.tasks[i] = pool[lo:hi:hi]
+	}
+	return st, nil
 }
 
 // RecomputeWeights rebuilds the cached node weight sums from the task

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/rng"
+import (
+	"sort"
+
+	"repro/internal/rng"
+)
 
 // WeightedProtocol is one synchronous round of a protocol on a weighted
 // state; it returns the number of migrated tasks.
@@ -42,7 +46,47 @@ type WeightedNodeProtocol interface {
 	DecideNode(st *WeightedState, i int, loads []float64, nodeStream *rng.Stream) []TaskMove
 }
 
+// WeightedFlatProtocol is a WeightedNodeProtocol whose per-node decision
+// can also run against flat state — a task count, a cached node weight
+// and the global load snapshot — without a *WeightedState, writing into
+// caller-owned scratch. This is what Algorithm 2's exchangeability buys:
+// because the migration probability is independent of the moving task's
+// own weight, the decision needs only (cnt, Wᵢ, loads), never the
+// per-task multiset, so an engine that stores weights in one contiguous
+// pool (package shard) can evaluate it allocation-free.
+type WeightedFlatProtocol interface {
+	WeightedNodeProtocol
+	// DecideNodeFlat computes node i's outgoing migrations for one round
+	// from flat inputs, drawing the identical stream values as DecideNode
+	// (which delegates here). The returned slice aliases sc and is valid
+	// until the next call with the same scratch.
+	DecideNodeFlat(sys *System, i, cnt int, wi float64, loads []float64, nodeStream *rng.Stream, sc *WeightedScratch) []TaskMove
+}
+
+// WeightedScratch is the reusable buffer set of DecideNodeFlat: the
+// probability vector and multinomial counts (sized by degree), the
+// partial Fisher–Yates permutation (sized by task count) and the output
+// moves. Buffers grow amortized and are retained across calls, so a
+// decide loop that reuses one scratch per worker allocates nothing in
+// steady state.
+type WeightedScratch struct {
+	probs  []float64
+	counts []int
+	order  []int32
+	moves  []TaskMove
+}
+
+// NewWeightedScratch returns a scratch pre-sized for nodes of degree up
+// to maxDeg (larger degrees grow the buffers on demand).
+func NewWeightedScratch(maxDeg int) *WeightedScratch {
+	return &WeightedScratch{
+		probs:  make([]float64, maxDeg+1),
+		counts: make([]int, maxDeg+1),
+	}
+}
+
 var _ WeightedNodeProtocol = Algorithm2{}
+var _ WeightedFlatProtocol = Algorithm2{}
 
 // Name implements WeightedProtocol.
 func (p Algorithm2) Name() string { return "algorithm2" }
@@ -72,22 +116,42 @@ func (p Algorithm2) Step(st *WeightedState, round uint64, base *rng.Stream) int 
 // per-task process: a multinomial split of the task count over
 // (eligible neighbors × pass-coin, stay), then a uniformly random choice
 // of which tasks depart. Exposed so concurrent runtimes (package dist)
-// can execute the identical decision per node goroutine.
+// can execute the identical decision per node goroutine. It delegates
+// to DecideNodeFlat with a fresh scratch, which both guarantees the two
+// entry points are draw-identical and makes the returned slice safe to
+// retain.
 func (p Algorithm2) DecideNode(st *WeightedState, i int, loads []float64, nodeStream *rng.Stream) []TaskMove {
-	sys := st.sys
-	g := sys.g
-	alpha := p.effectiveAlpha(sys)
-	cnt := len(st.tasks[i])
+	g := st.sys.g
+	return p.DecideNodeFlat(st.sys, i, len(st.tasks[i]), st.nodeWeight[i], loads,
+		nodeStream, NewWeightedScratch(len(g.Neighbors(i))))
+}
+
+// DecideNodeFlat implements WeightedFlatProtocol: the batched sampling
+// of DecideNode against flat inputs — node i's task count, its cached
+// total weight Wᵢ and the global round-start load snapshot — drawing
+// into sc instead of allocating. Note the per-task weights never enter:
+// the migration condition and probability depend only on loads and Wᵢ
+// (the paper's key design decision), so the tasks are exchangeable and
+// the multinomial batching is exact.
+func (p Algorithm2) DecideNodeFlat(sys *System, i, cnt int, wi float64, loads []float64, nodeStream *rng.Stream, sc *WeightedScratch) []TaskMove {
 	if cnt == 0 {
 		return nil
 	}
+	g := sys.g
+	alpha := p.effectiveAlpha(sys)
 	nbs := g.Neighbors(i)
 	deg := len(nbs)
 	li := loads[i]
-	wi := st.nodeWeight[i]
+	if cap(sc.probs) < deg+1 {
+		sc.probs = make([]float64, deg+1)
+		sc.counts = make([]int, deg+1)
+	}
 	// probs[k] = P(a task targets neighbor k AND passes its coin);
 	// the final slot is the stay probability.
-	probs := make([]float64, deg+1)
+	probs := sc.probs[:deg+1]
+	for idx := range probs {
+		probs[idx] = 0
+	}
 	stay := 1.0
 	for idx, jj := range nbs {
 		j := int(jj)
@@ -103,29 +167,33 @@ func (p Algorithm2) DecideNode(st *WeightedState, i int, loads []float64, nodeSt
 		stay = 0
 	}
 	probs[deg] = stay
-	counts := nodeStream.Multinomial(cnt, probs)
+	counts := nodeStream.MultinomialInto(cnt, probs, sc.counts[:deg+1])
 	totalOut := cnt - counts[deg]
 	if totalOut == 0 {
 		return nil
 	}
 	// Choose which tasks leave: a uniformly random totalOut-subset in
 	// random order via partial Fisher–Yates over the task indices.
-	order := make([]int, cnt)
+	if cap(sc.order) < cnt {
+		sc.order = make([]int32, cnt)
+	}
+	order := sc.order[:cnt]
 	for t := range order {
-		order[t] = t
+		order[t] = int32(t)
 	}
 	for t := 0; t < totalOut; t++ {
 		r := t + nodeStream.Intn(cnt-t)
 		order[t], order[r] = order[r], order[t]
 	}
-	out := make([]TaskMove, 0, totalOut)
+	out := sc.moves[:0]
 	pos := 0
 	for idx := 0; idx < deg; idx++ {
 		for c := 0; c < counts[idx]; c++ {
-			out = append(out, TaskMove{From: i, Idx: order[pos], To: int(nbs[idx])})
+			out = append(out, TaskMove{From: i, Idx: int(order[pos]), To: int(nbs[idx])})
 			pos++
 		}
 	}
+	sc.moves = out
 	return out
 }
 
@@ -151,7 +219,7 @@ func ApplyMoves(st *WeightedState, pending []TaskMove) int {
 		if len(mvs) == 0 {
 			continue
 		}
-		sortMovesByIdxDesc(mvs)
+		SortMovesByIdxDesc(mvs)
 		for _, mv := range mvs {
 			st.moveTask(mv.From, mv.Idx, mv.To)
 			moves++
@@ -160,9 +228,20 @@ func ApplyMoves(st *WeightedState, pending []TaskMove) int {
 	return moves
 }
 
-// sortMovesByIdxDesc sorts moves by task index descending (insertion
-// sort; per-node move lists are small).
-func sortMovesByIdxDesc(mvs []TaskMove) {
+// SortMovesByIdxDesc sorts one node's moves by task index descending —
+// the application order ApplyMoves uses, under which the swap-delete of
+// moveTask never disturbs a pending round-start index. Exported so
+// engines that commit moves against their own storage (package shard)
+// order them identically. Task indices within a node are distinct, so
+// any comparison sort yields the same order: insertion sort for the
+// common small lists, sort.Slice beyond that — an all-on-one start at
+// million-node scale emits hundreds of thousands of moves from a single
+// node per round, where quadratic sorting stalls the run.
+func SortMovesByIdxDesc(mvs []TaskMove) {
+	if len(mvs) > 64 {
+		sort.Slice(mvs, func(a, b int) bool { return mvs[a].Idx > mvs[b].Idx })
+		return
+	}
 	for i := 1; i < len(mvs); i++ {
 		for j := i; j > 0 && mvs[j].Idx > mvs[j-1].Idx; j-- {
 			mvs[j], mvs[j-1] = mvs[j-1], mvs[j]

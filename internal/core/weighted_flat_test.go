@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// TestDecideNodeFlatScratchReuse pins that DecideNodeFlat is
+// insensitive to scratch reuse: a dirty shared scratch must produce the
+// exact moves a fresh per-call scratch (the DecideNode path) produces,
+// with the identical stream consumption. This is the property that lets
+// the shard engine evaluate millions of nodes through one per-worker
+// scratch.
+func TestDecideNodeFlatScratchReuse(t *testing.T) {
+	g, err := graph.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	speeds, err := machine.TwoClass(n, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(g, speeds, WithLambda2(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights, err := task.RandomWeights(40*n, 0.1, 1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := make([]task.Weights, n)
+	perNode[0] = weights
+	st, err := NewWeightedState(sys, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := Algorithm2{}
+	base := rng.New(7)
+	shared := NewWeightedScratch(sys.MaxDegree())
+	for round := uint64(1); round <= 5; round++ {
+		loads := st.Loads()
+		roundStream := base.Split(round)
+		var pending []TaskMove
+		for i := 0; i < n; i++ {
+			fresh := proto.DecideNode(st, i, loads, roundStream.Split(uint64(i)))
+			reused := proto.DecideNodeFlat(sys, i, len(st.tasks[i]), st.nodeWeight[i], loads,
+				roundStream.Split(uint64(i)), shared)
+			if len(fresh) != len(reused) {
+				t.Fatalf("round %d node %d: %d moves via fresh scratch, %d via reused", round, i, len(fresh), len(reused))
+			}
+			for k := range fresh {
+				if fresh[k] != reused[k] {
+					t.Fatalf("round %d node %d move %d: %+v, want %+v", round, i, k, reused[k], fresh[k])
+				}
+			}
+			pending = append(pending, fresh...)
+		}
+		ApplyMoves(st, pending)
+	}
+}
+
+// TestSortMovesByIdxDescLarge pins that the large-list path (sort.Slice)
+// and the insertion-sort path order identically — indices are distinct,
+// so both must produce strictly descending indices.
+func TestSortMovesByIdxDescLarge(t *testing.T) {
+	gen := rng.New(3)
+	for _, size := range []int{0, 1, 5, 64, 65, 4096} {
+		perm := gen.Perm(size)
+		mvs := make([]TaskMove, size)
+		for i, idx := range perm {
+			mvs[i] = TaskMove{From: 0, Idx: idx, To: 1}
+		}
+		SortMovesByIdxDesc(mvs)
+		for i := 1; i < len(mvs); i++ {
+			if mvs[i].Idx >= mvs[i-1].Idx {
+				t.Fatalf("size %d: not strictly descending at %d: %d, %d", size, i, mvs[i-1].Idx, mvs[i].Idx)
+			}
+		}
+	}
+}

@@ -39,8 +39,12 @@ type WeightedComparison struct {
 // protocol axis × repetitions form a harness matrix executed over
 // workers concurrent jobs (≤ 0 means GOMAXPROCS); placements and run
 // seeds depend only on (seed, repetition), so both protocols see
-// identical instances and the result is independent of workers.
-func CompareWeighted(class GraphClass, n, tasksPerNode int, eps float64, repeats int, seed uint64, workers int) (WeightedComparison, error) {
+// identical instances and the result is independent of workers. engine
+// ("" means seq) selects the execution engine per protocol run; a
+// protocol the engine cannot execute (the baseline does not factorize
+// into per-node decisions) falls back to seq, which is trajectory-
+// neutral — every engine runs the identical trajectory.
+func CompareWeighted(class GraphClass, n, tasksPerNode int, eps float64, repeats int, seed uint64, workers int, engine string) (WeightedComparison, error) {
 	g, err := class.Build(n)
 	if err != nil {
 		return WeightedComparison{}, err
@@ -63,12 +67,20 @@ func CompareWeighted(class GraphClass, n, tasksPerNode int, eps float64, repeats
 		WeightDistString: "uniform(0.1,1.0)",
 	}
 	const maxRounds = 2_000_000
+	if engine == "" {
+		engine = harness.EngineSeq
+	}
 	protos := []core.WeightedProtocol{core.Algorithm2{}, core.BaselineWeighted{}}
+	engines := make([]string, len(protos))
 	cells := make([]harness.Cell, len(protos))
 	for ci, p := range protos {
+		engines[ci] = engine
+		if !harness.WeightedEngineSupports(engine, p) {
+			engines[ci] = harness.EngineSeq
+		}
 		cells[ci] = harness.Cell{
 			Class: class.Key, N: actualN, M: int64(m),
-			Workload: "weighted-random", Engine: harness.EngineSeq,
+			Workload: "weighted-random", Engine: engines[ci],
 			Param: "proto=" + p.Name(),
 		}
 	}
@@ -86,7 +98,7 @@ func CompareWeighted(class GraphClass, n, tasksPerNode int, eps float64, repeats
 			if err != nil {
 				return harness.Result{}, err
 			}
-			run, _, err := harness.RunWeightedEngine(harness.EngineSeq, sys, protos[ci], placement,
+			run, _, err := harness.RunWeightedEngine(engines[ci], sys, protos[ci], placement,
 				core.StopAtWeightedApproxNash(eps), core.RunOpts{
 					MaxRounds: maxRounds, Seed: seed + uint64(rep), CheckEvery: 4,
 				})

@@ -251,7 +251,7 @@ func TestCompareWeightedSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := CompareWeighted(class, 8, 16, 0.3, 2, 3, 2)
+	res, err := CompareWeighted(class, 8, 16, 0.3, 2, 3, 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,6 +261,17 @@ func TestCompareWeightedSmall(t *testing.T) {
 	out := FormatWeightedComparison(res)
 	if !strings.Contains(out, "algorithm2") {
 		t.Error("format missing protocol name")
+	}
+	// The shard engine runs Algorithm 2 (the baseline falls back to
+	// seq); trajectories are engine-independent, so the comparison is
+	// bit-identical.
+	shardRes, err := CompareWeighted(class, 8, 16, 0.3, 2, 3, 2, "shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shardRes.Alg2Rounds != res.Alg2Rounds || shardRes.BaselineRounds != res.BaselineRounds {
+		t.Errorf("shard comparison (%g, %g), want (%g, %g)",
+			shardRes.Alg2Rounds, shardRes.BaselineRounds, res.Alg2Rounds, res.BaselineRounds)
 	}
 }
 

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -24,8 +25,9 @@ const (
 	// EngineActor is the goroutine-per-processor engine dist.Network
 	// (uniform tasks only).
 	EngineActor = "actor"
-	// EngineShard is the CSR-backed sharded engine shard.Engine
-	// (uniform tasks only), built for 10⁵⁺-node instances.
+	// EngineShard is the CSR-backed sharded engine (shard.Engine for
+	// uniform tasks, shard.WeightedEngine for weighted ones), built for
+	// 10⁵⁺-node instances.
 	EngineShard = "shard"
 )
 
@@ -35,7 +37,28 @@ func UniformEngines() []string {
 }
 
 // WeightedEngines lists the engine names RunWeightedEngine accepts.
-func WeightedEngines() []string { return []string{EngineSeq, EngineForkJoin} }
+func WeightedEngines() []string { return []string{EngineSeq, EngineForkJoin, EngineShard} }
+
+// WeightedEngineSupports reports whether the named engine can execute
+// the given weighted protocol: forkjoin needs a round that factorizes
+// into per-node decisions (core.WeightedNodeProtocol), shard
+// additionally needs the decision to run against flat state
+// (core.WeightedFlatProtocol); seq executes anything. Experiments that
+// race several protocols on one engine use this to fall back to seq for
+// the ones an engine cannot run.
+func WeightedEngineSupports(engine string, proto core.WeightedProtocol) bool {
+	switch engine {
+	case "", EngineSeq:
+		return true
+	case EngineForkJoin:
+		_, ok := proto.(core.WeightedNodeProtocol)
+		return ok
+	case EngineShard:
+		_, ok := proto.(core.WeightedFlatProtocol)
+		return ok
+	}
+	return false
+}
 
 // EngineOpts tunes how a named engine executes — never what it
 // computes: every combination yields the bit-identical trajectory, so
@@ -50,6 +73,62 @@ type EngineOpts struct {
 	// Strategy selects the shard partitioner: "contiguous" (default)
 	// or "degree".
 	Strategy string
+}
+
+// Resolved returns the execution parameters that actually run for the
+// named engine on an n-node instance: the zero-value defaults filled in
+// exactly as the engine constructors fill them (GOMAXPROCS workers
+// capped at the node or shard count, shard count defaulting to the
+// worker count and clamped to [1, n], the default partition strategy
+// spelled out). Reports and headers should print the resolved values,
+// not the raw flags.
+func (eo EngineOpts) Resolved(engine string, n int) EngineOpts {
+	if n < 1 {
+		n = 1
+	}
+	switch engine {
+	case "", EngineSeq:
+		return EngineOpts{Workers: 1}
+	case EngineActor:
+		// One goroutine per processor.
+		return EngineOpts{Workers: n}
+	case EngineForkJoin:
+		w := eo.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		if w > n {
+			w = n
+		}
+		if w < 1 {
+			w = 1
+		}
+		return EngineOpts{Workers: w}
+	case EngineShard:
+		w := eo.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		p := eo.Shards
+		if p <= 0 {
+			p = w
+		}
+		if p < 1 {
+			p = 1
+		}
+		if p > n {
+			p = n
+		}
+		if w > p {
+			w = p
+		}
+		strategy := eo.Strategy
+		if strategy == "" {
+			strategy = string(shard.Contiguous)
+		}
+		return EngineOpts{Workers: w, Shards: p, Strategy: strategy}
+	}
+	return eo
 }
 
 // RunUniformEngine runs one uniform-task simulation on the named engine
@@ -116,7 +195,10 @@ func RunWeightedEngine(engine string, sys *core.System, proto core.WeightedProto
 // engine ("" means seq) through the shared core.Drive loop, and returns
 // the run result together with the final weighted state. The forkjoin
 // engine requires a protocol whose round factorizes into per-node
-// decisions (core.WeightedNodeProtocol).
+// decisions (core.WeightedNodeProtocol); the shard engine additionally
+// requires the decision to run against flat state
+// (core.WeightedFlatProtocol, e.g. Algorithm 2). See
+// WeightedEngineSupports.
 func RunWeightedEngineOpts(engine string, sys *core.System, proto core.WeightedProtocol, perNode []task.Weights, stop core.WeightedStop, opts core.RunOpts, eo EngineOpts) (core.RunResult, *core.WeightedState, error) {
 	switch engine {
 	case "", EngineSeq:
@@ -143,8 +225,26 @@ func RunWeightedEngineOpts(engine string, sys *core.System, proto core.WeightedP
 		}
 		return res, st, err
 	case EngineShard:
-		return core.RunResult{}, nil, fmt.Errorf("harness: the shard engine is uniform-only; weighted engines are seq|forkjoin")
+		fp, ok := proto.(core.WeightedFlatProtocol)
+		if !ok {
+			return core.RunResult{}, nil, fmt.Errorf("harness: protocol %s cannot decide against flat state; the shard engine requires a core.WeightedFlatProtocol", proto.Name())
+		}
+		eng, err := shard.NewWeighted(sys, fp, perNode, shard.Options{
+			Shards:   eo.Shards,
+			Workers:  eo.Workers,
+			Strategy: shard.Strategy(eo.Strategy),
+		})
+		if err != nil {
+			return core.RunResult{}, nil, err
+		}
+		defer eng.Close()
+		res, err := core.Drive[*core.WeightedState](eng, stop, opts)
+		st, stErr := eng.State()
+		if stErr != nil && err == nil {
+			err = stErr
+		}
+		return res, st, err
 	default:
-		return core.RunResult{}, nil, fmt.Errorf("harness: unknown weighted engine %q (want seq|forkjoin)", engine)
+		return core.RunResult{}, nil, fmt.Errorf("harness: unknown weighted engine %q (want seq|forkjoin|shard)", engine)
 	}
 }

@@ -158,22 +158,24 @@ func TestWeightedEngineParity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, gotState, err := harness.RunWeightedEngine(harness.EngineForkJoin, sys, core.Algorithm2{}, perNode, stop, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			sameRun(t, harness.EngineForkJoin, ref, res)
-			for i := 0; i < n; i++ {
-				if gotState.NodeWeight(i) != refState.NodeWeight(i) {
-					t.Fatalf("node %d: weight %g, want %g", i, gotState.NodeWeight(i), refState.NodeWeight(i))
+			for _, engine := range []string{harness.EngineForkJoin, harness.EngineShard} {
+				res, gotState, err := harness.RunWeightedEngine(engine, sys, core.Algorithm2{}, perNode, stop, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", engine, err)
 				}
-				gw, rw := gotState.TaskWeights(i), refState.TaskWeights(i)
-				if len(gw) != len(rw) {
-					t.Fatalf("node %d: %d tasks, want %d", i, len(gw), len(rw))
-				}
-				for k := range gw {
-					if gw[k] != rw[k] {
-						t.Fatalf("node %d task %d: %g, want %g", i, k, gw[k], rw[k])
+				sameRun(t, engine, ref, res)
+				for i := 0; i < n; i++ {
+					if gotState.NodeWeight(i) != refState.NodeWeight(i) {
+						t.Fatalf("%s: node %d: weight %g, want %g", engine, i, gotState.NodeWeight(i), refState.NodeWeight(i))
+					}
+					gw, rw := gotState.TaskWeights(i), refState.TaskWeights(i)
+					if len(gw) != len(rw) {
+						t.Fatalf("%s: node %d: %d tasks, want %d", engine, i, len(gw), len(rw))
+					}
+					for k := range gw {
+						if gw[k] != rw[k] {
+							t.Fatalf("%s: node %d task %d: %g, want %g", engine, i, k, gw[k], rw[k])
+						}
 					}
 				}
 			}
@@ -313,19 +315,21 @@ func TestWeightedDynamicEngineParity(t *testing.T) {
 	if got, want := int64(ref.FinalState.TaskCount()), int64(30*n)+ref.Ledger.ArrivedTasks-ref.Ledger.DepartedTasks; got != want {
 		t.Fatalf("conservation: %d tasks, want %d", got, want)
 	}
-	res, err := harness.RunWeightedDynamic(harness.EngineForkJoin, sys, core.Algorithm2{}, perNode, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sameDynamic(t, harness.EngineForkJoin, ref, res)
-	for i := 0; i < ref.FinalState.System().N(); i++ {
-		gw, rw := res.FinalState.TaskWeights(i), ref.FinalState.TaskWeights(i)
-		if len(gw) != len(rw) {
-			t.Fatalf("node %d: %d tasks, want %d", i, len(gw), len(rw))
+	for _, engine := range []string{harness.EngineForkJoin, harness.EngineShard} {
+		res, err := harness.RunWeightedDynamic(engine, sys, core.Algorithm2{}, perNode, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
 		}
-		for k := range gw {
-			if gw[k] != rw[k] {
-				t.Fatalf("node %d task %d: %g, want %g", i, k, gw[k], rw[k])
+		sameDynamic(t, engine, ref, res)
+		for i := 0; i < ref.FinalState.System().N(); i++ {
+			gw, rw := res.FinalState.TaskWeights(i), ref.FinalState.TaskWeights(i)
+			if len(gw) != len(rw) {
+				t.Fatalf("%s: node %d: %d tasks, want %d", engine, i, len(gw), len(rw))
+			}
+			for k := range gw {
+				if gw[k] != rw[k] {
+					t.Fatalf("%s: node %d task %d: %g, want %g", engine, i, k, gw[k], rw[k])
+				}
 			}
 		}
 	}

@@ -236,7 +236,20 @@ func (r *Stream) EqualSplitInto(n, k int, dst []int64) []int64 {
 // their sum). The result slice has one count per category and sums to n.
 // Sampling is by sequential conditional binomials, which is exact.
 func (r *Stream) Multinomial(n int, probs []float64) []int {
-	counts := make([]int, len(probs))
+	return r.MultinomialInto(n, probs, make([]int, len(probs)))
+}
+
+// MultinomialInto is Multinomial without the allocation: it fills
+// dst[:len(probs)] (dst must have at least len(probs) elements) with the
+// identical draws — the same conditional binomials in the same order —
+// and returns dst[:len(probs)]. Multinomial delegates here, so the two
+// are draw-identical by construction; engines whose decide loop must not
+// allocate (package shard) reuse one scratch buffer across nodes.
+func (r *Stream) MultinomialInto(n int, probs []float64, dst []int) []int {
+	counts := dst[:len(probs)]
+	for i := range counts {
+		counts[i] = 0
+	}
 	if n <= 0 || len(probs) == 0 {
 		return counts
 	}

@@ -374,3 +374,41 @@ func TestEqualSplitIntoMatchesEqualSplit(t *testing.T) {
 		}
 	}
 }
+
+// TestMultinomialIntoMatchesMultinomial pins the draw identity the
+// engines rely on: MultinomialInto must consume the stream exactly like
+// Multinomial and produce the identical counts, including into a dirty
+// reused buffer.
+func TestMultinomialIntoMatchesMultinomial(t *testing.T) {
+	dirty := make([]int, 16)
+	for trial := 0; trial < 50; trial++ {
+		seed := uint64(trial + 1)
+		gen := New(seed * 31)
+		k := 1 + gen.Intn(8)
+		probs := make([]float64, k)
+		for i := range probs {
+			probs[i] = gen.Float64()
+		}
+		if trial%3 == 0 {
+			probs[gen.Intn(k)] = 0 // zero-probability categories
+		}
+		n := gen.Intn(1000)
+		a, b := New(seed), New(seed)
+		want := a.Multinomial(n, probs)
+		for i := range dirty {
+			dirty[i] = -7
+		}
+		got := b.MultinomialInto(n, probs, dirty)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d counts, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: counts[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("trial %d: stream positions diverged", trial)
+		}
+	}
+}

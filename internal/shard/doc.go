@@ -40,4 +40,19 @@
 // engine's for any shard count, any worker count and either partition
 // strategy; the parity tests demand exactly that, statically and under
 // dynamic workloads, for P ∈ {1, 2, 7}.
+//
+// WeightedEngine extends the same architecture to weighted tasks
+// (Algorithm 2). The task weights live in one contiguous pool per
+// shard with per-node offsets; the decide phase never reads them —
+// Algorithm 2's migration law depends only on loads and the cached
+// node-weight sums (core.WeightedFlatProtocol), which is the paper's
+// exchangeability property turned into a storage layout. The commit
+// phase replays, per node, the exact operation sequence of the
+// sequential core.ApplyMoves — swap-deletes, append order, per-move
+// float64 weight-sum updates and the periodic WeightRecomputeEvery
+// cache rebuild — by merging each node's incoming tasks and own
+// removals along the round's global move timeline. Weighted
+// trajectories, traces, ledgers and final task multisets are therefore
+// bit-identical to core.RunWeighted as well; see DESIGN.md ("Weighted
+// tasks at scale") for the replay argument.
 package shard

@@ -297,10 +297,11 @@ func TestShardLifecycle(t *testing.T) {
 	if _, err := eng.State(); !errors.Is(err, shard.ErrClosed) {
 		t.Errorf("State after Close: %v, want ErrClosed", err)
 	}
-	// The weighted dispatcher must reject the shard engine by name.
+	// The weighted dispatcher validates its inputs too: a perNode
+	// vector of the wrong length must be rejected, not mis-run.
 	if _, _, err := harness.RunWeightedEngine(harness.EngineShard, sys, core.Algorithm2{}, nil, nil,
 		core.RunOpts{MaxRounds: 1, Seed: 1}); err == nil {
-		t.Error("weighted shard dispatch accepted")
+		t.Error("weighted shard dispatch accepted nil perNode")
 	}
 }
 

@@ -1,0 +1,916 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// wflow is one migrating weighted task addressed to a node of the
+// destination shard: the task's weight, its source node, and seq — the
+// move's position within the source node's idx-descending move list,
+// which dates the move on the round's global move timeline (see
+// WeightedEngine.shardBase). Unlike the uniform engine's flow entries,
+// which aggregate per cross edge, weighted flows are per task: the
+// committer must append each weight individually, in the exact order
+// the sequential ApplyMoves would.
+type wflow struct {
+	dst int32
+	src int32
+	seq int32
+	w   float64
+}
+
+// WeightedEngine is the CSR-backed sharded execution engine for
+// weighted tasks (Algorithm 2). State is a flat structure of arrays:
+// shard s's task weights live in one contiguous pool with per-node
+// offsets, and the cached per-node weight sums and the load snapshot
+// are plain []float64 vectors — no per-node slice headers, no maps.
+// Each round runs in the same three barrier-separated phases as the
+// uniform Engine (snapshot loads, decide, commit) over P shards on a
+// persistent worker pool.
+//
+// What makes the flat execution possible is the paper's own design
+// decision: Algorithm 2's migration probability is independent of the
+// moving task's weight, so the per-node decision needs only the task
+// count, the cached node weight and the load snapshot
+// (core.WeightedFlatProtocol), never the weight multiset. Tasks enter
+// the picture only at commit, where the engine replays, per node, the
+// exact operation sequence of the sequential core.ApplyMoves — same
+// swap-deletes, same append order, same floating-point updates to the
+// cached weight sums, same periodic weight recompute — so trajectories,
+// traces and final task multisets are bit-identical to core.RunWeighted
+// for any shard count, worker count and partition strategy.
+//
+// WeightedEngine implements core.Engine[*core.WeightedState] and
+// core.DynamicEngine; public methods serialize on an internal mutex.
+type WeightedEngine struct {
+	sys   *core.System
+	csr   *graph.CSR
+	proto core.WeightedFlatProtocol
+	part  *Partition
+
+	mu sync.Mutex
+
+	// Flat SoA state: node i of shard s owns
+	// pool[s][off[s][i-lo] : off[s][i-lo+1]]. Commit rebuilds into the
+	// spare pool and swaps (ping-pong), so the decide phase always reads
+	// an immutable round-start layout.
+	pool  [][]float64
+	spare [][]float64
+	off   [][]int64
+	noff  [][]int64
+
+	nodeWeight     []float64
+	loads          []float64
+	totalW         float64
+	count          int64
+	sinceRecompute int64
+
+	// Decide outputs (indexed by shard, not worker, so the worker
+	// striping cannot influence the trajectory).
+	outFlows [][][]wflow // outFlows[s][d]: tasks moving from shard s into shard d (d == s included)
+	remIdx   [][]int32   // shard s's removal indices: source-ascending, idx-descending
+	remPos   [][]int64   // per-node prefix into remIdx (len shardSize+1)
+	moves    []int64     // per-shard move totals
+
+	// Commit scratch (indexed by destination shard): the arrival
+	// buckets, filled in global source order.
+	arrCnt  [][]int32
+	arrFill [][]int32
+	arrPos  [][]int64
+	arrW    [][]float64
+	arrG    [][]int64
+
+	// Round bookkeeping shared across phases: shardBase[s] is the global
+	// move index of shard s's first move, crossAt the 0-based global
+	// index of the move whose counter increment fires the last periodic
+	// weight recompute this round (-1: none), freshSum the per-node
+	// array sums at that instant.
+	shardBase []int64
+	crossAt   int64
+	freshSum  []float64
+
+	scratch []*weightedScratch
+	workers int
+	kick    []chan phase
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// weightedScratch is one worker's reusable decide/commit storage.
+type weightedScratch struct {
+	ws    *core.WeightedScratch
+	child rng.Stream
+	buf   []float64 // per-node replay buffer
+}
+
+// NewWeighted validates the instance, copies the per-node weight
+// multisets into the flat shard pools, partitions the CSR view and
+// starts the worker pool. The initial cached weight sums are computed
+// with the exact operation order of core.NewWeightedState, so the
+// engine starts bit-identical to a freshly built sequential state.
+func NewWeighted(sys *core.System, proto core.WeightedFlatProtocol, perNode []task.Weights, opts Options) (*WeightedEngine, error) {
+	if sys == nil {
+		return nil, errors.New("shard: nil system")
+	}
+	if proto == nil {
+		return nil, errors.New("shard: nil protocol")
+	}
+	n := sys.N()
+	if len(perNode) != n {
+		return nil, fmt.Errorf("shard: %d nodes of tasks for %d processors", len(perNode), n)
+	}
+	for i, ws := range perNode {
+		if err := ws.Validate(); err != nil {
+			return nil, fmt.Errorf("shard: node %d: %w", i, err)
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = workers
+	}
+	csr := sys.Graph().CSR()
+	part, err := NewPartition(csr, shards, opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	p := part.P()
+	if workers > p {
+		workers = p
+	}
+	e := &WeightedEngine{
+		sys:        sys,
+		csr:        csr,
+		proto:      proto,
+		part:       part,
+		pool:       make([][]float64, p),
+		spare:      make([][]float64, p),
+		off:        make([][]int64, p),
+		noff:       make([][]int64, p),
+		nodeWeight: make([]float64, n),
+		loads:      make([]float64, n),
+		outFlows:   make([][][]wflow, p),
+		remIdx:     make([][]int32, p),
+		remPos:     make([][]int64, p),
+		moves:      make([]int64, p),
+		arrCnt:     make([][]int32, p),
+		arrFill:    make([][]int32, p),
+		arrPos:     make([][]int64, p),
+		arrW:       make([][]float64, p),
+		arrG:       make([][]int64, p),
+		shardBase:  make([]int64, p),
+		crossAt:    -1,
+		freshSum:   make([]float64, n),
+		scratch:    make([]*weightedScratch, workers),
+		workers:    workers,
+		kick:       make([]chan phase, workers),
+	}
+	maxCnt := 0
+	for s := 0; s < p; s++ {
+		lo, hi := part.Range(s)
+		size := hi - lo
+		total := 0
+		for i := lo; i < hi; i++ {
+			if c := len(perNode[i]); c > maxCnt {
+				maxCnt = c
+			}
+			total += len(perNode[i])
+		}
+		pool := make([]float64, 0, total)
+		off := make([]int64, size+1)
+		for i := lo; i < hi; i++ {
+			pool = append(pool, perNode[i]...)
+			off[i-lo+1] = int64(len(pool))
+		}
+		e.pool[s] = pool
+		e.spare[s] = make([]float64, 0, total)
+		e.off[s] = off
+		e.noff[s] = make([]int64, size+1)
+		e.outFlows[s] = make([][]wflow, p)
+		// Unlike the uniform engine's per-edge flow entries, weighted
+		// flows are per task, so edge counts are a warm-start heuristic
+		// rather than a hard bound — but the dominant list is the
+		// intra-shard one (outFlows[s][s], which CrossEdges excludes by
+		// definition), so presize it from the shard's internal directed
+		// edge count and let heavy rounds grow amortized from there.
+		intra := 0
+		for i := lo; i < hi; i++ {
+			intra += csr.Degree(i)
+		}
+		for d := 0; d < p; d++ {
+			if d != s {
+				intra -= part.CrossEdges(s, d)
+			}
+		}
+		for d := 0; d < p; d++ {
+			c := part.CrossEdges(s, d)
+			if d == s {
+				c = intra
+			}
+			if c > 0 {
+				e.outFlows[s][d] = make([]wflow, 0, c)
+			}
+		}
+		e.remPos[s] = make([]int64, size+1)
+		e.arrCnt[s] = make([]int32, size)
+		e.arrFill[s] = make([]int32, size)
+		e.arrPos[s] = make([]int64, size+1)
+	}
+	// Cached weight sums with NewWeightedState's exact operation order:
+	// nodeWeight[i] = Σ (ascending), then totalW += nodeWeight[i],
+	// i ascending.
+	for i := 0; i < n; i++ {
+		w := perNode[i].Total()
+		e.nodeWeight[i] = w
+		e.totalW += w
+		e.count += int64(len(perNode[i]))
+	}
+	maxDeg := csr.MaxDegree()
+	for w := 0; w < workers; w++ {
+		e.scratch[w] = &weightedScratch{
+			ws:  core.NewWeightedScratch(maxDeg),
+			buf: make([]float64, 0, maxCnt),
+		}
+		e.kick[w] = make(chan phase)
+		go func(w int) {
+			for ph := range e.kick[w] {
+				e.runPhase(w, ph)
+				e.wg.Done()
+			}
+		}(w)
+	}
+	return e, nil
+}
+
+// dispatch runs one phase on every worker and blocks at the barrier.
+// Callers hold e.mu.
+func (e *WeightedEngine) dispatch(ph phase) {
+	e.wg.Add(e.workers)
+	for _, ch := range e.kick {
+		ch <- ph
+	}
+	e.wg.Wait()
+}
+
+// runPhase executes a phase for every shard striped onto worker w.
+func (e *WeightedEngine) runPhase(w int, ph phase) {
+	for s := w; s < e.part.P(); s += e.workers {
+		switch ph.kind {
+		case phaseLoads:
+			e.snapshotLoads(s)
+		case phaseDecide:
+			e.decideShard(s, ph.round, e.scratch[w])
+		case phaseCommit:
+			e.commitShard(s, e.scratch[w])
+		}
+	}
+}
+
+// snapshotLoads refreshes shard s's slice of the round-start load
+// snapshot; the division matches WeightedState.Load exactly.
+func (e *WeightedEngine) snapshotLoads(s int) {
+	lo, hi := e.part.Range(s)
+	for i := lo; i < hi; i++ {
+		e.loads[i] = e.nodeWeight[i] / e.sys.Speed(i)
+	}
+}
+
+// decideShard evaluates shard s's protocol decisions against the
+// round-start snapshot. Each node's moves are sorted by task index
+// descending (the core.ApplyMoves application order) and then recorded
+// twice: the removal indices land in the shard's flat removal list, and
+// each move emits a flow entry — carrying the task's round-start weight
+// and the move's position within the node's list — into the
+// per-destination-shard flow buffer. Only shard-s buffers are written.
+func (e *WeightedEngine) decideShard(s int, roundStream *rng.Stream, sc *weightedScratch) {
+	part := e.part
+	lo, hi := part.Range(s)
+	flows := e.outFlows[s]
+	for d := range flows {
+		flows[d] = flows[d][:0]
+	}
+	remIdx := e.remIdx[s][:0]
+	remPos := e.remPos[s]
+	remPos[0] = 0
+	off, pool := e.off[s], e.pool[s]
+	mv := int64(0)
+	for i := lo; i < hi; i++ {
+		k := i - lo
+		cnt := int(off[k+1] - off[k])
+		var ms []core.TaskMove
+		if cnt > 0 {
+			roundStream.SplitTo(uint64(i), &sc.child)
+			ms = e.proto.DecideNodeFlat(e.sys, i, cnt, e.nodeWeight[i], e.loads, &sc.child, sc.ws)
+		}
+		if len(ms) > 0 {
+			core.SortMovesByIdxDesc(ms)
+			seg := pool[off[k]:off[k+1]]
+			for p, m := range ms {
+				remIdx = append(remIdx, int32(m.Idx))
+				d := int(part.shardOf[m.To])
+				flows[d] = append(flows[d], wflow{dst: int32(m.To), src: int32(i), seq: int32(p), w: seg[m.Idx]})
+			}
+			mv += int64(len(ms))
+		}
+		remPos[k+1] = remPos[k] + int64(len(ms))
+	}
+	e.remIdx[s] = remIdx
+	e.moves[s] = mv
+}
+
+// commitShard applies every move addressed to shard d against the flat
+// pool, node by node, replaying the sequential engine's exact operation
+// sequence. The global move timeline orders all moves as ApplyMoves
+// does — source nodes ascending, indices descending within a source —
+// and each node's operations (task arrivals from other nodes, its own
+// swap-delete removals) are merged by their position on that timeline,
+// which reproduces the interleaving the sequential loop would produce:
+// arrivals from lower-numbered sources land before the node's own
+// removals and can be swapped into freed slots, exactly as in moveTask.
+// Shard d's pool, offsets and weight-sum entries are written only here,
+// only by the worker running d, after the decide barrier.
+func (e *WeightedEngine) commitShard(d int, sc *weightedScratch) {
+	part := e.part
+	lo, hi := part.Range(d)
+	size := hi - lo
+	// Pass 1: count arrivals per destination node.
+	arrCnt := e.arrCnt[d]
+	for k := range arrCnt {
+		arrCnt[k] = 0
+	}
+	totalArr := int64(0)
+	for src := 0; src < part.P(); src++ {
+		for _, f := range e.outFlows[src][d] {
+			arrCnt[int(f.dst)-lo]++
+			totalArr++
+		}
+	}
+	remPos := e.remPos[d]
+	if totalArr == 0 && remPos[size] == 0 {
+		// Quiet shard: no tasks leave it or enter it. Without a weight
+		// recompute there is nothing to do; with one, only the cached
+		// sums must be refreshed from the (unchanged) arrays.
+		if e.crossAt >= 0 {
+			off, pool := e.off[d], e.pool[d]
+			for k := 0; k < size; k++ {
+				w := 0.0
+				for _, v := range pool[off[k]:off[k+1]] {
+					w += v
+				}
+				e.freshSum[lo+k] = w
+				e.nodeWeight[lo+k] = w
+			}
+		}
+		return
+	}
+	// Pass 2: bucket the arrivals per destination node, walking the
+	// source shards in ascending order — shards are contiguous index
+	// ranges and each flow list is source-ascending, so every bucket
+	// ends up in global source order. Each entry records its global move
+	// index g for the timeline merge below.
+	arrPos := e.arrPos[d]
+	arrPos[0] = 0
+	for k := 0; k < size; k++ {
+		arrPos[k+1] = arrPos[k] + int64(arrCnt[k])
+	}
+	arrW := growFloats(e.arrW[d], totalArr)
+	arrG := growInt64s(e.arrG[d], totalArr)
+	e.arrW[d], e.arrG[d] = arrW, arrG
+	fill := e.arrFill[d]
+	for k := range fill {
+		fill[k] = 0
+	}
+	for src := 0; src < part.P(); src++ {
+		base := e.shardBase[src]
+		rp := e.remPos[src]
+		slo, _ := part.Range(src)
+		for _, f := range e.outFlows[src][d] {
+			k := int(f.dst) - lo
+			at := arrPos[k] + int64(fill[k])
+			fill[k]++
+			arrW[at] = f.w
+			arrG[at] = base + rp[int(f.src)-slo] + int64(f.seq)
+		}
+	}
+	// Pass 3: new offsets, and a spare pool large enough for them.
+	off, noff := e.off[d], e.noff[d]
+	noff[0] = 0
+	for k := 0; k < size; k++ {
+		rem := remPos[k+1] - remPos[k]
+		noff[k+1] = noff[k] + (off[k+1] - off[k]) - rem + int64(arrCnt[k])
+	}
+	spare := growFloats(e.spare[d], noff[size])
+	e.spare[d] = spare
+	// Pass 4: per-node replay into the spare pool.
+	gbase := e.shardBase[d]
+	pool := e.pool[d]
+	for k := 0; k < size; k++ {
+		oldSeg := pool[off[k]:off[k+1]]
+		newSeg := spare[noff[k]:noff[k+1]]
+		aw := arrW[arrPos[k]:arrPos[k+1]]
+		ag := arrG[arrPos[k]:arrPos[k+1]]
+		rem := e.remIdx[d][remPos[k]:remPos[k+1]]
+		if len(aw) == 0 && len(rem) == 0 && e.crossAt < 0 {
+			copy(newSeg, oldSeg)
+			continue
+		}
+		e.replayNode(lo+k, oldSeg, newSeg, aw, ag, rem, gbase+remPos[k], sc)
+	}
+	// Ping-pong: the spare pool becomes current.
+	e.pool[d], e.spare[d] = e.spare[d], e.pool[d]
+	e.off[d], e.noff[d] = e.noff[d], e.off[d]
+}
+
+// replayNode replays node i's slice of the round's move sequence: a
+// two-way merge of its incoming tasks (aw/ag, in global source order)
+// and its own removals (rem, idx-descending, occupying the contiguous
+// global index range starting at remG0), ordered by global move index.
+// Appends and swap-deletes run against a scratch copy of the node's
+// round-start segment — literally the moveTask operations — and the
+// cached weight sum receives the identical sequence of float64
+// additions and subtractions the sequential engine would apply. If the
+// periodic weight recompute fires this round (crossAt ≥ 0), the sum is
+// rebuilt from the array contents at exactly that instant, and the
+// remaining operations continue incrementally from the fresh value.
+func (e *WeightedEngine) replayNode(i int, oldSeg, newSeg, aw []float64, ag []int64, rem []int32, remG0 int64, sc *weightedScratch) {
+	buf := append(sc.buf[:0], oldSeg...)
+	nw := e.nodeWeight[i]
+	cross := e.crossAt
+	crossed := cross < 0
+	ai, ri := 0, 0
+	for ai < len(aw) || ri < len(rem) {
+		var g int64
+		takeArr := ri >= len(rem)
+		if !takeArr && ai < len(aw) {
+			takeArr = ag[ai] < remG0+int64(ri)
+		}
+		if takeArr {
+			g = ag[ai]
+		} else {
+			g = remG0 + int64(ri)
+		}
+		if !crossed && g > cross {
+			nw = sumFloats(buf)
+			e.freshSum[i] = nw
+			crossed = true
+		}
+		if takeArr {
+			buf = append(buf, aw[ai])
+			nw += aw[ai]
+			ai++
+		} else {
+			idx := rem[ri]
+			last := len(buf) - 1
+			w := buf[idx]
+			buf[idx] = buf[last]
+			buf = buf[:last]
+			nw -= w
+			ri++
+		}
+	}
+	if !crossed {
+		nw = sumFloats(buf)
+		e.freshSum[i] = nw
+	}
+	e.nodeWeight[i] = nw
+	copy(newSeg, buf)
+	sc.buf = buf[:0]
+}
+
+// sumFloats folds left to right — the summation order of
+// WeightedState.RecomputeWeights over one node's task array.
+func sumFloats(v []float64) float64 {
+	w := 0.0
+	for _, x := range v {
+		w += x
+	}
+	return w
+}
+
+// WeightedEngine is driven through the shared core.Drive loop.
+var _ core.Engine[*core.WeightedState] = (*WeightedEngine)(nil)
+var _ core.DynamicEngine = (*WeightedEngine)(nil)
+
+// Step implements core.Engine: one synchronous round r drawing
+// randomness from base under the At(r, i) contract.
+func (e *WeightedEngine) Step(r uint64, base *rng.Stream) (int64, error) {
+	if base == nil {
+		return 0, errors.New("shard: nil base stream")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	e.dispatch(phase{kind: phaseLoads})
+	e.dispatch(phase{kind: phaseDecide, round: base.Split(r)})
+	// Serial inter-barrier bookkeeping: lay the shards' moves onto the
+	// round's global move timeline (sources ascending — shards are
+	// contiguous ascending index ranges).
+	total := int64(0)
+	for s, m := range e.moves {
+		e.shardBase[s] = total
+		total += m
+	}
+	// Does the sequential engine's periodic weight recompute fire this
+	// round? moveTask increments its counter once per move and rebuilds
+	// the cached sums on reaching the threshold. The rebuild reads only
+	// the task arrays — whose evolution is independent of the cache — so
+	// only the LAST firing is observable in the post-round state: the
+	// commit replays layouts as usual and refreshes the sums at that
+	// single instant.
+	e.crossAt = -1
+	if e.sinceRecompute+total >= core.WeightRecomputeEvery {
+		first := core.WeightRecomputeEvery - e.sinceRecompute
+		firings := 1 + (total-first)/core.WeightRecomputeEvery
+		last := first + (firings-1)*core.WeightRecomputeEvery
+		e.crossAt = last - 1
+		e.sinceRecompute = total - last
+	} else {
+		e.sinceRecompute += total
+	}
+	e.dispatch(phase{kind: phaseCommit})
+	if e.crossAt >= 0 {
+		// RecomputeWeights folds the total in node order.
+		t := 0.0
+		for _, w := range e.freshSum {
+			t += w
+		}
+		e.totalW = t
+	}
+	return total, nil
+}
+
+// ApplyEvents implements core.DynamicEngine: pre-round weighted
+// workload mutation with WeightedState.ApplyEvents semantics — arrivals
+// injected first (nodes ascending), then departures drained most-recent
+// first, clamped to the queue — and with its exact floating-point
+// bookkeeping order, so ledgers and trajectories stay bit-identical.
+// Unlike the sequential mutator, validation happens up front: an
+// invalid batch returns an error with no partial application.
+func (e *WeightedEngine) ApplyEvents(batch *core.EventBatch) (core.EventLedger, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return core.EventLedger{}, ErrClosed
+	}
+	var led core.EventLedger
+	if batch == nil {
+		return led, nil
+	}
+	n := e.csr.N()
+	if len(batch.WeightArrivals) != 0 && len(batch.WeightArrivals) != n {
+		return led, fmt.Errorf("core: %d weight-arrival entries for %d nodes", len(batch.WeightArrivals), n)
+	}
+	if len(batch.WeightDepartures) != 0 && len(batch.WeightDepartures) != n {
+		return led, fmt.Errorf("core: %d weight-departure entries for %d nodes", len(batch.WeightDepartures), n)
+	}
+	events := int64(0)
+	for i, ws := range batch.WeightArrivals {
+		if err := task.Weights(ws).Validate(); err != nil {
+			return led, fmt.Errorf("node %d: %w", i, err)
+		}
+		events += int64(len(ws))
+	}
+	for i, d := range batch.WeightDepartures {
+		if d < 0 {
+			return led, fmt.Errorf("core: negative weight departure %d at node %d", d, i)
+		}
+		events += e.drainCount(i, batch)
+	}
+	if e.sinceRecompute+events >= core.WeightRecomputeEvery {
+		return e.slowApplyEvents(batch)
+	}
+	// Fast path (no recompute fires): two global passes mirror the
+	// sequential loops — all injections (nodes ascending), then all
+	// drains — so the shared totalW and ledger accumulators receive
+	// their float64 operations in the identical global order; the
+	// per-node weight sums see only their own operations, whose order
+	// the per-node grouping preserves.
+	for i, ws := range batch.WeightArrivals {
+		if len(ws) == 0 {
+			continue
+		}
+		for _, w := range ws {
+			e.nodeWeight[i] += w
+			e.totalW += w
+		}
+		e.count += int64(len(ws))
+		led.ArrivedTasks += int64(len(ws))
+		for _, w := range ws {
+			led.ArrivedWeight += w
+		}
+	}
+	for i, d := range batch.WeightDepartures {
+		k := e.drainCount(i, batch)
+		if d <= 0 || k <= 0 {
+			continue
+		}
+		oldCnt := e.nodeCount(i)
+		var arr []float64
+		if len(batch.WeightArrivals) != 0 {
+			arr = batch.WeightArrivals[i]
+		}
+		cut := oldCnt + int64(len(arr)) - k
+		seg := e.nodeSegment(i)
+		t := 0.0
+		for p := cut; p < oldCnt+int64(len(arr)); p++ {
+			var w float64
+			if p < oldCnt {
+				w = seg[p]
+			} else {
+				w = arr[p-oldCnt]
+			}
+			e.nodeWeight[i] -= w
+			e.totalW -= w
+			t += w
+		}
+		e.count -= k
+		led.DepartedTasks += k
+		led.DepartedWeight += t
+	}
+	e.sinceRecompute += events
+	e.rebuildAfterEvents(batch)
+	return led, nil
+}
+
+// drainCount returns the number of tasks a departure request at node i
+// actually removes: the request clamped to the queue after arrivals,
+// exactly as WeightedState.Drain clamps it.
+func (e *WeightedEngine) drainCount(i int, batch *core.EventBatch) int64 {
+	if len(batch.WeightDepartures) == 0 {
+		return 0
+	}
+	d := batch.WeightDepartures[i]
+	if d <= 0 {
+		return 0
+	}
+	have := e.nodeCount(i)
+	if len(batch.WeightArrivals) != 0 {
+		have += int64(len(batch.WeightArrivals[i]))
+	}
+	if d > have {
+		d = have
+	}
+	return d
+}
+
+// nodeCount returns |x(i)| from the flat offsets.
+func (e *WeightedEngine) nodeCount(i int) int64 {
+	s := int(e.part.shardOf[i])
+	lo, _ := e.part.Range(s)
+	return e.off[s][i-lo+1] - e.off[s][i-lo]
+}
+
+// nodeSegment returns node i's current pool segment (read-only view).
+func (e *WeightedEngine) nodeSegment(i int) []float64 {
+	s := int(e.part.shardOf[i])
+	lo, _ := e.part.Range(s)
+	return e.pool[s][e.off[s][i-lo]:e.off[s][i-lo+1]]
+}
+
+// rebuildAfterEvents rewrites the pools of every shard touched by the
+// batch: each node keeps (old ++ arrivals) truncated by its applied
+// drain — the layout Inject-then-Drain produces. Untouched shards keep
+// their pools.
+func (e *WeightedEngine) rebuildAfterEvents(batch *core.EventBatch) {
+	for s := 0; s < e.part.P(); s++ {
+		lo, hi := e.part.Range(s)
+		touched := false
+		for i := lo; i < hi && !touched; i++ {
+			if len(batch.WeightArrivals) != 0 && len(batch.WeightArrivals[i]) > 0 {
+				touched = true
+			}
+			if e.drainCount(i, batch) > 0 {
+				touched = true
+			}
+		}
+		if !touched {
+			continue
+		}
+		off, noff := e.off[s], e.noff[s]
+		noff[0] = 0
+		for i := lo; i < hi; i++ {
+			k := i - lo
+			a := int64(0)
+			if len(batch.WeightArrivals) != 0 {
+				a = int64(len(batch.WeightArrivals[i]))
+			}
+			noff[k+1] = noff[k] + (off[k+1] - off[k]) + a - e.drainCount(i, batch)
+		}
+		spare := growFloats(e.spare[s], noff[hi-lo])
+		pool := e.pool[s]
+		for i := lo; i < hi; i++ {
+			k := i - lo
+			oldSeg := pool[off[k]:off[k+1]]
+			newSeg := spare[noff[k]:noff[k+1]]
+			kept := copy(newSeg, oldSeg)
+			if len(batch.WeightArrivals) != 0 {
+				copy(newSeg[kept:], batch.WeightArrivals[i])
+			}
+		}
+		e.pool[s], e.spare[s] = spare, pool[:0]
+		e.off[s], e.noff[s] = e.noff[s], e.off[s]
+	}
+}
+
+// slowApplyEvents is the exact-replication path for the rare batch
+// whose update count crosses the periodic recompute threshold: it
+// materializes the per-node arrays and runs the literal sequential
+// mutator sequence — Inject, Drain, counter increments and the
+// mid-batch RecomputeWeights firings — then re-flattens. Allocation is
+// acceptable here: the threshold admits this path at most once per
+// 2²⁰ events.
+func (e *WeightedEngine) slowApplyEvents(batch *core.EventBatch) (core.EventLedger, error) {
+	var led core.EventLedger
+	n := e.csr.N()
+	tasks := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		tasks[i] = append([]float64(nil), e.nodeSegment(i)...)
+	}
+	recompute := func() {
+		total := 0.0
+		for i, ts := range tasks {
+			w := sumFloats(ts)
+			e.nodeWeight[i] = w
+			total += w
+		}
+		e.totalW = total
+		e.sinceRecompute = 0
+	}
+	for i, ws := range batch.WeightArrivals {
+		if len(ws) == 0 {
+			continue
+		}
+		for _, w := range ws {
+			tasks[i] = append(tasks[i], w)
+			e.nodeWeight[i] += w
+			e.totalW += w
+		}
+		e.count += int64(len(ws))
+		e.sinceRecompute += int64(len(ws))
+		if e.sinceRecompute >= core.WeightRecomputeEvery {
+			recompute()
+		}
+		led.ArrivedTasks += int64(len(ws))
+		for _, w := range ws {
+			led.ArrivedWeight += w
+		}
+	}
+	for i, d := range batch.WeightDepartures {
+		k := int(d)
+		if k <= 0 {
+			continue
+		}
+		if k > len(tasks[i]) {
+			k = len(tasks[i])
+		}
+		if k == 0 {
+			continue
+		}
+		cut := len(tasks[i]) - k
+		removed := tasks[i][cut:]
+		tasks[i] = tasks[i][:cut]
+		for _, w := range removed {
+			e.nodeWeight[i] -= w
+			e.totalW -= w
+		}
+		e.count -= int64(k)
+		e.sinceRecompute += int64(k)
+		if e.sinceRecompute >= core.WeightRecomputeEvery {
+			recompute()
+		}
+		led.DepartedTasks += int64(k)
+		led.DepartedWeight += sumFloats(removed)
+	}
+	for s := 0; s < e.part.P(); s++ {
+		lo, hi := e.part.Range(s)
+		off := e.off[s]
+		total := int64(0)
+		for i := lo; i < hi; i++ {
+			off[i-lo+1] = total + int64(len(tasks[i]))
+			total = off[i-lo+1]
+		}
+		pool := growFloats(e.pool[s], total)
+		for i := lo; i < hi; i++ {
+			copy(pool[off[i-lo]:off[i-lo+1]], tasks[i])
+		}
+		e.pool[s] = pool
+	}
+	return led, nil
+}
+
+// State implements core.Engine by materializing the flat pools as a
+// core.WeightedState: the task layout is copied verbatim and the cached
+// weight sums are adopted bit-for-bit (NewWeightedStateFromFlat), so
+// the state's loads and potentials equal the sequential engine's
+// exactly.
+func (e *WeightedEngine) State() (*core.WeightedState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	n := e.csr.N()
+	pool := make([]float64, 0, e.count)
+	off := make([]int64, n+1)
+	for s := 0; s < e.part.P(); s++ {
+		lo, hi := e.part.Range(s)
+		soff := e.off[s]
+		for i := lo; i < hi; i++ {
+			pool = append(pool, e.pool[s][soff[i-lo]:soff[i-lo+1]]...)
+			off[i+1] = int64(len(pool))
+		}
+	}
+	return core.NewWeightedStateFromFlat(e.sys, pool, off, e.nodeWeight, e.totalW, int(e.sinceRecompute))
+}
+
+// NodeWeights returns a copy of the cached per-node weight sums Wᵢ.
+func (e *WeightedEngine) NodeWeights() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]float64(nil), e.nodeWeight...)
+}
+
+// TaskCount returns the current number of tasks.
+func (e *WeightedEngine) TaskCount() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.count
+}
+
+// Partition exposes the engine's partition (for stats and tests).
+func (e *WeightedEngine) Partition() *Partition { return e.part }
+
+// Workers returns the worker-pool size.
+func (e *WeightedEngine) Workers() int { return e.workers }
+
+// Footprint returns the engine's resident state in bytes: the CSR
+// arrays, the task-weight pools (both ping-pong halves), the offset
+// arrays and every flat O(n) vector — the "bytes per node" numerator of
+// the weighted scaling benchmark.
+func (e *WeightedEngine) Footprint() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bytes := e.csr.Bytes()
+	bytes += int64(len(e.nodeWeight)+len(e.loads)+len(e.freshSum)) * 8
+	bytes += int64(len(e.part.shardOf)) * 4
+	for s := range e.pool {
+		bytes += int64(cap(e.pool[s])+cap(e.spare[s])) * 8
+		bytes += int64(len(e.off[s])+len(e.noff[s])+len(e.remPos[s])+len(e.arrPos[s])) * 8
+		bytes += int64(cap(e.remIdx[s]))*4 + int64(len(e.arrCnt[s])+len(e.arrFill[s]))*4
+		bytes += int64(cap(e.arrW[s]))*8 + int64(cap(e.arrG[s]))*8
+		for d := range e.outFlows[s] {
+			bytes += int64(cap(e.outFlows[s][d])) * 24
+		}
+	}
+	return bytes
+}
+
+// Close stops the worker pool. Idempotent; Step after Close returns
+// ErrClosed.
+func (e *WeightedEngine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	for _, ch := range e.kick {
+		close(ch)
+	}
+	return nil
+}
+
+// String describes the engine configuration.
+func (e *WeightedEngine) String() string {
+	return fmt.Sprintf("shard.WeightedEngine(n=%d, P=%d, workers=%d, %s)", e.csr.N(), e.part.P(), e.workers, e.part.Strategy())
+}
+
+// growFloats returns buf resized to n elements, reallocating only when
+// the capacity is insufficient (contents are unspecified).
+func growFloats(buf []float64, n int64) []float64 {
+	if int64(cap(buf)) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growInt64s is growFloats for []int64.
+func growInt64s(buf []int64, n int64) []int64 {
+	if int64(cap(buf)) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}

@@ -116,6 +116,30 @@ func WeightedAllOnOne(n int, weights task.Weights, target int) ([]task.Weights, 
 	return perNode, nil
 }
 
+// WeightedProportional places weighted tasks proportionally to the
+// given speeds: node i receives the i-th contiguous run of the weight
+// slice, sized like Proportional sizes the uniform counts (⌊m·sᵢ/S⌋
+// with the remainder on the fastest machines). The near-balanced start
+// for heterogeneous-speed instances — at million-node scale the
+// interesting regime is every node active, not one node holding
+// everything.
+func WeightedProportional(speeds []float64, weights task.Weights) ([]task.Weights, error) {
+	counts, err := Proportional(speeds, int64(len(weights)))
+	if err != nil {
+		return nil, err
+	}
+	perNode := make([]task.Weights, len(speeds))
+	at := int64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		perNode[i] = append(task.Weights(nil), weights[at:at+c]...)
+		at += c
+	}
+	return perNode, nil
+}
+
 // WeightedUniformRandom places each weighted task on an independently
 // uniform node.
 func WeightedUniformRandom(n int, weights task.Weights, stream *rng.Stream) ([]task.Weights, error) {

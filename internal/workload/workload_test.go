@@ -137,3 +137,41 @@ func TestWeightedUniformRandomKeepsAllTasks(t *testing.T) {
 		t.Errorf("placed %d tasks, want 500", total)
 	}
 }
+
+// TestWeightedProportional checks the speed-proportional weighted
+// placement: per-node counts match Proportional, tasks are assigned as
+// contiguous runs of the weight slice (deterministic), and nothing is
+// lost.
+func TestWeightedProportional(t *testing.T) {
+	speeds := []float64{1, 2, 1, 4}
+	weights := make(task.Weights, 16)
+	for i := range weights {
+		weights[i] = float64(i+1) / 16
+	}
+	perNode, err := WeightedProportional(speeds, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := Proportional(speeds, int64(len(weights)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 0
+	for i, ws := range perNode {
+		if int64(len(ws)) != counts[i] {
+			t.Fatalf("node %d: %d tasks, want %d", i, len(ws), counts[i])
+		}
+		for k, w := range ws {
+			if w != weights[at+k] {
+				t.Fatalf("node %d task %d: %g, want %g", i, k, w, weights[at+k])
+			}
+		}
+		at += len(ws)
+	}
+	if at != len(weights) {
+		t.Fatalf("placed %d of %d tasks", at, len(weights))
+	}
+	if _, err := WeightedProportional(nil, weights); err == nil {
+		t.Error("empty speeds accepted")
+	}
+}
