@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-check bench-json bench-scale table1 cover fuzz-short ci
+.PHONY: build vet test race bench-check bench-json bench-scale bench-gate table1 cover fuzz-short ci
 
 build:
 	$(GO) build ./...
@@ -24,25 +24,42 @@ bench-check:
 # Run the Table-1, batching, dynamic-event and shard-round benchmarks
 # (uniform ShardRound and WeightedShardRound both match) once and emit
 # BENCH_core.json (ns/op plus the rounds/theory-rounds, allocation and
-# bytes-per-node metrics) via cmd/benchjson. CI uploads the file as a
-# non-gating artifact so the performance trajectory — including the
-# dynamic event-application and sharded-round hot paths — is tracked
-# across PRs. Two steps (not a pipe) so a failing benchmark run fails
-# the target instead of writing a truncated JSON.
+# bytes-per-node metrics) via cmd/benchjson. The file is committed as
+# the bench-gate baseline — rerun this target and commit the result
+# when a slowdown is intentional. Two steps (not a pipe) so a failing
+# benchmark run fails the target instead of writing a truncated JSON.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Table1|RoundBatchedVsPerTask|DynamicEvents|ShardRound|WeightedShardRound' -benchtime 1x . > BENCH_core.txt
+	$(GO) test -run '^$$' -bench 'Table1|RoundBatchedVsPerTask|DynamicEvents|ShardRound|WeightedShardRound|WeightedCornerRound' -benchtime 1x . > BENCH_core.txt
 	$(GO) run ./cmd/benchjson < BENCH_core.txt > BENCH_core.json
 	rm -f BENCH_core.txt
 
 # Scaling benchmarks only (uniform + weighted shard engine rounds and
 # instance build at n ∈ {10⁴, 10⁵, 10⁶}), emitted as BENCH_scale.json —
-# the non-gating artifact that records rounds/sec, allocs/round and
-# state-bytes/node versus n across PRs, for both task models from this
-# PR onward.
+# the committed bench-gate baseline recording rounds/sec, allocs/round
+# and state-bytes/node versus n across PRs, for both task models.
 bench-scale:
-	$(GO) test -run '^$$' -bench 'ShardRound|WeightedShardRound|ShardBuild' -benchtime 1x . > BENCH_scale.txt
+	$(GO) test -run '^$$' -bench 'ShardRound|WeightedShardRound|ShardBuild|WeightedCornerRound' -benchtime 1x . > BENCH_scale.txt
 	$(GO) run ./cmd/benchjson < BENCH_scale.txt > BENCH_scale.json
 	rm -f BENCH_scale.txt
+
+# Regression gate: re-measure the bench-json and bench-scale suites
+# into *.fresh.json and diff them against the committed BENCH_core.json
+# / BENCH_scale.json baselines with cmd/benchgate. The gate judges
+# fresh/baseline ns/op ratios normalized by their median — a uniformly
+# slower machine cancels out, a single regressed benchmark does not —
+# and ignores sub-10ms benchmarks (pure noise at one iteration), so it
+# stays non-flaky on shared CI runners while still catching asymptotic
+# hot-path regressions. Refresh the baselines with `make bench-json
+# bench-scale` and commit the JSON when a slowdown is intentional.
+BENCH_GATE_TOLERANCE ?= 1.5
+bench-gate:
+	$(GO) test -run '^$$' -bench 'Table1|RoundBatchedVsPerTask|DynamicEvents|ShardRound|WeightedShardRound|WeightedCornerRound' -benchtime 1x . > BENCH_core.fresh.txt
+	$(GO) run ./cmd/benchjson < BENCH_core.fresh.txt > BENCH_core.fresh.json
+	rm -f BENCH_core.fresh.txt
+	$(GO) test -run '^$$' -bench 'ShardRound|WeightedShardRound|ShardBuild|WeightedCornerRound' -benchtime 1x . > BENCH_scale.fresh.txt
+	$(GO) run ./cmd/benchjson < BENCH_scale.fresh.txt > BENCH_scale.fresh.json
+	rm -f BENCH_scale.fresh.txt
+	$(GO) run ./cmd/benchgate -tolerance $(BENCH_GATE_TOLERANCE) BENCH_core.json=BENCH_core.fresh.json BENCH_scale.json=BENCH_scale.fresh.json
 
 # Regenerate the empirical counterpart of the paper's Table 1.
 table1:

@@ -657,6 +657,59 @@ func BenchmarkWeightedShardRound(b *testing.B) {
 	}
 }
 
+// BenchmarkWeightedCornerRound is the adversarial-start companion of
+// BenchmarkWeightedShardRound, tracked in BENCH_scale.json: one
+// Algorithm-2 round on a 10⁶-node ring with all 64M weighted tasks
+// starting on node 0 — the paper's worst-case potential. Early rounds
+// are the expensive ones (the corner node decides tens of millions of
+// tasks and ships millions of moves), so the warm-up plus timed rounds
+// stay in that regime; this is the benchmark that the aggregated
+// binomial flow sampling and the sparse Fisher–Yates selection exist
+// for.
+func BenchmarkWeightedCornerRound(b *testing.B) {
+	const n = 1_000_000
+	g, err := graph.Ring(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	speeds, err := machine.TwoClass(n, 0.25, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, speeds, core.WithLambda2(spectral.Lambda2Ring(n)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	weights, err := task.RandomWeights(64*n, 0.1, 1, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(n, weights, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run(fmt.Sprintf("ring-n=%d/shard", n), func(b *testing.B) {
+		eng, err := shard.NewWeighted(sys, core.Algorithm2{}, perNode, shard.Options{Shards: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		base := rng.New(1)
+		if _, err := eng.Step(1, base); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Step(uint64(i+2), base); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(eng.Footprint())/float64(n), "state-bytes/node")
+	})
+}
+
 // BenchmarkShardBuild measures instance construction at scale: direct
 // CSR assembly plus partitioning, the cost the old edge-map path made
 // prohibitive for 10⁶ nodes.

@@ -1,0 +1,217 @@
+// Command benchgate compares freshly measured benchmark JSON (the
+// cmd/benchjson format) against committed baselines and fails when a
+// benchmark regressed beyond the tolerance. Usage:
+//
+//	benchgate [-tolerance 1.5] [-min-matched 3] [-min-ns 1e7] baseline.json=fresh.json ...
+//
+// Every argument is one baseline=fresh file pair; all pairs pool into a
+// single comparison so the normalization below sees as many benchmarks
+// as possible.
+//
+// The gate is on round-time *ratios*, not absolute nanoseconds: CI
+// runners and developer machines differ in clock speed, so each
+// benchmark's fresh/baseline ns/op ratio is divided by the median ratio
+// across every matched benchmark before being judged. A uniformly
+// slower machine moves every ratio — and the median with them — leaving
+// the normalized ratios at 1; a genuine regression moves one benchmark
+// against the pack and sticks out above the median. When fewer than
+// -min-matched benchmarks match, the median is too small a sample to
+// estimate machine speed, so raw ratios are judged instead (with a
+// warning). Benchmarks whose ns/op sits below -min-ns on either side
+// are too short to measure reliably at low iteration counts — one
+// scheduler hiccup doubles them — so they feed the median but are
+// never gated.
+//
+// The default tolerance is deliberately wide. The gate exists to catch
+// asymptotic and hot-path regressions — the class of bug where a round
+// goes from O(degree) back to O(tasks) and slows by integer factors —
+// and single-iteration measurements on steal-heavy shared runners have
+// been observed to swing honest benchmarks by 1.5-2x. A limit of 2.5x
+// normalized sits above that noise and far below any real complexity
+// regression.
+//
+// Exit status: 0 all benchmarks within tolerance, 1 at least one
+// regression, 2 usage or I/O error. Benchmarks present on only one
+// side are reported but never gate — a renamed or new benchmark must
+// not break CI, it just won't be judged until the baseline is
+// refreshed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Bench mirrors cmd/benchjson's output element.
+type Bench struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// pair is one matched benchmark with its fresh/baseline ns/op ratio.
+type pair struct {
+	key     string
+	base    float64
+	fresh   float64
+	ratio   float64
+	normed  float64
+	srcPair string
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 1.5, "allowed fractional slowdown above the normalized baseline (1.5 = +150%)")
+	minMatched := flag.Int("min-matched", 3, "minimum matched benchmarks for median normalization; below this raw ratios are judged")
+	minNs := flag.Float64("min-ns", 1e7, "noise floor: benchmarks whose ns/op is below this on either side inform the median but never gate")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchgate [flags] baseline.json=fresh.json ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var pairs []pair
+	var missing []string
+	for _, arg := range flag.Args() {
+		basePath, freshPath, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: argument %q is not a baseline.json=fresh.json pair\n", arg)
+			os.Exit(2)
+		}
+		base, err := load(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fresh, err := load(freshPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		p, m := match(base, fresh, fmt.Sprintf("%s vs %s", basePath, freshPath))
+		pairs = append(pairs, p...)
+		missing = append(missing, m...)
+	}
+	for _, m := range missing {
+		fmt.Fprintf(os.Stderr, "benchgate: warning: %s\n", m)
+	}
+	if len(pairs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: warning: no benchmarks matched; nothing to gate")
+		return
+	}
+	normalize(pairs, *minMatched)
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].normed > pairs[j].normed })
+	limit := 1 + *tolerance
+	failed := false
+	for _, p := range pairs {
+		verdict := "ok"
+		switch {
+		case p.base < *minNs || p.fresh < *minNs:
+			// Sub-floor benchmarks complete in so few microseconds that a
+			// scheduler hiccup moves their ratio by factors; they still
+			// feed the median (it is robust to them) but never gate.
+			// Either side below the floor disqualifies: a hiccup during
+			// the baseline capture inflates base just as easily as fresh.
+			verdict = "below noise floor, not gated"
+		case p.normed > limit:
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-70s %12.0f -> %12.0f ns/op  ratio %.2f  normalized %.2f  %s\n",
+			p.key, p.base, p.fresh, p.ratio, p.normed, verdict)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: normalized slowdown above %.2f\n", limit)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within tolerance (limit %.2f)\n", len(pairs), limit)
+}
+
+// load reads one benchjson file.
+func load(path string) ([]Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var benches []Bench
+	if err := json.Unmarshal(data, &benches); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return benches, nil
+}
+
+// key identifies a benchmark across files: the name plus the procs
+// suffix, since the same benchmark at different GOMAXPROCS is a
+// different measurement.
+func key(b Bench) string {
+	if b.Procs > 0 {
+		return fmt.Sprintf("%s-%d", b.Name, b.Procs)
+	}
+	return b.Name
+}
+
+// match joins two benchmark sets on key and extracts ns/op ratios.
+// Entries lacking ns/op or present on one side only are reported as
+// missing, never judged.
+func match(base, fresh []Bench, src string) ([]pair, []string) {
+	freshBy := make(map[string]Bench, len(fresh))
+	for _, b := range fresh {
+		freshBy[key(b)] = b
+	}
+	var pairs []pair
+	var missing []string
+	seen := make(map[string]bool, len(base))
+	for _, b := range base {
+		k := key(b)
+		seen[k] = true
+		f, ok := freshBy[k]
+		if !ok {
+			missing = append(missing, fmt.Sprintf("%s: %s only in baseline", src, k))
+			continue
+		}
+		bn, bok := b.Metrics["ns/op"]
+		fn, fok := f.Metrics["ns/op"]
+		if !bok || !fok || bn <= 0 || fn <= 0 {
+			missing = append(missing, fmt.Sprintf("%s: %s has no comparable ns/op", src, k))
+			continue
+		}
+		pairs = append(pairs, pair{key: k, base: bn, fresh: fn, ratio: fn / bn, srcPair: src})
+	}
+	for _, f := range fresh {
+		if k := key(f); !seen[k] {
+			missing = append(missing, fmt.Sprintf("%s: %s only in fresh run", src, k))
+		}
+	}
+	return pairs, missing
+}
+
+// normalize divides each ratio by the median ratio when enough
+// benchmarks matched to estimate the machine-speed factor.
+func normalize(pairs []pair, minMatched int) {
+	med := 1.0
+	if len(pairs) >= minMatched {
+		rs := make([]float64, len(pairs))
+		for i, p := range pairs {
+			rs[i] = p.ratio
+		}
+		sort.Float64s(rs)
+		if n := len(rs); n%2 == 1 {
+			med = rs[n/2]
+		} else {
+			med = (rs[n/2-1] + rs[n/2]) / 2
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "benchgate: warning: only %d matched benchmarks (< %d); judging raw ratios without machine-speed normalization\n",
+			len(pairs), minMatched)
+	}
+	for i := range pairs {
+		pairs[i].normed = pairs[i].ratio / med
+	}
+}

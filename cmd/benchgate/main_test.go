@@ -1,0 +1,76 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func bench(name string, procs int, ns float64) Bench {
+	return Bench{Name: name, Procs: procs, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+// TestMatchJoinsOnNameAndProcs pins the join semantics: pairs form on
+// name+procs, one-sided benchmarks and entries without ns/op are
+// reported as missing rather than judged.
+func TestMatchJoinsOnNameAndProcs(t *testing.T) {
+	base := []Bench{
+		bench("A", 4, 100),
+		bench("A", 8, 200), // same name, different procs: distinct key
+		bench("OnlyBase", 4, 50),
+		{Name: "NoNs", Procs: 4, Metrics: map[string]float64{"allocs/op": 3}},
+	}
+	fresh := []Bench{
+		bench("A", 4, 150),
+		bench("A", 8, 100),
+		bench("OnlyFresh", 4, 70),
+		{Name: "NoNs", Procs: 4, Metrics: map[string]float64{"allocs/op": 3}},
+	}
+	pairs, missing := match(base, fresh, "t")
+	if len(pairs) != 2 {
+		t.Fatalf("matched %d pairs, want 2: %+v", len(pairs), pairs)
+	}
+	if pairs[0].key != "A-4" || math.Abs(pairs[0].ratio-1.5) > 1e-12 {
+		t.Errorf("pair 0 = %+v, want A-4 ratio 1.5", pairs[0])
+	}
+	if pairs[1].key != "A-8" || math.Abs(pairs[1].ratio-0.5) > 1e-12 {
+		t.Errorf("pair 1 = %+v, want A-8 ratio 0.5", pairs[1])
+	}
+	// OnlyBase, OnlyFresh and NoNs must each surface exactly once.
+	if len(missing) != 3 {
+		t.Fatalf("%d missing reports, want 3: %v", len(missing), missing)
+	}
+}
+
+// TestNormalizeCancelsMachineSpeed pins the median normalization: a
+// uniformly 2x-slower fresh run normalizes every benchmark back to 1,
+// and a single outlier above the pack keeps its relative slowdown.
+func TestNormalizeCancelsMachineSpeed(t *testing.T) {
+	pairs := []pair{
+		{key: "a", ratio: 2.0},
+		{key: "b", ratio: 2.0},
+		{key: "c", ratio: 2.0},
+		{key: "d", ratio: 6.0}, // 3x the pack
+	}
+	normalize(pairs, 3)
+	for _, p := range pairs[:3] {
+		if math.Abs(p.normed-1) > 1e-12 {
+			t.Errorf("%s: normalized %.3f, want 1", p.key, p.normed)
+		}
+	}
+	if math.Abs(pairs[3].normed-3) > 1e-12 {
+		t.Errorf("outlier normalized %.3f, want 3", pairs[3].normed)
+	}
+}
+
+// TestNormalizeBelowMinMatchedKeepsRawRatios pins the small-sample
+// fallback: with fewer matches than -min-matched the median is not
+// trusted and raw ratios pass through unchanged.
+func TestNormalizeBelowMinMatchedKeepsRawRatios(t *testing.T) {
+	pairs := []pair{{key: "a", ratio: 1.4}, {key: "b", ratio: 0.9}}
+	normalize(pairs, 3)
+	for _, p := range pairs {
+		if p.normed != p.ratio {
+			t.Errorf("%s: normalized %.3f, want raw %.3f", p.key, p.normed, p.ratio)
+		}
+	}
+}

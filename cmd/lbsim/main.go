@@ -44,6 +44,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/rng"
+	"repro/internal/shard"
 	"repro/internal/spectral"
 	"repro/internal/task"
 	"repro/internal/workload"
@@ -467,6 +468,8 @@ func runFixed(sys *core.System, m int64, engine, placement string, seed uint64, 
 		return err
 	}
 	fmt.Println(fixedHeader(rounds, "uniform", engine, eo.Resolved(engine, sys.N())))
+	var phases *shard.PhaseTimes
+	eo.Probe = probePhases(&phases)
 	start := time.Now()
 	res, counts, err := harness.RunUniformEngineOpts(engine, sys, core.Algorithm1{}, counts, nil,
 		core.RunOpts{MaxRounds: rounds, Seed: seed, TraceEvery: trace}, eo)
@@ -479,6 +482,7 @@ func runFixed(sys *core.System, m int64, engine, placement string, seed uint64, 
 		return err
 	}
 	fmt.Println(fixedReport(res.Rounds, elapsed, res.Moves))
+	emitPhases(phases)
 	fmt.Printf("final:    Ψ₀=%.6g  L_Δ=%.3f\n", core.Psi0(st), core.LDelta(st))
 	emitTrace(res, trace)
 	return nil
@@ -500,6 +504,8 @@ func runFixedWeighted(sys *core.System, m int64, engine, protocol, placement str
 		return err
 	}
 	fmt.Println(fixedHeader(rounds, "weighted", engine, eo.Resolved(engine, sys.N())))
+	var phases *shard.PhaseTimes
+	eo.Probe = probePhases(&phases)
 	start := time.Now()
 	res, st, err := harness.RunWeightedEngineOpts(engine, sys, proto, perNode, nil,
 		core.RunOpts{MaxRounds: rounds, Seed: seed, TraceEvery: trace}, eo)
@@ -508,10 +514,36 @@ func runFixedWeighted(sys *core.System, m int64, engine, protocol, placement str
 		return err
 	}
 	fmt.Println(fixedReport(res.Rounds, elapsed, res.Moves))
+	emitPhases(phases)
 	fmt.Printf("final:    W=%.1f  Ψ₀=%.6g  L_Δ=%.3f\n",
 		st.TotalWeight(), core.WeightedPsi0(st), core.WeightedLDelta(st))
 	emitTrace(res, trace)
 	return nil
+}
+
+// probePhases is the harness Probe that captures shard-engine phase
+// timings (other engines don't implement shard.PhaseTimer and leave
+// the pointer nil).
+func probePhases(out **shard.PhaseTimes) func(any) {
+	return func(eng any) {
+		if pt, ok := eng.(shard.PhaseTimer); ok {
+			t := pt.Phases()
+			*out = &t
+		}
+	}
+}
+
+// emitPhases prints the per-phase round breakdown captured by
+// probePhases: on the shard engines each round is three
+// barrier-separated phases, and the split shows whether time goes to
+// load snapshots, protocol decisions, or commit traffic (barrier
+// stalls surface as the gap between a phase's average and its
+// slowest-shard cost).
+func emitPhases(t *shard.PhaseTimes) {
+	if t == nil || t.Rounds == 0 {
+		return
+	}
+	fmt.Printf("phases:   %s\n", t)
 }
 
 func emitTrace(res core.RunResult, trace int) {

@@ -99,7 +99,20 @@ func (st *UniformState) applyDelta(delta []int64) {
 // (package shard) fire the identical recompute at the identical update
 // count — the cache bits are observable through loads and potentials,
 // so trajectory parity requires matching the schedule exactly.
-const WeightRecomputeEvery = 1 << 20
+//
+// The interval was raised from 2^20 to 2^24 when the decide path moved
+// to aggregated binomial flow sampling (trajectory version bump): at
+// corner starts with tens of millions of tasks every round crossed the
+// old threshold, so the O(total tasks) refold dominated the round. The
+// drift bound is unchanged in kind — float64 summation error grows as
+// O(sqrt(ops))·ulp, so 16× more ops between rebuilds costs 4× the
+// bound, still ~1e-9 relative at 2^24 updates of unit-scale weights.
+//
+// Declared as a var (not const) solely so the cross-engine
+// recompute-crossing parity test can lower the threshold instead of
+// generating a 2^24-move scenario; production code must treat it as a
+// constant and never write to it.
+var WeightRecomputeEvery = 1 << 24
 
 // WeightedState is the task distribution for the weighted model of
 // Section 4: each processor holds a multiset of task weights wℓ ∈ (0,1];

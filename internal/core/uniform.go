@@ -39,11 +39,14 @@ type UniformNodeProtocol interface {
 //	    move with probability
 //	    p_ij = (deg(i)/d_ij) · (ℓᵢ−ℓⱼ) / (α·(1/sᵢ+1/sⱼ)·Wᵢ)
 //
-// The implementation batches the per-task coin flips: the tasks of node i
-// are split over neighbors by an equal-probability multinomial, and the
-// movers toward an eligible neighbor are drawn binomially with p_ij.
-// This is distributionally identical to the per-task loop (tasks are
-// exchangeable) at O(deg·E[√movers]) cost instead of O(m).
+// The implementation aggregates the per-task coin flips into one draw
+// per edge: a task moves to neighbor j with probability q_j = p_ij/deg
+// (the uniform neighbor pick times the coin), so the per-neighbor mover
+// counts are jointly Multinomial(wi; q_1, …, q_deg, stay) and are drawn
+// directly as sequential conditional binomials over the edges. This is
+// distributionally identical to the per-task loop (tasks are
+// exchangeable, so only the counts matter) at O(deg) draws per node —
+// each one O(1) expected time via rng.Binomial — instead of O(m).
 type Algorithm1 struct {
 	// Alpha is the migration damping; zero means the paper's default
 	// 4·s_max. The exact-Nash phase of Theorem 1.2 requires 4·s_max/ε̄.
@@ -68,40 +71,53 @@ func (p Algorithm1) Step(st *UniformState, round uint64, base *rng.Stream) int64
 	return stepNodewise(st, round, base, p)
 }
 
-// DecideNode implements UniformNodeProtocol: the batched (multinomial +
-// binomial) sampling of node i's per-task coin flips.
+// DecideNode implements UniformNodeProtocol: the aggregated sampling of
+// node i's per-task coin flips. The joint distribution of the mover
+// counts is Multinomial(wi; q_1, …, q_deg, stay) with q_j = p_ij/deg, so
+// the counts are drawn as sequential conditional binomials over the
+// eligible edges: neighbor idx receives Binomial(remaining, q/rest)
+// where rest is the probability mass not yet consumed. One O(1)-expected
+// draw per eligible edge, no intermediate per-neighbor pick counts.
 func (p Algorithm1) DecideNode(sys *System, i int, wi int64, li float64, nbLoads []float64, nodeStream *rng.Stream, out []int64) int64 {
 	nbs := sys.g.Neighbors(i)
 	deg := len(nbs)
+	for idx := 0; idx < deg; idx++ {
+		out[idx] = 0
+	}
 	if wi == 0 {
-		for idx := 0; idx < deg; idx++ {
-			out[idx] = 0
-		}
 		return 0
 	}
 	alpha := p.effectiveAlpha(sys)
-	// The multinomial picks are drawn straight into out (no per-node
-	// allocation); each slot is read into c before it is overwritten
-	// with the movers, so the aliasing is safe.
-	picks := nodeStream.EqualSplitInto(int(wi), deg, out)
+	invDeg := 1 / float64(deg)
+	remaining := int(wi)
+	rest := 1.0 // probability mass of the categories not yet drawn
 	moves := int64(0)
 	for idx, jj := range nbs {
-		c := int(picks[idx])
-		out[idx] = 0
-		if c == 0 {
-			continue
+		if remaining == 0 {
+			break
 		}
 		j := int(jj)
 		lj := nbLoads[idx]
 		if li-lj <= 1/sys.speeds[j] {
 			continue
 		}
-		pij := migrationProb(sys, i, j, li, lj, alpha, float64(wi))
-		k := int64(nodeStream.Binomial(c, pij))
-		if k > 0 {
-			out[idx] = k
-			moves += k
+		q := migrationProb(sys, i, j, li, lj, alpha, float64(wi)) * invDeg
+		if q <= 0 {
+			continue
 		}
+		// Clamp the conditional like rng.MultinomialInto: rest can drift
+		// at or below q when the eligible edges carry the full mass.
+		cp := 1.0
+		if rest > q {
+			cp = q / rest
+		}
+		k := nodeStream.Binomial(remaining, cp)
+		if k > 0 {
+			out[idx] = int64(k)
+			moves += int64(k)
+			remaining -= k
+		}
+		rest -= q
 	}
 	return moves
 }

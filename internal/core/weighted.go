@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"math/bits"
+	"slices"
 
 	"repro/internal/rng"
 )
@@ -28,8 +29,13 @@ type WeightedProtocol interface {
 // Algorithm2Literal implements that exact listing.)
 //
 // Because p_ij does not depend on the task's weight, the tasks are
-// exchangeable and the round can be batched exactly: draw multinomial
-// destination counts, then pick which tasks move uniformly at random.
+// exchangeable and the round can be batched exactly: the per-task
+// categorical draws (neighbor × coin, stay) factor over any partition
+// of the task positions, so the decision samples destination counts per
+// fixed-size block of positions — one O(1)-expected Binomial gate per
+// block, conditional binomial splits over the eligible edges, and a
+// block-local Fisher–Yates to pick which positions move. See
+// DecideNodeFlat for the emission-order guarantee this buys.
 type Algorithm2 struct {
 	// Alpha is the migration damping; zero means the default 4·s_max.
 	Alpha float64
@@ -58,22 +64,35 @@ type WeightedFlatProtocol interface {
 	WeightedNodeProtocol
 	// DecideNodeFlat computes node i's outgoing migrations for one round
 	// from flat inputs, drawing the identical stream values as DecideNode
-	// (which delegates here). The returned slice aliases sc and is valid
-	// until the next call with the same scratch.
+	// (which delegates here). The returned moves are sorted by task
+	// index descending — the core.ApplyMoves application order — so
+	// committing engines need not re-sort them. The returned slice
+	// aliases sc and is valid until the next call with the same scratch.
 	DecideNodeFlat(sys *System, i, cnt int, wi float64, loads []float64, nodeStream *rng.Stream, sc *WeightedScratch) []TaskMove
 }
 
+// DecideBlock is the task-position block size of the batched weighted
+// decision: destination counts are drawn per block of DecideBlock
+// consecutive round-start positions and the mover positions are chosen
+// by a Fisher–Yates confined to the block. The block arrays (identity
+// permutation, per-position destinations, mover bitmap) total ~25 KiB,
+// so the selection runs in L1/L2 cache regardless of how many tasks the
+// node holds.
+const DecideBlock = 4096
+
 // WeightedScratch is the reusable buffer set of DecideNodeFlat: the
-// probability vector and multinomial counts (sized by degree), the
-// partial Fisher–Yates permutation (sized by task count) and the output
-// moves. Buffers grow amortized and are retained across calls, so a
-// decide loop that reuses one scratch per worker allocates nothing in
-// steady state.
+// per-edge probability vector and counts (sized by degree), the
+// block-local selection arrays (identity permutation and per-position
+// destination, allocated lazily on the first loaded node), and the
+// output moves. Buffers grow amortized and are retained across calls,
+// so a decide loop that reuses one scratch per worker allocates nothing
+// in steady state.
 type WeightedScratch struct {
 	probs  []float64
 	counts []int
-	order  []int32
 	moves  []TaskMove
+	ident  []int16 // block-local identity permutation, len DecideBlock
+	destOf []int32 // eligible-neighbor index per selected block position
 }
 
 // NewWeightedScratch returns a scratch pre-sized for nodes of degree up
@@ -98,14 +117,18 @@ func (p Algorithm2) effectiveAlpha(sys *System) float64 {
 	return sys.DefaultAlpha()
 }
 
-// Step implements WeightedProtocol.
+// Step implements WeightedProtocol. It reuses one scratch across the
+// node loop (append copies each node's moves out of it), which draws
+// the identical stream values as per-node DecideNode calls.
 func (p Algorithm2) Step(st *WeightedState, round uint64, base *rng.Stream) int {
 	n := st.sys.g.N()
 	loads := st.Loads()
 	roundStream := base.Split(round)
+	sc := NewWeightedScratch(st.sys.maxDeg)
 	var pending []TaskMove
 	for i := 0; i < n; i++ {
-		pending = append(pending, p.DecideNode(st, i, loads, roundStream.Split(uint64(i)))...)
+		ms := p.DecideNodeFlat(st.sys, i, len(st.tasks[i]), st.nodeWeight[i], loads, roundStream.Split(uint64(i)), sc)
+		pending = append(pending, ms...)
 	}
 	return ApplyMoves(st, pending)
 }
@@ -113,13 +136,12 @@ func (p Algorithm2) Step(st *WeightedState, round uint64, base *rng.Stream) int 
 // DecideNode computes node i's outgoing migrations for one round of
 // Algorithm 2, given the round-start load snapshot and the node's
 // deterministic stream. It performs the exact batched sampling of the
-// per-task process: a multinomial split of the task count over
-// (eligible neighbors × pass-coin, stay), then a uniformly random choice
-// of which tasks depart. Exposed so concurrent runtimes (package dist)
-// can execute the identical decision per node goroutine. It delegates
-// to DecideNodeFlat with a fresh scratch, which both guarantees the two
-// entry points are draw-identical and makes the returned slice safe to
-// retain.
+// per-task process — see DecideNodeFlat — and returns the moves sorted
+// by task index descending. Exposed so concurrent runtimes (package
+// dist) can execute the identical decision per node goroutine. It
+// delegates to DecideNodeFlat with a fresh scratch, which both
+// guarantees the two entry points are draw-identical and makes the
+// returned slice safe to retain.
 func (p Algorithm2) DecideNode(st *WeightedState, i int, loads []float64, nodeStream *rng.Stream) []TaskMove {
 	g := st.sys.g
 	return p.DecideNodeFlat(st.sys, i, len(st.tasks[i]), st.nodeWeight[i], loads,
@@ -132,7 +154,20 @@ func (p Algorithm2) DecideNode(st *WeightedState, i int, loads []float64, nodeSt
 // into sc instead of allocating. Note the per-task weights never enter:
 // the migration condition and probability depend only on loads and Wᵢ
 // (the paper's key design decision), so the tasks are exchangeable and
-// the multinomial batching is exact.
+// batching the per-task categorical draws is exact.
+//
+// The batching works per block of DecideBlock consecutive positions:
+// the i.i.d. per-task draws factor over any partition of the positions,
+// so each block's mover total is Binomial(blockLen, Σq), its
+// per-neighbor split a conditional multinomial (sequential conditional
+// binomials over the eligible edges, every draw O(1) expected via
+// rng.Binomial), and its mover positions a uniform subset chosen by a
+// Fisher–Yates confined to the block. Blocks are visited from the
+// highest positions down and each block emits its moves in descending
+// position order, so the returned moves are already sorted by Idx
+// descending — the core.ApplyMoves application order — without any
+// sort. Work is O(movers + activeBlocks) with all selection state in
+// cache, independent of the node's task count.
 func (p Algorithm2) DecideNodeFlat(sys *System, i, cnt int, wi float64, loads []float64, nodeStream *rng.Stream, sc *WeightedScratch) []TaskMove {
 	if cnt == 0 {
 		return nil
@@ -142,58 +177,116 @@ func (p Algorithm2) DecideNodeFlat(sys *System, i, cnt int, wi float64, loads []
 	nbs := g.Neighbors(i)
 	deg := len(nbs)
 	li := loads[i]
-	if cap(sc.probs) < deg+1 {
-		sc.probs = make([]float64, deg+1)
-		sc.counts = make([]int, deg+1)
+	if cap(sc.probs) < deg {
+		sc.probs = make([]float64, deg)
+		sc.counts = make([]int, deg)
 	}
-	// probs[k] = P(a task targets neighbor k AND passes its coin);
-	// the final slot is the stay probability.
-	probs := sc.probs[:deg+1]
-	for idx := range probs {
-		probs[idx] = 0
-	}
-	stay := 1.0
+	// probs[idx] = P(a task targets neighbor idx AND passes its coin).
+	probs := sc.probs[:deg]
+	counts := sc.counts[:deg]
+	sumQ := 0.0
+	lastPos := -1 // last eligible neighbor: takes the block remainder
 	for idx, jj := range nbs {
+		probs[idx] = 0
 		j := int(jj)
 		if li-loads[j] <= 1/sys.speeds[j] {
 			continue
 		}
 		pij := migrationProb(sys, i, j, li, loads[j], alpha, wi)
-		q := pij / float64(deg)
-		probs[idx] = q
-		stay -= q
+		if pij <= 0 {
+			continue
+		}
+		probs[idx] = pij / float64(deg)
+		sumQ += probs[idx]
+		lastPos = idx
 	}
-	if stay < 0 {
-		stay = 0
-	}
-	probs[deg] = stay
-	counts := nodeStream.MultinomialInto(cnt, probs, sc.counts[:deg+1])
-	totalOut := cnt - counts[deg]
-	if totalOut == 0 {
+	if lastPos < 0 {
 		return nil
 	}
-	// Choose which tasks leave: a uniformly random totalOut-subset in
-	// random order via partial Fisher–Yates over the task indices.
-	if cap(sc.order) < cnt {
-		sc.order = make([]int32, cnt)
+	if sumQ > 1 {
+		sumQ = 1 // Σ pij/deg ≤ 1 exactly; guard the final rounding ulp
 	}
-	order := sc.order[:cnt]
-	for t := range order {
-		order[t] = int32(t)
+	if sc.ident == nil {
+		sc.ident = make([]int16, DecideBlock)
+		sc.destOf = make([]int32, DecideBlock)
 	}
-	for t := 0; t < totalOut; t++ {
-		r := t + nodeStream.Intn(cnt-t)
-		order[t], order[r] = order[r], order[t]
+	ident, destOf := sc.ident, sc.destOf
+	// Presize the move buffer to the expected mover count (E = cnt·ΣQ,
+	// concentrated within O(√E)) before truncating: append-driven growth
+	// would memmove the dead previous contents on every doubling, so
+	// replace an undersized buffer with a fresh empty one instead,
+	// monotone-doubling the cap so a run allocates O(log peak) times.
+	// The estimate involves no random draws, so it is trajectory-neutral.
+	if est := int(float64(cnt)*sumQ*1.125) + 64; cap(sc.moves) < est {
+		sc.moves = make([]TaskMove, 0, max(est, 2*cap(sc.moves)))
 	}
 	out := sc.moves[:0]
-	pos := 0
-	for idx := 0; idx < deg; idx++ {
-		for c := 0; c < counts[idx]; c++ {
-			out = append(out, TaskMove{From: i, Idx: int(order[pos]), To: int(nbs[idx])})
-			pos++
+	for base := (cnt - 1) / DecideBlock * DecideBlock; base >= 0; base -= DecideBlock {
+		bsz := cnt - base
+		if bsz > DecideBlock {
+			bsz = DecideBlock
+		}
+		tb := nodeStream.Binomial(bsz, sumQ)
+		if tb == 0 {
+			continue
+		}
+		// Conditional multinomial split of the block's movers over the
+		// eligible neighbors (probabilities q/Σq), with the same
+		// conditional-probability clamp as rng.MultinomialInto; the last
+		// eligible neighbor takes the remainder outright.
+		remaining := tb
+		rest := sumQ
+		for idx := 0; idx < lastPos; idx++ {
+			q := probs[idx]
+			if q <= 0 {
+				counts[idx] = 0
+				continue
+			}
+			cp := 1.0
+			if rest > q {
+				cp = q / rest
+			}
+			c := nodeStream.Binomial(remaining, cp)
+			counts[idx] = c
+			remaining -= c
+			rest -= q
+		}
+		counts[lastPos] = remaining
+		// Choose which block positions move: the prefix of a partial
+		// Fisher–Yates over [0, bsz) in random order, split into runs of
+		// counts[idx] — a uniformly random ordered partition. Record each
+		// mover's destination per position and mark it in the bitmap.
+		var bm [DecideBlock / 64]uint64
+		for t := 0; t < bsz; t++ {
+			ident[t] = int16(t)
+		}
+		t := 0
+		for idx := 0; idx <= lastPos; idx++ {
+			for c := counts[idx]; c > 0; c-- {
+				r := t + nodeStream.Intn(bsz-t)
+				ident[t], ident[r] = ident[r], ident[t]
+				pos := int(ident[t])
+				destOf[pos] = int32(idx)
+				bm[pos>>6] |= 1 << (uint(pos) & 63)
+				t++
+			}
+		}
+		// Emit the block's moves in descending position order by scanning
+		// the bitmap from the top word down.
+		for w := (bsz - 1) >> 6; w >= 0; w-- {
+			word := bm[w]
+			for word != 0 {
+				b := bits.Len64(word) - 1
+				word &^= 1 << uint(b)
+				pos := w<<6 | b
+				out = append(out, TaskMove{From: i, Idx: base + pos, To: int(nbs[destOf[pos]])})
+			}
 		}
 	}
 	sc.moves = out
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
@@ -234,12 +327,14 @@ func ApplyMoves(st *WeightedState, pending []TaskMove) int {
 // engines that commit moves against their own storage (package shard)
 // order them identically. Task indices within a node are distinct, so
 // any comparison sort yields the same order: insertion sort for the
-// common small lists, sort.Slice beyond that — an all-on-one start at
-// million-node scale emits hundreds of thousands of moves from a single
-// node per round, where quadratic sorting stalls the run.
+// common small lists, slices.SortFunc beyond that (pattern-defeating
+// quicksort on the concrete slice, no sort.Interface boxing) — an
+// all-on-one start at million-node scale emits millions of moves from a
+// single node per round, where both quadratic sorting and per-compare
+// interface dispatch stall the run.
 func SortMovesByIdxDesc(mvs []TaskMove) {
 	if len(mvs) > 64 {
-		sort.Slice(mvs, func(a, b int) bool { return mvs[a].Idx > mvs[b].Idx })
+		slices.SortFunc(mvs, func(a, b TaskMove) int { return b.Idx - a.Idx })
 		return
 	}
 	for i := 1; i < len(mvs); i++ {

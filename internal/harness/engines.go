@@ -73,6 +73,13 @@ type EngineOpts struct {
 	// Strategy selects the shard partitioner: "contiguous" (default)
 	// or "degree".
 	Strategy string
+	// Probe, when non-nil, receives the live engine after the run
+	// completes but before it is closed, so callers can extract
+	// engine-specific diagnostics (phase timings, footprints) that the
+	// uniform return values cannot carry. The engine is quiescent during
+	// the call; the seq engine passes its *core.UniformState /
+	// *core.WeightedState. Probe must not retain the value.
+	Probe func(engine any)
 }
 
 // Resolved returns the execution parameters that actually run for the
@@ -150,6 +157,9 @@ func RunUniformEngineOpts(engine string, sys *core.System, proto core.UniformNod
 			return core.RunResult{}, nil, err
 		}
 		res, err := core.RunUniform(st, proto, stop, opts)
+		if eo.Probe != nil {
+			eo.Probe(st)
+		}
 		return res, st.Counts(), err
 	case EngineForkJoin:
 		rt, err := dist.NewRuntime(sys, proto, counts, dist.WithWorkers(eo.Workers))
@@ -158,6 +168,9 @@ func RunUniformEngineOpts(engine string, sys *core.System, proto core.UniformNod
 		}
 		defer rt.Close()
 		res, err := core.Drive[*core.UniformState](rt, stop, opts)
+		if eo.Probe != nil {
+			eo.Probe(rt)
+		}
 		return res, rt.Counts(), err
 	case EngineActor:
 		nw, err := dist.NewNetworkWith(sys, counts, opts.Seed, proto)
@@ -166,6 +179,9 @@ func RunUniformEngineOpts(engine string, sys *core.System, proto core.UniformNod
 		}
 		defer nw.Close()
 		res, err := core.Drive[*core.UniformState](nw, stop, opts)
+		if eo.Probe != nil {
+			eo.Probe(nw)
+		}
 		return res, nw.Counts(), err
 	case EngineShard:
 		eng, err := shard.New(sys, proto, counts, shard.Options{
@@ -178,6 +194,9 @@ func RunUniformEngineOpts(engine string, sys *core.System, proto core.UniformNod
 		}
 		defer eng.Close()
 		res, err := core.Drive[*core.UniformState](eng, stop, opts)
+		if eo.Probe != nil {
+			eo.Probe(eng)
+		}
 		return res, eng.Counts(), err
 	default:
 		return core.RunResult{}, nil, fmt.Errorf("harness: unknown uniform engine %q (want seq|forkjoin|actor|shard)", engine)
@@ -207,6 +226,9 @@ func RunWeightedEngineOpts(engine string, sys *core.System, proto core.WeightedP
 			return core.RunResult{}, nil, err
 		}
 		res, err := core.RunWeighted(st, proto, stop, opts)
+		if eo.Probe != nil {
+			eo.Probe(st)
+		}
 		return res, st, err
 	case EngineForkJoin:
 		np, ok := proto.(core.WeightedNodeProtocol)
@@ -219,6 +241,9 @@ func RunWeightedEngineOpts(engine string, sys *core.System, proto core.WeightedP
 		}
 		defer rt.Close()
 		res, err := core.Drive[*core.WeightedState](rt, stop, opts)
+		if eo.Probe != nil {
+			eo.Probe(rt)
+		}
 		st, stErr := rt.State()
 		if stErr != nil && err == nil {
 			err = stErr
@@ -239,6 +264,9 @@ func RunWeightedEngineOpts(engine string, sys *core.System, proto core.WeightedP
 		}
 		defer eng.Close()
 		res, err := core.Drive[*core.WeightedState](eng, stop, opts)
+		if eo.Probe != nil {
+			eo.Probe(eng)
+		}
 		st, stErr := eng.State()
 		if stErr != nil && err == nil {
 			err = stErr

@@ -56,6 +56,18 @@ func TestWeightedEngineSupports(t *testing.T) {
 	}
 }
 
+// engineCfg projects the comparable configuration fields of an
+// EngineOpts; the struct itself stopped being comparable when it grew
+// the Probe callback.
+type engineCfg struct {
+	Workers, Shards int
+	Strategy        string
+}
+
+func cfgOf(eo EngineOpts) engineCfg {
+	return engineCfg{Workers: eo.Workers, Shards: eo.Shards, Strategy: eo.Strategy}
+}
+
 // TestEngineOptsResolved pins that Resolved reports what actually runs:
 // zero values become the constructor defaults, shard counts clamp to
 // [1, n], workers cap at the shard count, and the default strategy is
@@ -84,7 +96,7 @@ func TestEngineOptsResolved(t *testing.T) {
 			EngineOpts{Workers: 2, Shards: 2, Strategy: "contiguous"}},
 	}
 	for _, c := range cases {
-		if got := c.eo.Resolved(c.engine, c.n); got != c.want {
+		if got := c.eo.Resolved(c.engine, c.n); cfgOf(got) != cfgOf(c.want) {
 			t.Errorf("%s: Resolved(%q, %d) = %+v, want %+v", c.name, c.engine, c.n, got, c.want)
 		}
 	}
@@ -123,7 +135,7 @@ func TestResolvedMatchesShardConstructors(t *testing.T) {
 		}
 		got := EngineOpts{Workers: eng.Workers(), Shards: eng.Partition().P(), Strategy: string(eng.Partition().Strategy())}
 		eng.Close()
-		if got != want {
+		if cfgOf(got) != cfgOf(want) {
 			t.Errorf("uniform engine %+v: ran %+v, Resolved says %+v", eo, got, want)
 		}
 		weng, err := shard.NewWeighted(sys, core.Algorithm2{}, perNode, shard.Options{
@@ -134,7 +146,7 @@ func TestResolvedMatchesShardConstructors(t *testing.T) {
 		}
 		got = EngineOpts{Workers: weng.Workers(), Shards: weng.Partition().P(), Strategy: string(weng.Partition().Strategy())}
 		weng.Close()
-		if got != want {
+		if cfgOf(got) != cfgOf(want) {
 			t.Errorf("weighted engine %+v: ran %+v, Resolved says %+v", eo, got, want)
 		}
 	}

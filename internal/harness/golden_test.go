@@ -21,6 +21,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/task"
 	"repro/internal/workload"
 )
 
@@ -128,4 +130,52 @@ func TestGoldenDynamicTrajectory(t *testing.T) {
 		Ledger: res.Ledger, FinalN: res.FinalN, Counts: res.FinalCounts,
 		Metrics: res.Metrics, Trace: res.Trace,
 	})
+}
+
+// goldenWeighted is the serialized form of the weighted fixture: the
+// run result plus the final per-node task weights, which pin the full
+// migration history (every draw of the aggregated binomial decide path
+// moves one concrete weight).
+type goldenWeighted struct {
+	Result  core.RunResult `json:"result"`
+	Weights [][]float64    `json:"weights"`
+}
+
+// TestGoldenWeightedTrajectory replays the committed Algorithm 2 run:
+// an all-on-one start with random weights on the golden ring. This is
+// the sampler-level trajectory pin for the weighted stack — any change
+// to the block-decide draw order, the Binomial dispatch thresholds or
+// the recompute interval shifts it and must be called out as a
+// trajectory version bump when regenerating.
+func TestGoldenWeightedTrajectory(t *testing.T) {
+	g, err := graph.Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds, err := machine.TwoClass(8, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights, err := task.RandomWeights(240, 0.1, 1, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(8, weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, final, err := harness.RunWeightedEngine(harness.EngineSeq, sys, core.Algorithm2{}, perNode,
+		nil, core.RunOpts{MaxRounds: 30, Seed: 42, TraceEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNodeFinal := make([][]float64, 8)
+	for i := 0; i < 8; i++ {
+		perNodeFinal[i] = final.TaskWeights(i)
+	}
+	checkGolden(t, "golden_weighted.json", goldenWeighted{Result: res, Weights: perNodeFinal})
 }

@@ -390,3 +390,120 @@ func TestEngineDispatchErrors(t *testing.T) {
 		t.Errorf("counts after ErrMaxRounds sum to %d, want %d", total, want)
 	}
 }
+
+// TestWeightedEngineParityBlockRegime drives the multi-block decide
+// path cross-engine: a corner start with 2.5·DecideBlock tasks on one
+// node makes every round sample several full blocks plus a remainder,
+// with block gates deep in the BTPE regime (n·p well above the
+// mode-walk threshold). Results, traces and final task multisets must
+// be bit-identical across seq, forkjoin and shard — the property that
+// licenses regenerating goldens from any engine.
+func TestWeightedEngineParityBlockRegime(t *testing.T) {
+	class, err := experiments.ClassByKey("ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := class.Build(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	sys, err := core.NewSystem(g, machine.Uniform(n), core.WithLambda2(class.Lambda2(g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := 2*core.DecideBlock + core.DecideBlock/2
+	weights, err := task.RandomWeights(cnt, 0.1, 1, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(n, weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.RunOpts{MaxRounds: 40, Seed: 31, TraceEvery: 5, CheckEvery: 4}
+	ref, refState, err := harness.RunWeightedEngine(harness.EngineSeq, sys, core.Algorithm2{}, perNode, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Moves == 0 {
+		t.Fatal("block-regime scenario produced no migrations")
+	}
+	for _, engine := range []string{harness.EngineForkJoin, harness.EngineShard} {
+		res, gotState, err := harness.RunWeightedEngine(engine, sys, core.Algorithm2{}, perNode, nil, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		sameRun(t, engine, ref, res)
+		for i := 0; i < n; i++ {
+			if gotState.NodeWeight(i) != refState.NodeWeight(i) {
+				t.Fatalf("%s: node %d: weight %g, want %g", engine, i, gotState.NodeWeight(i), refState.NodeWeight(i))
+			}
+			gw, rw := gotState.TaskWeights(i), refState.TaskWeights(i)
+			if len(gw) != len(rw) {
+				t.Fatalf("%s: node %d: %d tasks, want %d", engine, i, len(gw), len(rw))
+			}
+			for k := range gw {
+				if gw[k] != rw[k] {
+					t.Fatalf("%s: node %d task %d: %g, want %g", engine, i, k, gw[k], rw[k])
+				}
+			}
+		}
+	}
+}
+
+// TestWeightedDynamicEngineParityBlockRegime is the dynamic counterpart:
+// the same multi-block corner start run through the full event scenario
+// (arrivals, completions, bursts, alternating churn) must stay
+// bit-identical between seq, forkjoin and shard.
+func TestWeightedDynamicEngineParityBlockRegime(t *testing.T) {
+	class, err := experiments.ClassByKey("ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := class.Build(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	sys, err := core.NewSystem(g, machine.Uniform(n), core.WithLambda2(class.Lambda2(g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := 2*core.DecideBlock + core.DecideBlock/2
+	weights, err := task.RandomWeights(cnt, 0.1, 1, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedAllOnOne(n, weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := dynamicTestOpts(91)
+	opts.MaxRounds = 120
+	ref, err := harness.RunWeightedDynamic(harness.EngineSeq, sys, core.Algorithm2{}, perNode, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Ledger.ArrivedTasks == 0 || ref.Ledger.DepartedTasks == 0 {
+		t.Fatalf("scenario generated no weighted traffic: %+v", ref.Ledger)
+	}
+	for _, engine := range []string{harness.EngineForkJoin, harness.EngineShard} {
+		res, err := harness.RunWeightedDynamic(engine, sys, core.Algorithm2{}, perNode, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		sameDynamic(t, engine, ref, res)
+		for i := 0; i < ref.FinalState.System().N(); i++ {
+			gw, rw := res.FinalState.TaskWeights(i), ref.FinalState.TaskWeights(i)
+			if len(gw) != len(rw) {
+				t.Fatalf("%s: node %d: %d tasks, want %d", engine, i, len(gw), len(rw))
+			}
+			for k := range gw {
+				if gw[k] != rw[k] {
+					t.Fatalf("%s: node %d task %d: %g, want %g", engine, i, k, gw[k], rw[k])
+				}
+			}
+		}
+	}
+}

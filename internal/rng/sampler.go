@@ -2,12 +2,22 @@ package rng
 
 import "math"
 
+// btpeMinNP is the n·min(p,q) threshold above which Binomial switches
+// from CDF-inversion mode walking to the BTPE acceptance sampler. Below
+// it the mode walk costs O(√(n·p·q)) ≤ O(√btpeMinNP) expected steps —
+// a handful — and keeps the draw sequences of small instances pinned;
+// above it BTPE draws in constant expected time regardless of n.
+const btpeMinNP = 30
+
 // Binomial returns a sample from Binomial(n, p): the number of successes
 // in n independent trials with success probability p.
 //
-// The sampler is exact (up to floating-point pmf evaluation): it inverts
-// the CDF by walking outward from the mode, which costs O(sqrt(n·p·q))
-// expected steps. This keeps per-round simulation cost proportional to the
+// The sampler is exact (up to floating-point pmf evaluation) and costs
+// O(1) expected time uniformly in n: small n inverts the CDF directly,
+// moderate n·p·q inverts it by walking outward from the mode
+// (O(√(n·p·q)) expected steps, bounded by the BTPE threshold), and large
+// n·p·q uses the BTPE acceptance–rejection sampler of Kachitvichyanukul
+// & Schmeiser. This keeps per-round simulation cost proportional to the
 // number of edges rather than the number of tasks, without changing the
 // sampled distribution relative to per-task Bernoulli coin flips.
 func (r *Stream) Binomial(n int, p float64) int {
@@ -31,6 +41,26 @@ func (r *Stream) Binomial(n int, p float64) int {
 		return r.binomialSmall(n, p)
 	}
 
+	pmin := p
+	if q := 1 - p; q < pmin {
+		pmin = q
+	}
+	if float64(n)*pmin >= btpeMinNP {
+		return r.binomialBTPE(n, p)
+	}
+	return binomialModeWalk(n, p, r.Float64())
+}
+
+// binomialModeWalk inverts the Binomial(n, p) CDF at u by walking
+// outward from the mode: k = mode, mode+1, mode-1, mode+2, ... using the
+// pmf recurrence
+//
+//	pmf(k+1) = pmf(k) · (n-k)/(k+1) · p/q
+//	pmf(k-1) = pmf(k) · k/(n-k+1) · q/p.
+//
+// The uniform is a parameter (rather than drawn inside) so tests can
+// force the floating-point residue path with u at the top of [0,1).
+func binomialModeWalk(n int, p float64, u float64) int {
 	q := 1 - p
 	// Mode of Binomial(n,p).
 	mode := int(math.Floor(float64(n+1) * p))
@@ -40,16 +70,11 @@ func (r *Stream) Binomial(n int, p float64) int {
 	logPmfMode := logChoose(n, mode) + float64(mode)*math.Log(p) + float64(n-mode)*math.Log(q)
 	pmfMode := math.Exp(logPmfMode)
 
-	u := r.Float64()
-
-	// Walk outward from the mode: k = mode, mode+1, mode-1, mode+2, ...
-	// using the pmf recurrence
-	//   pmf(k+1) = pmf(k) · (n-k)/(k+1) · p/q
-	//   pmf(k-1) = pmf(k) · k/(n-k+1) · q/p.
 	ratio := p / q
 	upK, upPmf := mode, pmfMode     // last value consumed going up
 	downK, downPmf := mode, pmfMode // last value consumed going down
 	acc := pmfMode
+	last := mode // last support point consumed by the walk
 	if u < acc {
 		return mode
 	}
@@ -62,6 +87,7 @@ func (r *Stream) Binomial(n int, p float64) int {
 			if u < acc {
 				return upK
 			}
+			last = upK
 			advanced = true
 		}
 		if downK > 0 {
@@ -71,14 +97,148 @@ func (r *Stream) Binomial(n int, p float64) int {
 			if u < acc {
 				return downK
 			}
+			last = downK
 			advanced = true
 		}
 		if !advanced {
 			// Entire support consumed; u landed in the floating-point
-			// residue. The mode is the least-surprising answer.
-			return mode
+			// residue above the accumulated CDF mass. Inversion maps the
+			// top of [0,1) to the far tail, so return the last boundary
+			// the walk consumed — not the mode, which would teleport a
+			// top-of-range u back to the distribution's center.
+			return last
 		}
 	}
+}
+
+// binomialBTPE samples Binomial(n, p) by the BTPE algorithm
+// (Kachitvichyanukul & Schmeiser, "Binomial random variate generation",
+// CACM 31(2), 1988): a triangle/parallelogram/exponential-tail envelope
+// around the scaled pmf with squeeze acceptance, costing O(1) expected
+// uniforms independent of n. Requires 16 ≤ n, 0 < p < 1 and
+// n·min(p,q) ≥ btpeMinNP (the caller guarantees all three; the envelope
+// constants below are only valid in that regime).
+func (r *Stream) binomialBTPE(n int, p float64) int {
+	// Work with pp = min(p, 1-p) and flip the result for p > 1/2.
+	flipped := p > 0.5
+	pp := p
+	if flipped {
+		pp = 1 - p
+	}
+	q := 1 - pp
+	fn := float64(n)
+	fm := fn*pp + pp
+	m := int(fm)          // mode
+	nrq := fn * pp * q    // n·p·q, the variance
+	xm := float64(m) + 0.5
+	p1 := math.Floor(2.195*math.Sqrt(nrq)-4.6*q) + 0.5 // half-width of the triangle
+	xl := xm - p1
+	xr := xm + p1
+	c := 0.134 + 20.5/(15.3+float64(m))
+	al := (fm - xl) / (fm - xl*pp)
+	laml := al * (1 + al/2)
+	al = (xr - fm) / (xr * q)
+	lamr := al * (1 + al/2)
+	p2 := p1 * (1 + 2*c)  // triangle + parallelogram
+	p3 := p2 + c/laml     // + left exponential tail
+	p4 := p3 + c/lamr     // + right exponential tail
+
+	var y int
+	for {
+		u := r.Float64() * p4
+		v := r.Float64()
+		switch {
+		case u <= p1:
+			// Triangular central region: accept immediately.
+			y = int(math.Floor(xm - p1*v + u))
+			goto done
+		case u <= p2:
+			// Parallelogram: scale v to the envelope height at x.
+			x := xl + (u-p1)/c
+			v = v*c + 1 - math.Abs(x-xm)/p1
+			if v > 1 {
+				continue
+			}
+			y = int(math.Floor(x))
+		case u <= p3:
+			// Left exponential tail.
+			y = int(math.Floor(xl + math.Log(v)/laml))
+			if y < 0 {
+				continue
+			}
+			v = v * (u - p2) * laml
+		default:
+			// Right exponential tail.
+			y = int(math.Floor(xr - math.Log(v)/lamr))
+			if y > n {
+				continue
+			}
+			v = v * (u - p3) * lamr
+		}
+
+		// Acceptance test: v ≤ pmf(y)/pmf(m).
+		{
+			k := y - m
+			if k < 0 {
+				k = -k
+			}
+			fk := float64(k)
+			if fk <= 20 || fk >= nrq/2-1 {
+				// Near the mode (or in the narrow-variance regime) the
+				// pmf ratio is cheap to evaluate by recurrence.
+				s := pp / q
+				a := s * (fn + 1)
+				f := 1.0
+				if m < y {
+					for i := m + 1; i <= y; i++ {
+						f *= a/float64(i) - s
+					}
+				} else if m > y {
+					for i := y + 1; i <= m; i++ {
+						f /= a/float64(i) - s
+					}
+				}
+				if v <= f {
+					goto done
+				}
+				continue
+			}
+			// Squeeze on log(v) before the expensive exact comparison.
+			rho := (fk / nrq) * ((fk*(fk/3+0.625)+1.0/6)/nrq + 0.5)
+			t := -fk * fk / (2 * nrq)
+			alv := math.Log(v)
+			if alv < t-rho {
+				goto done
+			}
+			if alv > t+rho {
+				continue
+			}
+			// Exact comparison via Stirling series of log(pmf(y)/pmf(m)).
+			x1 := float64(y + 1)
+			f1 := float64(m + 1)
+			z := float64(n + 1 - m)
+			w := float64(n - y + 1)
+			x2 := x1 * x1
+			f2 := f1 * f1
+			z2 := z * z
+			w2 := w * w
+			bound := xm*math.Log(f1/x1) + (fn-float64(m)+0.5)*math.Log(z/w) +
+				float64(y-m)*math.Log(w*pp/(x1*q)) +
+				(13860.0-(462.0-(132.0-(99.0-140.0/f2)/f2)/f2)/f2)/f1/166320.0 +
+				(13860.0-(462.0-(132.0-(99.0-140.0/z2)/z2)/z2)/z2)/z/166320.0 +
+				(13860.0-(462.0-(132.0-(99.0-140.0/x2)/x2)/x2)/x2)/x1/166320.0 +
+				(13860.0-(462.0-(132.0-(99.0-140.0/w2)/w2)/w2)/w2)/w/166320.0
+			if alv <= bound {
+				goto done
+			}
+			continue
+		}
+	}
+done:
+	if flipped {
+		return n - y
+	}
+	return y
 }
 
 // binomialSmall inverts the CDF from k = 0; only used for small n.
@@ -254,37 +414,53 @@ func (r *Stream) MultinomialInto(n int, probs []float64, dst []int) []int {
 		return counts
 	}
 	total := 0.0
-	for _, p := range probs {
+	lastPos := -1 // index of the last positive-probability category
+	for i, p := range probs {
 		if p > 0 {
 			total += p
+			lastPos = i
 		}
+	}
+	if lastPos < 0 {
+		// Degenerate all-zero vector: keep the historical sum==n
+		// invariant by stacking everything on the last category.
+		counts[len(counts)-1] = n
+		return counts
 	}
 	remaining := n
 	for i, p := range probs {
 		if remaining == 0 {
 			break
 		}
-		if i == len(probs)-1 {
-			counts[i] = remaining
-			break
-		}
-		if p <= 0 || total <= 0 {
+		if p <= 0 {
 			continue
 		}
-		c := r.Binomial(remaining, p/total)
+		if i == lastPos {
+			// The exact conditional probability of the final positive
+			// category is 1; assigning directly avoids a drift-polluted
+			// Binomial draw and guarantees zero-probability categories
+			// (including a zero-probability final slot) never receive
+			// the remainder.
+			counts[i] = remaining
+			remaining = 0
+			break
+		}
+		// Clamp the conditional probability into [0,1]: the running
+		// total -= p accumulates floating-point drift, which for
+		// adversarial vectors (many tiny entries, catastrophic
+		// cancellation against a large one) can push total below p — or
+		// to zero — while positive-probability categories remain.
+		// Without the clamp those categories would draw from a garbage
+		// conditional; with it they absorb the remaining trials, the
+		// correct limit of the conditional chain.
+		cp := 1.0
+		if total > p {
+			cp = p / total
+		}
+		c := r.Binomial(remaining, cp)
 		counts[i] = c
 		remaining -= c
 		total -= p
-	}
-	// If trailing categories all had zero probability, stack the remainder
-	// onto the last category. (Cannot happen when probs are a proper
-	// distribution, but keep the invariant sum==n anyway.)
-	sum := 0
-	for _, c := range counts {
-		sum += c
-	}
-	if sum < n {
-		counts[len(counts)-1] += n - sum
 	}
 	return counts
 }

@@ -1,0 +1,253 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBinomialModeWalkResidue pins the floating-point residue fallback:
+// when u lands above the accumulated CDF mass after the walk has
+// consumed the entire support, inversion semantics demand the far tail
+// — the last boundary the walk consumed — not the mode, which would
+// teleport a top-of-range u back to the distribution's center. The
+// walk alternates up/down from the mode, so the longer side finishes
+// last: n when the mode sits low, 0 when it sits high (ties advance up
+// before down within an iteration, so the down side finishes last).
+func TestBinomialModeWalkResidue(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want int
+	}{
+		{20, 0.2, 20}, // mode 4: the up walk has 16 steps vs 4 down → last is n
+		{20, 0.8, 0},  // mode 16: the down walk has 16 steps vs 4 up → last is 0
+		{10, 0.5, 0},  // mode 5: equal sides, down advances after up → last is 0
+	}
+	for _, c := range cases {
+		got := binomialModeWalk(c.n, c.p, 1.0)
+		if got != c.want {
+			t.Errorf("binomialModeWalk(%d, %g, 1.0) = %d, want %d", c.n, c.p, got, c.want)
+		}
+		mode := int(math.Floor(float64(c.n+1) * c.p))
+		if got == mode {
+			t.Errorf("binomialModeWalk(%d, %g, 1.0) returned the mode %d; the residue must map to the far tail", c.n, c.p, mode)
+		}
+	}
+	// Just below the residue: an ordinary in-support inversion.
+	if got := binomialModeWalk(20, 0.2, 0.5); got < 0 || got > 20 {
+		t.Errorf("binomialModeWalk(20, 0.2, 0.5) = %d, out of support", got)
+	}
+}
+
+// TestBinomialPOneDrawsNothing pins that the p ≥ 1 short-circuit
+// consumes no randomness: the aggregated decide paths clamp their
+// final conditional probability to exactly 1, and cross-engine
+// trajectory parity needs that clamped draw to leave the stream
+// untouched.
+func TestBinomialPOneDrawsNothing(t *testing.T) {
+	a, b := New(42), New(42)
+	if got := a.Binomial(17, 1.0); got != 17 {
+		t.Fatalf("Binomial(17, 1) = %d, want 17", got)
+	}
+	if x, y := a.Uint64(), b.Uint64(); x != y {
+		t.Errorf("Binomial(n, 1) consumed randomness: next draw %d, want %d", x, y)
+	}
+}
+
+// TestBinomialBTPEChiSquared is the distribution-level gate on the
+// constant-expected-time sampler: for parameters far above the BTPE
+// threshold, a chi-squared statistic over the exact pmf (point bins
+// across mode ± 6σ, lumped tails) must stay below a generous quantile.
+// A biased envelope, wrong squeeze, or broken acceptance test shifts
+// whole pmf regions and fails this by orders of magnitude; the fixed
+// seed keeps the test deterministic.
+func TestBinomialBTPEChiSquared(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{500, 0.3},
+		{10000, 0.47},
+		{2000, 0.9}, // flipped branch: p > 1/2
+	}
+	const trials = 60000
+	r := New(1234)
+	for _, c := range cases {
+		pmin := math.Min(c.p, 1-c.p)
+		if float64(c.n)*pmin < btpeMinNP {
+			t.Fatalf("case (%d, %g) does not reach the BTPE regime", c.n, c.p)
+		}
+		sigma := math.Sqrt(float64(c.n) * c.p * (1 - c.p))
+		mean := float64(c.n) * c.p
+		lo := int(mean - 6*sigma)
+		hi := int(mean + 6*sigma)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > c.n {
+			hi = c.n
+		}
+		// counts[0] and counts[hi-lo+2] are the lumped tails.
+		counts := make([]int, hi-lo+3)
+		for i := 0; i < trials; i++ {
+			k := r.Binomial(c.n, c.p)
+			switch {
+			case k < lo:
+				counts[0]++
+			case k > hi:
+				counts[len(counts)-1]++
+			default:
+				counts[k-lo+1]++
+			}
+		}
+		pmf := func(k int) float64 {
+			return math.Exp(logChoose(c.n, k) + float64(k)*math.Log(c.p) + float64(c.n-k)*math.Log(1-c.p))
+		}
+		// Expected counts; bins under 10 expected observations merge
+		// into their neighbor toward the mode to keep the chi-squared
+		// approximation valid.
+		type bin struct{ obs, want float64 }
+		var bins []bin
+		tailLo, tailHi := 0.0, 0.0
+		for k := 0; k < lo; k++ {
+			tailLo += pmf(k)
+		}
+		for k := hi + 1; k <= c.n; k++ {
+			tailHi += pmf(k)
+		}
+		bins = append(bins, bin{float64(counts[0]), tailLo * trials})
+		for k := lo; k <= hi; k++ {
+			bins = append(bins, bin{float64(counts[k-lo+1]), pmf(k) * trials})
+		}
+		bins = append(bins, bin{float64(counts[len(counts)-1]), tailHi * trials})
+		var merged []bin
+		carry := bin{}
+		for _, b := range bins {
+			carry.obs += b.obs
+			carry.want += b.want
+			if carry.want >= 10 {
+				merged = append(merged, carry)
+				carry = bin{}
+			}
+		}
+		if carry.want > 0 && len(merged) > 0 {
+			merged[len(merged)-1].obs += carry.obs
+			merged[len(merged)-1].want += carry.want
+		}
+		chi2 := 0.0
+		for _, b := range merged {
+			d := b.obs - b.want
+			chi2 += d * d / b.want
+		}
+		// χ² concentrates around df with sd √(2·df); 6 sd above the
+		// mean is far past the 0.999 quantile for every df here.
+		df := float64(len(merged) - 1)
+		limit := df + 6*math.Sqrt(2*df)
+		if chi2 > limit {
+			t.Errorf("Binomial(%d, %g): chi-squared %.1f over %d bins exceeds %.1f", c.n, c.p, chi2, len(merged), limit)
+		}
+	}
+}
+
+// TestBinomialBTPEMatchesModeWalkDistribution cross-checks the two
+// large-n samplers against each other at a parameter point near the
+// threshold: the same (n, p) drawn through the BTPE sampler and
+// through forced mode walking must agree in mean and variance well
+// within sampling error. This catches a bias in either sampler
+// without trusting a closed form.
+func TestBinomialBTPEMatchesModeWalkDistribution(t *testing.T) {
+	const n, p, trials = 2000, 0.25, 40000
+	if float64(n)*math.Min(p, 1-p) < btpeMinNP {
+		t.Fatalf("(%d, %g) must be in the BTPE regime", n, p)
+	}
+	r := New(99)
+	btpeSum, btpeSq := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		k := float64(r.binomialBTPE(n, p))
+		btpeSum += k
+		btpeSq += k * k
+	}
+	walkSum, walkSq := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		k := float64(binomialModeWalk(n, p, r.Float64()))
+		walkSum += k
+		walkSq += k * k
+	}
+	bMean, wMean := btpeSum/trials, walkSum/trials
+	bVar := btpeSq/trials - bMean*bMean
+	wVar := walkSq/trials - wMean*wMean
+	wantVar := float64(n) * p * (1 - p)
+	// Two independent sample means each have sd √(var/trials).
+	tol := 8 * math.Sqrt(wantVar/trials)
+	if math.Abs(bMean-wMean) > tol {
+		t.Errorf("means diverge: BTPE %.3f vs mode walk %.3f (tol %.3f)", bMean, wMean, tol)
+	}
+	if math.Abs(bVar-wantVar)/wantVar > 0.1 || math.Abs(wVar-wantVar)/wantVar > 0.1 {
+		t.Errorf("variances off: BTPE %.1f, walk %.1f, want %.1f", bVar, wVar, wantVar)
+	}
+}
+
+// TestMultinomialIntoAdversarial is the regression test for the
+// conditional-probability clamp: probability vectors whose running
+// total drifts through cancellation (many tiny entries, sums off by an
+// ulp, zero categories in every position) must still produce
+// non-negative counts summing to n with zero-probability categories
+// empty. Before the clamp, drift could push the conditional p/total
+// above 1 or the total to ≤ 0 with positive-probability categories
+// remaining, silently skipping them and stacking the remainder on the
+// last category.
+func TestMultinomialIntoAdversarial(t *testing.T) {
+	tiny := make([]float64, 1001)
+	for i := range tiny {
+		tiny[i] = 1e-16
+	}
+	tiny[500] = 1.0 // cancellation: total - 1.0 annihilates the tiny mass
+
+	manyTiny := make([]float64, 4096)
+	for i := range manyTiny {
+		manyTiny[i] = 1.0 / 4096 // each entry inexact; the running total drifts
+	}
+
+	offByUlp := []float64{0.1, 0.2, 0.3, 0.4} // sums to 1±ulp in float64
+	zeroTail := []float64{0.5, 0.25, 0.25, 0, 0}
+	zeroMid := []float64{0, 0.5, 0, 0.5, 0}
+	alternating := make([]float64, 200)
+	for i := range alternating {
+		if i%2 == 0 {
+			alternating[i] = 0.25
+		} else {
+			alternating[i] = 1e-17
+		}
+	}
+
+	cases := []struct {
+		name  string
+		probs []float64
+	}{
+		{"tiny-mass-cancellation", tiny},
+		{"many-equal-tiny", manyTiny},
+		{"off-by-ulp", offByUlp},
+		{"zero-tail", zeroTail},
+		{"zero-mid", zeroMid},
+		{"alternating-magnitudes", alternating},
+	}
+	r := New(7)
+	for _, c := range cases {
+		for _, n := range []int{1, 17, 1000, 1 << 16} {
+			counts := r.MultinomialInto(n, c.probs, make([]int, len(c.probs)))
+			sum := 0
+			for i, k := range counts {
+				if k < 0 {
+					t.Fatalf("%s n=%d: negative count %d at category %d", c.name, n, k, i)
+				}
+				if c.probs[i] <= 0 && k != 0 {
+					t.Fatalf("%s n=%d: zero-probability category %d received %d trials", c.name, n, i, k)
+				}
+				sum += k
+			}
+			if sum != n {
+				t.Fatalf("%s n=%d: counts sum to %d", c.name, n, sum)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -67,6 +68,7 @@ type Engine struct {
 	kick    []chan phase
 	wg      sync.WaitGroup
 	closed  bool
+	times   PhaseTimes
 }
 
 // decideScratch is one worker's reusable decide-loop storage; child is
@@ -288,14 +290,30 @@ func (e *Engine) Step(r uint64, base *rng.Stream) (int64, error) {
 	if e.closed {
 		return 0, ErrClosed
 	}
+	t0 := time.Now()
 	e.dispatch(phase{kind: phaseLoads})
+	t1 := time.Now()
 	e.dispatch(phase{kind: phaseDecide, round: base.Split(r)})
+	t2 := time.Now()
 	e.dispatch(phase{kind: phaseCommit})
+	t3 := time.Now()
+	e.times.Snapshot += t1.Sub(t0)
+	e.times.Decide += t2.Sub(t1)
+	e.times.Commit += t3.Sub(t2)
+	e.times.Rounds++
 	moves := int64(0)
 	for _, m := range e.moves {
 		moves += m
 	}
 	return moves, nil
+}
+
+// Phases implements PhaseTimer: cumulative per-phase wall-clock time
+// across every Step so far.
+func (e *Engine) Phases() PhaseTimes {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.times
 }
 
 // ApplyEvents implements core.DynamicEngine: pre-round workload

@@ -1,0 +1,56 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+)
+
+// PhaseTimes accumulates wall-clock time per barrier-separated phase
+// across an engine's rounds. The decide bucket includes the serial
+// inter-barrier bookkeeping of the weighted engine (recompute-crossing
+// arithmetic), and the commit bucket its post-barrier total-weight
+// fold; both are part of the respective phase's critical path. The
+// numbers expose where a configuration stalls — a commit share that
+// grows with P is barrier overhead and flow-buffer traffic, a decide
+// share that grows with skew is protocol work concentrating in one
+// shard while the others idle at the barrier.
+type PhaseTimes struct {
+	Snapshot time.Duration
+	Decide   time.Duration
+	Commit   time.Duration
+	Rounds   int64
+}
+
+// Total is the summed wall-clock time across the three phases.
+func (t PhaseTimes) Total() time.Duration {
+	return t.Snapshot + t.Decide + t.Commit
+}
+
+// String renders per-round phase averages, e.g.
+// "snapshot 1.2ms/round (3%), decide 30ms/round (75%), commit 8.8ms/round (22%) over 40 rounds".
+func (t PhaseTimes) String() string {
+	if t.Rounds == 0 {
+		return "no rounds timed"
+	}
+	total := t.Total()
+	pct := func(d time.Duration) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(d) / float64(total)
+	}
+	per := func(d time.Duration) time.Duration {
+		return (d / time.Duration(t.Rounds)).Round(time.Microsecond)
+	}
+	return fmt.Sprintf("snapshot %v/round (%.0f%%), decide %v/round (%.0f%%), commit %v/round (%.0f%%) over %d rounds",
+		per(t.Snapshot), pct(t.Snapshot),
+		per(t.Decide), pct(t.Decide),
+		per(t.Commit), pct(t.Commit), t.Rounds)
+}
+
+// PhaseTimer is implemented by engines that record per-phase round
+// timings; callers discover it via type assertion (the harness Probe
+// hook does exactly that).
+type PhaseTimer interface {
+	Phases() PhaseTimes
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -58,14 +59,22 @@ type WeightedEngine struct {
 
 	mu sync.Mutex
 
-	// Flat SoA state: node i of shard s owns
-	// pool[s][off[s][i-lo] : off[s][i-lo+1]]. Commit rebuilds into the
-	// spare pool and swaps (ping-pong), so the decide phase always reads
-	// an immutable round-start layout.
-	pool  [][]float64
-	spare [][]float64
-	off   [][]int64
-	noff  [][]int64
+	// Flat SoA state: node i of shard s owns the first segLen[s][i-lo]
+	// elements of its segment. A pool-resident node's segment is
+	// pool[s][off[s][i-lo] : off[s][i-lo+1]] — off is the fixed slot
+	// layout, so a node whose count shrinks leaves slack at the end of
+	// its slot and the commit mutates it in place, never moving its
+	// neighbors. A node that outgrows its slot is privatized: its tasks
+	// move once into a dedicated slice (priv[s][i-lo], amortized-doubling
+	// capacity) and every later commit runs in place there. spare and
+	// noff are the compaction scratch of the event paths, which rebuild a
+	// touched shard into a packed layout and reset its private segments.
+	pool   [][]float64
+	spare  [][]float64
+	off    [][]int64
+	noff   [][]int64
+	segLen [][]int64
+	priv   [][][]float64
 
 	nodeWeight     []float64
 	loads          []float64
@@ -92,23 +101,29 @@ type WeightedEngine struct {
 	// move index of shard s's first move, crossAt the 0-based global
 	// index of the move whose counter increment fires the last periodic
 	// weight recompute this round (-1: none), freshSum the per-node
-	// array sums at that instant.
+	// array sums at that instant. sumValid[i] memoizes freshSum[i]: it
+	// is true while node i's task array is unchanged since freshSum[i]
+	// was folded from it, in which case a later recompute firing can
+	// reuse the stored sum instead of re-folding an identical array —
+	// sumFloats is a pure function of the array contents, so the reuse
+	// is bit-exact.
 	shardBase []int64
 	crossAt   int64
 	freshSum  []float64
+	sumValid  []bool
 
 	scratch []*weightedScratch
 	workers int
 	kick    []chan phase
 	wg      sync.WaitGroup
 	closed  bool
+	times   PhaseTimes
 }
 
-// weightedScratch is one worker's reusable decide/commit storage.
+// weightedScratch is one worker's reusable decide storage.
 type weightedScratch struct {
 	ws    *core.WeightedScratch
 	child rng.Stream
-	buf   []float64 // per-node replay buffer
 }
 
 // NewWeighted validates the instance, copies the per-node weight
@@ -158,6 +173,8 @@ func NewWeighted(sys *core.System, proto core.WeightedFlatProtocol, perNode []ta
 		spare:      make([][]float64, p),
 		off:        make([][]int64, p),
 		noff:       make([][]int64, p),
+		segLen:     make([][]int64, p),
+		priv:       make([][][]float64, p),
 		nodeWeight: make([]float64, n),
 		loads:      make([]float64, n),
 		outFlows:   make([][][]wflow, p),
@@ -172,31 +189,31 @@ func NewWeighted(sys *core.System, proto core.WeightedFlatProtocol, perNode []ta
 		shardBase:  make([]int64, p),
 		crossAt:    -1,
 		freshSum:   make([]float64, n),
+		sumValid:   make([]bool, n),
 		scratch:    make([]*weightedScratch, workers),
 		workers:    workers,
 		kick:       make([]chan phase, workers),
 	}
-	maxCnt := 0
 	for s := 0; s < p; s++ {
 		lo, hi := part.Range(s)
 		size := hi - lo
 		total := 0
 		for i := lo; i < hi; i++ {
-			if c := len(perNode[i]); c > maxCnt {
-				maxCnt = c
-			}
 			total += len(perNode[i])
 		}
 		pool := make([]float64, 0, total)
 		off := make([]int64, size+1)
+		segLen := make([]int64, size)
 		for i := lo; i < hi; i++ {
 			pool = append(pool, perNode[i]...)
 			off[i-lo+1] = int64(len(pool))
+			segLen[i-lo] = int64(len(perNode[i]))
 		}
 		e.pool[s] = pool
-		e.spare[s] = make([]float64, 0, total)
 		e.off[s] = off
 		e.noff[s] = make([]int64, size+1)
+		e.segLen[s] = segLen
+		e.priv[s] = make([][]float64, size)
 		e.outFlows[s] = make([][]wflow, p)
 		// Unlike the uniform engine's per-edge flow entries, weighted
 		// flows are per task, so edge counts are a warm-start heuristic
@@ -239,8 +256,7 @@ func NewWeighted(sys *core.System, proto core.WeightedFlatProtocol, perNode []ta
 	maxDeg := csr.MaxDegree()
 	for w := 0; w < workers; w++ {
 		e.scratch[w] = &weightedScratch{
-			ws:  core.NewWeightedScratch(maxDeg),
-			buf: make([]float64, 0, maxCnt),
+			ws: core.NewWeightedScratch(maxDeg),
 		}
 		e.kick[w] = make(chan phase)
 		go func(w int) {
@@ -272,7 +288,7 @@ func (e *WeightedEngine) runPhase(w int, ph phase) {
 		case phaseDecide:
 			e.decideShard(s, ph.round, e.scratch[w])
 		case phaseCommit:
-			e.commitShard(s, e.scratch[w])
+			e.commitShard(s)
 		}
 	}
 }
@@ -287,35 +303,51 @@ func (e *WeightedEngine) snapshotLoads(s int) {
 }
 
 // decideShard evaluates shard s's protocol decisions against the
-// round-start snapshot. Each node's moves are sorted by task index
-// descending (the core.ApplyMoves application order) and then recorded
-// twice: the removal indices land in the shard's flat removal list, and
-// each move emits a flow entry — carrying the task's round-start weight
-// and the move's position within the node's list — into the
-// per-destination-shard flow buffer. Only shard-s buffers are written.
+// round-start snapshot. Each node's moves arrive sorted by task index
+// descending (the WeightedFlatProtocol contract and core.ApplyMoves
+// application order) and are recorded twice: the removal
+// indices land in the shard's flat removal list, and each move emits a
+// flow entry — carrying the task's round-start weight and the move's
+// position within the node's list — into the per-destination-shard flow
+// buffer. Only shard-s buffers are written.
 func (e *WeightedEngine) decideShard(s int, roundStream *rng.Stream, sc *weightedScratch) {
 	part := e.part
 	lo, hi := part.Range(s)
 	flows := e.outFlows[s]
 	for d := range flows {
-		flows[d] = flows[d][:0]
+		// Presize from last round's volume before truncating: growing via
+		// append would memmove the (dead) old contents on every
+		// reallocation, so when the buffer looks too tight replace it with
+		// a fresh empty one instead — allocation without the copy. Caps
+		// are monotone (at least doubling), so a run performs O(log peak)
+		// allocations total and the steady state allocates nothing;
+		// underestimates just fall back to append's normal growth.
+		if prev := len(flows[d]); cap(flows[d]) < prev+prev/8 {
+			flows[d] = make([]wflow, 0, max(prev+prev/2, 2*cap(flows[d])))
+		} else {
+			flows[d] = flows[d][:0]
+		}
 	}
-	remIdx := e.remIdx[s][:0]
+	remIdx := e.remIdx[s]
+	if prev := len(remIdx); cap(remIdx) < prev+prev/8 {
+		remIdx = make([]int32, 0, max(prev+prev/2, 2*cap(remIdx)))
+	} else {
+		remIdx = remIdx[:0]
+	}
 	remPos := e.remPos[s]
 	remPos[0] = 0
-	off, pool := e.off[s], e.pool[s]
+	segLen := e.segLen[s]
 	mv := int64(0)
 	for i := lo; i < hi; i++ {
 		k := i - lo
-		cnt := int(off[k+1] - off[k])
+		cnt := int(segLen[k])
 		var ms []core.TaskMove
 		if cnt > 0 {
 			roundStream.SplitTo(uint64(i), &sc.child)
 			ms = e.proto.DecideNodeFlat(e.sys, i, cnt, e.nodeWeight[i], e.loads, &sc.child, sc.ws)
 		}
 		if len(ms) > 0 {
-			core.SortMovesByIdxDesc(ms)
-			seg := pool[off[k]:off[k+1]]
+			seg := e.seg(s, k)
 			for p, m := range ms {
 				remIdx = append(remIdx, int32(m.Idx))
 				d := int(part.shardOf[m.To])
@@ -329,6 +361,17 @@ func (e *WeightedEngine) decideShard(s int, roundStream *rng.Stream, sc *weighte
 	e.moves[s] = mv
 }
 
+// seg returns the current task segment of node lo+k of shard s: its
+// private slice if it has been privatized, its pool slot prefix
+// otherwise.
+func (e *WeightedEngine) seg(s, k int) []float64 {
+	if pv := e.priv[s][k]; pv != nil {
+		return pv[:e.segLen[s][k]]
+	}
+	o := e.off[s]
+	return e.pool[s][o[k] : o[k]+e.segLen[s][k]]
+}
+
 // commitShard applies every move addressed to shard d against the flat
 // pool, node by node, replaying the sequential engine's exact operation
 // sequence. The global move timeline orders all moves as ApplyMoves
@@ -338,9 +381,12 @@ func (e *WeightedEngine) decideShard(s int, roundStream *rng.Stream, sc *weighte
 // which reproduces the interleaving the sequential loop would produce:
 // arrivals from lower-numbered sources land before the node's own
 // removals and can be swapped into freed slots, exactly as in moveTask.
-// Shard d's pool, offsets and weight-sum entries are written only here,
-// only by the worker running d, after the decide barrier.
-func (e *WeightedEngine) commitShard(d int, sc *weightedScratch) {
+// The replay runs in place on each touched node's own segment —
+// untouched nodes are not even read — so commit work is proportional to
+// the round's operations, not to the shard's task count. Shard d's
+// segments and weight-sum entries are written only here, only by the
+// worker running d, after the decide barrier.
+func (e *WeightedEngine) commitShard(d int) {
 	part := e.part
 	lo, hi := part.Range(d)
 	size := hi - lo
@@ -360,16 +406,11 @@ func (e *WeightedEngine) commitShard(d int, sc *weightedScratch) {
 	if totalArr == 0 && remPos[size] == 0 {
 		// Quiet shard: no tasks leave it or enter it. Without a weight
 		// recompute there is nothing to do; with one, only the cached
-		// sums must be refreshed from the (unchanged) arrays.
+		// sums must be refreshed — from the memoized fold when the array
+		// is unchanged since it was last summed.
 		if e.crossAt >= 0 {
-			off, pool := e.off[d], e.pool[d]
 			for k := 0; k < size; k++ {
-				w := 0.0
-				for _, v := range pool[off[k]:off[k+1]] {
-					w += v
-				}
-				e.freshSum[lo+k] = w
-				e.nodeWeight[lo+k] = w
+				e.refreshSum(d, k, lo+k)
 			}
 		}
 		return
@@ -403,51 +444,102 @@ func (e *WeightedEngine) commitShard(d int, sc *weightedScratch) {
 			arrG[at] = base + rp[int(f.src)-slo] + int64(f.seq)
 		}
 	}
-	// Pass 3: new offsets, and a spare pool large enough for them.
-	off, noff := e.off[d], e.noff[d]
-	noff[0] = 0
-	for k := 0; k < size; k++ {
-		rem := remPos[k+1] - remPos[k]
-		noff[k+1] = noff[k] + (off[k+1] - off[k]) - rem + int64(arrCnt[k])
-	}
-	spare := growFloats(e.spare[d], noff[size])
-	e.spare[d] = spare
-	// Pass 4: per-node replay into the spare pool.
+	// Pass 3: per-node in-place replay; nodes without operations are
+	// touched only when a recompute firing needs their fresh sums.
 	gbase := e.shardBase[d]
-	pool := e.pool[d]
+	remIdxAll := e.remIdx[d]
 	for k := 0; k < size; k++ {
-		oldSeg := pool[off[k]:off[k+1]]
-		newSeg := spare[noff[k]:noff[k+1]]
 		aw := arrW[arrPos[k]:arrPos[k+1]]
 		ag := arrG[arrPos[k]:arrPos[k+1]]
-		rem := e.remIdx[d][remPos[k]:remPos[k+1]]
-		if len(aw) == 0 && len(rem) == 0 && e.crossAt < 0 {
-			copy(newSeg, oldSeg)
+		rem := remIdxAll[remPos[k]:remPos[k+1]]
+		if len(aw) == 0 && len(rem) == 0 {
+			if e.crossAt >= 0 {
+				e.refreshSum(d, k, lo+k)
+			}
 			continue
 		}
-		e.replayNode(lo+k, oldSeg, newSeg, aw, ag, rem, gbase+remPos[k], sc)
+		e.replayNode(d, k, lo+k, aw, ag, rem, gbase+remPos[k])
 	}
-	// Ping-pong: the spare pool becomes current.
-	e.pool[d], e.spare[d] = e.spare[d], e.pool[d]
-	e.off[d], e.noff[d] = e.noff[d], e.off[d]
+}
+
+// refreshSum is the periodic-recompute refresh for a node with no
+// operations this round: fold its segment — or reuse the memoized fold
+// when the array is unchanged since freshSum was computed — and adopt
+// the fresh value as the cached weight sum, exactly as the sequential
+// RecomputeWeights would.
+func (e *WeightedEngine) refreshSum(d, k, i int) {
+	if !e.sumValid[i] {
+		e.freshSum[i] = sumFloats(e.seg(d, k))
+		e.sumValid[i] = true
+	}
+	e.nodeWeight[i] = e.freshSum[i]
 }
 
 // replayNode replays node i's slice of the round's move sequence: a
 // two-way merge of its incoming tasks (aw/ag, in global source order)
 // and its own removals (rem, idx-descending, occupying the contiguous
 // global index range starting at remG0), ordered by global move index.
-// Appends and swap-deletes run against a scratch copy of the node's
-// round-start segment — literally the moveTask operations — and the
-// cached weight sum receives the identical sequence of float64
-// additions and subtractions the sequential engine would apply. If the
+// Appends and swap-deletes run in place on the node's own segment —
+// literally the moveTask operations — and the cached weight sum
+// receives the identical sequence of float64 additions and subtractions
+// the sequential engine would apply. The segment needs capacity for the
+// transient peak length (every arrival can precede every removal); a
+// pool-resident node that outgrows its slot is privatized first, with
+// headroom so subsequent growth stays amortized O(1) per task. If the
 // periodic weight recompute fires this round (crossAt ≥ 0), the sum is
 // rebuilt from the array contents at exactly that instant, and the
 // remaining operations continue incrementally from the fresh value.
-func (e *WeightedEngine) replayNode(i int, oldSeg, newSeg, aw []float64, ag []int64, rem []int32, remG0 int64, sc *weightedScratch) {
-	buf := append(sc.buf[:0], oldSeg...)
+func (e *WeightedEngine) replayNode(d, k, i int, aw []float64, ag []int64, rem []int32, remG0 int64) {
+	segLen := e.segLen[d]
+	cur := segLen[k]
+	peak := cur + int64(len(aw))
+	var seg []float64
+	if pv := e.priv[d][k]; pv != nil {
+		if int64(cap(pv)) < peak {
+			np := make([]float64, cur, growCap(peak))
+			copy(np, pv[:cur])
+			seg = np
+		} else {
+			seg = pv[:cur]
+		}
+	} else {
+		o := e.off[d]
+		if o[k+1]-o[k] < peak {
+			np := make([]float64, cur, growCap(peak))
+			copy(np, e.pool[d][o[k]:o[k]+cur])
+			e.priv[d][k] = np
+			seg = np
+		} else {
+			seg = e.pool[d][o[k] : o[k]+cur : o[k+1]]
+		}
+	}
 	nw := e.nodeWeight[i]
 	cross := e.crossAt
 	crossed := cross < 0
+	// On non-recompute rounds (the common case) one-sided nodes skip the
+	// merge machinery: the corner source is removals-only and the
+	// spreading frontier's leading edge is arrivals-only, so these tight
+	// loops carry most of a corner-start round's operations. The float64
+	// operation sequence on nw is identical to the general merge.
+	if crossed && len(aw) == 0 {
+		for _, idx := range rem {
+			last := len(seg) - 1
+			w := seg[idx]
+			seg[idx] = seg[last]
+			seg = seg[:last]
+			nw -= w
+		}
+		e.finishReplay(d, k, i, seg, nw)
+		return
+	}
+	if crossed && len(rem) == 0 {
+		seg = append(seg, aw...)
+		for _, w := range aw {
+			nw += w
+		}
+		e.finishReplay(d, k, i, seg, nw)
+		return
+	}
 	ai, ri := 0, 0
 	for ai < len(aw) || ri < len(rem) {
 		var g int64
@@ -461,31 +553,57 @@ func (e *WeightedEngine) replayNode(i int, oldSeg, newSeg, aw []float64, ag []in
 			g = remG0 + int64(ri)
 		}
 		if !crossed && g > cross {
-			nw = sumFloats(buf)
+			nw = sumFloats(seg)
 			e.freshSum[i] = nw
 			crossed = true
 		}
 		if takeArr {
-			buf = append(buf, aw[ai])
+			seg = append(seg, aw[ai])
 			nw += aw[ai]
 			ai++
 		} else {
 			idx := rem[ri]
-			last := len(buf) - 1
-			w := buf[idx]
-			buf[idx] = buf[last]
-			buf = buf[:last]
+			last := len(seg) - 1
+			w := seg[idx]
+			seg[idx] = seg[last]
+			seg = seg[:last]
 			nw -= w
 			ri++
 		}
 	}
+	// The array changed, so any memoized fold is stale — unless the
+	// recompute fired after the last operation, in which case freshSum
+	// holds the fold of exactly the final contents.
+	e.sumValid[i] = false
 	if !crossed {
-		nw = sumFloats(buf)
+		nw = sumFloats(seg)
 		e.freshSum[i] = nw
+		e.sumValid[i] = true
 	}
 	e.nodeWeight[i] = nw
-	copy(newSeg, buf)
-	sc.buf = buf[:0]
+	segLen[k] = int64(len(seg))
+	if e.priv[d][k] != nil {
+		e.priv[d][k] = seg
+	}
+}
+
+// finishReplay stores a replayed node's updated segment, length, and
+// cached weight sum; the memoized fold is stale because the array
+// changed with no recompute firing after the final operation.
+func (e *WeightedEngine) finishReplay(d, k, i int, seg []float64, nw float64) {
+	e.sumValid[i] = false
+	e.nodeWeight[i] = nw
+	e.segLen[d][k] = int64(len(seg))
+	if e.priv[d][k] != nil {
+		e.priv[d][k] = seg
+	}
+}
+
+// growCap sizes a privatized segment: the transient peak plus headroom
+// so a node growing across consecutive rounds reallocates O(log growth)
+// times.
+func growCap(peak int64) int64 {
+	return peak + peak/2 + 8
 }
 
 // sumFloats folds left to right — the summation order of
@@ -513,7 +631,9 @@ func (e *WeightedEngine) Step(r uint64, base *rng.Stream) (int64, error) {
 	if e.closed {
 		return 0, ErrClosed
 	}
+	t0 := time.Now()
 	e.dispatch(phase{kind: phaseLoads})
+	t1 := time.Now()
 	e.dispatch(phase{kind: phaseDecide, round: base.Split(r)})
 	// Serial inter-barrier bookkeeping: lay the shards' moves onto the
 	// round's global move timeline (sources ascending — shards are
@@ -531,15 +651,17 @@ func (e *WeightedEngine) Step(r uint64, base *rng.Stream) (int64, error) {
 	// commit replays layouts as usual and refreshes the sums at that
 	// single instant.
 	e.crossAt = -1
-	if e.sinceRecompute+total >= core.WeightRecomputeEvery {
-		first := core.WeightRecomputeEvery - e.sinceRecompute
-		firings := 1 + (total-first)/core.WeightRecomputeEvery
-		last := first + (firings-1)*core.WeightRecomputeEvery
+	every := int64(core.WeightRecomputeEvery)
+	if e.sinceRecompute+total >= every {
+		first := every - e.sinceRecompute
+		firings := 1 + (total-first)/every
+		last := first + (firings-1)*every
 		e.crossAt = last - 1
 		e.sinceRecompute = total - last
 	} else {
 		e.sinceRecompute += total
 	}
+	t2 := time.Now()
 	e.dispatch(phase{kind: phaseCommit})
 	if e.crossAt >= 0 {
 		// RecomputeWeights folds the total in node order.
@@ -549,7 +671,22 @@ func (e *WeightedEngine) Step(r uint64, base *rng.Stream) (int64, error) {
 		}
 		e.totalW = t
 	}
+	t3 := time.Now()
+	e.times.Snapshot += t1.Sub(t0)
+	e.times.Decide += t2.Sub(t1)
+	e.times.Commit += t3.Sub(t2)
+	e.times.Rounds++
 	return total, nil
+}
+
+// Phases implements PhaseTimer: cumulative per-phase wall-clock time
+// across every Step so far. The serial recompute-crossing bookkeeping
+// counts toward decide and the post-barrier total-weight fold toward
+// commit.
+func (e *WeightedEngine) Phases() PhaseTimes {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.times
 }
 
 // ApplyEvents implements core.DynamicEngine: pre-round weighted
@@ -589,7 +726,7 @@ func (e *WeightedEngine) ApplyEvents(batch *core.EventBatch) (core.EventLedger, 
 		}
 		events += e.drainCount(i, batch)
 	}
-	if e.sinceRecompute+events >= core.WeightRecomputeEvery {
+	if e.sinceRecompute+events >= int64(core.WeightRecomputeEvery) {
 		return e.slowApplyEvents(batch)
 	}
 	// Fast path (no recompute fires): two global passes mirror the
@@ -607,6 +744,7 @@ func (e *WeightedEngine) ApplyEvents(batch *core.EventBatch) (core.EventLedger, 
 			e.totalW += w
 		}
 		e.count += int64(len(ws))
+		e.sumValid[i] = false
 		led.ArrivedTasks += int64(len(ws))
 		for _, w := range ws {
 			led.ArrivedWeight += w
@@ -617,6 +755,7 @@ func (e *WeightedEngine) ApplyEvents(batch *core.EventBatch) (core.EventLedger, 
 		if d <= 0 || k <= 0 {
 			continue
 		}
+		e.sumValid[i] = false
 		oldCnt := e.nodeCount(i)
 		var arr []float64
 		if len(batch.WeightArrivals) != 0 {
@@ -666,24 +805,27 @@ func (e *WeightedEngine) drainCount(i int, batch *core.EventBatch) int64 {
 	return d
 }
 
-// nodeCount returns |x(i)| from the flat offsets.
+// nodeCount returns |x(i)| from the flat segment lengths.
 func (e *WeightedEngine) nodeCount(i int) int64 {
 	s := int(e.part.shardOf[i])
 	lo, _ := e.part.Range(s)
-	return e.off[s][i-lo+1] - e.off[s][i-lo]
+	return e.segLen[s][i-lo]
 }
 
-// nodeSegment returns node i's current pool segment (read-only view).
+// nodeSegment returns node i's current task segment (read-only view).
 func (e *WeightedEngine) nodeSegment(i int) []float64 {
 	s := int(e.part.shardOf[i])
 	lo, _ := e.part.Range(s)
-	return e.pool[s][e.off[s][i-lo]:e.off[s][i-lo+1]]
+	return e.seg(s, i-lo)
 }
 
 // rebuildAfterEvents rewrites the pools of every shard touched by the
 // batch: each node keeps (old ++ arrivals) truncated by its applied
-// drain — the layout Inject-then-Drain produces. Untouched shards keep
-// their pools.
+// drain — the layout Inject-then-Drain produces. A touched shard is
+// compacted into a packed pool and its private segments are released;
+// untouched shards keep their layout. A node's content survives the
+// compaction verbatim, so its memoized fold stays valid; nodes with
+// arrivals or drains have theirs invalidated by the caller.
 func (e *WeightedEngine) rebuildAfterEvents(batch *core.EventBatch) {
 	for s := 0; s < e.part.P(); s++ {
 		lo, hi := e.part.Range(s)
@@ -699,7 +841,7 @@ func (e *WeightedEngine) rebuildAfterEvents(batch *core.EventBatch) {
 		if !touched {
 			continue
 		}
-		off, noff := e.off[s], e.noff[s]
+		segLen, noff := e.segLen[s], e.noff[s]
 		noff[0] = 0
 		for i := lo; i < hi; i++ {
 			k := i - lo
@@ -707,21 +849,24 @@ func (e *WeightedEngine) rebuildAfterEvents(batch *core.EventBatch) {
 			if len(batch.WeightArrivals) != 0 {
 				a = int64(len(batch.WeightArrivals[i]))
 			}
-			noff[k+1] = noff[k] + (off[k+1] - off[k]) + a - e.drainCount(i, batch)
+			noff[k+1] = noff[k] + segLen[k] + a - e.drainCount(i, batch)
 		}
 		spare := growFloats(e.spare[s], noff[hi-lo])
-		pool := e.pool[s]
 		for i := lo; i < hi; i++ {
 			k := i - lo
-			oldSeg := pool[off[k]:off[k+1]]
 			newSeg := spare[noff[k]:noff[k+1]]
-			kept := copy(newSeg, oldSeg)
+			kept := copy(newSeg, e.seg(s, k))
 			if len(batch.WeightArrivals) != 0 {
 				copy(newSeg[kept:], batch.WeightArrivals[i])
 			}
 		}
-		e.pool[s], e.spare[s] = spare, pool[:0]
+		e.pool[s], e.spare[s] = spare, e.pool[s][:0]
 		e.off[s], e.noff[s] = e.noff[s], e.off[s]
+		off := e.off[s]
+		for k := 0; k < hi-lo; k++ {
+			segLen[k] = off[k+1] - off[k]
+			e.priv[s][k] = nil
+		}
 	}
 }
 
@@ -760,7 +905,7 @@ func (e *WeightedEngine) slowApplyEvents(batch *core.EventBatch) (core.EventLedg
 		}
 		e.count += int64(len(ws))
 		e.sinceRecompute += int64(len(ws))
-		if e.sinceRecompute >= core.WeightRecomputeEvery {
+		if e.sinceRecompute >= int64(core.WeightRecomputeEvery) {
 			recompute()
 		}
 		led.ArrivedTasks += int64(len(ws))
@@ -788,7 +933,7 @@ func (e *WeightedEngine) slowApplyEvents(batch *core.EventBatch) (core.EventLedg
 		}
 		e.count -= int64(k)
 		e.sinceRecompute += int64(k)
-		if e.sinceRecompute >= core.WeightRecomputeEvery {
+		if e.sinceRecompute >= int64(core.WeightRecomputeEvery) {
 			recompute()
 		}
 		led.DepartedTasks += int64(k)
@@ -797,14 +942,18 @@ func (e *WeightedEngine) slowApplyEvents(batch *core.EventBatch) (core.EventLedg
 	for s := 0; s < e.part.P(); s++ {
 		lo, hi := e.part.Range(s)
 		off := e.off[s]
+		segLen := e.segLen[s]
 		total := int64(0)
 		for i := lo; i < hi; i++ {
 			off[i-lo+1] = total + int64(len(tasks[i]))
 			total = off[i-lo+1]
+			segLen[i-lo] = int64(len(tasks[i]))
 		}
 		pool := growFloats(e.pool[s], total)
 		for i := lo; i < hi; i++ {
 			copy(pool[off[i-lo]:off[i-lo+1]], tasks[i])
+			e.priv[s][i-lo] = nil
+			e.sumValid[i] = false
 		}
 		e.pool[s] = pool
 	}
@@ -827,9 +976,8 @@ func (e *WeightedEngine) State() (*core.WeightedState, error) {
 	off := make([]int64, n+1)
 	for s := 0; s < e.part.P(); s++ {
 		lo, hi := e.part.Range(s)
-		soff := e.off[s]
 		for i := lo; i < hi; i++ {
-			pool = append(pool, e.pool[s][soff[i-lo]:soff[i-lo+1]]...)
+			pool = append(pool, e.seg(s, i-lo)...)
 			off[i+1] = int64(len(pool))
 		}
 	}
@@ -857,20 +1005,26 @@ func (e *WeightedEngine) Partition() *Partition { return e.part }
 func (e *WeightedEngine) Workers() int { return e.workers }
 
 // Footprint returns the engine's resident state in bytes: the CSR
-// arrays, the task-weight pools (both ping-pong halves), the offset
-// arrays and every flat O(n) vector — the "bytes per node" numerator of
-// the weighted scaling benchmark.
+// arrays, the task-weight pools and private segments, the offset and
+// length arrays and every flat O(n) vector — the "bytes per node"
+// numerator of the weighted scaling benchmark. The in-place commit
+// keeps no ping-pong twin of the pool; spare is empty until an event
+// batch forces a compaction.
 func (e *WeightedEngine) Footprint() int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	bytes := e.csr.Bytes()
 	bytes += int64(len(e.nodeWeight)+len(e.loads)+len(e.freshSum)) * 8
-	bytes += int64(len(e.part.shardOf)) * 4
+	bytes += int64(len(e.part.shardOf))*4 + int64(len(e.sumValid))
 	for s := range e.pool {
 		bytes += int64(cap(e.pool[s])+cap(e.spare[s])) * 8
-		bytes += int64(len(e.off[s])+len(e.noff[s])+len(e.remPos[s])+len(e.arrPos[s])) * 8
+		bytes += int64(len(e.off[s])+len(e.noff[s])+len(e.segLen[s])+len(e.remPos[s])+len(e.arrPos[s])) * 8
 		bytes += int64(cap(e.remIdx[s]))*4 + int64(len(e.arrCnt[s])+len(e.arrFill[s]))*4
 		bytes += int64(cap(e.arrW[s]))*8 + int64(cap(e.arrG[s]))*8
+		bytes += int64(len(e.priv[s])) * 24
+		for _, pv := range e.priv[s] {
+			bytes += int64(cap(pv)) * 8
+		}
 		for d := range e.outFlows[s] {
 			bytes += int64(cap(e.outFlows[s][d])) * 24
 		}

@@ -273,15 +273,21 @@ func TestWeightedShardApplyEvents(t *testing.T) {
 }
 
 // TestWeightedShardRecomputeCrossing pins the rarest path: a run whose
-// cumulative task moves cross the periodic weight-recompute threshold
-// (2²⁰ incremental updates), where the sequential engine rebuilds its
-// cached sums mid-round. The shard engine must fire the identical
-// recompute at the identical move — the cache bits are observable
-// through loads — so the final states must still match exactly.
+// cumulative task moves cross the periodic weight-recompute threshold,
+// where the sequential engine rebuilds its cached sums mid-round. The
+// shard engine must fire the identical recompute at the identical move
+// — the cache bits are observable through loads — so the final states
+// must still match exactly. The threshold is lowered to 2²⁰ for the
+// test (core.WeightRecomputeEvery is a var for exactly this purpose)
+// so the scenario stays small; both engines read the same value, so
+// the parity property under test is unchanged.
 func TestWeightedShardRecomputeCrossing(t *testing.T) {
 	if testing.Short() {
 		t.Skip("2²⁰-move run in -short mode")
 	}
+	saved := core.WeightRecomputeEvery
+	core.WeightRecomputeEvery = 1 << 20
+	defer func() { core.WeightRecomputeEvery = saved }()
 	class, err := experiments.ClassByKey("complete")
 	if err != nil {
 		t.Fatal(err)
@@ -308,7 +314,7 @@ func TestWeightedShardRecomputeCrossing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ref.Moves < core.WeightRecomputeEvery {
+	if ref.Moves < int64(core.WeightRecomputeEvery) {
 		t.Fatalf("scenario too small to cross the recompute threshold: %d moves", ref.Moves)
 	}
 	res, gotState, err := harness.RunWeightedEngineOpts(harness.EngineShard, sys, core.Algorithm2{}, perNode, nil, opts,
