@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-check bench-json bench-scale bench-gate table1 cover fuzz-short ci
+.PHONY: build vet test race bench-check bench-json bench-scale bench-serve bench-gate table1 cover fuzz-short ci
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,17 @@ bench-scale:
 	$(GO) run ./cmd/benchjson < BENCH_scale.txt > BENCH_scale.json
 	rm -f BENCH_scale.txt
 
+# Serving-path benchmarks: batcher submit cost, full serve round and
+# the sustained-throughput acceptance run (SERVE_SUSTAIN controls the
+# sustained window; the committed baseline records the 10s run whose
+# achieved-ops/s metric is the ≥100k/s acceptance evidence). Emitted as
+# BENCH_serve.json, the committed bench-gate baseline.
+SERVE_SUSTAIN ?= 10s
+bench-serve:
+	SERVE_SUSTAIN=$(SERVE_SUSTAIN) $(GO) test -run '^$$' -bench 'BatcherSubmit|ServeRound|ServeSustained' -benchtime 1x . > BENCH_serve.txt
+	$(GO) run ./cmd/benchjson < BENCH_serve.txt > BENCH_serve.json
+	rm -f BENCH_serve.txt
+
 # Regression gate: re-measure the bench-json and bench-scale suites
 # into *.fresh.json and diff them against the committed BENCH_core.json
 # / BENCH_scale.json baselines with cmd/benchgate. The gate judges
@@ -50,7 +61,16 @@ bench-scale:
 # and ignores sub-10ms benchmarks (pure noise at one iteration), so it
 # stays non-flaky on shared CI runners while still catching asymptotic
 # hot-path regressions. Refresh the baselines with `make bench-json
-# bench-scale` and commit the JSON when a slowdown is intentional.
+# bench-scale bench-serve` and commit the JSON when a slowdown is
+# intentional.
+#
+# The serve suite re-measures only the batcher and round benchmarks:
+# ServeSustained's ns/op is its wall-clock duration (an acceptance
+# record, not a regression signal), so the fresh run skips it and the
+# gate reports it as baseline-only. Allocations gate too: matched
+# allocs/op pairs against a growth budget, and -max-allocs pins the
+# weighted shard round at n=10⁶ under 1,000 allocs/round absolutely —
+# the bound the O(movers) arena decide established.
 BENCH_GATE_TOLERANCE ?= 1.5
 bench-gate:
 	$(GO) test -run '^$$' -bench 'Table1|RoundBatchedVsPerTask|DynamicEvents|ShardRound|WeightedShardRound|WeightedCornerRound' -benchtime 1x . > BENCH_core.fresh.txt
@@ -59,7 +79,12 @@ bench-gate:
 	$(GO) test -run '^$$' -bench 'ShardRound|WeightedShardRound|ShardBuild|WeightedCornerRound' -benchtime 1x . > BENCH_scale.fresh.txt
 	$(GO) run ./cmd/benchjson < BENCH_scale.fresh.txt > BENCH_scale.fresh.json
 	rm -f BENCH_scale.fresh.txt
-	$(GO) run ./cmd/benchgate -tolerance $(BENCH_GATE_TOLERANCE) BENCH_core.json=BENCH_core.fresh.json BENCH_scale.json=BENCH_scale.fresh.json
+	$(GO) test -run '^$$' -bench 'BatcherSubmit|ServeRound' -benchtime 1x . > BENCH_serve.fresh.txt
+	$(GO) run ./cmd/benchjson < BENCH_serve.fresh.txt > BENCH_serve.fresh.json
+	rm -f BENCH_serve.fresh.txt
+	$(GO) run ./cmd/benchgate -tolerance $(BENCH_GATE_TOLERANCE) \
+		-max-allocs 'WeightedShardRound/ring-n=1000000/shard=1000' \
+		BENCH_core.json=BENCH_core.fresh.json BENCH_scale.json=BENCH_scale.fresh.json BENCH_serve.json=BENCH_serve.fresh.json
 
 # Regenerate the empirical counterpart of the paper's Table 1.
 table1:

@@ -30,6 +30,18 @@
 // normalized sits above that noise and far below any real complexity
 // regression.
 //
+// Allocation counts gate separately. Unlike ns/op they are
+// deterministic — the same code allocates the same number of times on
+// any machine — so no normalization applies. Matched pairs reporting
+// allocs/op on both sides fail when fresh exceeds base·-alloc-factor
+// AND grows by more than -alloc-slack absolute allocations. On top of
+// the relative gate, -max-allocs takes comma-separated substring=limit
+// entries (the limit follows the LAST '=', since benchmark names
+// contain '='): every fresh benchmark whose key contains the substring
+// must report allocs/op at or below the limit, and a pattern matching
+// no fresh benchmark is a usage error so a renamed benchmark cannot
+// silently void its ceiling.
+//
 // Exit status: 0 all benchmarks within tolerance, 1 at least one
 // regression, 2 usage or I/O error. Benchmarks present on only one
 // side are reported but never gate — a renamed or new benchmark must
@@ -54,20 +66,27 @@ type Bench struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// pair is one matched benchmark with its fresh/baseline ns/op ratio.
+// pair is one matched benchmark with its fresh/baseline ns/op ratio,
+// plus the allocs/op values when both sides report them.
 type pair struct {
-	key     string
-	base    float64
-	fresh   float64
-	ratio   float64
-	normed  float64
-	srcPair string
+	key         string
+	base        float64
+	fresh       float64
+	ratio       float64
+	normed      float64
+	srcPair     string
+	hasAllocs   bool
+	baseAllocs  float64
+	freshAllocs float64
 }
 
 func main() {
 	tolerance := flag.Float64("tolerance", 1.5, "allowed fractional slowdown above the normalized baseline (1.5 = +150%)")
 	minMatched := flag.Int("min-matched", 3, "minimum matched benchmarks for median normalization; below this raw ratios are judged")
 	minNs := flag.Float64("min-ns", 1e7, "noise floor: benchmarks whose ns/op is below this on either side inform the median but never gate")
+	allocFactor := flag.Float64("alloc-factor", 2.0, "allowed allocs/op growth factor over the baseline (alloc counts are deterministic, so no machine normalization)")
+	allocSlack := flag.Float64("alloc-slack", 64, "absolute allocs/op growth always allowed, so tiny counts (2 -> 5) never trip the factor")
+	maxAllocs := flag.String("max-allocs", "", "comma-separated substring=limit ceilings on fresh allocs/op (e.g. 'WeightedShardRound/ring-n=1000000=1000'); a pattern matching no fresh benchmark is an error")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchgate [flags] baseline.json=fresh.json ...\n")
 		flag.PrintDefaults()
@@ -77,8 +96,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ceilings, err := parseCeilings(*maxAllocs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
 	var pairs []pair
 	var missing []string
+	var allFresh []Bench
 	for _, arg := range flag.Args() {
 		basePath, freshPath, ok := strings.Cut(arg, "=")
 		if !ok {
@@ -95,6 +120,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(2)
 		}
+		allFresh = append(allFresh, fresh...)
 		p, m := match(base, fresh, fmt.Sprintf("%s vs %s", basePath, freshPath))
 		pairs = append(pairs, p...)
 		missing = append(missing, m...)
@@ -127,11 +153,120 @@ func main() {
 		fmt.Printf("%-70s %12.0f -> %12.0f ns/op  ratio %.2f  normalized %.2f  %s\n",
 			p.key, p.base, p.fresh, p.ratio, p.normed, verdict)
 	}
+	// Allocation gates. Alloc counts are deterministic (no machine-speed
+	// factor), so both gates judge raw values: matched pairs against the
+	// baseline growth budget, fresh runs against the absolute ceilings.
+	for _, v := range judgeAllocs(pairs, *allocFactor, *allocSlack) {
+		fmt.Println(v.text)
+		failed = failed || v.failed
+	}
+	ceilingVerdicts, err := judgeCeilings(allFresh, ceilings)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	for _, v := range ceilingVerdicts {
+		fmt.Println(v.text)
+		failed = failed || v.failed
+	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL: normalized slowdown above %.2f\n", limit)
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: regression beyond tolerance\n")
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: %d benchmarks within tolerance (limit %.2f)\n", len(pairs), limit)
+}
+
+// verdict is one judged line of gate output.
+type verdict struct {
+	text   string
+	failed bool
+}
+
+// judgeAllocs compares matched allocs/op against the baseline: fresh
+// may grow to base·factor, and small counts get an absolute slack so
+// 2 → 5 allocations (harmless jitter in an amortized arena) never trip
+// the factor. Pairs without allocs/op on both sides are skipped — most
+// benchmarks do not call ReportAllocs.
+func judgeAllocs(pairs []pair, factor, slack float64) []verdict {
+	var out []verdict
+	for _, p := range pairs {
+		if !p.hasAllocs {
+			continue
+		}
+		v := verdict{}
+		state := "ok"
+		if p.freshAllocs > p.baseAllocs*factor && p.freshAllocs-p.baseAllocs > slack {
+			state = "ALLOC REGRESSION"
+			v.failed = true
+		}
+		v.text = fmt.Sprintf("%-70s %12.0f -> %12.0f allocs/op  %s", p.key, p.baseAllocs, p.freshAllocs, state)
+		out = append(out, v)
+	}
+	return out
+}
+
+// ceiling is one -max-allocs entry: every fresh benchmark whose key
+// contains the pattern must stay at or below the limit.
+type ceiling struct {
+	pattern string
+	limit   float64
+}
+
+// parseCeilings parses the -max-allocs flag.
+func parseCeilings(spec string) ([]ceiling, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []ceiling
+	for _, part := range strings.Split(spec, ",") {
+		// Benchmark names themselves contain '=' (ring-n=1000000), so the
+		// limit is everything after the LAST '='.
+		i := strings.LastIndex(part, "=")
+		if i <= 0 {
+			return nil, fmt.Errorf("-max-allocs entry %q is not a substring=limit pair", part)
+		}
+		pattern, limitStr := part[:i], part[i+1:]
+		var limit float64
+		if _, err := fmt.Sscanf(limitStr, "%g", &limit); err != nil || limit < 0 {
+			return nil, fmt.Errorf("-max-allocs entry %q: bad limit %q", part, limitStr)
+		}
+		out = append(out, ceiling{pattern: pattern, limit: limit})
+	}
+	return out, nil
+}
+
+// judgeCeilings applies the absolute allocs/op ceilings to the fresh
+// benchmarks. A pattern matching no fresh benchmark with allocs/op is
+// an error, not a pass — a renamed benchmark must not silently void
+// its ceiling.
+func judgeCeilings(fresh []Bench, ceilings []ceiling) ([]verdict, error) {
+	var out []verdict
+	for _, c := range ceilings {
+		matched := false
+		for _, b := range fresh {
+			k := key(b)
+			if !strings.Contains(k, c.pattern) {
+				continue
+			}
+			allocs, ok := b.Metrics["allocs/op"]
+			if !ok {
+				continue
+			}
+			matched = true
+			v := verdict{}
+			state := "ok"
+			if allocs > c.limit {
+				state = "ALLOC CEILING EXCEEDED"
+				v.failed = true
+			}
+			v.text = fmt.Sprintf("%-70s %12.0f allocs/op  ceiling %.0f  %s", k, allocs, c.limit, state)
+			out = append(out, v)
+		}
+		if !matched {
+			return nil, fmt.Errorf("-max-allocs pattern %q matched no fresh benchmark reporting allocs/op", c.pattern)
+		}
+	}
+	return out, nil
 }
 
 // load reads one benchjson file.
@@ -182,7 +317,13 @@ func match(base, fresh []Bench, src string) ([]pair, []string) {
 			missing = append(missing, fmt.Sprintf("%s: %s has no comparable ns/op", src, k))
 			continue
 		}
-		pairs = append(pairs, pair{key: k, base: bn, fresh: fn, ratio: fn / bn, srcPair: src})
+		p := pair{key: k, base: bn, fresh: fn, ratio: fn / bn, srcPair: src}
+		ba, baok := b.Metrics["allocs/op"]
+		fa, faok := f.Metrics["allocs/op"]
+		if baok && faok {
+			p.hasAllocs, p.baseAllocs, p.freshAllocs = true, ba, fa
+		}
+		pairs = append(pairs, p)
 	}
 	for _, f := range fresh {
 		if k := key(f); !seen[k] {

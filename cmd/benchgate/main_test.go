@@ -74,3 +74,102 @@ func TestNormalizeBelowMinMatchedKeepsRawRatios(t *testing.T) {
 		}
 	}
 }
+
+// TestMatchCarriesAllocs pins that pairs pick up allocs/op only when
+// both sides report it.
+func TestMatchCarriesAllocs(t *testing.T) {
+	base := []Bench{
+		{Name: "A", Procs: 1, Metrics: map[string]float64{"ns/op": 100, "allocs/op": 10}},
+		{Name: "B", Procs: 1, Metrics: map[string]float64{"ns/op": 100, "allocs/op": 10}},
+	}
+	fresh := []Bench{
+		{Name: "A", Procs: 1, Metrics: map[string]float64{"ns/op": 100, "allocs/op": 12}},
+		{Name: "B", Procs: 1, Metrics: map[string]float64{"ns/op": 100}}, // fresh side dropped ReportAllocs
+	}
+	pairs, _ := match(base, fresh, "t")
+	if len(pairs) != 2 {
+		t.Fatalf("matched %d pairs, want 2", len(pairs))
+	}
+	if !pairs[0].hasAllocs || pairs[0].baseAllocs != 10 || pairs[0].freshAllocs != 12 {
+		t.Errorf("pair A = %+v, want allocs 10 -> 12", pairs[0])
+	}
+	if pairs[1].hasAllocs {
+		t.Errorf("pair B carries allocs despite one-sided reporting: %+v", pairs[1])
+	}
+}
+
+// TestJudgeAllocsFactorAndSlack pins the two-condition alloc gate: a
+// regression needs both the factor exceeded and the absolute growth
+// above the slack, so tiny deterministic counts never flap.
+func TestJudgeAllocsFactorAndSlack(t *testing.T) {
+	pairs := []pair{
+		{key: "tiny-jump", hasAllocs: true, baseAllocs: 2, freshAllocs: 50},       // 25x but within slack
+		{key: "big-growth", hasAllocs: true, baseAllocs: 1000, freshAllocs: 1500}, // +500 but under factor
+		{key: "regression", hasAllocs: true, baseAllocs: 1000, freshAllocs: 3000}, // both tripped
+		{key: "no-allocs", baseAllocs: 0, freshAllocs: 0},                         // skipped
+	}
+	vs := judgeAllocs(pairs, 2.0, 64)
+	if len(vs) != 3 {
+		t.Fatalf("judged %d pairs, want 3: %+v", len(vs), vs)
+	}
+	for i, wantFail := range []bool{false, false, true} {
+		if vs[i].failed != wantFail {
+			t.Errorf("%s: failed=%v, want %v", pairs[i].key, vs[i].failed, wantFail)
+		}
+	}
+}
+
+// TestParseCeilingsSplitsOnLastEquals pins the -max-allocs grammar:
+// benchmark names contain '=' (ring-n=1000000), so the limit is the
+// text after the final '='.
+func TestParseCeilingsSplitsOnLastEquals(t *testing.T) {
+	cs, err := parseCeilings("WeightedShardRound/ring-n=1000000/shard=1000,Other=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("parsed %d ceilings, want 2: %+v", len(cs), cs)
+	}
+	if cs[0].pattern != "WeightedShardRound/ring-n=1000000/shard" || cs[0].limit != 1000 {
+		t.Errorf("ceiling 0 = %+v", cs[0])
+	}
+	if cs[1].pattern != "Other" || cs[1].limit != 5 {
+		t.Errorf("ceiling 1 = %+v", cs[1])
+	}
+	for _, bad := range []string{"nolimit", "=5", "x=notanumber", "x=-3"} {
+		if _, err := parseCeilings(bad); err == nil {
+			t.Errorf("parseCeilings(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestJudgeCeilings pins the absolute gate: matches at or below the
+// limit pass, above fail, and a pattern matching no fresh benchmark
+// with allocs/op is an error rather than a silent pass.
+func TestJudgeCeilings(t *testing.T) {
+	fresh := []Bench{
+		{Name: "Round/ring-n=1000000/shard", Procs: 1, Metrics: map[string]float64{"allocs/op": 11}},
+		{Name: "Round/ring-n=1000/shard", Procs: 1, Metrics: map[string]float64{"allocs/op": 2000}},
+		{Name: "NoAllocs", Procs: 1, Metrics: map[string]float64{"ns/op": 5}},
+	}
+	vs, err := judgeCeilings(fresh, []ceiling{{pattern: "n=1000000/shard", limit: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].failed {
+		t.Fatalf("verdicts = %+v, want one pass", vs)
+	}
+	vs, err = judgeCeilings(fresh, []ceiling{{pattern: "n=1000/shard", limit: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !vs[0].failed {
+		t.Fatalf("verdicts = %+v, want one failure", vs)
+	}
+	if _, err := judgeCeilings(fresh, []ceiling{{pattern: "NoAllocs", limit: 1}}); err == nil {
+		t.Error("pattern matching only an allocs-free benchmark accepted, want error")
+	}
+	if _, err := judgeCeilings(fresh, []ceiling{{pattern: "Renamed", limit: 1}}); err == nil {
+		t.Error("pattern matching nothing accepted, want error")
+	}
+}

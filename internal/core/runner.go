@@ -241,6 +241,27 @@ func (e seqWeighted) ApplyEvents(batch *EventBatch) (EventLedger, error) {
 	return e.st.ApplyEvents(batch)
 }
 
+// SeqUniformEngine wraps a sequential (state, protocol) pair as an
+// Engine (and DynamicEngine) so callers that drive rounds themselves —
+// the serve daemon's live loop, custom harnesses — can use the same
+// adapter RunUniform uses internally. Step mutates st in place.
+func SeqUniformEngine(st *UniformState, p UniformProtocol) (Engine[*UniformState], error) {
+	if st == nil || p == nil {
+		return nil, errors.New("core: nil state or protocol")
+	}
+	return seqUniform{st: st, p: p}, nil
+}
+
+// SeqWeightedEngine wraps a sequential weighted (state, protocol) pair
+// as an Engine (and DynamicEngine); the weighted counterpart of
+// SeqUniformEngine.
+func SeqWeightedEngine(st *WeightedState, p WeightedProtocol) (Engine[*WeightedState], error) {
+	if st == nil || p == nil {
+		return nil, errors.New("core: nil state or protocol")
+	}
+	return seqWeighted{st: st, p: p}, nil
+}
+
 // UniformStop decides whether a uniform-state run may stop.
 type UniformStop func(*UniformState) bool
 
@@ -262,10 +283,11 @@ func StopAtPsi0Below(threshold float64) UniformStop {
 // stop returns true or opts.MaxRounds is exhausted. A nil stop runs all
 // MaxRounds. It is a thin wrapper over Drive.
 func RunUniform(st *UniformState, p UniformProtocol, stop UniformStop, opts RunOpts) (RunResult, error) {
-	if st == nil || p == nil {
-		return RunResult{}, errors.New("core: nil state or protocol")
+	e, err := SeqUniformEngine(st, p)
+	if err != nil {
+		return RunResult{}, err
 	}
-	return Drive[*UniformState](seqUniform{st: st, p: p}, stop, opts)
+	return Drive[*UniformState](e, stop, opts)
 }
 
 // WeightedStop decides whether a weighted-state run may stop.
@@ -292,8 +314,9 @@ func StopAtWeightedPsi0Below(threshold float64) WeightedStop {
 // until stop returns true or opts.MaxRounds is exhausted. A nil stop
 // runs all MaxRounds. It is a thin wrapper over Drive.
 func RunWeighted(st *WeightedState, p WeightedProtocol, stop WeightedStop, opts RunOpts) (RunResult, error) {
-	if st == nil || p == nil {
-		return RunResult{}, errors.New("core: nil state or protocol")
+	e, err := SeqWeightedEngine(st, p)
+	if err != nil {
+		return RunResult{}, err
 	}
-	return Drive[*WeightedState](seqWeighted{st: st, p: p}, stop, opts)
+	return Drive[*WeightedState](e, stop, opts)
 }

@@ -138,6 +138,66 @@ func (eo EngineOpts) Resolved(engine string, n int) EngineOpts {
 	return eo
 }
 
+// UniformEngineHandle is a constructed-but-not-yet-driven uniform
+// engine. Run*EngineOpts builds one, drives it through core.Drive, and
+// closes it; long-lived owners (the serve daemon) instead keep the
+// handle and step the engine themselves.
+type UniformEngineHandle struct {
+	// Engine executes rounds; every engine also implements
+	// core.DynamicEngine.
+	Engine core.Engine[*core.UniformState]
+	// Counts snapshots the final per-node task counts.
+	Counts func() []int64
+	// Raw is the value EngineOpts.Probe receives: the concrete engine,
+	// except for seq where it is the *core.UniformState itself.
+	Raw any
+	// Close releases engine goroutines; safe to call exactly once.
+	Close func() error
+}
+
+// BuildUniformEngine constructs the named uniform engine ("" means seq)
+// without running it. seed is only consulted by the actor engine, whose
+// per-processor goroutines pre-derive their streams at construction;
+// pass the RunOpts.Seed the engine will be driven with.
+func BuildUniformEngine(engine string, sys *core.System, proto core.UniformNodeProtocol, counts []int64, seed uint64, eo EngineOpts) (*UniformEngineHandle, error) {
+	switch engine {
+	case "", EngineSeq:
+		st, err := core.NewUniformState(sys, counts)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.SeqUniformEngine(st, proto)
+		if err != nil {
+			return nil, err
+		}
+		return &UniformEngineHandle{Engine: eng, Counts: st.Counts, Raw: st, Close: func() error { return nil }}, nil
+	case EngineForkJoin:
+		rt, err := dist.NewRuntime(sys, proto, counts, dist.WithWorkers(eo.Workers))
+		if err != nil {
+			return nil, err
+		}
+		return &UniformEngineHandle{Engine: rt, Counts: rt.Counts, Raw: rt, Close: rt.Close}, nil
+	case EngineActor:
+		nw, err := dist.NewNetworkWith(sys, counts, seed, proto)
+		if err != nil {
+			return nil, err
+		}
+		return &UniformEngineHandle{Engine: nw, Counts: nw.Counts, Raw: nw, Close: nw.Close}, nil
+	case EngineShard:
+		eng, err := shard.New(sys, proto, counts, shard.Options{
+			Shards:   eo.Shards,
+			Workers:  eo.Workers,
+			Strategy: shard.Strategy(eo.Strategy),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &UniformEngineHandle{Engine: eng, Counts: eng.Counts, Raw: eng, Close: eng.Close}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown uniform engine %q (want seq|forkjoin|actor|shard)", engine)
+	}
+}
+
 // RunUniformEngine runs one uniform-task simulation on the named engine
 // ("" means seq) through the shared core.Drive loop with default
 // engine tuning; see RunUniformEngineOpts.
@@ -150,57 +210,16 @@ func RunUniformEngine(engine string, sys *core.System, proto core.UniformNodePro
 // the run result together with the final per-node task counts (valid on
 // the ErrMaxRounds path too, so callers can chain phases).
 func RunUniformEngineOpts(engine string, sys *core.System, proto core.UniformNodeProtocol, counts []int64, stop core.UniformStop, opts core.RunOpts, eo EngineOpts) (core.RunResult, []int64, error) {
-	switch engine {
-	case "", EngineSeq:
-		st, err := core.NewUniformState(sys, counts)
-		if err != nil {
-			return core.RunResult{}, nil, err
-		}
-		res, err := core.RunUniform(st, proto, stop, opts)
-		if eo.Probe != nil {
-			eo.Probe(st)
-		}
-		return res, st.Counts(), err
-	case EngineForkJoin:
-		rt, err := dist.NewRuntime(sys, proto, counts, dist.WithWorkers(eo.Workers))
-		if err != nil {
-			return core.RunResult{}, nil, err
-		}
-		defer rt.Close()
-		res, err := core.Drive[*core.UniformState](rt, stop, opts)
-		if eo.Probe != nil {
-			eo.Probe(rt)
-		}
-		return res, rt.Counts(), err
-	case EngineActor:
-		nw, err := dist.NewNetworkWith(sys, counts, opts.Seed, proto)
-		if err != nil {
-			return core.RunResult{}, nil, err
-		}
-		defer nw.Close()
-		res, err := core.Drive[*core.UniformState](nw, stop, opts)
-		if eo.Probe != nil {
-			eo.Probe(nw)
-		}
-		return res, nw.Counts(), err
-	case EngineShard:
-		eng, err := shard.New(sys, proto, counts, shard.Options{
-			Shards:   eo.Shards,
-			Workers:  eo.Workers,
-			Strategy: shard.Strategy(eo.Strategy),
-		})
-		if err != nil {
-			return core.RunResult{}, nil, err
-		}
-		defer eng.Close()
-		res, err := core.Drive[*core.UniformState](eng, stop, opts)
-		if eo.Probe != nil {
-			eo.Probe(eng)
-		}
-		return res, eng.Counts(), err
-	default:
-		return core.RunResult{}, nil, fmt.Errorf("harness: unknown uniform engine %q (want seq|forkjoin|actor|shard)", engine)
+	h, err := BuildUniformEngine(engine, sys, proto, counts, opts.Seed, eo)
+	if err != nil {
+		return core.RunResult{}, nil, err
 	}
+	defer h.Close()
+	res, err := core.Drive[*core.UniformState](h.Engine, stop, opts)
+	if eo.Probe != nil {
+		eo.Probe(h.Raw)
+	}
+	return res, h.Counts(), err
 }
 
 // RunWeightedEngine runs one weighted-task simulation on the named
@@ -219,40 +238,73 @@ func RunWeightedEngine(engine string, sys *core.System, proto core.WeightedProto
 // (core.WeightedFlatProtocol, e.g. Algorithm 2). See
 // WeightedEngineSupports.
 func RunWeightedEngineOpts(engine string, sys *core.System, proto core.WeightedProtocol, perNode []task.Weights, stop core.WeightedStop, opts core.RunOpts, eo EngineOpts) (core.RunResult, *core.WeightedState, error) {
+	h, err := BuildWeightedEngine(engine, sys, proto, perNode, eo)
+	if err != nil {
+		return core.RunResult{}, nil, err
+	}
+	defer h.Close()
+	res, err := core.Drive[*core.WeightedState](h.Engine, stop, opts)
+	if eo.Probe != nil {
+		eo.Probe(h.Raw)
+	}
+	st, stErr := h.State()
+	if stErr != nil && err == nil {
+		err = stErr
+	}
+	return res, st, err
+}
+
+// WeightedEngineHandle is a constructed-but-not-yet-driven weighted
+// engine; the weighted counterpart of UniformEngineHandle.
+type WeightedEngineHandle struct {
+	// Engine executes rounds; every engine also implements
+	// core.DynamicEngine.
+	Engine core.Engine[*core.WeightedState]
+	// State materializes the full weighted state (expensive for the
+	// shard engine at scale — it rebuilds per-node task multisets).
+	State func() (*core.WeightedState, error)
+	// Raw is the value EngineOpts.Probe receives: the concrete engine,
+	// except for seq where it is the *core.WeightedState itself.
+	Raw any
+	// Close releases engine goroutines; safe to call exactly once.
+	Close func() error
+}
+
+// BuildWeightedEngine constructs the named weighted engine ("" means
+// seq) without running it. The forkjoin engine requires a
+// core.WeightedNodeProtocol, the shard engine a
+// core.WeightedFlatProtocol; see WeightedEngineSupports.
+func BuildWeightedEngine(engine string, sys *core.System, proto core.WeightedProtocol, perNode []task.Weights, eo EngineOpts) (*WeightedEngineHandle, error) {
 	switch engine {
 	case "", EngineSeq:
 		st, err := core.NewWeightedState(sys, perNode)
 		if err != nil {
-			return core.RunResult{}, nil, err
+			return nil, err
 		}
-		res, err := core.RunWeighted(st, proto, stop, opts)
-		if eo.Probe != nil {
-			eo.Probe(st)
+		eng, err := core.SeqWeightedEngine(st, proto)
+		if err != nil {
+			return nil, err
 		}
-		return res, st, err
+		return &WeightedEngineHandle{
+			Engine: eng,
+			State:  func() (*core.WeightedState, error) { return st, nil },
+			Raw:    st,
+			Close:  func() error { return nil },
+		}, nil
 	case EngineForkJoin:
 		np, ok := proto.(core.WeightedNodeProtocol)
 		if !ok {
-			return core.RunResult{}, nil, fmt.Errorf("harness: protocol %s does not factorize into per-node decisions; the forkjoin engine requires a core.WeightedNodeProtocol", proto.Name())
+			return nil, fmt.Errorf("harness: protocol %s does not factorize into per-node decisions; the forkjoin engine requires a core.WeightedNodeProtocol", proto.Name())
 		}
 		rt, err := dist.NewWeightedRuntime(sys, perNode, np, dist.WithWorkers(eo.Workers))
 		if err != nil {
-			return core.RunResult{}, nil, err
+			return nil, err
 		}
-		defer rt.Close()
-		res, err := core.Drive[*core.WeightedState](rt, stop, opts)
-		if eo.Probe != nil {
-			eo.Probe(rt)
-		}
-		st, stErr := rt.State()
-		if stErr != nil && err == nil {
-			err = stErr
-		}
-		return res, st, err
+		return &WeightedEngineHandle{Engine: rt, State: rt.State, Raw: rt, Close: rt.Close}, nil
 	case EngineShard:
 		fp, ok := proto.(core.WeightedFlatProtocol)
 		if !ok {
-			return core.RunResult{}, nil, fmt.Errorf("harness: protocol %s cannot decide against flat state; the shard engine requires a core.WeightedFlatProtocol", proto.Name())
+			return nil, fmt.Errorf("harness: protocol %s cannot decide against flat state; the shard engine requires a core.WeightedFlatProtocol", proto.Name())
 		}
 		eng, err := shard.NewWeighted(sys, fp, perNode, shard.Options{
 			Shards:   eo.Shards,
@@ -260,19 +312,10 @@ func RunWeightedEngineOpts(engine string, sys *core.System, proto core.WeightedP
 			Strategy: shard.Strategy(eo.Strategy),
 		})
 		if err != nil {
-			return core.RunResult{}, nil, err
+			return nil, err
 		}
-		defer eng.Close()
-		res, err := core.Drive[*core.WeightedState](eng, stop, opts)
-		if eo.Probe != nil {
-			eo.Probe(eng)
-		}
-		st, stErr := eng.State()
-		if stErr != nil && err == nil {
-			err = stErr
-		}
-		return res, st, err
+		return &WeightedEngineHandle{Engine: eng, State: eng.State, Raw: eng, Close: eng.Close}, nil
 	default:
-		return core.RunResult{}, nil, fmt.Errorf("harness: unknown weighted engine %q (want seq|forkjoin|shard)", engine)
+		return nil, fmt.Errorf("harness: unknown weighted engine %q (want seq|forkjoin|shard)", engine)
 	}
 }

@@ -128,8 +128,8 @@ func (r *Stream) binomialBTPE(n int, p float64) int {
 	q := 1 - pp
 	fn := float64(n)
 	fm := fn*pp + pp
-	m := int(fm)          // mode
-	nrq := fn * pp * q    // n·p·q, the variance
+	m := int(fm)       // mode
+	nrq := fn * pp * q // n·p·q, the variance
 	xm := float64(m) + 0.5
 	p1 := math.Floor(2.195*math.Sqrt(nrq)-4.6*q) + 0.5 // half-width of the triangle
 	xl := xm - p1
@@ -139,9 +139,9 @@ func (r *Stream) binomialBTPE(n int, p float64) int {
 	laml := al * (1 + al/2)
 	al = (xr - fm) / (xr * q)
 	lamr := al * (1 + al/2)
-	p2 := p1 * (1 + 2*c)  // triangle + parallelogram
-	p3 := p2 + c/laml     // + left exponential tail
-	p4 := p3 + c/lamr     // + right exponential tail
+	p2 := p1 * (1 + 2*c) // triangle + parallelogram
+	p3 := p2 + c/laml    // + left exponential tail
+	p4 := p3 + c/lamr    // + right exponential tail
 
 	var y int
 	for {

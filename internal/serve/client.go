@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// SubmitFunc abstracts the submission path a load generator drives:
+// the in-process Server.Submit, or an HTTP round trip.
+type SubmitFunc func(op Op) (Ticket, error)
+
+// LoadOpts configures an open-loop generated workload.
+type LoadOpts struct {
+	// Rate is the target submission rate in ops/sec (required).
+	Rate float64
+	// Duration bounds the run (required unless the context cancels).
+	Duration time.Duration
+	// Burst is how many ops are issued back-to-back per pacing tick
+	// (default 64); the tick interval is Burst/Rate. Open-loop: when a
+	// tick falls behind schedule the generator does not slow down, it
+	// catches up, so admission backlog shows up as latency, not as a
+	// reduced offered rate.
+	Burst int
+	// N is the node count submissions target (required).
+	N int
+	// Weighted submits OpArriveWeighted with weights uniform in
+	// [WeightMin, WeightMax] (defaults 0.1, 1.0); otherwise OpArrive.
+	Weighted  bool
+	WeightMin float64
+	WeightMax float64
+	// CompleteEvery ≥ 2 turns every k-th op into a completion request
+	// on a random node, keeping the task population roughly steady on
+	// long runs (0 disables).
+	CompleteEvery int
+	// Seed keys the op sequence (nodes, weights); the sequence is
+	// deterministic even though admission timing is not — determinism
+	// of the run itself comes from the journal.
+	Seed uint64
+}
+
+// LoadReport summarizes one generator run.
+type LoadReport struct {
+	// Submitted counts ops accepted by the submit path; Failed counts
+	// submit errors.
+	Submitted int64 `json:"submitted"`
+	Failed    int64 `json:"failed"`
+	// Waited counts tickets whose admission completed before shutdown.
+	Waited int64 `json:"waited"`
+	// Elapsed is the wall time from first to last submission tick.
+	Elapsed time.Duration `json:"elapsed"`
+	// AchievedRate is Submitted/Elapsed in ops/sec.
+	AchievedRate float64 `json:"achievedRate"`
+	// FirstRound/LastRound bracket the admission rounds observed.
+	FirstRound uint64 `json:"firstRound"`
+	LastRound  uint64 `json:"lastRound"`
+	// AdmitP50Us/AdmitP99Us/AdmitMaxUs summarize the client-observed
+	// admission latency (submit → batch applied), µs.
+	AdmitP50Us float64 `json:"admitP50Us"`
+	AdmitP99Us float64 `json:"admitP99Us"`
+	AdmitMaxUs float64 `json:"admitMaxUs"`
+}
+
+// RunLoad drives submit open-loop at opts.Rate for opts.Duration (or
+// until ctx cancels). A single pacer goroutine issues bursts on an
+// absolute schedule; a collector drains tickets in FIFO order (groups
+// complete in round order, so FIFO never blocks behind an unfinished
+// later ticket) and records client-side admission latency.
+func RunLoad(ctx context.Context, submit SubmitFunc, opts LoadOpts) (LoadReport, error) {
+	if opts.Rate <= 0 {
+		return LoadReport{}, fmt.Errorf("serve: load rate %v", opts.Rate)
+	}
+	if opts.N <= 0 {
+		return LoadReport{}, fmt.Errorf("serve: load over %d nodes", opts.N)
+	}
+	if opts.Duration <= 0 && ctx.Done() == nil {
+		return LoadReport{}, fmt.Errorf("serve: unbounded load run (no duration, no cancellable context)")
+	}
+	burst := opts.Burst
+	if burst <= 0 {
+		burst = 64
+	}
+	wmin, wmax := opts.WeightMin, opts.WeightMax
+	if wmin <= 0 {
+		wmin = 0.1
+	}
+	if wmax <= 0 || wmax > 1 {
+		wmax = 1.0
+	}
+	interval := time.Duration(float64(burst) / opts.Rate * float64(time.Second))
+
+	var rep LoadReport
+	m := NewMetrics() // client-side admission histogram
+	// The collector can only drain tickets of completed groups, so the
+	// channel must hold every submission in flight during one engine
+	// round or the pacer blocks on it and the offered rate collapses.
+	// Two seconds of headroom covers several rounds even at 10⁶ nodes.
+	depth := 4096
+	if c := int(opts.Rate * 2); c > depth {
+		depth = c
+	}
+	tickets := make(chan Ticket, depth)
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for t := range tickets {
+			round, err := t.Wait()
+			m.recordAdmit(time.Since(t.t0))
+			if err != nil {
+				continue
+			}
+			rep.Waited++
+			if rep.FirstRound == 0 {
+				rep.FirstRound = round
+			}
+			rep.LastRound = round
+		}
+	}()
+
+	// Op content stream: one sequential generator — the op sequence is
+	// a pure function of Seed; run determinism comes from the journal.
+	st := rng.New(opts.Seed)
+
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	next := start
+	var idx int64
+pace:
+	for opts.Duration <= 0 || time.Now().Before(deadline) {
+		select {
+		case <-ctx.Done():
+			break pace
+		default:
+		}
+		for b := 0; b < burst; b++ {
+			op := Op{Node: st.Intn(opts.N)}
+			switch {
+			case opts.CompleteEvery >= 2 && idx%int64(opts.CompleteEvery) == int64(opts.CompleteEvery)-1:
+				op.Kind = OpComplete
+				if opts.Weighted {
+					op.Kind = OpCompleteWeighted
+				}
+			case opts.Weighted:
+				op.Kind = OpArriveWeighted
+				op.Weight = wmin + (wmax-wmin)*st.Float64()
+			default:
+				op.Kind = OpArrive
+			}
+			idx++
+			t, err := submit(op)
+			if err != nil {
+				rep.Failed++
+				if err == ErrClosed {
+					break pace
+				}
+				continue
+			}
+			rep.Submitted++
+			tickets <- t
+		}
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	close(tickets)
+	<-collectorDone
+	if rep.Elapsed > 0 {
+		rep.AchievedRate = float64(rep.Submitted) / rep.Elapsed.Seconds()
+	}
+	cs := m.Snapshot()
+	rep.AdmitP50Us, rep.AdmitP99Us, rep.AdmitMaxUs = cs.AdmitP50Us, cs.AdmitP99Us, cs.AdmitMaxUs
+	return rep, nil
+}
+
+// String renders the report for shutdown logs.
+func (r LoadReport) String() string {
+	return fmt.Sprintf("submitted=%d failed=%d waited=%d elapsed=%v rate=%.0f/s rounds=[%d,%d] admit(p50=%gµs p99=%gµs max=%.0fµs)",
+		r.Submitted, r.Failed, r.Waited, r.Elapsed.Round(time.Millisecond), r.AchievedRate,
+		r.FirstRound, r.LastRound, r.AdmitP50Us, r.AdmitP99Us, r.AdmitMaxUs)
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// Prober is the engine-reading surface the HTTP layer needs beyond
+// Submit: per-node load and an optional Ψ₀ probe. cmd/lbd wires these
+// from the concrete engine; both run through Server.Do so they see a
+// quiescent engine.
+type Prober struct {
+	// NodeLoad returns node i's current load ℓᵢ.
+	NodeLoad func(i int) (float64, error)
+	// Psi0 returns the live potential (nil: /stats reports 0).
+	Psi0 func() float64
+}
+
+// submitter is the handler's view of a Server of either task model.
+type submitter interface {
+	Submit(op Op) (Ticket, error)
+	Stats() Stats
+	Do(f func())
+}
+
+// handler serves the lbd HTTP/JSON surface.
+type handler struct {
+	s        submitter
+	p        Prober
+	weighted bool
+}
+
+// NewHandler exposes srv over HTTP:
+//
+//	POST /tasks    {"node":i,"count":k} or {"node":i,"weight":w}  → {"round":r}
+//	POST /complete {"node":i,"count":k}                           → {"round":r,"requested":k}
+//	GET  /load?node=i                                             → {"node":i,"load":x}
+//	GET  /stats                                                   → serve.Stats
+//
+// Handlers wait for admission, so a 200 means the task is in the
+// engine and names the round that admitted it.
+func NewHandler[S core.State](srv *Server[S], p Prober) http.Handler {
+	h := &handler{s: srv, p: p, weighted: srv.cfg.Weighted}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /tasks", h.tasks)
+	mux.HandleFunc("POST /complete", h.complete)
+	mux.HandleFunc("GET /load", h.load)
+	mux.HandleFunc("GET /stats", h.stats)
+	return mux
+}
+
+// taskReq is the POST /tasks and POST /complete body.
+type taskReq struct {
+	Node   int     `json:"node"`
+	Count  int64   `json:"count,omitempty"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// admitResp reports the admission round.
+type admitResp struct {
+	Round uint64 `json:"round"`
+	Count int64  `json:"count,omitempty"`
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (h *handler) submitWait(w http.ResponseWriter, r *http.Request, op Op) {
+	t, err := h.s.Submit(op)
+	if err != nil {
+		code := http.StatusBadRequest
+		if err == ErrClosed {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	select {
+	case <-t.Done():
+	case <-r.Context().Done():
+		// The submission is already in the pending batch and will be
+		// applied; the caller just stopped waiting for the round.
+		writeErr(w, http.StatusRequestTimeout, r.Context().Err())
+		return
+	}
+	round, err := t.Wait()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	k := op.Count
+	if k == 0 {
+		k = 1
+	}
+	writeJSON(w, admitResp{Round: round, Count: k})
+}
+
+func (h *handler) tasks(w http.ResponseWriter, r *http.Request) {
+	var req taskReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	op := Op{Node: req.Node, Count: req.Count}
+	if req.Weight > 0 {
+		op.Kind = OpArriveWeighted
+		op.Weight = req.Weight
+	} else {
+		op.Kind = OpArrive
+	}
+	h.submitWait(w, r, op)
+}
+
+func (h *handler) complete(w http.ResponseWriter, r *http.Request) {
+	var req taskReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	op := Op{Node: req.Node, Count: req.Count, Kind: OpComplete}
+	if h.weighted {
+		op.Kind = OpCompleteWeighted
+	}
+	h.submitWait(w, r, op)
+}
+
+func (h *handler) load(w http.ResponseWriter, r *http.Request) {
+	if h.p.NodeLoad == nil {
+		writeErr(w, http.StatusNotImplemented, fmt.Errorf("no load probe wired"))
+		return
+	}
+	node, err := strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad node: %w", err))
+		return
+	}
+	var load float64
+	var lerr error
+	h.s.Do(func() { load, lerr = h.p.NodeLoad(node) })
+	if lerr != nil {
+		writeErr(w, http.StatusBadRequest, lerr)
+		return
+	}
+	writeJSON(w, map[string]any{"node": node, "load": load})
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	st := h.s.Stats()
+	if h.p.Psi0 != nil {
+		h.s.Do(func() { st.Psi0 = h.p.Psi0() })
+	}
+	writeJSON(w, st)
+}

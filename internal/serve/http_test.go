@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	const n = 16
+	sys := testSystem(t, n)
+	counts := make([]int64, n)
+	counts[3] = 8
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.SeqUniformEngine(st, core.Algorithm1{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New[*core.UniformState](eng, Config{
+		N: n, BatchSize: 2, MaxWait: time.Millisecond, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(srv, Prober{
+		NodeLoad: func(i int) (float64, error) {
+			if i < 0 || i >= n {
+				return 0, errOutOfRange(i)
+			}
+			return st.Load(i), nil
+		},
+		Psi0: st.Psi0,
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, out := postJSON(t, ts.URL+"/tasks", map[string]any{"node": 2, "count": 3})
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /tasks: %d %v", resp.StatusCode, out)
+	}
+	if out["round"] == nil || out["round"].(float64) < 1 {
+		t.Fatalf("no admission round in %v", out)
+	}
+
+	resp, out = postJSON(t, ts.URL+"/complete", map[string]any{"node": 3, "count": 1})
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /complete: %d %v", resp.StatusCode, out)
+	}
+
+	// Weighted submission on a uniform daemon is a client error.
+	resp, _ = postJSON(t, ts.URL+"/tasks", map[string]any{"node": 2, "weight": 0.5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("weighted op on uniform daemon: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/tasks", map[string]any{"node": 99})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range node: %d", resp.StatusCode)
+	}
+
+	lresp, err := http.Get(ts.URL + "/load?node=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var load map[string]any
+	if err := json.NewDecoder(lresp.Body).Decode(&load); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if lresp.StatusCode != 200 || load["load"] == nil {
+		t.Fatalf("GET /load: %d %v", lresp.StatusCode, load)
+	}
+
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Submissions < 2 || stats.Rounds < 1 {
+		t.Fatalf("GET /stats: %+v", stats)
+	}
+
+	if _, err := srv.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// After stop, submissions are refused with 503.
+	resp, _ = postJSON(t, ts.URL+"/tasks", map[string]any{"node": 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-stop submit: %d", resp.StatusCode)
+	}
+}
+
+type errOutOfRange int
+
+func (e errOutOfRange) Error() string { return "node out of range" }

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+
+	"repro/internal/core"
+)
+
+// CountEvent is a sparse per-node count entry in a journaled batch.
+type CountEvent struct {
+	Node  int   `json:"node"`
+	Count int64 `json:"count"`
+}
+
+// WeightEvent is the ordered weight-arrival list a node received in one
+// batch; order is application order and must be preserved for replay.
+type WeightEvent struct {
+	Node    int       `json:"node"`
+	Weights []float64 `json:"weights"`
+}
+
+// Entry is one round's admitted batch in sparse form. Rounds with no
+// events have no entry.
+type Entry struct {
+	Round            int           `json:"round"`
+	Arrivals         []CountEvent  `json:"arrivals,omitempty"`
+	Departures       []CountEvent  `json:"departures,omitempty"`
+	WeightArrivals   []WeightEvent `json:"weightArrivals,omitempty"`
+	WeightDepartures []CountEvent  `json:"weightDepartures,omitempty"`
+}
+
+// Journal is the admitted-batch ledger of a serve-mode run: everything
+// needed to replay the run offline through core.Drive — the run
+// parameters (seed, trace cadence, total rounds) plus the per-round
+// event batches — and, as a footer, the RunResult the live loop
+// observed, so replays can assert bit-exactness. Meta carries opaque
+// daemon setup (graph family, placement, engine) that cmd/lbd uses to
+// rebuild the initial state; package serve never interprets it.
+type Journal struct {
+	Version    int               `json:"version"`
+	N          int               `json:"n"`
+	Weighted   bool              `json:"weighted"`
+	Seed       uint64            `json:"seed"`
+	TraceEvery int               `json:"traceEvery"`
+	Meta       map[string]string `json:"meta,omitempty"`
+	Rounds     int               `json:"rounds"`
+	Entries    []Entry           `json:"-"`
+	Result     *core.RunResult   `json:"-"`
+}
+
+// journalVersion guards the on-disk format.
+const journalVersion = 1
+
+// appendEntry converts the taken group's dense batch to sparse form and
+// records it. Touched lists are sorted so the journal is canonical
+// (node-ascending) regardless of submission interleaving; the dense
+// reconstruction at replay is order-insensitive for counts and keeps
+// each node's weight list verbatim.
+func (j *Journal) appendEntry(round int, pb *pendingBatch) {
+	e := Entry{Round: round}
+	if len(pb.tA) > 0 {
+		slices.Sort(pb.tA)
+		e.Arrivals = make([]CountEvent, len(pb.tA))
+		for k, i := range pb.tA {
+			e.Arrivals[k] = CountEvent{Node: int(i), Count: pb.batch.Arrivals[i]}
+		}
+	}
+	if len(pb.tD) > 0 {
+		slices.Sort(pb.tD)
+		e.Departures = make([]CountEvent, len(pb.tD))
+		for k, i := range pb.tD {
+			e.Departures[k] = CountEvent{Node: int(i), Count: pb.batch.Departures[i]}
+		}
+	}
+	if len(pb.tWA) > 0 {
+		slices.Sort(pb.tWA)
+		e.WeightArrivals = make([]WeightEvent, len(pb.tWA))
+		for k, i := range pb.tWA {
+			e.WeightArrivals[k] = WeightEvent{
+				Node:    int(i),
+				Weights: slices.Clone(pb.batch.WeightArrivals[i]),
+			}
+		}
+	}
+	if len(pb.tWD) > 0 {
+		slices.Sort(pb.tWD)
+		e.WeightDepartures = make([]CountEvent, len(pb.tWD))
+		for k, i := range pb.tWD {
+			e.WeightDepartures[k] = CountEvent{Node: int(i), Count: pb.batch.WeightDepartures[i]}
+		}
+	}
+	j.Entries = append(j.Entries, e)
+}
+
+// Events returns a core.RunOpts.Events function replaying the journaled
+// batches: a pure function of the round number backed by one reused
+// dense batch (valid until the next call, exactly how Drive consumes
+// it). Entries must be round-ascending, which appendEntry guarantees.
+func (j *Journal) Events() func(round uint64) *core.EventBatch {
+	pb := newPendingBatch(j.N)
+	idx := 0
+	return func(round uint64) *core.EventBatch {
+		for idx < len(j.Entries) && uint64(j.Entries[idx].Round) < round {
+			idx++ // skip stale entries if the driver jumped ahead
+		}
+		if idx >= len(j.Entries) || uint64(j.Entries[idx].Round) != round {
+			return nil
+		}
+		e := j.Entries[idx]
+		idx++
+		pb.reset()
+		for _, a := range e.Arrivals {
+			pb.add(Op{Kind: OpArrive, Node: a.Node, Count: a.Count})
+		}
+		for _, d := range e.Departures {
+			pb.add(Op{Kind: OpComplete, Node: d.Node, Count: d.Count})
+		}
+		for _, wa := range e.WeightArrivals {
+			for _, w := range wa.Weights {
+				pb.add(Op{Kind: OpArriveWeighted, Node: wa.Node, Weight: w})
+			}
+		}
+		for _, d := range e.WeightDepartures {
+			pb.add(Op{Kind: OpCompleteWeighted, Node: d.Node, Count: d.Count})
+		}
+		return &pb.batch
+	}
+}
+
+// RunOpts returns the core.RunOpts that replays this journal: same
+// seed, same trace cadence, MaxRounds pinned to the live round count,
+// Events feeding the recorded batches.
+func (j *Journal) RunOpts() (core.RunOpts, error) {
+	if j.Rounds <= 0 {
+		return core.RunOpts{}, fmt.Errorf("serve: journal records %d rounds; nothing to replay", j.Rounds)
+	}
+	return core.RunOpts{
+		MaxRounds:  j.Rounds,
+		Seed:       j.Seed,
+		TraceEvery: j.TraceEvery,
+		Events:     j.Events(),
+	}, nil
+}
+
+// Replay drives eng through the journaled run and returns the replayed
+// RunResult. Bit-exactness against Journal.Result is the serve-mode
+// determinism contract: the engine must be built from the same initial
+// state the live run started from (Journal.Meta tells the owner how).
+func Replay[S core.State](j *Journal, eng core.Engine[S]) (core.RunResult, error) {
+	opts, err := j.RunOpts()
+	if err != nil {
+		return core.RunResult{}, err
+	}
+	return core.Drive[S](eng, nil, opts)
+}
+
+// jsonl line wrappers: one header object, one line per entry, one
+// result footer. The wrapper type tags keep the stream self-describing
+// and forward-extensible.
+type jsonlLine struct {
+	Type   string          `json:"type"`
+	Header *journalHeader  `json:"header,omitempty"`
+	Batch  *Entry          `json:"batch,omitempty"`
+	Result *core.RunResult `json:"result,omitempty"`
+}
+
+// journalHeader is the Journal's scalar prefix (everything but entries
+// and result).
+type journalHeader struct {
+	Version    int               `json:"version"`
+	N          int               `json:"n"`
+	Weighted   bool              `json:"weighted"`
+	Seed       uint64            `json:"seed"`
+	TraceEvery int               `json:"traceEvery"`
+	Rounds     int               `json:"rounds"`
+	Meta       map[string]string `json:"meta,omitempty"`
+}
+
+// Write serializes the journal as JSONL: header, entries, result
+// footer.
+func (j *Journal) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hd := journalHeader{
+		Version:    journalVersion,
+		N:          j.N,
+		Weighted:   j.Weighted,
+		Seed:       j.Seed,
+		TraceEvery: j.TraceEvery,
+		Rounds:     j.Rounds,
+		Meta:       j.Meta,
+	}
+	if err := enc.Encode(jsonlLine{Type: "header", Header: &hd}); err != nil {
+		return err
+	}
+	for i := range j.Entries {
+		if err := enc.Encode(jsonlLine{Type: "batch", Batch: &j.Entries[i]}); err != nil {
+			return err
+		}
+	}
+	if j.Result != nil {
+		if err := enc.Encode(jsonlLine{Type: "result", Result: j.Result}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJournal parses a JSONL journal stream written by Write.
+func ReadJournal(r io.Reader) (*Journal, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var j *Journal
+	for {
+		var line jsonlLine
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("serve: journal parse: %w", err)
+		}
+		switch line.Type {
+		case "header":
+			if j != nil {
+				return nil, fmt.Errorf("serve: duplicate journal header")
+			}
+			h := line.Header
+			if h == nil {
+				return nil, fmt.Errorf("serve: header line without header body")
+			}
+			if h.Version != journalVersion {
+				return nil, fmt.Errorf("serve: journal version %d, want %d", h.Version, journalVersion)
+			}
+			j = &Journal{
+				Version:    h.Version,
+				N:          h.N,
+				Weighted:   h.Weighted,
+				Seed:       h.Seed,
+				TraceEvery: h.TraceEvery,
+				Rounds:     h.Rounds,
+				Meta:       h.Meta,
+			}
+		case "batch":
+			if j == nil {
+				return nil, fmt.Errorf("serve: batch line before header")
+			}
+			if line.Batch == nil {
+				return nil, fmt.Errorf("serve: batch line without batch body")
+			}
+			j.Entries = append(j.Entries, *line.Batch)
+		case "result":
+			if j == nil {
+				return nil, fmt.Errorf("serve: result line before header")
+			}
+			j.Result = line.Result
+		default:
+			return nil, fmt.Errorf("serve: unknown journal line type %q", line.Type)
+		}
+	}
+	if j == nil {
+		return nil, fmt.Errorf("serve: empty journal")
+	}
+	return j, nil
+}

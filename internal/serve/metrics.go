@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket counts: batch sizes use power-of-two buckets up to
+// 2²⁰ submissions, admission latencies power-of-two microsecond buckets
+// up to ~17 minutes. Bucket k holds values in [2ᵏ, 2ᵏ⁺¹).
+const (
+	batchBuckets = 21
+	admitBuckets = 31
+)
+
+// Metrics is the serve daemon's flat counter set. Everything is atomic
+// so the submit path, the round loop, and stats readers never contend
+// on a lock; Snapshot folds it into a plain Stats value.
+type Metrics struct {
+	submissions   atomic.Uint64
+	rejected      atomic.Uint64
+	batches       atomic.Uint64
+	rounds        atomic.Uint64
+	idleRounds    atomic.Uint64
+	moves         atomic.Int64
+	flushSize     atomic.Uint64
+	flushDeadline atomic.Uint64
+	flushFinal    atomic.Uint64
+	maxBatch      atomic.Int64
+	queueNs       atomic.Int64
+	applyNs       atomic.Int64
+	stepNs        atomic.Int64
+	snapshotNs    atomic.Int64
+	decideNs      atomic.Int64
+	commitNs      atomic.Int64
+	admitMaxNs    atomic.Int64
+	batchHist     [batchBuckets]atomic.Uint64
+	admitHist     [admitBuckets]atomic.Uint64
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+func bucketOf(v int64, n int) int {
+	if v < 1 {
+		v = 1
+	}
+	b := bits.Len64(uint64(v)) - 1
+	if b >= n {
+		b = n - 1
+	}
+	return b
+}
+
+func (m *Metrics) recordAdmit(d time.Duration) {
+	us := d.Microseconds()
+	m.admitHist[bucketOf(us, admitBuckets)].Add(1)
+	for {
+		cur := m.admitMaxNs.Load()
+		if int64(d) <= cur || m.admitMaxNs.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+func (m *Metrics) recordBatch(size int, queue time.Duration) {
+	m.batches.Add(1)
+	m.batchHist[bucketOf(int64(size), batchBuckets)].Add(1)
+	m.queueNs.Add(int64(queue))
+	for {
+		cur := m.maxBatch.Load()
+		if int64(size) <= cur || m.maxBatch.CompareAndSwap(cur, int64(size)) {
+			return
+		}
+	}
+}
+
+// quantile returns the upper bound (in the histogram's unit) of the
+// bucket where the cumulative count crosses q∈[0,1], or 0 for an empty
+// histogram — a ≤2× overestimate by construction.
+func quantile(hist []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for k, c := range hist {
+		cum += c
+		if cum > target {
+			return float64(int64(1) << (k + 1))
+		}
+	}
+	return float64(int64(1) << len(hist))
+}
+
+// Stats is one CSV-friendly snapshot of a serve run: scalar fields
+// only, so it flattens to a header row and a value row (CSVHeader /
+// CSVRow) and marshals directly for GET /stats.
+type Stats struct {
+	Submissions uint64 `json:"submissions"`
+	Rejected    uint64 `json:"rejected"`
+	Batches     uint64 `json:"batches"`
+	Rounds      uint64 `json:"rounds"`
+	IdleRounds  uint64 `json:"idleRounds"`
+	Moves       int64  `json:"moves"`
+
+	FlushSize     uint64 `json:"flushSize"`
+	FlushDeadline uint64 `json:"flushDeadline"`
+	FlushFinal    uint64 `json:"flushFinal"`
+
+	BatchMean float64 `json:"batchMean"`
+	BatchP50  float64 `json:"batchP50"`
+	BatchP99  float64 `json:"batchP99"`
+	BatchMax  int64   `json:"batchMax"`
+
+	QueueSec    float64 `json:"queueSec"`
+	ApplySec    float64 `json:"applySec"`
+	StepSec     float64 `json:"stepSec"`
+	SnapshotSec float64 `json:"snapshotSec"`
+	DecideSec   float64 `json:"decideSec"`
+	CommitSec   float64 `json:"commitSec"`
+
+	AdmitP50Us float64 `json:"admitP50Us"`
+	AdmitP99Us float64 `json:"admitP99Us"`
+	AdmitMaxUs float64 `json:"admitMaxUs"`
+
+	// Psi0 is the live Ψ₀ at snapshot time when the owner wired a
+	// potential probe (NaN-free: 0 when absent).
+	Psi0 float64 `json:"psi0"`
+}
+
+// Snapshot folds the counters into a Stats value. Concurrent-safe; the
+// snapshot is not atomic across fields (counters advance while it is
+// taken), which is fine for monitoring.
+func (m *Metrics) Snapshot() Stats {
+	var bh [batchBuckets]uint64
+	for k := range m.batchHist {
+		bh[k] = m.batchHist[k].Load()
+	}
+	var ah [admitBuckets]uint64
+	for k := range m.admitHist {
+		ah[k] = m.admitHist[k].Load()
+	}
+	s := Stats{
+		Submissions:   m.submissions.Load(),
+		Rejected:      m.rejected.Load(),
+		Batches:       m.batches.Load(),
+		Rounds:        m.rounds.Load(),
+		IdleRounds:    m.idleRounds.Load(),
+		Moves:         m.moves.Load(),
+		FlushSize:     m.flushSize.Load(),
+		FlushDeadline: m.flushDeadline.Load(),
+		FlushFinal:    m.flushFinal.Load(),
+		BatchP50:      quantile(bh[:], 0.50),
+		BatchP99:      quantile(bh[:], 0.99),
+		BatchMax:      m.maxBatch.Load(),
+		QueueSec:      time.Duration(m.queueNs.Load()).Seconds(),
+		ApplySec:      time.Duration(m.applyNs.Load()).Seconds(),
+		StepSec:       time.Duration(m.stepNs.Load()).Seconds(),
+		SnapshotSec:   time.Duration(m.snapshotNs.Load()).Seconds(),
+		DecideSec:     time.Duration(m.decideNs.Load()).Seconds(),
+		CommitSec:     time.Duration(m.commitNs.Load()).Seconds(),
+		AdmitP50Us:    quantile(ah[:], 0.50),
+		AdmitP99Us:    quantile(ah[:], 0.99),
+		AdmitMaxUs:    float64(m.admitMaxNs.Load()) / 1e3,
+	}
+	if s.Batches > 0 {
+		s.BatchMean = float64(s.Submissions-s.Rejected) / float64(s.Batches)
+	}
+	return s
+}
+
+// statsFields pins the CSV column order.
+var statsFields = []string{
+	"submissions", "rejected", "batches", "rounds", "idleRounds", "moves",
+	"flushSize", "flushDeadline", "flushFinal",
+	"batchMean", "batchP50", "batchP99", "batchMax",
+	"queueSec", "applySec", "stepSec", "snapshotSec", "decideSec", "commitSec",
+	"admitP50Us", "admitP99Us", "admitMaxUs", "psi0",
+}
+
+// CSVHeader returns the comma-joined column names matching CSVRow.
+func (Stats) CSVHeader() string { return strings.Join(statsFields, ",") }
+
+// CSVRow renders the snapshot as one CSV record in CSVHeader order.
+func (s Stats) CSVRow() string {
+	vals := []any{
+		s.Submissions, s.Rejected, s.Batches, s.Rounds, s.IdleRounds, s.Moves,
+		s.FlushSize, s.FlushDeadline, s.FlushFinal,
+		s.BatchMean, s.BatchP50, s.BatchP99, s.BatchMax,
+		s.QueueSec, s.ApplySec, s.StepSec, s.SnapshotSec, s.DecideSec, s.CommitSec,
+		s.AdmitP50Us, s.AdmitP99Us, s.AdmitMaxUs, s.Psi0,
+	}
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			parts[i] = fmt.Sprintf("%g", x)
+		default:
+			parts[i] = fmt.Sprint(x)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders the snapshot as key=value pairs for shutdown logs.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"submissions=%d rejected=%d batches=%d rounds=%d idle=%d moves=%d "+
+			"flush(size=%d deadline=%d final=%d) batch(mean=%.1f p50=%g p99=%g max=%d) "+
+			"t(queue=%.3fs apply=%.3fs step=%.3fs) phases(snapshot=%.3fs decide=%.3fs commit=%.3fs) "+
+			"admit(p50=%gµs p99=%gµs max=%.0fµs) psi0=%g",
+		s.Submissions, s.Rejected, s.Batches, s.Rounds, s.IdleRounds, s.Moves,
+		s.FlushSize, s.FlushDeadline, s.FlushFinal,
+		s.BatchMean, s.BatchP50, s.BatchP99, s.BatchMax,
+		s.QueueSec, s.ApplySec, s.StepSec, s.SnapshotSec, s.DecideSec, s.CommitSec,
+		s.AdmitP50Us, s.AdmitP99Us, s.AdmitMaxUs, s.Psi0)
+}

@@ -1,0 +1,567 @@
+package serve
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func testSystem(t testing.TB, n int) *core.System {
+	t.Helper()
+	g, err := graph.Ring(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds, err := machine.TwoClass(n, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func uniformEngine(t testing.TB, sys *core.System, counts []int64) core.Engine[*core.UniformState] {
+	t.Helper()
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.SeqUniformEngine(st, core.Algorithm1{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func weightedEngine(t testing.TB, sys *core.System, perNode []task.Weights) core.Engine[*core.WeightedState] {
+	t.Helper()
+	st, err := core.NewWeightedState(sys, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.SeqWeightedEngine(st, core.Algorithm2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func testWeights(t testing.TB, sys *core.System, perNodeCount int) []task.Weights {
+	t.Helper()
+	ws, err := task.RandomWeights(perNodeCount*len(sys.Speeds()), 0.1, 1, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := workload.WeightedProportional(sys.Speeds(), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return perNode
+}
+
+// --- batcher unit tests -------------------------------------------------
+
+func TestBatcherSizeTrigger(t *testing.T) {
+	b, err := NewBatcher(8, false, 4, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Submit(Op{Kind: OpArrive, Node: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-b.Ready():
+		t.Fatal("ready before batchSize reached")
+	default:
+	}
+	if _, err := b.Submit(Op{Kind: OpArrive, Node: 0, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Ready():
+	case <-time.After(time.Second):
+		t.Fatal("size trigger did not fire")
+	}
+	g := b.Take()
+	if g == nil || g.subs != 4 {
+		t.Fatalf("took group %+v", g)
+	}
+	if g.cause != causeSize {
+		t.Fatalf("cause %d, want size", g.cause)
+	}
+	if got := g.pb.batch.Arrivals[0]; got != 3 {
+		t.Fatalf("node 0 arrivals %d, want 3 (1 + count 2)", got)
+	}
+	// Once taken, new submissions open a fresh group.
+	if _, err := b.Submit(Op{Kind: OpArrive, Node: 5}); err != nil {
+		t.Fatal(err)
+	}
+	g2 := b.Take()
+	if g2 == nil || g2.subs != 1 || g2 == g {
+		t.Fatalf("second take %+v", g2)
+	}
+}
+
+func TestBatcherDeadlineTrigger(t *testing.T) {
+	b, err := NewBatcher(8, false, 1<<20, 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Submit(Op{Kind: OpArrive, Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Ready():
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline trigger did not fire")
+	}
+	g := b.Take()
+	if g == nil || g.subs != 1 || g.cause != causeDeadline {
+		t.Fatalf("took group %+v", g)
+	}
+}
+
+func TestBatcherValidation(t *testing.T) {
+	b, _ := NewBatcher(4, false, 8, time.Hour, nil)
+	cases := []Op{
+		{Kind: OpArrive, Node: -1},
+		{Kind: OpArrive, Node: 4},
+		{Kind: OpArrive, Node: 0, Count: -2},
+		{Kind: OpArriveWeighted, Node: 0, Weight: 0.5}, // weighted op, uniform server
+	}
+	for _, op := range cases {
+		if _, err := b.Submit(op); err == nil {
+			t.Errorf("op %+v accepted", op)
+		}
+	}
+	wb, _ := NewBatcher(4, true, 8, time.Hour, nil)
+	for _, op := range []Op{
+		{Kind: OpArrive, Node: 0},                    // uniform op, weighted server
+		{Kind: OpArriveWeighted, Node: 0, Weight: 0}, // weight outside (0,1]
+		{Kind: OpArriveWeighted, Node: 0, Weight: 1.5},
+	} {
+		if _, err := wb.Submit(op); err == nil {
+			t.Errorf("op %+v accepted", op)
+		}
+	}
+	b.CloseSubmit()
+	if _, err := b.Submit(Op{Kind: OpArrive, Node: 0}); err != ErrClosed {
+		t.Errorf("closed submit: %v", err)
+	}
+}
+
+func TestPendingBatchRecycleClears(t *testing.T) {
+	pb := newPendingBatch(6)
+	pb.add(Op{Kind: OpArrive, Node: 2, Count: 3})
+	pb.add(Op{Kind: OpComplete, Node: 4, Count: 1})
+	pb.reset()
+	for i := 0; i < 6; i++ {
+		if pb.batch.Arrivals[i] != 0 || pb.batch.Departures[i] != 0 {
+			t.Fatalf("node %d not cleared", i)
+		}
+	}
+	if len(pb.tA) != 0 || len(pb.tD) != 0 {
+		t.Fatal("touched lists not truncated")
+	}
+}
+
+// --- server round loop --------------------------------------------------
+
+func TestServerAdmitsAndSteps(t *testing.T) {
+	sys := testSystem(t, 16)
+	counts := make([]int64, 16)
+	counts[0] = 64
+	srv, err := New[*core.UniformState](uniformEngine(t, sys, counts), Config{
+		N: 16, BatchSize: 4, MaxWait: time.Millisecond, Seed: 3, TraceEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tickets []Ticket
+	for i := 0; i < 10; i++ {
+		tk, err := srv.Submit(Op{Kind: OpArrive, Node: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for i := range tickets {
+		round, err := tickets[i].Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round == 0 {
+			t.Fatal("admitted in round 0")
+		}
+	}
+	res, err := srv.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Rounds < 1 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Ledger.Arrived != 10 {
+		t.Fatalf("ledger %+v, want 10 arrivals", res.Ledger)
+	}
+	st := srv.Stats()
+	if st.Submissions != 10 || st.Batches == 0 || st.Rounds != uint64(res.Rounds) {
+		t.Fatalf("stats %+v", st)
+	}
+	// Stop is idempotent and stable.
+	res2, _ := srv.Stop()
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatal("second Stop returned a different result")
+	}
+}
+
+func TestServerShutdownFlushesInFlight(t *testing.T) {
+	sys := testSystem(t, 16)
+	srv, err := New[*core.UniformState](uniformEngine(t, sys, make([]int64, 16)), Config{
+		// Huge batch size + long deadline: nothing flushes until Stop.
+		N: 16, BatchSize: 1 << 20, MaxWait: time.Hour, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const subs = 25
+	var tickets [subs]Ticket
+	for i := 0; i < subs; i++ {
+		tk, err := srv.Submit(Op{Kind: OpArrive, Node: i % 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+	}
+	res, err := srv.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tickets {
+		round, err := tickets[i].Wait()
+		if err != nil {
+			t.Fatalf("ticket %d dropped: %v", i, err)
+		}
+		if round != uint64(res.Rounds) {
+			t.Fatalf("ticket %d admitted round %d, want final round %d", i, round, res.Rounds)
+		}
+	}
+	if res.Ledger.Arrived != subs {
+		t.Fatalf("ledger %+v, want %d arrivals", res.Ledger, subs)
+	}
+	if st := srv.Stats(); st.FlushFinal == 0 {
+		t.Fatalf("stats %+v: shutdown flush not counted", st)
+	}
+}
+
+func TestServerConcurrentSubmitters(t *testing.T) {
+	sys := testSystem(t, 32)
+	srv, err := New[*core.UniformState](uniformEngine(t, sys, make([]int64, 32)), Config{
+		N: 32, BatchSize: 16, MaxWait: 500 * time.Microsecond, Seed: 9, IdleRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tk, err := srv.Submit(Op{Kind: OpArrive, Node: (w*per + i) % 32})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := tk.Wait(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res, err := srv.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ledger.Arrived != workers*per {
+		t.Fatalf("ledger %+v, want %d arrivals", res.Ledger, workers*per)
+	}
+	if st := srv.Stats(); st.IdleRounds == 0 {
+		t.Fatalf("stats %+v: idle rounds never ran", st)
+	}
+}
+
+func TestServerDoQuiescent(t *testing.T) {
+	sys := testSystem(t, 8)
+	counts := []int64{8, 0, 0, 0, 0, 0, 0, 0}
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.SeqUniformEngine(st, core.Algorithm1{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New[*core.UniformState](eng, Config{N: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	srv.Do(func() {
+		for i := 0; i < 8; i++ {
+			total += st.Count(i)
+		}
+	})
+	if total != 8 {
+		t.Fatalf("Do saw total %d, want 8", total)
+	}
+	if _, err := srv.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// After Stop, Do runs inline.
+	ran := false
+	srv.Do(func() { ran = true })
+	if !ran {
+		t.Fatal("post-stop Do did not run")
+	}
+}
+
+// --- journal / replay parity -------------------------------------------
+
+// driveServer pushes a randomized concurrent workload through srv and
+// stops it, returning the live result.
+func driveServer[S core.State](t *testing.T, srv *Server[S], n int, weighted bool, seed uint64) core.RunResult {
+	t.Helper()
+	const workers, per = 6, 80
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(seed + uint64(w))
+			for i := 0; i < per; i++ {
+				op := Op{Node: r.Intn(n)}
+				switch {
+				case weighted && i%5 == 4:
+					op.Kind = OpCompleteWeighted
+				case weighted:
+					op.Kind = OpArriveWeighted
+					op.Weight = 0.1 + 0.9*r.Float64()
+				case i%5 == 4:
+					op.Kind = OpComplete
+				default:
+					op.Kind = OpArrive
+					op.Count = int64(1 + r.Intn(3))
+				}
+				tk, err := srv.Submit(op)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if i%7 == 0 {
+					if _, err := tk.Wait(); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if i%11 == 0 {
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res, err := srv.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestUniformReplayParity(t *testing.T) {
+	const n = 48
+	sys := testSystem(t, n)
+	counts, err := workload.Proportional(sys.Speeds(), 10*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New[*core.UniformState](uniformEngine(t, sys, counts), Config{
+		N: n, BatchSize: 24, MaxWait: time.Millisecond, Seed: 42, TraceEvery: 3, IdleRounds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := driveServer(t, srv, n, false, 100)
+	j := srv.Journal()
+	if j == nil || j.Rounds != live.Rounds || j.Result == nil {
+		t.Fatalf("journal incomplete: %+v", j)
+	}
+	if !reflect.DeepEqual(*j.Result, live) {
+		t.Fatal("journal footer differs from live result")
+	}
+
+	replayed, err := Replay[*core.UniformState](j, uniformEngine(t, sys, counts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, replayed) {
+		t.Fatalf("replay diverged:\nlive   %+v\nreplay %+v", live, replayed)
+	}
+
+	// Byte round-trip through the JSONL format must stay bit-exact.
+	var buf bytes.Buffer
+	if err := j.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed2, err := Replay[*core.UniformState](j2, uniformEngine(t, sys, counts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, replayed2) {
+		t.Fatal("replay from serialized journal diverged")
+	}
+	if j2.Result == nil || !reflect.DeepEqual(*j2.Result, live) {
+		t.Fatal("serialized footer diverged")
+	}
+}
+
+func TestWeightedReplayParity(t *testing.T) {
+	const n = 32
+	sys := testSystem(t, n)
+	perNode := testWeights(t, sys, 12)
+	srv, err := New[*core.WeightedState](weightedEngine(t, sys, perNode), Config{
+		N: n, Weighted: true, BatchSize: 16, MaxWait: time.Millisecond, Seed: 7, TraceEvery: 2, IdleRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := driveServer(t, srv, n, true, 200)
+	j := srv.Journal()
+
+	replayed, err := Replay[*core.WeightedState](j, weightedEngine(t, sys, perNode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, replayed) {
+		t.Fatalf("weighted replay diverged:\nlive   %+v\nreplay %+v", live, replayed)
+	}
+
+	var buf bytes.Buffer
+	if err := j.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed2, err := Replay[*core.WeightedState](j2, weightedEngine(t, sys, perNode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, replayed2) {
+		t.Fatal("weighted replay from serialized journal diverged")
+	}
+}
+
+func TestStatsCSVShape(t *testing.T) {
+	var s Stats
+	header := s.CSVHeader()
+	row := s.CSVRow()
+	nh := len(splitComma(header))
+	nr := len(splitComma(row))
+	if nh != nr || nh == 0 {
+		t.Fatalf("header has %d columns, row has %d", nh, nr)
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// A weighted shard-engine daemon must journal-replay bit-exactly on the
+// sequential reference engine (and vice versa) — the serve-mode
+// extension of the repo's cross-engine parity contract.
+func TestShardServeReplayParityAcrossEngines(t *testing.T) {
+	const n = 40
+	sys := testSystem(t, n)
+	perNode := testWeights(t, sys, 10)
+
+	h, err := harness.BuildWeightedEngine(harness.EngineShard, sys, core.Algorithm2{}, perNode,
+		harness.EngineOpts{Workers: 2, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	srv, err := New[*core.WeightedState](h.Engine, Config{
+		N: n, Weighted: true, BatchSize: 16, MaxWait: time.Millisecond, Seed: 13, TraceEvery: 2, IdleRounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := driveServer(t, srv, n, true, 300)
+	j := srv.Journal()
+
+	// Replay on the sequential engine.
+	seqRes, err := Replay[*core.WeightedState](j, weightedEngine(t, sys, perNode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, seqRes) {
+		t.Fatalf("seq replay of shard serve run diverged:\nlive %+v\nseq  %+v", live, seqRes)
+	}
+
+	// Replay on a fresh shard engine with a different partitioning.
+	h2, err := harness.BuildWeightedEngine(harness.EngineShard, sys, core.Algorithm2{}, perNode,
+		harness.EngineOpts{Workers: 1, Shards: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	shardRes, err := Replay[*core.WeightedState](j, h2.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, shardRes) {
+		t.Fatal("shard replay of shard serve run diverged")
+	}
+}

@@ -347,6 +347,19 @@ func (e *Engine) Counts() []int64 {
 	return out
 }
 
+// NodeLoad returns node i's current load ℓᵢ = wᵢ/sᵢ from the flat
+// counts — an O(1) read (UniformState.Load semantics) that lets a live
+// observer (the serve daemon's GET /load) answer per-node queries
+// without materializing the full state.
+func (e *Engine) NodeLoad(i int) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.counts) {
+		return 0, fmt.Errorf("shard: load of node %d of %d", i, len(e.counts))
+	}
+	return float64(e.counts[i]) / e.sys.Speed(i), nil
+}
+
 // Partition exposes the engine's partition (for stats and tests).
 func (e *Engine) Partition() *Partition { return e.part }
 

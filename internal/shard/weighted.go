@@ -97,6 +97,24 @@ type WeightedEngine struct {
 	arrW    [][]float64
 	arrG    [][]int64
 
+	// Privatization arena (indexed by destination shard): private
+	// segments are carved from monotone-doubling bump blocks instead of
+	// individually allocated, so the commit's per-node privatizations
+	// and regrowths amortize to O(log growth) allocations per shard —
+	// the per-round cost is zero once the blocks reach working-set
+	// size. arenaCur is the block being carved, arenaOff its fill
+	// point; blocks that no longer fit a carve retire into arenaOld
+	// (live segments still point into them). arenaDead counts floats
+	// carved and later abandoned (a node re-carving a larger segment)
+	// plus retired-block tails; when it exceeds the shard's pool
+	// footprint the commit compacts the shard — rebuilding the packed
+	// slot layout and releasing every block — which bounds resident
+	// memory at O(live tasks).
+	arenaCur  [][]float64
+	arenaOff  []int64
+	arenaOld  [][][]float64
+	arenaDead []int64
+
 	// Round bookkeeping shared across phases: shardBase[s] is the global
 	// move index of shard s's first move, crossAt the 0-based global
 	// index of the move whose counter increment fires the last periodic
@@ -186,6 +204,10 @@ func NewWeighted(sys *core.System, proto core.WeightedFlatProtocol, perNode []ta
 		arrPos:     make([][]int64, p),
 		arrW:       make([][]float64, p),
 		arrG:       make([][]int64, p),
+		arenaCur:   make([][]float64, p),
+		arenaOff:   make([]int64, p),
+		arenaOld:   make([][][]float64, p),
+		arenaDead:  make([]int64, p),
 		shardBase:  make([]int64, p),
 		crossAt:    -1,
 		freshSum:   make([]float64, n),
@@ -390,6 +412,7 @@ func (e *WeightedEngine) commitShard(d int) {
 	part := e.part
 	lo, hi := part.Range(d)
 	size := hi - lo
+	e.maybeCompact(d)
 	// Pass 1: count arrivals per destination node.
 	arrCnt := e.arrCnt[d]
 	for k := range arrCnt {
@@ -462,6 +485,72 @@ func (e *WeightedEngine) commitShard(d int) {
 	}
 }
 
+// arenaMinBlock is the smallest bump block the privatization arena
+// allocates; blocks double from here, so a shard whose privatized
+// working set peaks at W floats allocates O(log(W/arenaMinBlock))
+// blocks over its lifetime.
+const arenaMinBlock = 4096
+
+// carve returns a zero-length slice with exactly capNeeded capacity
+// from shard s's bump arena, allocating a new (doubled) block only
+// when the current one cannot fit the request. The three-index
+// expression pins the capacity so a later append cannot bleed into the
+// next carve.
+func (e *WeightedEngine) carve(s int, capNeeded int64) []float64 {
+	blk := e.arenaCur[s]
+	if int64(len(blk))-e.arenaOff[s] < capNeeded {
+		if blk != nil {
+			e.arenaOld[s] = append(e.arenaOld[s], blk)
+			e.arenaDead[s] += int64(len(blk)) - e.arenaOff[s]
+		}
+		size := max(2*int64(len(blk)), capNeeded, arenaMinBlock)
+		blk = make([]float64, size)
+		e.arenaCur[s] = blk
+		e.arenaOff[s] = 0
+	}
+	off := e.arenaOff[s]
+	e.arenaOff[s] += capNeeded
+	return blk[off : off : off+capNeeded]
+}
+
+// resetArena releases shard s's arena blocks; the caller must have
+// repointed (or be about to rebuild) every private segment first.
+func (e *WeightedEngine) resetArena(s int) {
+	e.arenaCur[s] = nil
+	e.arenaOff[s] = 0
+	e.arenaOld[s] = nil
+	e.arenaDead[s] = 0
+}
+
+// maybeCompact bounds the arena's dead space: once the floats carved
+// and abandoned exceed the shard's packed pool size (or a fixed floor
+// for small shards), the shard is rebuilt into a fresh packed slot
+// layout — each node's segment copied verbatim, so contents, memoized
+// folds and the trajectory are untouched — and the arena is released.
+// Runs at the top of commitShard, before the round's replay carves.
+func (e *WeightedEngine) maybeCompact(s int) {
+	if e.arenaDead[s] <= max(int64(len(e.pool[s])), 4*arenaMinBlock) {
+		return
+	}
+	lo, hi := e.part.Range(s)
+	size := hi - lo
+	segLen, noff := e.segLen[s], e.noff[s]
+	noff[0] = 0
+	for k := 0; k < size; k++ {
+		noff[k+1] = noff[k] + segLen[k]
+	}
+	spare := growFloats(e.spare[s], noff[size])
+	for k := 0; k < size; k++ {
+		copy(spare[noff[k]:noff[k+1]], e.seg(s, k))
+	}
+	e.pool[s], e.spare[s] = spare, e.pool[s][:0]
+	e.off[s], e.noff[s] = e.noff[s], e.off[s]
+	for k := 0; k < size; k++ {
+		e.priv[s][k] = nil
+	}
+	e.resetArena(s)
+}
+
 // refreshSum is the periodic-recompute refresh for a node with no
 // operations this round: fold its segment — or reuse the memoized fold
 // when the array is unchanged since freshSum was computed — and adopt
@@ -496,8 +585,9 @@ func (e *WeightedEngine) replayNode(d, k, i int, aw []float64, ag []int64, rem [
 	var seg []float64
 	if pv := e.priv[d][k]; pv != nil {
 		if int64(cap(pv)) < peak {
-			np := make([]float64, cur, growCap(peak))
+			np := e.carve(d, growCap(peak))[:cur]
 			copy(np, pv[:cur])
+			e.arenaDead[d] += int64(cap(pv))
 			seg = np
 		} else {
 			seg = pv[:cur]
@@ -505,7 +595,7 @@ func (e *WeightedEngine) replayNode(d, k, i int, aw []float64, ag []int64, rem [
 	} else {
 		o := e.off[d]
 		if o[k+1]-o[k] < peak {
-			np := make([]float64, cur, growCap(peak))
+			np := e.carve(d, growCap(peak))[:cur]
 			copy(np, e.pool[d][o[k]:o[k]+cur])
 			e.priv[d][k] = np
 			seg = np
@@ -867,6 +957,7 @@ func (e *WeightedEngine) rebuildAfterEvents(batch *core.EventBatch) {
 			segLen[k] = off[k+1] - off[k]
 			e.priv[s][k] = nil
 		}
+		e.resetArena(s)
 	}
 }
 
@@ -956,6 +1047,7 @@ func (e *WeightedEngine) slowApplyEvents(batch *core.EventBatch) (core.EventLedg
 			e.sumValid[i] = false
 		}
 		e.pool[s] = pool
+		e.resetArena(s)
 	}
 	return led, nil
 }
@@ -991,6 +1083,19 @@ func (e *WeightedEngine) NodeWeights() []float64 {
 	return append([]float64(nil), e.nodeWeight...)
 }
 
+// NodeLoad returns node i's current load ℓᵢ = Wᵢ/sᵢ from the cached
+// weight sums — an O(1) read (WeightedState.Load semantics) that lets
+// a live observer (the serve daemon's GET /load) answer per-node
+// queries without materializing the full state.
+func (e *WeightedEngine) NodeLoad(i int) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= e.csr.N() {
+		return 0, fmt.Errorf("shard: load of node %d of %d", i, e.csr.N())
+	}
+	return e.nodeWeight[i] / e.sys.Speed(i), nil
+}
+
 // TaskCount returns the current number of tasks.
 func (e *WeightedEngine) TaskCount() int64 {
 	e.mu.Lock()
@@ -1021,9 +1126,12 @@ func (e *WeightedEngine) Footprint() int64 {
 		bytes += int64(len(e.off[s])+len(e.noff[s])+len(e.segLen[s])+len(e.remPos[s])+len(e.arrPos[s])) * 8
 		bytes += int64(cap(e.remIdx[s]))*4 + int64(len(e.arrCnt[s])+len(e.arrFill[s]))*4
 		bytes += int64(cap(e.arrW[s]))*8 + int64(cap(e.arrG[s]))*8
+		// Private segments are carved from the arena blocks, so the
+		// blocks — not the per-node views — carry the resident bytes.
 		bytes += int64(len(e.priv[s])) * 24
-		for _, pv := range e.priv[s] {
-			bytes += int64(cap(pv)) * 8
+		bytes += int64(len(e.arenaCur[s])) * 8
+		for _, blk := range e.arenaOld[s] {
+			bytes += int64(len(blk)) * 8
 		}
 		for d := range e.outFlows[s] {
 			bytes += int64(cap(e.outFlows[s][d])) * 24
@@ -1052,11 +1160,13 @@ func (e *WeightedEngine) String() string {
 	return fmt.Sprintf("shard.WeightedEngine(n=%d, P=%d, workers=%d, %s)", e.csr.N(), e.part.P(), e.workers, e.part.Strategy())
 }
 
-// growFloats returns buf resized to n elements, reallocating only when
-// the capacity is insufficient (contents are unspecified).
+// growFloats returns buf resized to n elements, reallocating — with at
+// least doubled capacity, so a buffer oscillating around a slowly
+// rising peak reallocates O(log peak) times, not once per round — only
+// when the capacity is insufficient (contents are unspecified).
 func growFloats(buf []float64, n int64) []float64 {
 	if int64(cap(buf)) < n {
-		return make([]float64, n)
+		return make([]float64, n, max(n, 2*int64(cap(buf))))
 	}
 	return buf[:n]
 }
@@ -1064,7 +1174,7 @@ func growFloats(buf []float64, n int64) []float64 {
 // growInt64s is growFloats for []int64.
 func growInt64s(buf []int64, n int64) []int64 {
 	if int64(cap(buf)) < n {
-		return make([]int64, n)
+		return make([]int64, n, max(n, 2*int64(cap(buf))))
 	}
 	return buf[:n]
 }
