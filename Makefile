@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-check bench-json bench-scale bench-serve bench-gate table1 cover fuzz-short ci
+.PHONY: build vet test race bench-check bench-json bench-scale bench-serve bench-gate table1 cover fuzz-short lbshard-smoke ci
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,21 @@ bench-gate:
 	$(GO) run ./cmd/benchgate -tolerance $(BENCH_GATE_TOLERANCE) \
 		-max-allocs 'WeightedShardRound/ring-n=1000000/shard=1000' \
 		BENCH_core.json=BENCH_core.fresh.json BENCH_scale.json=BENCH_scale.fresh.json BENCH_serve.json=BENCH_serve.fresh.json
+
+# True-distribution smoke: one coordinator spawning two lbshard worker
+# processes over a unix socket, checkpointing every 20 rounds; -verify
+# re-runs the same instance on the in-process shard engine and requires
+# the distributed result to match bit for bit (reflect.DeepEqual in the
+# coordinator). Leaves lbshard-smoke.ckpt and lbshard-smoke.json behind
+# for CI to archive.
+lbshard-smoke:
+	$(GO) build -o lbshard.bin ./cmd/lbshard
+	./lbshard.bin -graph torus -n 64 -tasks 4000 -seed 11 \
+		-model weighted -speeds twoclass -rounds 60 -trace 10 -shards 2 \
+		-socket /tmp/lbshard-smoke.sock -spawn \
+		-checkpoint lbshard-smoke.ckpt -checkpoint-every 20 \
+		-verify -result lbshard-smoke.json
+	rm -f lbshard.bin
 
 # Regenerate the empirical counterpart of the paper's Table 1.
 table1:

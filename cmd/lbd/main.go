@@ -126,7 +126,7 @@ func parseFlags(argv []string) (*flags, error) {
 	fs.StringVar(&fl.protocol, "protocol", "paper", "weighted protocol: paper|literal|baseline")
 	fs.StringVar(&fl.placement, "placement", "proportional", "initial placement: corner|random|proportional")
 
-	fs.StringVar(&fl.engine, "engine", "seq", "execution engine: seq|forkjoin|actor|shard")
+	fs.StringVar(&fl.engine, "engine", "seq", "execution engine: seq|forkjoin|actor|shard|cluster")
 	fs.IntVar(&fl.distWorkers, "dist-workers", 0, "pin the forkjoin/shard worker-pool size (0 = all cores)")
 	fs.IntVar(&fl.shards, "shards", 0, "shard engine: partition count P (0 = worker count)")
 	fs.StringVar(&fl.shardStrategy, "shard-strategy", "contiguous", "shard engine: partition strategy contiguous|degree")
@@ -558,7 +558,7 @@ func (fl *flags) banner(sys *core.System) string {
 	eo := fl.engineOpts().Resolved(fl.engine, sys.N())
 	s := fmt.Sprintf("daemon:   n=%d graph=%s model=%s engine=%s workers=%d",
 		sys.N(), fl.graph, fl.model, fl.engine, eo.Workers)
-	if fl.engine == harness.EngineShard {
+	if fl.engine == harness.EngineShard || fl.engine == harness.EngineCluster {
 		s += fmt.Sprintf(" shards=%d (%s)", eo.Shards, eo.Strategy)
 	}
 	batch, maxWait := fl.batch, fl.maxWait

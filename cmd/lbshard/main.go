@@ -1,0 +1,475 @@
+// Command lbshard runs one load-balancing instance across P shard
+// processes: a coordinator drives the round protocol over a socket and
+// P workers — each holding one shard of the state — execute the
+// decide/commit phases locally, exchanging flows through length-prefixed
+// binary frames. The produced RunResult is bit-identical to the
+// in-process engines (-verify checks this in the same invocation).
+//
+// Coordinator with self-spawned workers over a unix socket:
+//
+//	lbshard -graph torus -n 64 -shards 4 -rounds 200 -socket /tmp/lb.sock -spawn -verify
+//
+// Separate worker processes (any mix of machines over TCP):
+//
+//	lbshard -worker -socket tcp:coord-host:9000 &
+//	lbshard -worker -socket tcp:coord-host:9000 &
+//	lbshard -graph ring -n 128 -shards 2 -rounds 500 -socket tcp:0.0.0.0:9000
+//
+// Deterministic checkpoints make the run kill-tolerant: with
+// -checkpoint and -checkpoint-every the coordinator writes an atomic
+// snapshot after every k-th round, and a crashed run restarted with
+// -resume replays the remaining rounds to the bit-identical result:
+//
+//	lbshard -graph torus -n 64 -shards 2 -rounds 1000 -socket /tmp/lb.sock -spawn \
+//	        -checkpoint /tmp/lb.ckpt -checkpoint-every 100
+//	lbshard -graph torus -n 64 -shards 2 -rounds 1000 -socket /tmp/lb.sock -spawn \
+//	        -checkpoint /tmp/lb.ckpt -resume -result /tmp/lb.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"reflect"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/shard"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbshard: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type coordCfg struct {
+	graph     string
+	n         int
+	tasks     int64
+	seed      uint64
+	speeds    string
+	smax      float64
+	model     string
+	placement string
+
+	shards   int
+	socket   string
+	spawn    bool
+	rounds   int
+	trace    int
+	ckptPath string
+	ckptEach int
+	resume   bool
+	verify   bool
+	result   string
+
+	killAfter uint64 // forwarded to spawned worker 0 (testing)
+}
+
+func run() error {
+	var (
+		worker    = flag.Bool("worker", false, "run as a shard worker: connect to -socket and serve one shard")
+		socket    = flag.String("socket", "", "unix socket path, or tcp:host:port")
+		killAfter = flag.Uint64("killafter", 0, "testing: SIGKILL the worker (or, on the coordinator with -spawn, its first spawned worker) after completing round k")
+
+		graphName = flag.String("graph", "ring", "graph class: complete|ring|torus|hypercube")
+		n         = flag.Int("n", 32, "approximate number of processors")
+		tasks     = flag.Int64("tasks", 0, "number of tasks (default 64·n)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		speedsArg = flag.String("speeds", "uniform", "speed profile: uniform|twoclass")
+		smax      = flag.Float64("smax", 4, "maximum speed for the twoclass profile")
+		model     = flag.String("model", "uniform", "task model: uniform|weighted")
+		placement = flag.String("placement", "corner", "initial placement: corner|random|proportional")
+
+		shards   = flag.Int("shards", 2, "number of shard worker processes P")
+		spawn    = flag.Bool("spawn", false, "spawn the P workers from this binary instead of waiting for external ones")
+		rounds   = flag.Int("rounds", 100, "protocol rounds to run")
+		trace    = flag.Int("trace", 0, "record a potential trace point every k rounds (0 = off)")
+		ckptPath = flag.String("checkpoint", "", "checkpoint file path")
+		ckptEach = flag.Int("checkpoint-every", 0, "write a checkpoint after every k-th round (0 = off; requires -checkpoint)")
+		resume   = flag.Bool("resume", false, "resume from -checkpoint instead of starting fresh (instance comes from the file)")
+		verify   = flag.Bool("verify", false, "also run the in-process shard engine and require a bit-identical result")
+		result   = flag.String("result", "", "write the run result as JSON to this file")
+	)
+	flag.Parse()
+	if *socket == "" {
+		return fmt.Errorf("-socket is required")
+	}
+	if *worker {
+		return runWorker(*socket, *killAfter)
+	}
+	return runCoordinator(coordCfg{
+		graph: *graphName, n: *n, tasks: *tasks, seed: *seed,
+		speeds: *speedsArg, smax: *smax, model: *model, placement: *placement,
+		shards: *shards, socket: *socket, spawn: *spawn,
+		rounds: *rounds, trace: *trace,
+		ckptPath: *ckptPath, ckptEach: *ckptEach, resume: *resume,
+		verify: *verify, result: *result, killAfter: *killAfter,
+	})
+}
+
+// splitSocket maps the -socket syntax to a (network, address) pair.
+func splitSocket(socket string) (network, addr string) {
+	if a, ok := strings.CutPrefix(socket, "tcp:"); ok {
+		return "tcp", a
+	}
+	return "unix", socket
+}
+
+// runWorker dials the coordinator (retrying while it comes up) and
+// serves one shard until the session ends.
+func runWorker(socket string, killAfter uint64) error {
+	network, addr := splitSocket(socket)
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err = net.Dial(network, addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dial %s: %w", socket, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer conn.Close()
+	var wo shard.WorkerOptions
+	if killAfter > 0 {
+		wo.AfterRound = func(r uint64) {
+			if r >= killAfter {
+				_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+	return shard.RunWorkerOpts(conn, wo)
+}
+
+func runCoordinator(cfg coordCfg) error {
+	var from *shard.Checkpoint
+	if cfg.resume {
+		if cfg.ckptPath == "" {
+			return fmt.Errorf("-resume requires -checkpoint")
+		}
+		ck, err := shard.ReadCheckpoint(cfg.ckptPath)
+		if err != nil {
+			return err
+		}
+		from = ck
+		cfg.shards = ck.Shards()
+		if ck.Weighted() {
+			cfg.model = "weighted"
+		} else {
+			cfg.model = "uniform"
+		}
+		fmt.Printf("resume:   %s at round %d (P=%d, model=%s)\n", cfg.ckptPath, ck.Round, ck.Shards(), cfg.model)
+	}
+	if cfg.shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", cfg.shards)
+	}
+
+	network, addr := splitSocket(cfg.socket)
+	if network == "unix" {
+		_ = os.Remove(addr)
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	advertise := cfg.socket
+	if network == "tcp" {
+		// Resolve :0 so spawned workers dial the actual port.
+		advertise = "tcp:" + ln.Addr().String()
+	}
+
+	if cfg.spawn {
+		self, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < cfg.shards; i++ {
+			args := []string{"-worker", "-socket", advertise}
+			if cfg.killAfter > 0 && i == 0 {
+				args = append(args, "-killafter", strconv.FormatUint(cfg.killAfter, 10))
+			}
+			cmd := exec.Command(self, args...)
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return fmt.Errorf("spawn worker %d: %w", i, err)
+			}
+			defer func() {
+				_ = cmd.Process.Kill()
+				_ = cmd.Wait()
+			}()
+		}
+	}
+
+	conns := make([]net.Conn, 0, cfg.shards)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	rws := make([]io.ReadWriter, 0, cfg.shards)
+	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		_ = d.SetDeadline(time.Now().Add(30 * time.Second))
+	}
+	for i := 0; i < cfg.shards; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("accept worker %d/%d: %w", i, cfg.shards, err)
+		}
+		conns = append(conns, c)
+		rws = append(rws, c)
+	}
+	fmt.Printf("cluster:  P=%d workers connected on %s\n", cfg.shards, advertise)
+
+	opts := core.RunOpts{MaxRounds: cfg.rounds, Seed: cfg.seed, TraceEvery: cfg.trace}
+	ckCfg := shard.CheckpointConfig{Path: cfg.ckptPath, Every: cfg.ckptEach}
+
+	if cfg.model == "weighted" {
+		return driveWeighted(cfg, rws, from, opts, ckCfg)
+	}
+	return driveUniform(cfg, rws, from, opts, ckCfg)
+}
+
+func driveUniform(cfg coordCfg, rws []io.ReadWriter, from *shard.Checkpoint, opts core.RunOpts, ckCfg shard.CheckpointConfig) error {
+	var cl *shard.UniformCluster
+	var err error
+	if from != nil {
+		cl, err = from.ResumeUniform(rws)
+	} else {
+		var sys *core.System
+		var counts []int64
+		sys, counts, _, err = buildInstance(cfg)
+		if err != nil {
+			return err
+		}
+		cl, err = shard.NewUniformCluster(sys, core.Algorithm1{}, counts, rws, shard.Contiguous)
+	}
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	res, err := cl.Drive(opts, ckCfg, from)
+	if err != nil {
+		return err
+	}
+	counts, err := cl.Counts()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run:      %d rounds, %d moves, %d trace points\n", res.Rounds, res.Moves, len(res.Trace))
+	if cfg.verify {
+		sys, initial, _, err := buildInstance(cfg)
+		if err != nil {
+			return err
+		}
+		want, wantCounts, err := harness.RunUniformEngineOpts(harness.EngineShard, sys,
+			core.Algorithm1{}, initial, nil, opts, harness.EngineOpts{Shards: cfg.shards})
+		if err != nil {
+			return fmt.Errorf("verify run: %w", err)
+		}
+		if !reflect.DeepEqual(res, want) || !reflect.DeepEqual(counts, wantCounts) {
+			return fmt.Errorf("verify: cluster result differs from the in-process shard engine")
+		}
+		fmt.Println("verify: OK (bit-identical to the in-process shard engine)")
+	}
+	return writeResult(cfg.result, resultFile{
+		Model: "uniform", Rounds: res.Rounds, Converged: res.Converged,
+		Moves: res.Moves, Trace: res.Trace, Counts: counts,
+	})
+}
+
+func driveWeighted(cfg coordCfg, rws []io.ReadWriter, from *shard.Checkpoint, opts core.RunOpts, ckCfg shard.CheckpointConfig) error {
+	var cl *shard.WeightedCluster
+	var err error
+	if from != nil {
+		cl, err = from.ResumeWeighted(rws)
+	} else {
+		var sys *core.System
+		var perNode []task.Weights
+		sys, _, perNode, err = buildInstance(cfg)
+		if err != nil {
+			return err
+		}
+		cl, err = shard.NewWeightedCluster(sys, core.Algorithm2{}, perNode, rws, shard.Contiguous)
+	}
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	res, err := cl.Drive(opts, ckCfg, from)
+	if err != nil {
+		return err
+	}
+	st, err := cl.State()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run:      %d rounds, %d moves, %d trace points, W=%.1f\n",
+		res.Rounds, res.Moves, len(res.Trace), st.TotalWeight())
+	if cfg.verify {
+		sys, _, perNode, err := buildInstance(cfg)
+		if err != nil {
+			return err
+		}
+		want, wantState, err := harness.RunWeightedEngineOpts(harness.EngineShard, sys,
+			core.Algorithm2{}, perNode, nil, opts, harness.EngineOpts{Shards: cfg.shards})
+		if err != nil {
+			return fmt.Errorf("verify run: %w", err)
+		}
+		if !reflect.DeepEqual(res, want) {
+			return fmt.Errorf("verify: cluster result differs from the in-process shard engine")
+		}
+		if err := sameWeightedState(st, wantState); err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		fmt.Println("verify: OK (bit-identical to the in-process shard engine)")
+	}
+	n := st.System().N()
+	nw := make([]float64, n)
+	for i := 0; i < n; i++ {
+		nw[i] = st.NodeWeight(i)
+	}
+	return writeResult(cfg.result, resultFile{
+		Model: "weighted", Rounds: res.Rounds, Converged: res.Converged,
+		Moves: res.Moves, Trace: res.Trace,
+		TotalWeight: st.TotalWeight(), TaskCount: int64(st.TaskCount()), NodeWeight: nw,
+	})
+}
+
+// sameWeightedState demands exact equality of the weighted states: the
+// cached per-node sums, the task multisets in order, and the totals.
+func sameWeightedState(got, want *core.WeightedState) error {
+	n := want.System().N()
+	for i := 0; i < n; i++ {
+		if got.NodeWeight(i) != want.NodeWeight(i) {
+			return fmt.Errorf("node %d weight %g, want %g", i, got.NodeWeight(i), want.NodeWeight(i))
+		}
+		gw, ww := got.TaskWeights(i), want.TaskWeights(i)
+		if !reflect.DeepEqual(gw, ww) {
+			return fmt.Errorf("node %d task weights differ", i)
+		}
+	}
+	if got.TotalWeight() != want.TotalWeight() || got.TaskCount() != want.TaskCount() {
+		return fmt.Errorf("totals (W=%g, m=%d), want (W=%g, m=%d)",
+			got.TotalWeight(), got.TaskCount(), want.TotalWeight(), want.TaskCount())
+	}
+	return nil
+}
+
+// buildInstance constructs the system and both initial placements from
+// the instance flags; the unused model's placement is nil.
+func buildInstance(cfg coordCfg) (*core.System, []int64, []task.Weights, error) {
+	class, err := experiments.ClassByKey(cfg.graph)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g, err := class.Build(cfg.n)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	n := g.N()
+	var speeds machine.Speeds
+	switch cfg.speeds {
+	case "uniform":
+		speeds = machine.Uniform(n)
+	case "twoclass":
+		if speeds, err = machine.TwoClass(n, 0.25, cfg.smax); err != nil {
+			return nil, nil, nil, err
+		}
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown speed profile %q", cfg.speeds)
+	}
+	sys, err := core.NewSystem(g, speeds, core.WithLambda2(class.Lambda2(g)))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m := cfg.tasks
+	if m <= 0 {
+		m = 64 * int64(n)
+	}
+	if cfg.model == "weighted" {
+		weights, err := task.RandomWeights(int(m), 0.1, 1.0, rng.New(cfg.seed+3))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var perNode []task.Weights
+		switch cfg.placement {
+		case "corner":
+			perNode, err = workload.WeightedAllOnOne(n, weights, 0)
+		case "random":
+			perNode, err = workload.WeightedUniformRandom(n, weights, rng.New(cfg.seed+2))
+		case "proportional":
+			perNode, err = workload.WeightedProportional(sys.Speeds(), weights)
+		default:
+			err = fmt.Errorf("unknown placement %q", cfg.placement)
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return sys, nil, perNode, nil
+	}
+	var counts []int64
+	switch cfg.placement {
+	case "corner":
+		counts, err = workload.AllOnOne(n, m, 0)
+	case "random":
+		counts, err = workload.UniformRandom(n, m, rng.New(cfg.seed+2))
+	case "proportional":
+		counts, err = workload.Proportional(sys.Speeds(), m)
+	default:
+		err = fmt.Errorf("unknown placement %q", cfg.placement)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sys, counts, nil, nil
+}
+
+// resultFile is the -result JSON shape. Go's float64 JSON encoding
+// round-trips exactly, so two bit-identical runs produce byte-identical
+// files — the CI smoke compares them with a plain diff.
+type resultFile struct {
+	Model     string
+	Rounds    int
+	Converged bool
+	Moves     int64
+	Trace     []core.TracePoint `json:",omitempty"`
+
+	Counts []int64 `json:",omitempty"`
+
+	TotalWeight float64   `json:",omitempty"`
+	TaskCount   int64     `json:",omitempty"`
+	NodeWeight  []float64 `json:",omitempty"`
+}
+
+func writeResult(path string, r resultFile) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

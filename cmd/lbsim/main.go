@@ -67,7 +67,7 @@ func run() error {
 		speedsArg = flag.String("speeds", "uniform", "speed profile: uniform|twoclass|integers")
 		smax      = flag.Float64("smax", 4, "maximum speed for non-uniform profiles")
 		model     = flag.String("model", "uniform", "task model: uniform|weighted")
-		engine    = flag.String("engine", "seq", "execution engine: seq|forkjoin|actor|shard; see the engine matrix in README.md (identical trajectories)")
+		engine    = flag.String("engine", "seq", "execution engine: seq|forkjoin|actor|shard|cluster; see the engine matrix in README.md (identical trajectories)")
 		protocol  = flag.String("protocol", "paper", "weighted protocol: paper|literal|baseline")
 		eps       = flag.Float64("eps", 0.25, "epsilon for the approximate-NE stop")
 		maxRounds = flag.Int("maxrounds", 2_000_000, "safety cap on rounds")
@@ -434,9 +434,9 @@ func runWeighted(sys *core.System, m int64, engine, protocol, placement string, 
 // parameters — what actually runs (GOMAXPROCS workers, shards clamped
 // and defaulted), never the raw flag values, which print as the
 // meaningless "workers=0 shards=0". Shard fields appear only for the
-// shard engine.
+// shard and cluster engines.
 func fixedHeader(rounds int, model, engine string, eo harness.EngineOpts) string {
-	if engine == harness.EngineShard {
+	if engine == harness.EngineShard || engine == harness.EngineCluster {
 		return fmt.Sprintf("fixed:    %d rounds  model=%s  engine=%s  workers=%d  shards=%d (%s)",
 			rounds, model, engine, eo.Workers, eo.Shards, eo.Strategy)
 	}

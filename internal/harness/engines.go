@@ -29,15 +29,24 @@ const (
 	// uniform tasks, shard.WeightedEngine for weighted ones), built for
 	// 10⁵⁺-node instances.
 	EngineShard = "shard"
+	// EngineCluster is the cross-process coordinator/worker execution
+	// (shard.UniformCluster / shard.WeightedCluster): one worker per
+	// shard, each running the shard engine's decide/commit code behind
+	// the wire transport. The harness spawns the workers in process over
+	// net.Pipe, so every frame of the wire protocol is exercised;
+	// cmd/lbshard runs the same workers as separate OS processes.
+	EngineCluster = "cluster"
 )
 
 // UniformEngines lists the engine names RunUniformEngine accepts.
 func UniformEngines() []string {
-	return []string{EngineSeq, EngineForkJoin, EngineActor, EngineShard}
+	return []string{EngineSeq, EngineForkJoin, EngineActor, EngineShard, EngineCluster}
 }
 
 // WeightedEngines lists the engine names RunWeightedEngine accepts.
-func WeightedEngines() []string { return []string{EngineSeq, EngineForkJoin, EngineShard} }
+func WeightedEngines() []string {
+	return []string{EngineSeq, EngineForkJoin, EngineShard, EngineCluster}
+}
 
 // WeightedEngineSupports reports whether the named engine can execute
 // the given weighted protocol: forkjoin needs a round that factorizes
@@ -55,6 +64,11 @@ func WeightedEngineSupports(engine string, proto core.WeightedProtocol) bool {
 		return ok
 	case EngineShard:
 		_, ok := proto.(core.WeightedFlatProtocol)
+		return ok
+	case EngineCluster:
+		// The cluster additionally needs the protocol to be expressible
+		// on the wire; only the paper's Algorithm 2 is registered.
+		_, ok := proto.(core.Algorithm2)
 		return ok
 	}
 	return false
@@ -134,6 +148,26 @@ func (eo EngineOpts) Resolved(engine string, n int) EngineOpts {
 			strategy = string(shard.Contiguous)
 		}
 		return EngineOpts{Workers: w, Shards: p, Strategy: strategy}
+	case EngineCluster:
+		// One worker process per shard.
+		p := eo.Shards
+		if p <= 0 {
+			p = eo.Workers
+		}
+		if p <= 0 {
+			p = runtime.GOMAXPROCS(0)
+		}
+		if p < 1 {
+			p = 1
+		}
+		if p > n {
+			p = n
+		}
+		strategy := eo.Strategy
+		if strategy == "" {
+			strategy = string(shard.Contiguous)
+		}
+		return EngineOpts{Workers: p, Shards: p, Strategy: strategy}
 	}
 	return eo
 }
@@ -193,8 +227,29 @@ func BuildUniformEngine(engine string, sys *core.System, proto core.UniformNodeP
 			return nil, err
 		}
 		return &UniformEngineHandle{Engine: eng, Counts: eng.Counts, Raw: eng, Close: eng.Close}, nil
+	case EngineCluster:
+		cl, err := shard.StartLocalUniformCluster(sys, proto, counts, shard.Options{
+			Shards:   eo.Shards,
+			Workers:  eo.Workers,
+			Strategy: shard.Strategy(eo.Strategy),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &UniformEngineHandle{
+			Engine: cl,
+			Counts: func() []int64 {
+				cs, err := cl.Counts()
+				if err != nil {
+					return nil
+				}
+				return cs
+			},
+			Raw:   cl,
+			Close: cl.Close,
+		}, nil
 	default:
-		return nil, fmt.Errorf("harness: unknown uniform engine %q (want seq|forkjoin|actor|shard)", engine)
+		return nil, fmt.Errorf("harness: unknown uniform engine %q (want seq|forkjoin|actor|shard|cluster)", engine)
 	}
 }
 
@@ -315,7 +370,21 @@ func BuildWeightedEngine(engine string, sys *core.System, proto core.WeightedPro
 			return nil, err
 		}
 		return &WeightedEngineHandle{Engine: eng, State: eng.State, Raw: eng, Close: eng.Close}, nil
+	case EngineCluster:
+		fp, ok := proto.(core.WeightedFlatProtocol)
+		if !ok {
+			return nil, fmt.Errorf("harness: protocol %s cannot decide against flat state; the cluster engine requires a core.WeightedFlatProtocol", proto.Name())
+		}
+		cl, err := shard.StartLocalWeightedCluster(sys, fp, perNode, shard.Options{
+			Shards:   eo.Shards,
+			Workers:  eo.Workers,
+			Strategy: shard.Strategy(eo.Strategy),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &WeightedEngineHandle{Engine: cl, State: cl.State, Raw: cl, Close: cl.Close}, nil
 	default:
-		return nil, fmt.Errorf("harness: unknown weighted engine %q (want seq|forkjoin|shard)", engine)
+		return nil, fmt.Errorf("harness: unknown weighted engine %q (want seq|forkjoin|shard|cluster)", engine)
 	}
 }

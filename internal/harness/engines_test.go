@@ -12,14 +12,14 @@ import (
 )
 
 // TestEngineLists pins the dispatcher's engine menus: every uniform
-// engine plus the weighted trio, shard included since the weighted
-// shard engine landed.
+// engine plus the weighted list, shard and cluster included since the
+// respective engines landed.
 func TestEngineLists(t *testing.T) {
-	wantU := []string{EngineSeq, EngineForkJoin, EngineActor, EngineShard}
+	wantU := []string{EngineSeq, EngineForkJoin, EngineActor, EngineShard, EngineCluster}
 	if got := UniformEngines(); len(got) != len(wantU) {
 		t.Fatalf("UniformEngines() = %v", got)
 	}
-	wantW := []string{EngineSeq, EngineForkJoin, EngineShard}
+	wantW := []string{EngineSeq, EngineForkJoin, EngineShard, EngineCluster}
 	got := WeightedEngines()
 	if len(got) != len(wantW) {
 		t.Fatalf("WeightedEngines() = %v, want %v", got, wantW)
@@ -47,6 +47,9 @@ func TestWeightedEngineSupports(t *testing.T) {
 		{EngineShard, core.Algorithm2{}, true},
 		{EngineShard, core.BaselineWeighted{}, false},
 		{EngineShard, core.Algorithm2Literal{}, false},
+		{EngineCluster, core.Algorithm2{}, true},
+		{EngineCluster, core.BaselineWeighted{}, false},
+		{EngineCluster, core.Algorithm2Literal{}, false},
 		{"warp", core.Algorithm2{}, false},
 	}
 	for _, c := range cases {
@@ -94,6 +97,12 @@ func TestEngineOptsResolved(t *testing.T) {
 			EngineOpts{Workers: 4, Shards: 8, Strategy: "contiguous"}},
 		{"shard-workers-capped-at-p", EngineOpts{Workers: 8, Shards: 2}, EngineShard, 100,
 			EngineOpts{Workers: 2, Shards: 2, Strategy: "contiguous"}},
+		{"cluster-defaults", EngineOpts{}, EngineCluster, 1000,
+			EngineOpts{Workers: procs, Shards: procs, Strategy: "contiguous"}},
+		{"cluster-one-worker-per-shard", EngineOpts{Workers: 8, Shards: 3}, EngineCluster, 100,
+			EngineOpts{Workers: 3, Shards: 3, Strategy: "contiguous"}},
+		{"cluster-clamp-p-to-n", EngineOpts{Shards: 1000}, EngineCluster, 8,
+			EngineOpts{Workers: 8, Shards: 8, Strategy: "contiguous"}},
 	}
 	for _, c := range cases {
 		if got := c.eo.Resolved(c.engine, c.n); cfgOf(got) != cfgOf(c.want) {

@@ -92,6 +92,29 @@ func (r *Stream) SplitTo(index uint64, dst *Stream) {
 	expandInto(splitmix64(&x), dst)
 }
 
+// Words returns the stream's complete state — the four xoshiro256**
+// words followed by the immutable identity — for serialization.
+// StreamFromWords reconstructs a stream that continues exactly where
+// this one stands and derives the identical Split children, which is
+// what checkpointing and the cross-process transport need: a restored
+// worker draws the same randomness as the uninterrupted run.
+func (r *Stream) Words() [5]uint64 {
+	return [5]uint64{r.s[0], r.s[1], r.s[2], r.s[3], r.id}
+}
+
+// StreamFromWords rebuilds the stream Words captured. It is the only
+// constructor that bypasses SplitMix64 expansion, so it must only be
+// fed values produced by Words.
+func StreamFromWords(w [5]uint64) *Stream {
+	st := new(Stream)
+	st.s = [4]uint64{w[0], w[1], w[2], w[3]}
+	st.id = w[4]
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return st
+}
+
 // At pins the simulator's keying contract for (round, node) streams:
 // At(r, i) ≡ Split(r).Split(i). The sequential engine in package core
 // and the concurrent engines in package dist draw node i's round-r

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -66,6 +67,28 @@ type admitResp struct {
 	Count int64  `json:"count,omitempty"`
 }
 
+// maxBodyBytes bounds POST bodies. The legitimate requests are tiny
+// JSON objects; without a cap a single oversized body would be read
+// (and buffered by the JSON decoder) in full before failing.
+const maxBodyBytes = 1 << 16
+
+// decodeBody decodes a length-capped JSON request body into v,
+// reporting 413 for oversized bodies and 400 for malformed ones.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return false
+	}
+	return true
+}
+
 func writeErr(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -109,8 +132,7 @@ func (h *handler) submitWait(w http.ResponseWriter, r *http.Request, op Op) {
 
 func (h *handler) tasks(w http.ResponseWriter, r *http.Request) {
 	var req taskReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	op := Op{Node: req.Node, Count: req.Count}
@@ -125,8 +147,7 @@ func (h *handler) tasks(w http.ResponseWriter, r *http.Request) {
 
 func (h *handler) complete(w http.ResponseWriter, r *http.Request) {
 	var req taskReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	op := Op{Node: req.Node, Count: req.Count, Kind: OpComplete}

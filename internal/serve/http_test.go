@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -116,6 +117,50 @@ func TestHTTPEndpoints(t *testing.T) {
 	resp, _ = postJSON(t, ts.URL+"/tasks", map[string]any{"node": 1})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-stop submit: %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPRejectsOversizedBody pins the request-body cap: a POST body
+// over maxBodyBytes gets 413 with a JSON error instead of being
+// buffered in full by the decoder, and the handler keeps serving
+// normal-sized requests afterwards.
+func TestHTTPRejectsOversizedBody(t *testing.T) {
+	const n = 8
+	sys := testSystem(t, n)
+	srv, err := New[*core.UniformState](uniformEngine(t, sys, make([]int64, n)), Config{
+		N: n, BatchSize: 2, MaxWait: time.Millisecond, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	ts := httptest.NewServer(NewHandler(srv, Prober{}))
+	defer ts.Close()
+
+	big := append([]byte(`{"node":1,"pad":"`), bytes.Repeat([]byte("x"), maxBodyBytes)...)
+	big = append(big, `"}`...)
+	for _, path := range []string{"/tasks", "/complete"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(big))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("POST %s: decoding error body: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("POST %s with oversized body: %d %v", path, resp.StatusCode, out)
+		}
+		msg, _ := out["error"].(string)
+		if !strings.Contains(msg, "exceeds") {
+			t.Fatalf("POST %s: error %q does not name the body cap", path, msg)
+		}
+	}
+
+	resp, out := postJSON(t, ts.URL+"/tasks", map[string]any{"node": 1})
+	if resp.StatusCode != 200 {
+		t.Fatalf("normal request after oversized one: %d %v", resp.StatusCode, out)
 	}
 }
 

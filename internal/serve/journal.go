@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"reflect"
 	"slices"
 
 	"repro/internal/core"
@@ -100,18 +101,41 @@ func (j *Journal) appendEntry(round int, pb *pendingBatch) {
 // batches: a pure function of the round number backed by one reused
 // dense batch (valid until the next call, exactly how Drive consumes
 // it). Entries must be round-ascending, which appendEntry guarantees.
+// Use Replay to also get the skipped-entry detection: the closure's
+// signature cannot surface errors, so a journal whose entries the
+// driver jumps past is only reported through the cursor.
 func (j *Journal) Events() func(round uint64) *core.EventBatch {
+	_, events := j.events()
+	return events
+}
+
+// replayCursor is the shared state behind an Events closure. Replay
+// inspects it after the drive: a skipped entry (the driver asked for a
+// later round while an earlier entry was still pending) or a leftover
+// entry (a round the drive never reached) means the replay did NOT
+// apply the journaled workload, and the run must fail loudly rather
+// than return a silently-diverged result.
+type replayCursor struct {
+	idx int
+	err error
+}
+
+func (j *Journal) events() (*replayCursor, func(round uint64) *core.EventBatch) {
 	pb := newPendingBatch(j.N)
-	idx := 0
-	return func(round uint64) *core.EventBatch {
-		for idx < len(j.Entries) && uint64(j.Entries[idx].Round) < round {
-			idx++ // skip stale entries if the driver jumped ahead
+	cur := &replayCursor{}
+	return cur, func(round uint64) *core.EventBatch {
+		for cur.idx < len(j.Entries) && uint64(j.Entries[cur.idx].Round) < round {
+			if cur.err == nil {
+				cur.err = fmt.Errorf("serve: journal entry for round %d was never applied (driver skipped to round %d)",
+					j.Entries[cur.idx].Round, round)
+			}
+			cur.idx++
 		}
-		if idx >= len(j.Entries) || uint64(j.Entries[idx].Round) != round {
+		if cur.idx >= len(j.Entries) || uint64(j.Entries[cur.idx].Round) != round {
 			return nil
 		}
-		e := j.Entries[idx]
-		idx++
+		e := j.Entries[cur.idx]
+		cur.idx++
 		pb.reset()
 		for _, a := range e.Arrivals {
 			pb.add(Op{Kind: OpArrive, Node: a.Node, Count: a.Count})
@@ -150,12 +174,35 @@ func (j *Journal) RunOpts() (core.RunOpts, error) {
 // RunResult. Bit-exactness against Journal.Result is the serve-mode
 // determinism contract: the engine must be built from the same initial
 // state the live run started from (Journal.Meta tells the owner how).
+// Replay fails loudly on journals the drive could not honor — entries
+// skipped or never reached — and, when the journal carries its live
+// result footer, on any divergence from it.
 func Replay[S core.State](j *Journal, eng core.Engine[S]) (core.RunResult, error) {
-	opts, err := j.RunOpts()
-	if err != nil {
-		return core.RunResult{}, err
+	if j.Rounds <= 0 {
+		return core.RunResult{}, fmt.Errorf("serve: journal records %d rounds; nothing to replay", j.Rounds)
 	}
-	return core.Drive[S](eng, nil, opts)
+	cur, events := j.events()
+	res, err := core.Drive[S](eng, nil, core.RunOpts{
+		MaxRounds:  j.Rounds,
+		Seed:       j.Seed,
+		TraceEvery: j.TraceEvery,
+		Events:     events,
+	})
+	if err != nil {
+		return res, err
+	}
+	if cur.err != nil {
+		return res, cur.err
+	}
+	if cur.idx != len(j.Entries) {
+		return res, fmt.Errorf("serve: replay applied %d of %d journal entries; entries from round %d on were never reached",
+			cur.idx, len(j.Entries), j.Entries[cur.idx].Round)
+	}
+	if j.Result != nil && !reflect.DeepEqual(res, *j.Result) {
+		return res, fmt.Errorf("serve: replay diverged from the journaled result (live rounds=%d moves=%d; replay rounds=%d moves=%d)",
+			j.Result.Rounds, j.Result.Moves, res.Rounds, res.Moves)
+	}
+	return res, nil
 }
 
 // jsonl line wrappers: one header object, one line per entry, one
@@ -255,6 +302,12 @@ func ReadJournal(r io.Reader) (*Journal, error) {
 			if j == nil {
 				return nil, fmt.Errorf("serve: result line before header")
 			}
+			if j.Result != nil {
+				return nil, fmt.Errorf("serve: duplicate result footer")
+			}
+			if line.Result == nil {
+				return nil, fmt.Errorf("serve: result line without result body")
+			}
 			j.Result = line.Result
 		default:
 			return nil, fmt.Errorf("serve: unknown journal line type %q", line.Type)
@@ -263,5 +316,55 @@ func ReadJournal(r io.Reader) (*Journal, error) {
 	if j == nil {
 		return nil, fmt.Errorf("serve: empty journal")
 	}
+	if err := j.validate(); err != nil {
+		return nil, err
+	}
 	return j, nil
+}
+
+// validate rejects journal streams a live run cannot have written:
+// truncated files (no result footer), entries out of round order or
+// beyond the recorded horizon, and events naming nodes outside the
+// instance. Accepting these would make Replay silently produce a
+// different run instead of failing.
+func (j *Journal) validate() error {
+	if j.Result == nil {
+		return fmt.Errorf("serve: journal has no result footer (truncated?)")
+	}
+	nodes := func(k int, evs []CountEvent, kind string) error {
+		for _, e := range evs {
+			if e.Node < 0 || e.Node >= j.N {
+				return fmt.Errorf("serve: journal entry %d: %s node %d outside [0, %d)", k, kind, e.Node, j.N)
+			}
+			if e.Count < 0 {
+				return fmt.Errorf("serve: journal entry %d: %s count %d at node %d is negative", k, kind, e.Count, e.Node)
+			}
+		}
+		return nil
+	}
+	prev := 0
+	for k, e := range j.Entries {
+		if e.Round <= prev {
+			return fmt.Errorf("serve: journal entry %d at round %d is not after round %d", k, e.Round, prev)
+		}
+		if e.Round > j.Rounds {
+			return fmt.Errorf("serve: journal entry %d at round %d is beyond the recorded %d rounds", k, e.Round, j.Rounds)
+		}
+		prev = e.Round
+		if err := nodes(k, e.Arrivals, "arrival"); err != nil {
+			return err
+		}
+		if err := nodes(k, e.Departures, "departure"); err != nil {
+			return err
+		}
+		if err := nodes(k, e.WeightDepartures, "weight-departure"); err != nil {
+			return err
+		}
+		for _, wa := range e.WeightArrivals {
+			if wa.Node < 0 || wa.Node >= j.N {
+				return fmt.Errorf("serve: journal entry %d: weight-arrival node %d outside [0, %d)", k, wa.Node, j.N)
+			}
+		}
+	}
+	return nil
 }

@@ -3,7 +3,10 @@ package serve
 import (
 	"bytes"
 	"reflect"
+	"slices"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -162,6 +165,139 @@ func TestBatcherValidation(t *testing.T) {
 	b.CloseSubmit()
 	if _, err := b.Submit(Op{Kind: OpArrive, Node: 0}); err != ErrClosed {
 		t.Errorf("closed submit: %v", err)
+	}
+}
+
+// TestBatcherDeadlineAfterCloseSubmit pins the shutdown edge where the
+// deadline timer fires after CloseSubmit: the already-pending group must
+// still be flagged and drained (submissions in flight are never
+// dropped), and a stray deadline() racing Take's timer.Stop must neither
+// panic on the nil pending group nor leave a leaked ready wakeup.
+func TestBatcherDeadlineAfterCloseSubmit(t *testing.T) {
+	b, err := NewBatcher(4, false, 1<<20, 2*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := b.Submit(Op{Kind: OpArrive, Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.CloseSubmit()
+	select {
+	case <-b.Ready():
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline after CloseSubmit never woke the loop")
+	}
+	g := b.Take()
+	if g == nil || g.subs != 1 || g.cause != causeDeadline {
+		t.Fatalf("took group %+v", g)
+	}
+	g.complete(3, nil)
+	b.Recycle(g.pb)
+	round, err := tk.Wait()
+	if err != nil || round != 3 {
+		t.Fatalf("ticket resolved (%d, %v), want (3, nil)", round, err)
+	}
+	// Drained. A timer callback that lost the race with Take sees no
+	// pending group and must stay silent.
+	b.deadline()
+	if g2 := b.Take(); g2 != nil {
+		t.Fatalf("second take returned %+v", g2)
+	}
+	select {
+	case <-b.Ready():
+		t.Fatal("leaked ready wakeup after drain")
+	default:
+	}
+}
+
+// TestBatcherSubmitRacesCloseSubmit hammers Submit from several
+// goroutines while CloseSubmit lands mid-stream. Every submission must
+// either be rejected with ErrClosed or end up in exactly one taken
+// group; every accepted ticket resolves exactly once (complete panics
+// on a double close, so finishing the drain loop is the
+// no-double-complete check); the drained batcher yields no further
+// groups. Run with -race.
+func TestBatcherSubmitRacesCloseSubmit(t *testing.T) {
+	for iter := 0; iter < 10; iter++ {
+		b, err := NewBatcher(32, false, 16, 100*time.Microsecond, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const workers, per = 8, 50
+		var accepted, rejected atomic.Int64
+		tickets := make(chan Ticket, workers*per)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					tk, err := b.Submit(Op{Kind: OpArrive, Node: (w + i) % 32})
+					switch err {
+					case nil:
+						accepted.Add(1)
+						tickets <- tk
+					case ErrClosed:
+						rejected.Add(1)
+					default:
+						t.Errorf("submit: %v", err)
+						return
+					}
+				}
+			}(w)
+		}
+		go func() {
+			time.Sleep(50 * time.Microsecond)
+			b.CloseSubmit()
+		}()
+		var submitDone atomic.Bool
+		go func() { wg.Wait(); submitDone.Store(true) }()
+
+		var applied int64
+		var round uint64
+		for {
+			// Order matters: once submitDone is observed true no new
+			// group can appear, so a nil Take after that means drained.
+			done := submitDone.Load()
+			if g := b.Take(); g != nil {
+				round++
+				applied += int64(g.subs)
+				g.complete(round, nil)
+				b.Recycle(g.pb)
+				continue
+			}
+			if done {
+				break
+			}
+			select {
+			case <-b.Ready():
+			case <-time.After(time.Millisecond):
+			}
+		}
+		wg.Wait()
+		close(tickets)
+		var waited int64
+		for tk := range tickets {
+			r, err := tk.Wait()
+			if err != nil {
+				t.Fatalf("accepted ticket failed: %v", err)
+			}
+			if r == 0 || r > round {
+				t.Fatalf("ticket admitted in round %d of %d", r, round)
+			}
+			waited++
+		}
+		if waited != accepted.Load() {
+			t.Fatalf("waited on %d tickets, accepted %d", waited, accepted.Load())
+		}
+		if applied != accepted.Load() {
+			t.Fatalf("groups carried %d submissions, accepted %d (rejected %d)",
+				applied, accepted.Load(), rejected.Load())
+		}
+		if g := b.Take(); g != nil {
+			t.Fatalf("drained batcher returned group %+v", g)
+		}
 	}
 }
 
@@ -516,6 +652,100 @@ func splitComma(s string) []string {
 		}
 	}
 	return append(out, s[start:])
+}
+
+// cloneJournal deep-copies a journal so tests can corrupt one copy
+// without disturbing the original's entries.
+func cloneJournal(j *Journal) *Journal {
+	cp := *j
+	cp.Entries = make([]Entry, len(j.Entries))
+	for i, e := range j.Entries {
+		e.Arrivals = slices.Clone(e.Arrivals)
+		e.Departures = slices.Clone(e.Departures)
+		e.WeightArrivals = slices.Clone(e.WeightArrivals)
+		e.WeightDepartures = slices.Clone(e.WeightDepartures)
+		cp.Entries[i] = e
+	}
+	if j.Result != nil {
+		r := *j.Result
+		cp.Result = &r
+	}
+	return &cp
+}
+
+// TestJournalCorruptionFailsLoudly pins the failure modes a damaged
+// journal must surface instead of silently replaying a different run:
+// a removed middle entry still parses (rounds stay ascending) but the
+// replay no longer reproduces the result footer, so Replay must error;
+// structural damage — missing footer, out-of-order or beyond-horizon
+// rounds, out-of-range nodes, negative counts — must be rejected at
+// ReadJournal time.
+func TestJournalCorruptionFailsLoudly(t *testing.T) {
+	const n = 24
+	sys := testSystem(t, n)
+	counts := make([]int64, n)
+	srv, err := New[*core.UniformState](uniformEngine(t, sys, counts), Config{
+		N: n, BatchSize: 6, MaxWait: time.Millisecond, Seed: 21, TraceEvery: 2, IdleRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveServer(t, srv, n, false, 400)
+	j := srv.Journal()
+	if len(j.Entries) < 3 {
+		t.Fatalf("need at least 3 journal entries to corrupt, got %d", len(j.Entries))
+	}
+	if _, err := Replay[*core.UniformState](j, uniformEngine(t, sys, counts)); err != nil {
+		t.Fatalf("intact journal failed to replay: %v", err)
+	}
+
+	cut := cloneJournal(j)
+	mid := len(cut.Entries) / 2
+	cut.Entries = append(cut.Entries[:mid], cut.Entries[mid+1:]...)
+	if _, err := Replay[*core.UniformState](cut, uniformEngine(t, sys, counts)); err == nil {
+		t.Fatal("replay of a journal with a removed middle entry succeeded")
+	} else if !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("removed middle entry: want a divergence error, got: %v", err)
+	}
+
+	reject := func(name string, mutate func(*Journal), want string) {
+		t.Helper()
+		cp := cloneJournal(j)
+		mutate(cp)
+		var buf bytes.Buffer
+		if err := cp.Write(&buf); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		if _, err := ReadJournal(&buf); err == nil {
+			t.Fatalf("%s: corrupt journal accepted", name)
+		} else if !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, want)
+		}
+	}
+	reject("truncated-no-footer",
+		func(c *Journal) { c.Result = nil }, "no result footer")
+	reject("out-of-order-rounds",
+		func(c *Journal) { c.Entries[1].Round = c.Entries[0].Round }, "is not after")
+	reject("beyond-horizon",
+		func(c *Journal) { c.Entries[len(c.Entries)-1].Round = c.Rounds + 5 }, "beyond the recorded")
+	reject("node-out-of-range", func(c *Journal) {
+		for i := range c.Entries {
+			if len(c.Entries[i].Arrivals) > 0 {
+				c.Entries[i].Arrivals[0].Node = c.N
+				return
+			}
+		}
+		t.Fatal("no arrival entries to corrupt")
+	}, "outside")
+	reject("negative-count", func(c *Journal) {
+		for i := range c.Entries {
+			if len(c.Entries[i].Arrivals) > 0 {
+				c.Entries[i].Arrivals[0].Count = -1
+				return
+			}
+		}
+		t.Fatal("no arrival entries to corrupt")
+	}, "negative")
 }
 
 // A weighted shard-engine daemon must journal-replay bit-exactly on the

@@ -1,0 +1,797 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/task"
+	"repro/internal/transport"
+)
+
+// The cluster coordinator executes one instance across P shard worker
+// processes (worker.go), one shard each, over any io.ReadWriter pair —
+// net.Pipe in process, unix or TCP sockets between processes
+// (cmd/lbshard). Each round is the same three barrier-separated phases
+// as the in-process engines, realized as a strict write-all-then-
+// read-all lockstep per stage:
+//
+//	coordinator: round+rng ▸ gather loads ▸ broadcast loads ▸ gather
+//	flows ▸ grant (move bases + inbound flows) ▸ gather step-done
+//
+// Workers run the identical decide/commit code as the in-process
+// engines (same package, same functions), so trajectories, traces,
+// ledgers and final states are bit-identical to the sequential engine
+// for every P — the cross-process claim the cluster tests pin down.
+//
+// Floating-point accumulators that the sequential engine updates in
+// global node order (totalW, the weighted event ledger) are owned by
+// the coordinator and replayed in that exact order from per-worker
+// reports; per-shard partial sums would change the rounding.
+type clusterCore struct {
+	sys      *core.System
+	csr      *graph.CSR
+	part     *Partition
+	model    uint8
+	proto    string
+	alpha    float64
+	strategy Strategy
+	p        int
+	n        int
+
+	conns   []*transport.Conn
+	closers []io.Closer
+	wait    func()
+
+	mu     sync.Mutex
+	closed bool
+
+	buf       transport.Buffer
+	loads     []float64
+	moves     []int64
+	shardBase []int64
+	freshSum  []float64
+
+	// Authoritative weighted bookkeeping (workers' copies go stale and
+	// are pinned before use).
+	totalW         float64
+	count          int64
+	sinceRecompute int64
+
+	// Relay storage: relayF[src][dst] (uniform) / relayW (weighted)
+	// holds the decoded flow lists between the gather and grant stages,
+	// reused across rounds.
+	relayF [][][]transport.Flow
+	relayW [][][]transport.WFlow
+
+	// Event-report staging (weighted): drained weights per worker.
+	evNode [][]int32
+	evW    [][][]float64
+}
+
+func newClusterCore(sys *core.System, model uint8, protoName string, alpha float64, strategy Strategy, rws []io.ReadWriter) (*clusterCore, error) {
+	if sys == nil {
+		return nil, errors.New("shard: nil system")
+	}
+	p := len(rws)
+	if p == 0 {
+		return nil, errors.New("shard: cluster needs at least one worker")
+	}
+	csr := sys.Graph().CSR()
+	part, err := NewPartition(csr, p, strategy)
+	if err != nil {
+		return nil, err
+	}
+	if part.P() != p {
+		return nil, fmt.Errorf("shard: %d workers for a graph of %d nodes (partition supports at most %d)", p, csr.N(), part.P())
+	}
+	n := csr.N()
+	c := &clusterCore{
+		sys:       sys,
+		csr:       csr,
+		part:      part,
+		model:     model,
+		proto:     protoName,
+		alpha:     alpha,
+		strategy:  part.Strategy(),
+		p:         p,
+		n:         n,
+		conns:     make([]*transport.Conn, p),
+		loads:     make([]float64, n),
+		moves:     make([]int64, p),
+		shardBase: make([]int64, p),
+		freshSum:  make([]float64, n),
+		relayF:    make([][][]transport.Flow, p),
+		relayW:    make([][][]transport.WFlow, p),
+		evNode:    make([][]int32, p),
+		evW:       make([][][]float64, p),
+	}
+	for s := 0; s < p; s++ {
+		c.conns[s] = transport.NewConn(rws[s])
+		c.relayF[s] = make([][]transport.Flow, p)
+		c.relayW[s] = make([][]transport.WFlow, p)
+	}
+	return c, nil
+}
+
+// configure ships the config to every worker and waits for the ready
+// votes. st supplies the initial (or restored) state vectors.
+func (c *clusterCore) configure(counts []int64, off []int64, pool []float64, nodeWeight []float64, restored bool) error {
+	for s := 0; s < c.p; s++ {
+		cfg := &clusterConfig{
+			Model:      c.model,
+			Proto:      c.proto,
+			Alpha:      c.alpha,
+			P:          c.p,
+			Shard:      s,
+			Strategy:   string(c.strategy),
+			CSRName:    c.csr.Name(),
+			N:          c.n,
+			Offsets:    c.csr.Offsets(),
+			Adj:        c.csr.Adj(),
+			Speeds:     c.sys.Speeds(),
+			Lambda2:    c.sys.Lambda2(),
+			Counts:     counts,
+			Off:        off,
+			Pool:       pool,
+			Restored:   restored,
+			NodeWeight: nodeWeight,
+		}
+		c.buf.Reset()
+		encodeConfig(&c.buf, cfg)
+		if err := c.conns[s].WriteFrame(transport.KindConfig, c.buf.B); err != nil {
+			return fmt.Errorf("shard: configure worker %d: %w", s, err)
+		}
+	}
+	for s := 0; s < c.p; s++ {
+		if _, err := c.conns[s].Expect(transport.KindVote); err != nil {
+			return fmt.Errorf("shard: worker %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Step implements core.Engine: one synchronous round r, bit-identical
+// to the in-process engines under the At(r, i) rng contract.
+func (c *clusterCore) Step(r uint64, base *rng.Stream) (int64, error) {
+	if base == nil {
+		return 0, errors.New("shard: nil base stream")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrClosed
+	}
+	words := base.Split(r).Words()
+	for s := 0; s < c.p; s++ {
+		c.buf.Reset()
+		c.buf.PutU64(r)
+		for _, w := range words {
+			c.buf.PutU64(w)
+		}
+		if err := c.conns[s].WriteFrame(transport.KindRound, c.buf.B); err != nil {
+			return 0, err
+		}
+	}
+	// Loads: gather own ranges, broadcast the full snapshot.
+	for s := 0; s < c.p; s++ {
+		payload, err := c.conns[s].Expect(transport.KindLoads)
+		if err != nil {
+			return 0, err
+		}
+		lo, hi := c.part.Range(s)
+		var b transport.Buffer
+		b.Load(payload)
+		ls, err := b.F64s(c.loads[lo:lo])
+		if err != nil {
+			return 0, err
+		}
+		if len(ls) != hi-lo {
+			return 0, fmt.Errorf("shard: worker %d sent %d loads for range of %d", s, len(ls), hi-lo)
+		}
+	}
+	for s := 0; s < c.p; s++ {
+		c.buf.Reset()
+		c.buf.PutF64s(c.loads)
+		if err := c.conns[s].WriteFrame(transport.KindLoadsAll, c.buf.B); err != nil {
+			return 0, err
+		}
+	}
+	// Decide: gather each worker's move count and cross-shard lists.
+	for s := 0; s < c.p; s++ {
+		payload, err := c.conns[s].Expect(transport.KindFlows)
+		if err != nil {
+			return 0, err
+		}
+		var b transport.Buffer
+		b.Load(payload)
+		if c.moves[s], err = b.I64(); err != nil {
+			return 0, err
+		}
+		pp, err := b.U32()
+		if err != nil {
+			return 0, err
+		}
+		if int(pp) != c.p {
+			return 0, fmt.Errorf("shard: worker %d sent %d flow lists for %d shards", s, pp, c.p)
+		}
+		for d := 0; d < c.p; d++ {
+			if c.model == modelUniform {
+				if c.relayF[s][d], err = b.Flows(c.relayF[s][d][:0]); err != nil {
+					return 0, err
+				}
+			} else {
+				if c.relayW[s][d], err = b.WFlows(c.relayW[s][d][:0]); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	total := int64(0)
+	crossAt := int64(-1)
+	if c.model == modelWeighted {
+		// The serial inter-barrier bookkeeping of WeightedEngine.Step:
+		// global move bases, and whether the periodic weight recompute
+		// fires this round (only the last firing is observable).
+		for s, m := range c.moves {
+			c.shardBase[s] = total
+			total += m
+		}
+		every := int64(core.WeightRecomputeEvery)
+		if c.sinceRecompute+total >= every {
+			first := every - c.sinceRecompute
+			firings := 1 + (total-first)/every
+			last := first + (firings-1)*every
+			crossAt = last - 1
+			c.sinceRecompute = total - last
+		} else {
+			c.sinceRecompute += total
+		}
+	} else {
+		for _, m := range c.moves {
+			total += m
+		}
+	}
+	// Grant: relay every inbound list (workers keep their own intra-
+	// shard lists locally; relay[s][s] arrived empty and goes out empty).
+	for s := 0; s < c.p; s++ {
+		c.buf.Reset()
+		if c.model == modelWeighted {
+			c.buf.PutI64s(c.shardBase)
+			c.buf.PutI64(crossAt)
+		}
+		c.buf.PutU32(uint32(c.p))
+		for src := 0; src < c.p; src++ {
+			if c.model == modelUniform {
+				c.buf.PutFlows(c.relayF[src][s])
+			} else {
+				c.buf.PutWFlows(c.relayW[src][s])
+			}
+		}
+		if err := c.conns[s].WriteFrame(transport.KindGrant, c.buf.B); err != nil {
+			return 0, err
+		}
+	}
+	// Commit: collect step-done (with fresh own-range sums on recompute
+	// rounds) and fold the new total weight in node order, exactly as
+	// the sequential RecomputeWeights does.
+	for s := 0; s < c.p; s++ {
+		payload, err := c.conns[s].Expect(transport.KindStepDone)
+		if err != nil {
+			return 0, err
+		}
+		var b transport.Buffer
+		b.Load(payload)
+		flag, err := b.U8()
+		if err != nil {
+			return 0, err
+		}
+		if (flag != 0) != (crossAt >= 0) {
+			return 0, fmt.Errorf("shard: worker %d recompute flag %d, coordinator crossing %d", s, flag, crossAt)
+		}
+		if flag != 0 {
+			lo, hi := c.part.Range(s)
+			fs, err := b.F64s(c.freshSum[lo:lo])
+			if err != nil {
+				return 0, err
+			}
+			if len(fs) != hi-lo {
+				return 0, fmt.Errorf("shard: worker %d sent %d sums for range of %d", s, len(fs), hi-lo)
+			}
+		}
+	}
+	if crossAt >= 0 {
+		t := 0.0
+		for _, w := range c.freshSum {
+			t += w
+		}
+		c.totalW = t
+	}
+	return total, nil
+}
+
+// ApplyEvents implements core.DynamicEngine across the cluster. Each
+// worker applies its own range; the coordinator replays the shared
+// accumulators (uniform: integer ledger sums; weighted: totalW and the
+// ledger's float64 fields, in the sequential engine's exact global
+// operation order, from the workers' drained-weight reports).
+//
+// Limitation: a weighted batch that would cross the periodic weight
+// recompute threshold is refused — the mid-batch recompute cannot be
+// replayed distributedly without shipping full state. The threshold is
+// 2²⁴ events, far above any realistic batch.
+func (c *clusterCore) ApplyEvents(batch *core.EventBatch) (core.EventLedger, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var led core.EventLedger
+	if c.closed {
+		return led, ErrClosed
+	}
+	if batch == nil {
+		return led, nil
+	}
+	if err := c.validateBatchShape(batch); err != nil {
+		return led, err
+	}
+	if c.model == modelWeighted {
+		// Conservative pre-check (requested drains, unclamped): if even
+		// the upper bound stays below the threshold, the exact event
+		// count cannot cross it.
+		upper := int64(0)
+		for _, ws := range batch.WeightArrivals {
+			upper += int64(len(ws))
+		}
+		for _, d := range batch.WeightDepartures {
+			if d > 0 {
+				upper += d
+			}
+		}
+		if c.sinceRecompute+upper >= int64(core.WeightRecomputeEvery) {
+			return led, fmt.Errorf("shard: cluster: event batch of ≤%d events would cross the periodic weight recompute (counter at %d); unsupported in cluster mode", upper, c.sinceRecompute)
+		}
+	}
+	for s := 0; s < c.p; s++ {
+		lo, hi := c.part.Range(s)
+		c.buf.Reset()
+		encodeEventSlice(&c.buf, c.model, batch, lo, hi)
+		if err := c.conns[s].WriteFrame(transport.KindEvents, c.buf.B); err != nil {
+			return led, err
+		}
+	}
+	if c.model == modelUniform {
+		for s := 0; s < c.p; s++ {
+			payload, err := c.conns[s].Expect(transport.KindEventsReport)
+			if err != nil {
+				return led, err
+			}
+			var b transport.Buffer
+			b.Load(payload)
+			arr, err := b.I64()
+			if err != nil {
+				return led, err
+			}
+			dep, err := b.I64()
+			if err != nil {
+				return led, err
+			}
+			led.Arrived += arr
+			led.Departed += dep
+		}
+		return led, nil
+	}
+	for s := 0; s < c.p; s++ {
+		payload, err := c.conns[s].Expect(transport.KindEventsReport)
+		if err != nil {
+			return led, err
+		}
+		var b transport.Buffer
+		b.Load(payload)
+		cnt, err := b.U32()
+		if err != nil {
+			return led, err
+		}
+		c.evNode[s] = c.evNode[s][:0]
+		c.evW[s] = c.evW[s][:0]
+		for j := uint32(0); j < cnt; j++ {
+			node, err := b.U32()
+			if err != nil {
+				return led, err
+			}
+			ws, err := b.F64s(nil)
+			if err != nil {
+				return led, err
+			}
+			c.evNode[s] = append(c.evNode[s], int32(node))
+			c.evW[s] = append(c.evW[s], ws)
+		}
+	}
+	// Replay the sequential fast path's accumulator order: all
+	// injections (nodes ascending, weights in order), then all drains
+	// (nodes ascending — shards are contiguous ascending ranges, and
+	// each report is node-ascending within its shard).
+	for _, ws := range batch.WeightArrivals {
+		if len(ws) == 0 {
+			continue
+		}
+		for _, w := range ws {
+			c.totalW += w
+		}
+		c.count += int64(len(ws))
+		led.ArrivedTasks += int64(len(ws))
+		for _, w := range ws {
+			led.ArrivedWeight += w
+		}
+	}
+	for s := 0; s < c.p; s++ {
+		for j, ws := range c.evW[s] {
+			_ = c.evNode[s][j]
+			t := 0.0
+			for _, w := range ws {
+				c.totalW -= w
+				t += w
+			}
+			c.count -= int64(len(ws))
+			led.DepartedTasks += int64(len(ws))
+			led.DepartedWeight += t
+		}
+	}
+	c.sinceRecompute += led.ArrivedTasks + led.DepartedTasks
+	return led, nil
+}
+
+func (c *clusterCore) validateBatchShape(batch *core.EventBatch) error {
+	check := func(l int, what string) error {
+		if l != 0 && l != c.n {
+			return fmt.Errorf("shard: %d %s entries for %d nodes", l, what, c.n)
+		}
+		return nil
+	}
+	if err := check(len(batch.Arrivals), "arrival"); err != nil {
+		return err
+	}
+	if err := check(len(batch.Departures), "departure"); err != nil {
+		return err
+	}
+	if err := check(len(batch.WeightArrivals), "weight-arrival"); err != nil {
+		return err
+	}
+	if err := check(len(batch.WeightDepartures), "weight-departure"); err != nil {
+		return err
+	}
+	for i, ws := range batch.WeightArrivals {
+		if err := task.Weights(ws).Validate(); err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// gatherOwnStates requests and decodes every worker's own-range state.
+// kind is KindStateReq/KindState for live gathers and
+// KindCheckpoint/KindCheckpointAck for checkpoints.
+func (c *clusterCore) gatherOwnStates(req, ack transport.Kind, payload []byte) ([]*ownState, error) {
+	for s := 0; s < c.p; s++ {
+		if err := c.conns[s].WriteFrame(req, payload); err != nil {
+			return nil, err
+		}
+	}
+	states := make([]*ownState, c.p)
+	for s := 0; s < c.p; s++ {
+		reply, err := c.conns[s].Expect(ack)
+		if err != nil {
+			return nil, err
+		}
+		var b transport.Buffer
+		b.Load(reply)
+		if states[s], err = decodeOwnState(&b, c.model); err != nil {
+			return nil, err
+		}
+		lo, hi := c.part.Range(s)
+		if c.model == modelUniform {
+			if len(states[s].Counts) != hi-lo {
+				return nil, fmt.Errorf("shard: worker %d sent %d counts for range of %d", s, len(states[s].Counts), hi-lo)
+			}
+		} else if len(states[s].SegLen) != hi-lo || len(states[s].NodeWeight) != hi-lo {
+			return nil, fmt.Errorf("shard: worker %d sent state sized %d/%d for range of %d", s, len(states[s].SegLen), len(states[s].NodeWeight), hi-lo)
+		}
+	}
+	return states, nil
+}
+
+// assembleUniform stitches gathered own-range counts into a full vector.
+func (c *clusterCore) assembleUniform(states []*ownState) []int64 {
+	counts := make([]int64, c.n)
+	for s := 0; s < c.p; s++ {
+		lo, _ := c.part.Range(s)
+		copy(counts[lo:], states[s].Counts)
+	}
+	return counts
+}
+
+// assembleWeighted stitches gathered segments into the packed flat
+// (pool, off, nodeWeight) layout, in node order.
+func (c *clusterCore) assembleWeighted(states []*ownState) (pool []float64, off []int64, nw []float64, err error) {
+	off = make([]int64, c.n+1)
+	nw = make([]float64, c.n)
+	total := int64(0)
+	for s := 0; s < c.p; s++ {
+		for _, l := range states[s].SegLen {
+			if l < 0 {
+				return nil, nil, nil, fmt.Errorf("shard: worker %d sent negative segment length", s)
+			}
+			total += l
+		}
+		if int64(len(states[s].Segs)) != sum64(states[s].SegLen) {
+			return nil, nil, nil, fmt.Errorf("shard: worker %d segment pool/length mismatch", s)
+		}
+	}
+	pool = make([]float64, 0, total)
+	for s := 0; s < c.p; s++ {
+		lo, hi := c.part.Range(s)
+		idx := int64(0)
+		for i := lo; i < hi; i++ {
+			l := states[s].SegLen[i-lo]
+			pool = append(pool, states[s].Segs[idx:idx+l]...)
+			idx += l
+			off[i+1] = int64(len(pool))
+		}
+		copy(nw[lo:], states[s].NodeWeight)
+	}
+	return pool, off, nw, nil
+}
+
+func sum64(v []int64) int64 {
+	t := int64(0)
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+// Close sends done frames and tears the connections down. Idempotent.
+func (c *clusterCore) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for s := 0; s < c.p; s++ {
+		_ = c.conns[s].WriteFrame(transport.KindDone, nil)
+	}
+	for _, cl := range c.closers {
+		_ = cl.Close()
+	}
+	if c.wait != nil {
+		c.wait()
+	}
+	return nil
+}
+
+// Partition exposes the cluster's partition (for stats and tests).
+func (c *clusterCore) Partition() *Partition { return c.part }
+
+// UniformCluster drives a uniform-model instance across P worker
+// processes. It implements core.Engine[*core.UniformState] and
+// core.DynamicEngine, so core.Drive (and the harness) treats it exactly
+// like any in-process engine.
+type UniformCluster struct {
+	*clusterCore
+}
+
+var _ core.Engine[*core.UniformState] = (*UniformCluster)(nil)
+var _ core.DynamicEngine = (*UniformCluster)(nil)
+
+// NewUniformCluster connects to one worker per shard over rws and ships
+// them the instance. counts is copied.
+func NewUniformCluster(sys *core.System, proto core.UniformNodeProtocol, counts []int64, rws []io.ReadWriter, strategy Strategy) (*UniformCluster, error) {
+	name, alpha, err := protoSpec(proto)
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := newClusterCore(sys, modelUniform, name, alpha, strategy, rws)
+	if err != nil {
+		return nil, err
+	}
+	c := &UniformCluster{clusterCore: cc}
+	if err := c.configure(st.Counts(), nil, nil, nil, false); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// State implements core.Engine by gathering every worker's counts.
+func (c *UniformCluster) State() (*core.UniformState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	states, err := c.gatherOwnStates(transport.KindStateReq, transport.KindState, nil)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewUniformState(c.sys, c.assembleUniform(states))
+}
+
+// Counts gathers the current per-node task counts.
+func (c *UniformCluster) Counts() ([]int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	states, err := c.gatherOwnStates(transport.KindStateReq, transport.KindState, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.assembleUniform(states), nil
+}
+
+// WeightedCluster drives a weighted-model instance across P worker
+// processes; the cluster twin of WeightedEngine.
+type WeightedCluster struct {
+	*clusterCore
+}
+
+var _ core.Engine[*core.WeightedState] = (*WeightedCluster)(nil)
+var _ core.DynamicEngine = (*WeightedCluster)(nil)
+
+// NewWeightedCluster connects to one worker per shard over rws and
+// ships them the instance. perNode is flattened and copied.
+func NewWeightedCluster(sys *core.System, proto core.WeightedFlatProtocol, perNode []task.Weights, rws []io.ReadWriter, strategy Strategy) (*WeightedCluster, error) {
+	name, alpha, err := protoSpec(proto)
+	if err != nil {
+		return nil, err
+	}
+	if len(perNode) != sys.N() {
+		return nil, fmt.Errorf("shard: %d nodes of tasks for %d processors", len(perNode), sys.N())
+	}
+	for i, ws := range perNode {
+		if err := ws.Validate(); err != nil {
+			return nil, fmt.Errorf("shard: node %d: %w", i, err)
+		}
+	}
+	cc, err := newClusterCore(sys, modelWeighted, name, alpha, strategy, rws)
+	if err != nil {
+		return nil, err
+	}
+	c := &WeightedCluster{clusterCore: cc}
+	n := sys.N()
+	off := make([]int64, n+1)
+	total := 0
+	for _, ws := range perNode {
+		total += len(ws)
+	}
+	pool := make([]float64, 0, total)
+	// Initial accumulators in NewWeightedState's exact operation order:
+	// per-node Total() (ascending fold), then totalW += per node.
+	for i, ws := range perNode {
+		pool = append(pool, ws...)
+		off[i+1] = int64(len(pool))
+		c.totalW += ws.Total()
+		c.count += int64(len(ws))
+	}
+	if err := c.configure(nil, off, pool, nil, false); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// State implements core.Engine by gathering every worker's segments and
+// cached sums into a sequential WeightedState, bit-identical to the
+// in-process engine's State.
+func (c *WeightedCluster) State() (*core.WeightedState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	states, err := c.gatherOwnStates(transport.KindStateReq, transport.KindState, nil)
+	if err != nil {
+		return nil, err
+	}
+	pool, off, nw, err := c.assembleWeighted(states)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewWeightedStateFromFlat(c.sys, pool, off, nw, c.totalW, int(c.sinceRecompute))
+}
+
+// TaskCount returns the cluster's current task count.
+func (c *WeightedCluster) TaskCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// localWorkers spawns p in-process workers over net.Pipe and returns
+// the coordinator ends plus the teardown bookkeeping. The goroutine
+// closes its pipe end when the worker exits, so a coordinator-side
+// close never blocks on a dead worker.
+func localWorkers(p int) (rws []io.ReadWriter, closers []io.Closer, wait func()) {
+	rws = make([]io.ReadWriter, p)
+	closers = make([]io.Closer, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		a, b := net.Pipe()
+		rws[i] = a
+		closers[i] = a
+		wg.Add(1)
+		go func(end net.Conn) {
+			defer wg.Done()
+			_ = RunWorker(end)
+			_ = end.Close()
+		}(b)
+	}
+	return rws, closers, wg.Wait
+}
+
+// localShards resolves the shard count for the in-process cluster
+// starters with the engines' clamping rules.
+func localShards(sys *core.System, opts Options) (int, error) {
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = opts.Workers
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	part, err := NewPartition(sys.Graph().CSR(), shards, opts.Strategy)
+	if err != nil {
+		return 0, err
+	}
+	return part.P(), nil
+}
+
+// StartLocalUniformCluster runs a full coordinator/worker cluster
+// inside this process over net.Pipe — every wire frame is exercised,
+// no sockets needed. Closing the cluster stops the workers.
+func StartLocalUniformCluster(sys *core.System, proto core.UniformNodeProtocol, counts []int64, opts Options) (*UniformCluster, error) {
+	p, err := localShards(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	rws, closers, wait := localWorkers(p)
+	c, err := NewUniformCluster(sys, proto, counts, rws, opts.Strategy)
+	if err != nil {
+		for _, cl := range closers {
+			_ = cl.Close()
+		}
+		wait()
+		return nil, err
+	}
+	c.closers = closers
+	c.wait = wait
+	return c, nil
+}
+
+// StartLocalWeightedCluster is StartLocalUniformCluster for the
+// weighted model.
+func StartLocalWeightedCluster(sys *core.System, proto core.WeightedFlatProtocol, perNode []task.Weights, opts Options) (*WeightedCluster, error) {
+	p, err := localShards(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	rws, closers, wait := localWorkers(p)
+	c, err := NewWeightedCluster(sys, proto, perNode, rws, opts.Strategy)
+	if err != nil {
+		for _, cl := range closers {
+			_ = cl.Close()
+		}
+		wait()
+		return nil, err
+	}
+	c.closers = closers
+	c.wait = wait
+	return c, nil
+}

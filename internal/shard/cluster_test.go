@@ -1,0 +1,403 @@
+// Cluster acceptance tests: the coordinator/worker execution over the
+// wire protocol must be bit-identical to the sequential reference —
+// RunResult, trace and final state — for P ∈ {1, 2, 4}, uniform and
+// weighted, statically and under dynamic churn; checkpoints taken
+// mid-run must resume to the uninterrupted run's exact result; and
+// truncated or corrupt checkpoint files must fail loudly. The workers
+// here run in-process over net.Pipe so every frame of the protocol is
+// exercised under -race; cmd/lbshard runs the same workers as separate
+// OS processes.
+package shard_test
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/shard"
+)
+
+var clusterCounts = []int{1, 2, 4}
+
+// TestClusterParityStatic: seq vs cluster on every Table-1 class with a
+// stop condition, tracing, a CheckEvery that does not divide
+// TraceEvery, every P and both strategies.
+func TestClusterParityStatic(t *testing.T) {
+	for _, class := range experiments.Table1Classes() {
+		class := class
+		t.Run(class.Key, func(t *testing.T) {
+			t.Parallel()
+			sys, counts := buildInstance(t, class, 16)
+			stop := core.StopAtPsi0Below(4 * sys.PsiCritical())
+			opts := core.RunOpts{MaxRounds: 200_000, Seed: 11, TraceEvery: 7, CheckEvery: 3}
+			ref, refCounts, err := harness.RunUniformEngine(harness.EngineSeq, sys, core.Algorithm1{}, counts, stop, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ref.Converged || ref.Rounds == 0 {
+				t.Fatalf("reference run did not converge meaningfully: %+v", ref)
+			}
+			for _, p := range clusterCounts {
+				for _, strategy := range []string{"contiguous", "degree"} {
+					label := harness.EngineCluster + "/" + strategy
+					res, gotCounts, err := harness.RunUniformEngineOpts(harness.EngineCluster, sys,
+						core.Algorithm1{}, counts, stop, opts,
+						harness.EngineOpts{Shards: p, Strategy: strategy})
+					if err != nil {
+						t.Fatalf("%s P=%d: %v", label, p, err)
+					}
+					sameRun(t, label, ref, res)
+					sameCounts(t, label, refCounts, gotCounts)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterParityDynamic: the full dynamic scenario — continuous
+// arrivals, completions, bursts and alternating node churn — must be
+// bit-identical to the sequential engine for every P. Churn rebuilds
+// the cluster (fresh workers, fresh configs) every epoch.
+func TestClusterParityDynamic(t *testing.T) {
+	class, err := experiments.ClassByKey("torus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, counts := buildInstance(t, class, 16)
+	opts := harness.DynamicOpts{
+		MaxRounds: 200,
+		Seed:      31,
+		Workload: dynamics.Workload{
+			Seed:        1031,
+			ArrivalRate: 12,
+			ServiceRate: 0.5,
+			BurstEvery:  40,
+			BurstSize:   150,
+		},
+		Churn: dynamics.AlternatingChurn(200, 60),
+	}
+	ref, err := harness.RunUniformDynamic(harness.EngineSeq, sys, core.Algorithm1{}, counts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Ledger.Arrived == 0 || ref.Ledger.Departed == 0 || ref.Epochs < 2 {
+		t.Fatalf("scenario not exercising events/churn: %+v %+v", ref.Ledger, ref)
+	}
+	for _, p := range clusterCounts {
+		sopts := opts
+		sopts.Engine = harness.EngineOpts{Shards: p}
+		res, err := harness.RunUniformDynamic(harness.EngineCluster, sys, core.Algorithm1{}, counts, sopts)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if res.Rounds != ref.Rounds || res.Epochs != ref.Epochs || res.Moves != ref.Moves ||
+			res.FinalN != ref.FinalN || res.Ledger != ref.Ledger || res.Metrics != ref.Metrics {
+			t.Fatalf("P=%d: result %+v, want %+v", p, res, ref)
+		}
+		if len(res.Trace) != len(ref.Trace) {
+			t.Fatalf("P=%d: %d trace points, want %d", p, len(res.Trace), len(ref.Trace))
+		}
+		for k := range ref.Trace {
+			if res.Trace[k] != ref.Trace[k] {
+				t.Fatalf("P=%d: trace[%d] = %+v, want %+v", p, k, res.Trace[k], ref.Trace[k])
+			}
+		}
+		sameCounts(t, "dynamic", ref.FinalCounts, res.FinalCounts)
+	}
+}
+
+// TestWeightedClusterParityStatic: seq vs weighted cluster on every
+// Table-1 class, every P and both strategies, final task multisets
+// included.
+func TestWeightedClusterParityStatic(t *testing.T) {
+	for _, class := range experiments.Table1Classes() {
+		class := class
+		t.Run(class.Key, func(t *testing.T) {
+			t.Parallel()
+			sys, perNode := buildWeighted(t, class, 16, 60)
+			stop := core.StopAtWeightedPsi0Below(4 * sys.PsiCriticalWeighted())
+			opts := core.RunOpts{MaxRounds: 300_000, Seed: 21, TraceEvery: 5, CheckEvery: 2}
+			ref, refState, err := harness.RunWeightedEngine(harness.EngineSeq, sys, core.Algorithm2{}, perNode, stop, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ref.Converged || ref.Rounds == 0 {
+				t.Fatalf("reference run did not converge meaningfully: %+v", ref)
+			}
+			for _, p := range clusterCounts {
+				for _, strategy := range []string{"contiguous", "degree"} {
+					label := "weighted-cluster/" + strategy
+					res, gotState, err := harness.RunWeightedEngineOpts(harness.EngineCluster, sys,
+						core.Algorithm2{}, perNode, stop, opts,
+						harness.EngineOpts{Shards: p, Strategy: strategy})
+					if err != nil {
+						t.Fatalf("%s P=%d: %v", label, p, err)
+					}
+					sameRun(t, label, ref, res)
+					sameWeightedState(t, label, refState, gotState)
+				}
+			}
+		})
+	}
+}
+
+// TestWeightedClusterParityDynamic: weighted arrivals, completions,
+// bursts and churn across process boundaries, bit-identical to seq.
+func TestWeightedClusterParityDynamic(t *testing.T) {
+	class, err := experiments.ClassByKey("torus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, perNode := buildWeighted(t, class, 16, 30)
+	opts := harness.DynamicOpts{
+		MaxRounds: 200,
+		Seed:      77,
+		Workload: dynamics.Workload{
+			Seed:        1077,
+			ArrivalRate: 12,
+			ServiceRate: 0.5,
+			BurstEvery:  40,
+			BurstSize:   150,
+		},
+		Churn: dynamics.AlternatingChurn(200, 60),
+	}
+	ref, err := harness.RunWeightedDynamic(harness.EngineSeq, sys, core.Algorithm2{}, perNode, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Ledger.ArrivedTasks == 0 || ref.Ledger.DepartedTasks == 0 || ref.Epochs < 2 {
+		t.Fatalf("scenario not exercising events/churn: %+v %+v", ref.Ledger, ref)
+	}
+	for _, p := range clusterCounts {
+		sopts := opts
+		sopts.Engine = harness.EngineOpts{Shards: p}
+		res, err := harness.RunWeightedDynamic(harness.EngineCluster, sys, core.Algorithm2{}, perNode, sopts)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if res.Rounds != ref.Rounds || res.Epochs != ref.Epochs || res.Moves != ref.Moves ||
+			res.FinalN != ref.FinalN || res.Ledger != ref.Ledger || res.Metrics != ref.Metrics {
+			t.Fatalf("P=%d: result %+v, want %+v", p, res, ref)
+		}
+		for k := range ref.Trace {
+			if res.Trace[k] != ref.Trace[k] {
+				t.Fatalf("P=%d: trace[%d] = %+v, want %+v", p, k, res.Trace[k], ref.Trace[k])
+			}
+		}
+		sameWeightedState(t, "dynamic", ref.FinalState, res.FinalState)
+	}
+}
+
+// driveOpts is the fixed-horizon run the checkpoint tests replay.
+var driveOpts = core.RunOpts{MaxRounds: 50, Seed: 5, TraceEvery: 7}
+
+// TestClusterCheckpointResume: a run checkpointed every 20 rounds must
+// (a) produce the same result as an uncheckpointed run, and (b) leave a
+// file from which a fresh cluster — as after a SIGKILL — replays rounds
+// 41..50 to the bit-identical RunResult and final counts.
+func TestClusterCheckpointResume(t *testing.T) {
+	class, err := experiments.ClassByKey("torus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, counts := buildInstance(t, class, 16)
+	run := func(ck shard.CheckpointConfig) (core.RunResult, []int64) {
+		t.Helper()
+		cl, err := shard.StartLocalUniformCluster(sys, core.Algorithm1{}, counts, shard.Options{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		res, err := cl.Drive(driveOpts, ck, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := cl.Counts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, cs
+	}
+	ref, refCounts := run(shard.CheckpointConfig{})
+
+	// The cluster drive must match core.Drive over the seq engine.
+	seqRes, seqCounts, err := harness.RunUniformEngine(harness.EngineSeq, sys, core.Algorithm1{}, counts, nil, driveOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRun(t, "drive-vs-core.Drive", seqRes, ref)
+	sameCounts(t, "drive-vs-core.Drive", seqCounts, refCounts)
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ckRes, ckCounts := run(shard.CheckpointConfig{Path: path, Every: 20})
+	sameRun(t, "checkpointing-run", ref, ckRes)
+	sameCounts(t, "checkpointing-run", refCounts, ckCounts)
+
+	ck, err := shard.ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Round != 40 || ck.Shards() != 2 || ck.Weighted() {
+		t.Fatalf("checkpoint round=%d shards=%d weighted=%v, want 40, 2, false", ck.Round, ck.Shards(), ck.Weighted())
+	}
+	cl, err := ck.ResumeLocalUniform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.Drive(driveOpts, shard.CheckpointConfig{}, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCounts, err := cl.Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRun(t, "resumed", ref, res)
+	sameCounts(t, "resumed", refCounts, gotCounts)
+
+	// Resuming under different run options must be refused: the replayed
+	// rounds would not reproduce the original run.
+	bad := driveOpts
+	bad.Seed++
+	if _, err := cl.Drive(bad, shard.CheckpointConfig{}, ck); err == nil {
+		t.Fatal("resume with a different seed succeeded")
+	}
+}
+
+// TestWeightedClusterCheckpointResume is the weighted-model version:
+// the resumed run must reproduce the task multisets and the cached
+// (drifting) weight sums exactly, not just the trace.
+func TestWeightedClusterCheckpointResume(t *testing.T) {
+	class, err := experiments.ClassByKey("torus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, perNode := buildWeighted(t, class, 16, 40)
+	run := func(ck shard.CheckpointConfig) (core.RunResult, *core.WeightedState) {
+		t.Helper()
+		cl, err := shard.StartLocalWeightedCluster(sys, core.Algorithm2{}, perNode, shard.Options{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		res, err := cl.Drive(driveOpts, ck, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := cl.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, st
+	}
+	ref, refState := run(shard.CheckpointConfig{})
+
+	seqRes, seqState, err := harness.RunWeightedEngine(harness.EngineSeq, sys, core.Algorithm2{}, perNode, nil, driveOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRun(t, "drive-vs-core.Drive", seqRes, ref)
+	sameWeightedState(t, "drive-vs-core.Drive", seqState, refState)
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ckRes, ckState := run(shard.CheckpointConfig{Path: path, Every: 15})
+	sameRun(t, "checkpointing-run", ref, ckRes)
+	sameWeightedState(t, "checkpointing-run", refState, ckState)
+
+	ck, err := shard.ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Round != 45 || ck.Shards() != 4 || !ck.Weighted() {
+		t.Fatalf("checkpoint round=%d shards=%d weighted=%v, want 45, 4, true", ck.Round, ck.Shards(), ck.Weighted())
+	}
+	if ck.Result().Rounds != 45 {
+		t.Fatalf("partial result rounds = %d, want 45", ck.Result().Rounds)
+	}
+	cl, err := ck.ResumeLocalWeighted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.Drive(driveOpts, shard.CheckpointConfig{}, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRun(t, "resumed", ref, res)
+	sameWeightedState(t, "resumed", refState, st)
+
+	// A weighted checkpoint cannot resume as a uniform cluster.
+	if _, err := ck.ResumeLocalUniform(); err == nil {
+		t.Fatal("weighted checkpoint resumed as uniform")
+	}
+}
+
+// fixCRCTrailer recomputes a checkpoint file's CRC32 trailer so tests
+// can corrupt the body and still reach the structural validation.
+func fixCRCTrailer(b []byte) {
+	body := b[:len(b)-4]
+	binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(body))
+}
+
+// TestReadCheckpointRejectsCorrupt pins the loud-failure contract for
+// damaged checkpoint files: truncation, byte flips, trailing garbage
+// and a wrong magic must all be detected, never silently decoded.
+func TestReadCheckpointRejectsCorrupt(t *testing.T) {
+	class, err := experiments.ClassByKey("torus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, counts := buildInstance(t, class, 16)
+	cl, err := shard.StartLocalUniformCluster(sys, core.Algorithm1{}, counts, shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, err := cl.Drive(driveOpts, shard.CheckpointConfig{Path: path, Every: 25}, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.ReadCheckpoint(path); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+	corrupt := func(name string, mutate func([]byte) []byte, wantSub string) {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), name+".ckpt")
+		if err := os.WriteFile(p, mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := shard.ReadCheckpoint(p)
+		if err == nil {
+			t.Fatalf("%s: corrupt checkpoint accepted", name)
+		}
+		if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)/2] }, "checksum")
+	corrupt("byte-flip", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }, "checksum")
+	corrupt("trailing", func(b []byte) []byte { return append(b, 0xAB) }, "checksum")
+	corrupt("empty", func(b []byte) []byte { return b[:0] }, "too short")
+	corrupt("bad-magic", func(b []byte) []byte {
+		b[0] ^= 0xFF
+		// Keep the trailer consistent so the magic check itself trips.
+		fixCRCTrailer(b)
+		return b
+	}, "bad magic")
+}

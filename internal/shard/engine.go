@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/transport"
 )
 
 // ErrClosed is returned by Step on an engine whose Close has been
@@ -27,12 +28,6 @@ type Options struct {
 	Workers int
 	// Strategy selects the partitioner ("" means Contiguous).
 	Strategy Strategy
-}
-
-// flow is one cross-shard migration: amount tasks arriving at node.
-type flow struct {
-	node   int32
-	amount int64
 }
 
 // Engine is the CSR-backed sharded execution engine for uniform tasks.
@@ -57,9 +52,14 @@ type Engine struct {
 
 	// Per-shard buffers (indexed by shard, not worker, so results do
 	// not depend on which worker evaluates a shard).
-	local    [][]int64  // dense deltas for the shard's own range
-	outFlows [][][]flow // outFlows[s][d]: migrations from shard s into shard d
+	local    [][]int64              // dense deltas for the shard's own range
+	outFlows [][][]transport.Flow   // outFlows[s][d]: migrations from shard s into shard d
 	moves    []int64
+
+	// tr exchanges the outbound flow lists across the decide/commit
+	// barrier: memTransport (zero-copy slice handoff) in process, a
+	// socket-backed transport in a cluster worker.
+	tr Transport
 
 	// Per-worker scratch for the decide loop.
 	scratch []*decideScratch
@@ -132,8 +132,9 @@ func New(sys *core.System, proto core.UniformNodeProtocol, counts []int64, opts 
 		counts:   st.Counts(),
 		loads:    make([]float64, n),
 		local:    make([][]int64, p),
-		outFlows: make([][][]flow, p),
+		outFlows: make([][][]transport.Flow, p),
 		moves:    make([]int64, p),
+		tr:       newMemTransport(p),
 		scratch:  make([]*decideScratch, workers),
 		workers:  workers,
 		kick:     make([]chan phase, workers),
@@ -142,13 +143,13 @@ func New(sys *core.System, proto core.UniformNodeProtocol, counts []int64, opts 
 	for s := 0; s < p; s++ {
 		lo, hi := part.Range(s)
 		e.local[s] = make([]int64, hi-lo)
-		e.outFlows[s] = make([][]flow, p)
+		e.outFlows[s] = make([][]transport.Flow, p)
 		for d := 0; d < p; d++ {
 			if c := part.CrossEdges(s, d); c > 0 {
 				// A shard emits at most one flow entry per cross edge
 				// per round, so this capacity is never exceeded: the
 				// decide loop appends without ever growing.
-				e.outFlows[s][d] = make([]flow, 0, c)
+				e.outFlows[s][d] = make([]transport.Flow, 0, c)
 			}
 		}
 	}
@@ -186,6 +187,7 @@ func (e *Engine) runPhase(w int, ph phase) {
 			e.snapshotLoads(s)
 		case phaseDecide:
 			e.decideShard(s, ph.round, e.scratch[w])
+			e.tr.PublishFlows(s, e.outFlows[s])
 		case phaseCommit:
 			e.commitShard(s)
 		}
@@ -247,7 +249,7 @@ func (e *Engine) decideShard(s int, roundStream *rng.Stream, sc *decideScratch) 
 			if d := int(part.shardOf[j]); d == s {
 				local[int(j)-lo] += amount
 			} else {
-				flows[d] = append(flows[d], flow{node: j, amount: amount})
+				flows[d] = append(flows[d], transport.Flow{Node: j, Amount: amount})
 			}
 		}
 	}
@@ -255,9 +257,10 @@ func (e *Engine) decideShard(s int, roundStream *rng.Stream, sc *decideScratch) 
 }
 
 // commitShard applies every delta addressed to shard s: its own dense
-// local buffer plus the flow lists of all other shards. Shard s's
-// counts are written only here, only by the worker running s, after the
-// decide barrier — hence no data races and no locked hot path.
+// local buffer plus the flow lists every other shard published through
+// the transport. Shard s's counts are written only here, only by the
+// worker running s, after the decide barrier — hence no data races and
+// no locked hot path.
 func (e *Engine) commitShard(s int) {
 	lo, _ := e.part.Range(s)
 	for k, d := range e.local[s] {
@@ -269,8 +272,8 @@ func (e *Engine) commitShard(s int) {
 		if src == s {
 			continue
 		}
-		for _, f := range e.outFlows[src][s] {
-			e.counts[f.node] += f.amount
+		for _, f := range e.tr.Flows(src, s) {
+			e.counts[f.Node] += f.Amount
 		}
 	}
 }

@@ -1,0 +1,54 @@
+package shard
+
+import "repro/internal/transport"
+
+// Transport is the inter-shard exchange surface of the decide/commit
+// barrier: after the decide phase each shard publishes its outbound
+// flow lists (indexed by destination shard), and during the commit
+// phase each shard reads every source's list addressed to it. The
+// in-process engines use memTransport, a zero-copy slice handoff; the
+// cross-process worker swaps in a socket-backed implementation that
+// serializes the published lists through the coordinator (see
+// worker.go). The exchange pattern is strictly phase-ordered — all
+// publishes complete at the decide barrier before any read — so
+// implementations need no internal synchronization beyond that barrier.
+//
+// The interface returns slices rather than visiting via callbacks so
+// the hot path stays allocation-free: a closure per shard per round
+// would breach the engine's allocs/round ceiling at P=1000.
+type Transport interface {
+	// PublishFlows announces shard src's uniform-model outbound lists;
+	// lists[d] holds the flows addressed to shard d (lists[src] is
+	// unused — in-shard deltas travel through the dense local buffer).
+	PublishFlows(src int, lists [][]transport.Flow)
+	// PublishWFlows announces shard src's weighted-model outbound
+	// lists; lists[src] carries the intra-shard moves.
+	PublishWFlows(src int, lists [][]transport.WFlow)
+	// Flows returns the uniform flows shard src published for shard
+	// dst. Valid until the next decide phase.
+	Flows(src, dst int) []transport.Flow
+	// WFlows returns the weighted flows shard src published for dst.
+	WFlows(src, dst int) []transport.WFlow
+}
+
+// memTransport is the in-process Transport: publishing stores the
+// engine-owned slice headers, reading returns them — no copy, no
+// allocation. Distinct sources publish into distinct elements and the
+// decide barrier orders every publish before every read, so the
+// concurrent phase workers never race.
+type memTransport struct {
+	flows  [][][]transport.Flow
+	wflows [][][]transport.WFlow
+}
+
+func newMemTransport(p int) *memTransport {
+	return &memTransport{
+		flows:  make([][][]transport.Flow, p),
+		wflows: make([][][]transport.WFlow, p),
+	}
+}
+
+func (t *memTransport) PublishFlows(src int, lists [][]transport.Flow)   { t.flows[src] = lists }
+func (t *memTransport) PublishWFlows(src int, lists [][]transport.WFlow) { t.wflows[src] = lists }
+func (t *memTransport) Flows(src, dst int) []transport.Flow              { return t.flows[src][dst] }
+func (t *memTransport) WFlows(src, dst int) []transport.WFlow            { return t.wflows[src][dst] }

@@ -11,22 +11,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/task"
+	"repro/internal/transport"
 )
-
-// wflow is one migrating weighted task addressed to a node of the
-// destination shard: the task's weight, its source node, and seq — the
-// move's position within the source node's idx-descending move list,
-// which dates the move on the round's global move timeline (see
-// WeightedEngine.shardBase). Unlike the uniform engine's flow entries,
-// which aggregate per cross edge, weighted flows are per task: the
-// committer must append each weight individually, in the exact order
-// the sequential ApplyMoves would.
-type wflow struct {
-	dst int32
-	src int32
-	seq int32
-	w   float64
-}
 
 // WeightedEngine is the CSR-backed sharded execution engine for
 // weighted tasks (Algorithm 2). State is a flat structure of arrays:
@@ -83,11 +69,22 @@ type WeightedEngine struct {
 	sinceRecompute int64
 
 	// Decide outputs (indexed by shard, not worker, so the worker
-	// striping cannot influence the trajectory).
-	outFlows [][][]wflow // outFlows[s][d]: tasks moving from shard s into shard d (d == s included)
-	remIdx   [][]int32   // shard s's removal indices: source-ascending, idx-descending
-	remPos   [][]int64   // per-node prefix into remIdx (len shardSize+1)
-	moves    []int64     // per-shard move totals
+	// striping cannot influence the trajectory). Each outbound entry is
+	// one migrating task — unlike the uniform engine's per-edge
+	// aggregates — stamped with its shard-local move index G, so the
+	// committer can reconstruct the global move timeline from the flow
+	// record plus the source shard's move base alone (see
+	// transport.WFlow). That self-containment is what lets the lists
+	// travel across a process boundary.
+	outFlows [][][]transport.WFlow // outFlows[s][d]: tasks moving from shard s into shard d (d == s included)
+	remIdx   [][]int32             // shard s's removal indices: source-ascending, idx-descending
+	remPos   [][]int64             // per-node prefix into remIdx (len shardSize+1)
+	moves    []int64               // per-shard move totals
+
+	// tr exchanges the outbound flow lists across the decide/commit
+	// barrier; memTransport in process, socket-backed in a cluster
+	// worker.
+	tr Transport
 
 	// Commit scratch (indexed by destination shard): the arrival
 	// buckets, filled in global source order.
@@ -195,10 +192,11 @@ func NewWeighted(sys *core.System, proto core.WeightedFlatProtocol, perNode []ta
 		priv:       make([][][]float64, p),
 		nodeWeight: make([]float64, n),
 		loads:      make([]float64, n),
-		outFlows:   make([][][]wflow, p),
+		outFlows:   make([][][]transport.WFlow, p),
 		remIdx:     make([][]int32, p),
 		remPos:     make([][]int64, p),
 		moves:      make([]int64, p),
+		tr:         newMemTransport(p),
 		arrCnt:     make([][]int32, p),
 		arrFill:    make([][]int32, p),
 		arrPos:     make([][]int64, p),
@@ -236,7 +234,7 @@ func NewWeighted(sys *core.System, proto core.WeightedFlatProtocol, perNode []ta
 		e.noff[s] = make([]int64, size+1)
 		e.segLen[s] = segLen
 		e.priv[s] = make([][]float64, size)
-		e.outFlows[s] = make([][]wflow, p)
+		e.outFlows[s] = make([][]transport.WFlow, p)
 		// Unlike the uniform engine's per-edge flow entries, weighted
 		// flows are per task, so edge counts are a warm-start heuristic
 		// rather than a hard bound — but the dominant list is the
@@ -258,7 +256,7 @@ func NewWeighted(sys *core.System, proto core.WeightedFlatProtocol, perNode []ta
 				c = intra
 			}
 			if c > 0 {
-				e.outFlows[s][d] = make([]wflow, 0, c)
+				e.outFlows[s][d] = make([]transport.WFlow, 0, c)
 			}
 		}
 		e.remPos[s] = make([]int64, size+1)
@@ -309,6 +307,7 @@ func (e *WeightedEngine) runPhase(w int, ph phase) {
 			e.snapshotLoads(s)
 		case phaseDecide:
 			e.decideShard(s, ph.round, e.scratch[w])
+			e.tr.PublishWFlows(s, e.outFlows[s])
 		case phaseCommit:
 			e.commitShard(s)
 		}
@@ -345,7 +344,7 @@ func (e *WeightedEngine) decideShard(s int, roundStream *rng.Stream, sc *weighte
 		// allocations total and the steady state allocates nothing;
 		// underestimates just fall back to append's normal growth.
 		if prev := len(flows[d]); cap(flows[d]) < prev+prev/8 {
-			flows[d] = make([]wflow, 0, max(prev+prev/2, 2*cap(flows[d])))
+			flows[d] = make([]transport.WFlow, 0, max(prev+prev/2, 2*cap(flows[d])))
 		} else {
 			flows[d] = flows[d][:0]
 		}
@@ -373,7 +372,9 @@ func (e *WeightedEngine) decideShard(s int, roundStream *rng.Stream, sc *weighte
 			for p, m := range ms {
 				remIdx = append(remIdx, int32(m.Idx))
 				d := int(part.shardOf[m.To])
-				flows[d] = append(flows[d], wflow{dst: int32(m.To), src: int32(i), seq: int32(p), w: seg[m.Idx]})
+				// G = mv + p is the move's shard-local index: the count
+				// of moves this shard emitted before it this round.
+				flows[d] = append(flows[d], transport.WFlow{Dst: int32(m.To), G: mv + int64(p), W: seg[m.Idx]})
 			}
 			mv += int64(len(ms))
 		}
@@ -420,8 +421,8 @@ func (e *WeightedEngine) commitShard(d int) {
 	}
 	totalArr := int64(0)
 	for src := 0; src < part.P(); src++ {
-		for _, f := range e.outFlows[src][d] {
-			arrCnt[int(f.dst)-lo]++
+		for _, f := range e.tr.WFlows(src, d) {
+			arrCnt[int(f.Dst)-lo]++
 			totalArr++
 		}
 	}
@@ -457,14 +458,12 @@ func (e *WeightedEngine) commitShard(d int) {
 	}
 	for src := 0; src < part.P(); src++ {
 		base := e.shardBase[src]
-		rp := e.remPos[src]
-		slo, _ := part.Range(src)
-		for _, f := range e.outFlows[src][d] {
-			k := int(f.dst) - lo
+		for _, f := range e.tr.WFlows(src, d) {
+			k := int(f.Dst) - lo
 			at := arrPos[k] + int64(fill[k])
 			fill[k]++
-			arrW[at] = f.w
-			arrG[at] = base + rp[int(f.src)-slo] + int64(f.seq)
+			arrW[at] = f.W
+			arrG[at] = base + f.G
 		}
 	}
 	// Pass 3: per-node in-place replay; nodes without operations are

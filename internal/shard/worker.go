@@ -1,0 +1,514 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/task"
+	"repro/internal/transport"
+)
+
+// A cluster worker executes exactly one shard of an instance inside its
+// own process, driven frame by frame by the coordinator (cluster.go).
+// The worker builds the same engine the in-process path uses —
+// Options{Shards: P} with the identical partition — and drives that
+// shard's three phases directly, so every decide and commit runs the
+// byte-for-byte identical code; only the flow exchange differs, swapped
+// behind the Transport interface. The worker's out-of-range state goes
+// stale after the first round but is never read: loads arrive by
+// coordinator broadcast, and decisions and commits touch only the
+// worker's own index range.
+
+// workerTransport is the socket-backed Transport of a cluster worker:
+// the worker's own published lists are held locally (its intra-shard
+// traffic never touches the wire), and the per-source inbound lists are
+// loaded from the coordinator's grant frame before each commit.
+type workerTransport struct {
+	own    int
+	lists  [][]transport.Flow  // own published lists, by destination
+	wlists [][]transport.WFlow // weighted twin
+	in     [][]transport.Flow  // inbound flows, by source shard
+	inW    [][]transport.WFlow
+}
+
+func (t *workerTransport) PublishFlows(src int, lists [][]transport.Flow)   { t.lists = lists }
+func (t *workerTransport) PublishWFlows(src int, lists [][]transport.WFlow) { t.wlists = lists }
+
+func (t *workerTransport) Flows(src, dst int) []transport.Flow {
+	if src == t.own {
+		return t.lists[dst]
+	}
+	return t.in[src]
+}
+
+func (t *workerTransport) WFlows(src, dst int) []transport.WFlow {
+	if src == t.own {
+		return t.wlists[dst]
+	}
+	return t.inW[src]
+}
+
+// WorkerOptions carries test hooks for RunWorkerOpts.
+type WorkerOptions struct {
+	// AfterRound, when non-nil, runs after the worker has completed
+	// round r and sent its step-done frame. The kill-and-resume tests
+	// use it to crash the process at a chosen round.
+	AfterRound func(round uint64)
+}
+
+// RunWorker serves one shard over rw until the coordinator sends a done
+// frame (returning nil) or the session fails (returning the error,
+// after best-effort reporting it to the coordinator as an error frame).
+// The caller owns rw and closes it after RunWorker returns.
+func RunWorker(rw io.ReadWriter) error {
+	return RunWorkerOpts(rw, WorkerOptions{})
+}
+
+// RunWorkerOpts is RunWorker with test hooks.
+func RunWorkerOpts(rw io.ReadWriter, wo WorkerOptions) error {
+	conn := transport.NewConn(rw)
+	w, err := newWorker(conn)
+	if err != nil {
+		conn.WriteError(err.Error())
+		return err
+	}
+	defer w.close()
+	if err := w.loop(wo); err != nil {
+		conn.WriteError(err.Error())
+		return err
+	}
+	return nil
+}
+
+// worker is the per-process shard server state.
+type worker struct {
+	conn   *transport.Conn
+	buf    transport.Buffer
+	model  uint8
+	own    int
+	p      int
+	n      int
+	lo, hi int
+	tr     *workerTransport
+
+	ue *Engine
+	we *WeightedEngine
+
+	scratch []float64 // drain-report / state-gather staging
+}
+
+// newWorker reads the config frame, builds the engine it describes and
+// acknowledges readiness.
+func newWorker(conn *transport.Conn) (*worker, error) {
+	kind, payload, err := conn.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	if kind != transport.KindConfig {
+		return nil, fmt.Errorf("shard: worker: expected config frame, got %v", kind)
+	}
+	var b transport.Buffer
+	b.Load(payload)
+	cfg, err := decodeConfig(&b)
+	if err != nil {
+		return nil, err
+	}
+	csr, err := graph.NewCSR(cfg.CSRName, cfg.N, cfg.Offsets, cfg.Adj)
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker: rebuild graph: %w", err)
+	}
+	sys, err := core.NewSystem(csr.Graph(), machine.Speeds(cfg.Speeds), core.WithLambda2(cfg.Lambda2))
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker: rebuild system: %w", err)
+	}
+	if cfg.Shard < 0 || cfg.Shard >= cfg.P {
+		return nil, fmt.Errorf("shard: worker: shard %d of %d", cfg.Shard, cfg.P)
+	}
+	opts := Options{Shards: cfg.P, Workers: 1, Strategy: Strategy(cfg.Strategy)}
+	w := &worker{
+		conn:  conn,
+		model: cfg.Model,
+		own:   cfg.Shard,
+		p:     cfg.P,
+		n:     cfg.N,
+		tr: &workerTransport{
+			own: cfg.Shard,
+			in:  make([][]transport.Flow, cfg.P),
+			inW: make([][]transport.WFlow, cfg.P),
+		},
+	}
+	switch cfg.Model {
+	case modelUniform:
+		proto, err := uniformProtoFor(cfg.Proto, cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		e, err := New(sys, proto, cfg.Counts, opts)
+		if err != nil {
+			return nil, err
+		}
+		if e.part.P() != cfg.P {
+			e.Close()
+			return nil, fmt.Errorf("shard: worker: partition clamps %d shards to %d", cfg.P, e.part.P())
+		}
+		e.tr = w.tr
+		w.ue = e
+		w.lo, w.hi = e.part.Range(cfg.Shard)
+	case modelWeighted:
+		proto, err := weightedProtoFor(cfg.Proto, cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		if len(cfg.Off) != cfg.N+1 {
+			return nil, fmt.Errorf("shard: worker: %d segment offsets for %d nodes", len(cfg.Off), cfg.N)
+		}
+		perNode := make([]task.Weights, cfg.N)
+		for i := 0; i < cfg.N; i++ {
+			lo, hi := cfg.Off[i], cfg.Off[i+1]
+			if lo < 0 || hi < lo || hi > int64(len(cfg.Pool)) {
+				return nil, fmt.Errorf("shard: worker: segment [%d,%d) outside pool of %d", lo, hi, len(cfg.Pool))
+			}
+			perNode[i] = task.Weights(cfg.Pool[lo:hi])
+		}
+		e, err := NewWeighted(sys, proto, perNode, opts)
+		if err != nil {
+			return nil, err
+		}
+		if e.part.P() != cfg.P {
+			e.Close()
+			return nil, fmt.Errorf("shard: worker: partition clamps %d shards to %d", cfg.P, e.part.P())
+		}
+		if cfg.Restored {
+			// The checkpointed cached sums drift from the exact folds
+			// between periodic recomputes; adopt them bit-for-bit instead
+			// of the fresh folds NewWeighted computed.
+			if len(cfg.NodeWeight) != cfg.N {
+				e.Close()
+				return nil, fmt.Errorf("shard: worker: %d restored weight sums for %d nodes", len(cfg.NodeWeight), cfg.N)
+			}
+			copy(e.nodeWeight, cfg.NodeWeight)
+			for i := range e.sumValid {
+				e.sumValid[i] = false
+			}
+		}
+		e.tr = w.tr
+		w.we = e
+		w.lo, w.hi = e.part.Range(cfg.Shard)
+	default:
+		return nil, fmt.Errorf("shard: worker: unknown model %d", cfg.Model)
+	}
+	if err := conn.WriteFrame(transport.KindVote, nil); err != nil {
+		w.close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *worker) close() {
+	if w.ue != nil {
+		w.ue.Close()
+	}
+	if w.we != nil {
+		w.we.Close()
+	}
+}
+
+// loop serves coordinator frames until done.
+func (w *worker) loop(wo WorkerOptions) error {
+	for {
+		kind, payload, err := w.conn.ReadFrame()
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case transport.KindRound:
+			var r uint64
+			if r, err = w.round(payload); err == nil && wo.AfterRound != nil {
+				wo.AfterRound(r)
+			}
+		case transport.KindEvents:
+			err = w.events(payload)
+		case transport.KindStateReq:
+			w.buf.Reset()
+			encodeOwnState(&w.buf, w.model, w.ownState())
+			err = w.conn.WriteFrame(transport.KindState, w.buf.B)
+		case transport.KindCheckpoint:
+			// The payload (the round number) is informational; the reply
+			// carries this shard's state for the coordinator to persist.
+			w.buf.Reset()
+			encodeOwnState(&w.buf, w.model, w.ownState())
+			err = w.conn.WriteFrame(transport.KindCheckpointAck, w.buf.B)
+		case transport.KindDone:
+			return nil
+		default:
+			return fmt.Errorf("shard: worker: unexpected %v frame", kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// round executes one protocol round: snapshot own loads, swap the full
+// broadcast in, decide, ship the outbound cross-shard flows, load the
+// grant (move bases, recompute crossing, inbound flows), commit, and
+// report step completion (with the fresh own-range sums on recompute
+// rounds). The frame sequence is strict alternation with the
+// coordinator — read exactly when it writes and vice versa — which
+// keeps the lockstep deadlock-free even over unbuffered pipes.
+func (w *worker) round(payload []byte) (uint64, error) {
+	var b transport.Buffer
+	b.Load(payload)
+	r, err := b.U64()
+	if err != nil {
+		return 0, err
+	}
+	var words [5]uint64
+	for i := range words {
+		if words[i], err = b.U64(); err != nil {
+			return 0, err
+		}
+	}
+	rs := rng.StreamFromWords(words)
+
+	// Phase 1: own loads out, full snapshot back.
+	var loads []float64
+	if w.model == modelUniform {
+		w.ue.snapshotLoads(w.own)
+		loads = w.ue.loads
+	} else {
+		w.we.snapshotLoads(w.own)
+		loads = w.we.loads
+	}
+	w.buf.Reset()
+	w.buf.PutF64s(loads[w.lo:w.hi])
+	if err := w.conn.WriteFrame(transport.KindLoads, w.buf.B); err != nil {
+		return 0, err
+	}
+	payload, err = w.conn.Expect(transport.KindLoadsAll)
+	if err != nil {
+		return 0, err
+	}
+	b.Load(payload)
+	all, err := b.F64s(loads[:0])
+	if err != nil {
+		return 0, err
+	}
+	if len(all) != w.n {
+		return 0, fmt.Errorf("shard: worker: %d loads for %d nodes", len(all), w.n)
+	}
+
+	// Phase 2: decide own shard, publish locally, ship the cross-shard
+	// lists (the own-destination list stays local and never hits the
+	// wire — for the weighted model it is the dominant, intra-shard one).
+	w.buf.Reset()
+	if w.model == modelUniform {
+		e := w.ue
+		e.decideShard(w.own, rs, e.scratch[0])
+		e.tr.PublishFlows(w.own, e.outFlows[w.own])
+		w.buf.PutI64(e.moves[w.own])
+		w.buf.PutU32(uint32(w.p))
+		for d := 0; d < w.p; d++ {
+			if d == w.own {
+				w.buf.PutFlows(nil)
+			} else {
+				w.buf.PutFlows(w.tr.lists[d])
+			}
+		}
+	} else {
+		e := w.we
+		e.decideShard(w.own, rs, e.scratch[0])
+		e.tr.PublishWFlows(w.own, e.outFlows[w.own])
+		w.buf.PutI64(e.moves[w.own])
+		w.buf.PutU32(uint32(w.p))
+		for d := 0; d < w.p; d++ {
+			if d == w.own {
+				w.buf.PutWFlows(nil)
+			} else {
+				w.buf.PutWFlows(w.tr.wlists[d])
+			}
+		}
+	}
+	if err := w.conn.WriteFrame(transport.KindFlows, w.buf.B); err != nil {
+		return 0, err
+	}
+
+	// Phase 3: grant in, commit, step done.
+	payload, err = w.conn.Expect(transport.KindGrant)
+	if err != nil {
+		return 0, err
+	}
+	b.Load(payload)
+	crossed := false
+	if w.model == modelUniform {
+		if err := w.loadGrantFlows(&b); err != nil {
+			return 0, err
+		}
+		w.ue.commitShard(w.own)
+	} else {
+		e := w.we
+		sb, err := b.I64s(e.shardBase[:0])
+		if err != nil {
+			return 0, err
+		}
+		if len(sb) != w.p {
+			return 0, fmt.Errorf("shard: worker: %d move bases for %d shards", len(sb), w.p)
+		}
+		e.shardBase = sb
+		if e.crossAt, err = b.I64(); err != nil {
+			return 0, err
+		}
+		crossed = e.crossAt >= 0
+		if err := w.loadGrantWFlows(&b); err != nil {
+			return 0, err
+		}
+		e.commitShard(w.own)
+	}
+	w.buf.Reset()
+	if crossed {
+		w.buf.PutU8(1)
+		w.buf.PutF64s(w.we.freshSum[w.lo:w.hi])
+	} else {
+		w.buf.PutU8(0)
+	}
+	if err := w.conn.WriteFrame(transport.KindStepDone, w.buf.B); err != nil {
+		return 0, err
+	}
+	return r, nil
+}
+
+func (w *worker) loadGrantFlows(b *transport.Buffer) error {
+	p, err := b.U32()
+	if err != nil {
+		return err
+	}
+	if int(p) != w.p {
+		return fmt.Errorf("shard: worker: grant for %d shards, have %d", p, w.p)
+	}
+	for src := 0; src < w.p; src++ {
+		if w.tr.in[src], err = b.Flows(w.tr.in[src][:0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *worker) loadGrantWFlows(b *transport.Buffer) error {
+	p, err := b.U32()
+	if err != nil {
+		return err
+	}
+	if int(p) != w.p {
+		return fmt.Errorf("shard: worker: grant for %d shards, have %d", p, w.p)
+	}
+	for src := 0; src < w.p; src++ {
+		if w.tr.inW[src], err = b.WFlows(w.tr.inW[src][:0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// events applies a pre-round workload batch to the worker's own range.
+// For the weighted model the reply carries, per own node in ascending
+// order, the exact weights the drain removes — computed against the
+// pre-event state with WeightedState.Drain's clamp-and-truncate rule —
+// so the coordinator can replay the global totalW and ledger float64
+// operation sequence in the sequential engine's exact order. The
+// worker's own recompute counter is pinned to zero first: the
+// coordinator owns the threshold accounting and refuses batches that
+// would cross it.
+func (w *worker) events(payload []byte) error {
+	var b transport.Buffer
+	b.Load(payload)
+	batch, err := decodeEventSlice(&b, w.model, w.n)
+	if err != nil {
+		return err
+	}
+	if w.model == modelUniform {
+		led, err := w.ue.ApplyEvents(batch)
+		if err != nil {
+			return err
+		}
+		w.buf.Reset()
+		w.buf.PutI64(led.Arrived)
+		w.buf.PutI64(led.Departed)
+		return w.conn.WriteFrame(transport.KindEventsReport, w.buf.B)
+	}
+	e := w.we
+	w.buf.Reset()
+	cnt := uint32(0)
+	for i := w.lo; i < w.hi; i++ {
+		if e.drainCount(i, batch) > 0 {
+			cnt++
+		}
+	}
+	w.buf.PutU32(cnt)
+	for i := w.lo; i < w.hi; i++ {
+		k := e.drainCount(i, batch)
+		if k <= 0 {
+			continue
+		}
+		oldCnt := e.nodeCount(i)
+		var arr []float64
+		if len(batch.WeightArrivals) != 0 {
+			arr = batch.WeightArrivals[i]
+		}
+		seg := e.nodeSegment(i)
+		drained := w.scratch[:0]
+		for p := oldCnt + int64(len(arr)) - k; p < oldCnt+int64(len(arr)); p++ {
+			if p < oldCnt {
+				drained = append(drained, seg[p])
+			} else {
+				drained = append(drained, arr[p-oldCnt])
+			}
+		}
+		w.scratch = drained[:0]
+		w.buf.PutU32(uint32(i))
+		w.buf.PutF64s(drained)
+	}
+	e.sinceRecompute = 0
+	if _, err := e.ApplyEvents(batch); err != nil {
+		return err
+	}
+	return w.conn.WriteFrame(transport.KindEventsReport, w.buf.B)
+}
+
+// ownState snapshots the worker's own index range for state gathers and
+// checkpoints.
+func (w *worker) ownState() *ownState {
+	if w.model == modelUniform {
+		return &ownState{Counts: w.ue.counts[w.lo:w.hi]}
+	}
+	e := w.we
+	segs := w.scratch[:0]
+	for k := 0; k < w.hi-w.lo; k++ {
+		segs = append(segs, e.seg(w.own, k)...)
+	}
+	w.scratch = segs[:0]
+	return &ownState{
+		SegLen:     e.segLen[w.own],
+		Segs:       segs,
+		NodeWeight: e.nodeWeight[w.lo:w.hi],
+	}
+}
+
+// uniformProtoFor resolves a wire protocol name for the uniform model.
+func uniformProtoFor(name string, alpha float64) (core.UniformNodeProtocol, error) {
+	if name == "algorithm1" {
+		return core.Algorithm1{Alpha: alpha}, nil
+	}
+	return nil, fmt.Errorf("shard: worker: unknown uniform protocol %q", name)
+}
+
+// weightedProtoFor resolves a wire protocol name for the weighted model.
+func weightedProtoFor(name string, alpha float64) (core.WeightedFlatProtocol, error) {
+	if name == "algorithm2" {
+		return core.Algorithm2{Alpha: alpha}, nil
+	}
+	return nil, fmt.Errorf("shard: worker: unknown weighted protocol %q", name)
+}

@@ -1,0 +1,414 @@
+// Package transport is the wire layer for running one load-balancing
+// instance across processes: a length-prefixed binary framing over any
+// io.ReadWriter (unix or TCP sockets in practice), a primitive
+// append/consume codec for the payloads, and the flow records the shard
+// engines exchange at the decide/commit barrier.
+//
+// The framing is deliberately minimal: every frame is
+//
+//	[u32 LE payload length] [u8 kind] [payload]
+//
+// with the kind byte outside the counted payload. All multi-byte
+// integers in payloads are little-endian; float64s travel as their IEEE
+// 754 bit patterns, so values round-trip bit-exactly — the property the
+// engines' bit-identical-trajectory contract rests on. Domain encodings
+// (CSR graphs, engine configs, event batches) live with their owners in
+// package shard, built from the primitives here.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Kind identifies a frame's payload type. The values are part of the
+// wire protocol; never renumber, only append.
+type Kind uint8
+
+const (
+	// KindConfig carries the full instance description from coordinator
+	// to worker at session start (or a resume directive).
+	KindConfig Kind = 1
+	// KindRound announces a round to the workers: round number and the
+	// round's rng stream words.
+	KindRound Kind = 2
+	// KindLoads carries one shard's own-range load vector to the
+	// coordinator.
+	KindLoads Kind = 3
+	// KindLoadsAll broadcasts the full load vector back to the workers.
+	KindLoadsAll Kind = 4
+	// KindFlows carries one shard's outbound flow lists after decide.
+	KindFlows Kind = 5
+	// KindVote is a worker's barrier vote (decide complete, move count).
+	KindVote Kind = 6
+	// KindGrant is the coordinator's commit grant: global move bases,
+	// the recompute crossing index, and the shard's inbound flows.
+	KindGrant Kind = 7
+	// KindStepDone reports a committed round: per-shard fresh sums and
+	// phase bookkeeping.
+	KindStepDone Kind = 8
+	// KindEvents carries a pre-round event batch slice to a worker.
+	KindEvents Kind = 9
+	// KindEventsReport is a worker's pre-application drain report.
+	KindEventsReport Kind = 10
+	// KindEventsDone acknowledges event application.
+	KindEventsDone Kind = 11
+	// KindStateReq asks a worker for its own-range state.
+	KindStateReq Kind = 12
+	// KindState carries a worker's own-range state snapshot.
+	KindState Kind = 13
+	// KindCheckpoint asks a worker to write a checkpoint for a round.
+	KindCheckpoint Kind = 14
+	// KindCheckpointAck confirms a durable checkpoint.
+	KindCheckpointAck Kind = 15
+	// KindDone ends the session.
+	KindDone Kind = 16
+	// KindError carries a fatal error string from either side.
+	KindError Kind = 17
+)
+
+// maxFrame bounds a frame's payload so a corrupt or adversarial length
+// prefix cannot make the reader allocate unbounded memory.
+const maxFrame = 1 << 30
+
+// Conn frames messages over an underlying stream. Reads and writes are
+// buffered; Flush must be called after the writes of a protocol turn
+// (WriteFrame flushes by default for simplicity — the exchange pattern
+// is strictly turn-based, so per-frame flushes cost nothing measurable
+// against a round of protocol work).
+type Conn struct {
+	r   *bufio.Reader
+	w   *bufio.Writer
+	hdr [5]byte
+	buf []byte
+}
+
+// NewConn wraps rw in a framed connection.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{r: bufio.NewReaderSize(rw, 1<<16), w: bufio.NewWriterSize(rw, 1<<16)}
+}
+
+// WriteFrame sends one frame and flushes it.
+func (c *Conn) WriteFrame(kind Kind, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("transport: frame payload %d exceeds limit", len(payload))
+	}
+	binary.LittleEndian.PutUint32(c.hdr[:4], uint32(len(payload)))
+	c.hdr[4] = byte(kind)
+	if _, err := c.w.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// ReadFrame reads the next frame. The returned payload is valid until
+// the next ReadFrame call (the buffer is reused).
+func (c *Conn) ReadFrame() (Kind, []byte, error) {
+	if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(c.hdr[:4])
+	kind := Kind(c.hdr[4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("transport: frame length %d exceeds limit", n)
+	}
+	if cap(c.buf) < int(n) {
+		c.buf = make([]byte, n)
+	}
+	c.buf = c.buf[:n]
+	if _, err := io.ReadFull(c.r, c.buf); err != nil {
+		return 0, nil, fmt.Errorf("transport: truncated %v frame: %w", kind, err)
+	}
+	return kind, c.buf, nil
+}
+
+// Expect reads the next frame and requires it to be of the given kind.
+// A KindError frame is surfaced as the remote error it carries.
+func (c *Conn) Expect(kind Kind) ([]byte, error) {
+	k, payload, err := c.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	if k == KindError {
+		return nil, fmt.Errorf("transport: remote error: %s", payload)
+	}
+	if k != kind {
+		return nil, fmt.Errorf("transport: expected frame kind %d, got %d", kind, k)
+	}
+	return payload, nil
+}
+
+// WriteError sends a KindError frame carrying msg; best-effort (the
+// peer may already be gone).
+func (c *Conn) WriteError(msg string) {
+	_ = c.WriteFrame(KindError, []byte(msg))
+}
+
+// Buffer is an append-only payload builder and a sequential consumer.
+// The Put* methods append; the read methods consume from the front and
+// return an error on underflow instead of panicking, so a truncated or
+// corrupt payload is reported, not a crash.
+type Buffer struct {
+	B   []byte
+	off int
+}
+
+// Reset clears the buffer for reuse (keeping capacity).
+func (b *Buffer) Reset() { b.B = b.B[:0]; b.off = 0 }
+
+// Load points the buffer's read cursor at p.
+func (b *Buffer) Load(p []byte) { b.B = p; b.off = 0 }
+
+// Remaining reports the unconsumed byte count.
+func (b *Buffer) Remaining() int { return len(b.B) - b.off }
+
+func (b *Buffer) PutU8(v uint8)  { b.B = append(b.B, v) }
+func (b *Buffer) PutU32(v uint32) {
+	b.B = binary.LittleEndian.AppendUint32(b.B, v)
+}
+func (b *Buffer) PutU64(v uint64) {
+	b.B = binary.LittleEndian.AppendUint64(b.B, v)
+}
+func (b *Buffer) PutI64(v int64)   { b.PutU64(uint64(v)) }
+func (b *Buffer) PutF64(v float64) { b.PutU64(math.Float64bits(v)) }
+
+// PutBytes appends a u32-length-prefixed byte string.
+func (b *Buffer) PutBytes(p []byte) {
+	b.PutU32(uint32(len(p)))
+	b.B = append(b.B, p...)
+}
+
+// PutString appends a u32-length-prefixed string.
+func (b *Buffer) PutString(s string) {
+	b.PutU32(uint32(len(s)))
+	b.B = append(b.B, s...)
+}
+
+func (b *Buffer) take(n int) ([]byte, error) {
+	if b.Remaining() < n {
+		return nil, fmt.Errorf("transport: payload underflow: need %d bytes, have %d", n, b.Remaining())
+	}
+	p := b.B[b.off : b.off+n]
+	b.off += n
+	return p, nil
+}
+
+func (b *Buffer) U8() (uint8, error) {
+	p, err := b.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return p[0], nil
+}
+
+func (b *Buffer) U32() (uint32, error) {
+	p, err := b.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(p), nil
+}
+
+func (b *Buffer) U64() (uint64, error) {
+	p, err := b.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+func (b *Buffer) I64() (int64, error) {
+	v, err := b.U64()
+	return int64(v), err
+}
+
+func (b *Buffer) F64() (float64, error) {
+	v, err := b.U64()
+	return math.Float64frombits(v), err
+}
+
+// Bytes consumes a u32-length-prefixed byte string. The returned slice
+// aliases the payload.
+func (b *Buffer) Bytes() ([]byte, error) {
+	n, err := b.U32()
+	if err != nil {
+		return nil, err
+	}
+	return b.take(int(n))
+}
+
+// String consumes a u32-length-prefixed string.
+func (b *Buffer) String() (string, error) {
+	p, err := b.Bytes()
+	return string(p), err
+}
+
+// PutI64s appends a u32-length-prefixed []int64.
+func (b *Buffer) PutI64s(v []int64) {
+	b.PutU32(uint32(len(v)))
+	for _, x := range v {
+		b.PutI64(x)
+	}
+}
+
+// I64s consumes a u32-length-prefixed []int64, reusing dst's capacity.
+func (b *Buffer) I64s(dst []int64) ([]int64, error) {
+	n, err := b.U32()
+	if err != nil {
+		return nil, err
+	}
+	if b.Remaining() < int(n)*8 {
+		return nil, fmt.Errorf("transport: payload underflow: %d int64s in %d bytes", n, b.Remaining())
+	}
+	if cap(dst) < int(n) {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i], _ = b.I64()
+	}
+	return dst, nil
+}
+
+// PutF64s appends a u32-length-prefixed []float64.
+func (b *Buffer) PutF64s(v []float64) {
+	b.PutU32(uint32(len(v)))
+	for _, x := range v {
+		b.PutF64(x)
+	}
+}
+
+// F64s consumes a u32-length-prefixed []float64, reusing dst's capacity.
+func (b *Buffer) F64s(dst []float64) ([]float64, error) {
+	n, err := b.U32()
+	if err != nil {
+		return nil, err
+	}
+	if b.Remaining() < int(n)*8 {
+		return nil, fmt.Errorf("transport: payload underflow: %d float64s in %d bytes", n, b.Remaining())
+	}
+	if cap(dst) < int(n) {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i], _ = b.F64()
+	}
+	return dst, nil
+}
+
+// PutI32s appends a u32-length-prefixed []int32.
+func (b *Buffer) PutI32s(v []int32) {
+	b.PutU32(uint32(len(v)))
+	for _, x := range v {
+		b.PutU32(uint32(x))
+	}
+}
+
+// I32s consumes a u32-length-prefixed []int32, reusing dst's capacity.
+func (b *Buffer) I32s(dst []int32) ([]int32, error) {
+	n, err := b.U32()
+	if err != nil {
+		return nil, err
+	}
+	if b.Remaining() < int(n)*4 {
+		return nil, fmt.Errorf("transport: payload underflow: %d int32s in %d bytes", n, b.Remaining())
+	}
+	if cap(dst) < int(n) {
+		dst = make([]int32, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		v, _ := b.U32()
+		dst[i] = int32(v)
+	}
+	return dst, nil
+}
+
+// Flow is one uniform-model cross-shard transfer: Amount tasks arriving
+// at node Node. It is the record the shard engine's Transport exchanges
+// between decide and commit.
+type Flow struct {
+	Node   int32
+	Amount int64
+}
+
+// WFlow is one weighted-model cross-shard task transfer: a task of
+// weight W arriving at node Dst, stamped with G, the task's
+// shard-local departure index (the running count of moves the source
+// shard emitted before it in this round). The coordinator turns G
+// global by adding the source shard's move base, which reconstructs the
+// exact sequential arrival interleaving without any cross-shard state.
+type WFlow struct {
+	Dst int32
+	G   int64
+	W   float64
+}
+
+// PutFlows appends a u32-length-prefixed []Flow.
+func (b *Buffer) PutFlows(v []Flow) {
+	b.PutU32(uint32(len(v)))
+	for _, f := range v {
+		b.PutU32(uint32(f.Node))
+		b.PutI64(f.Amount)
+	}
+}
+
+// Flows consumes a u32-length-prefixed []Flow, reusing dst's capacity.
+func (b *Buffer) Flows(dst []Flow) ([]Flow, error) {
+	n, err := b.U32()
+	if err != nil {
+		return nil, err
+	}
+	if b.Remaining() < int(n)*12 {
+		return nil, fmt.Errorf("transport: payload underflow: %d flows in %d bytes", n, b.Remaining())
+	}
+	if cap(dst) < int(n) {
+		dst = make([]Flow, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		nd, _ := b.U32()
+		am, _ := b.I64()
+		dst[i] = Flow{Node: int32(nd), Amount: am}
+	}
+	return dst, nil
+}
+
+// PutWFlows appends a u32-length-prefixed []WFlow.
+func (b *Buffer) PutWFlows(v []WFlow) {
+	b.PutU32(uint32(len(v)))
+	for _, f := range v {
+		b.PutU32(uint32(f.Dst))
+		b.PutI64(f.G)
+		b.PutF64(f.W)
+	}
+}
+
+// WFlows consumes a u32-length-prefixed []WFlow, reusing dst's capacity.
+func (b *Buffer) WFlows(dst []WFlow) ([]WFlow, error) {
+	n, err := b.U32()
+	if err != nil {
+		return nil, err
+	}
+	if b.Remaining() < int(n)*20 {
+		return nil, fmt.Errorf("transport: payload underflow: %d wflows in %d bytes", n, b.Remaining())
+	}
+	if cap(dst) < int(n) {
+		dst = make([]WFlow, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		d, _ := b.U32()
+		g, _ := b.I64()
+		w, _ := b.F64()
+		dst[i] = WFlow{Dst: int32(d), G: g, W: w}
+	}
+	return dst, nil
+}
