@@ -90,7 +90,8 @@ bench-gate:
 # processes over a unix socket, checkpointing every 20 rounds; -verify
 # re-runs the same instance on the in-process shard engine and requires
 # the distributed result to match bit for bit (reflect.DeepEqual in the
-# coordinator). Leaves lbshard-smoke.ckpt and lbshard-smoke.json behind
+# coordinator). Leaves lbshard-smoke.ckpt, lbshard-smoke.json, the
+# coordinator Chrome trace and the aggregated cluster telemetry behind
 # for CI to archive.
 lbshard-smoke:
 	$(GO) build -o lbshard.bin ./cmd/lbshard
@@ -98,7 +99,8 @@ lbshard-smoke:
 		-model weighted -speeds twoclass -rounds 60 -trace 10 -shards 2 \
 		-socket /tmp/lbshard-smoke.sock -spawn \
 		-checkpoint lbshard-smoke.ckpt -checkpoint-every 20 \
-		-verify -result lbshard-smoke.json
+		-verify -result lbshard-smoke.json \
+		-trace-out lbshard-smoke-trace.json -stats-out lbshard-smoke-stats.json
 	rm -f lbshard.bin
 
 # Regenerate the empirical counterpart of the paper's Table 1.

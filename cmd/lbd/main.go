@@ -37,6 +37,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"reflect"
@@ -51,6 +52,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/shard"
@@ -96,7 +98,11 @@ type flags struct {
 	noJournal   bool
 
 	// daemon
-	listen string
+	listen  string
+	pprofOn bool
+
+	// observability
+	metricsOut string
 
 	// selfdrive
 	selfdrive     bool
@@ -139,6 +145,8 @@ func parseFlags(argv []string) (*flags, error) {
 	fs.BoolVar(&fl.noJournal, "nojournal", false, "disable journaling (unbounded daemons; replay impossible)")
 
 	fs.StringVar(&fl.listen, "listen", "127.0.0.1:8080", "daemon mode: HTTP listen address")
+	fs.BoolVar(&fl.pprofOn, "pprof", false, "mount net/http/pprof under /debug/pprof on the HTTP surface")
+	fs.StringVar(&fl.metricsOut, "metrics-out", "", "selfdrive: write the final Prometheus exposition here (strictly validated)")
 
 	fs.BoolVar(&fl.selfdrive, "selfdrive", false, "drive the daemon with the built-in open-loop generator and exit")
 	fs.Float64Var(&fl.rate, "rate", 100_000, "selfdrive: target submission rate, ops/sec")
@@ -394,6 +402,7 @@ func psi0FromWeights(sys *core.System, w []float64) float64 {
 type daemonServer interface {
 	Submit(op serve.Op) (serve.Ticket, error)
 	Stats() serve.Stats
+	Registry() *obs.Registry
 	Do(f func())
 	Stop() (core.RunResult, error)
 	Journal() *serve.Journal
@@ -413,6 +422,111 @@ type instance struct {
 type errNode int
 
 func (e errNode) Error() string { return fmt.Sprintf("node %d out of range", int(e)) }
+
+// clusterStatser is the telemetry surface both cluster engines promote
+// from their embedded core.
+type clusterStatser interface {
+	Stats() shard.ClusterStats
+}
+
+// registerEngineMetrics publishes engine-level series on the daemon's
+// registry next to the serve set, discovered from the concrete engine
+// the same way the probes are. Every gauge reads through the engine's
+// own mutex, so a scrape during a round waits for the phase barrier —
+// never the other way around.
+func registerEngineMetrics(reg *obs.Registry, raw any) {
+	type footprinter interface{ Footprint() int64 }
+	type crossflower interface{ CrossFlows() int64 }
+	if e, ok := raw.(crossflower); ok {
+		reg.NewGaugeFunc("lbd_engine_cross_flows",
+			"Cumulative cross-shard flow records produced by decide phases.",
+			func() float64 { return float64(e.CrossFlows()) })
+	}
+	if e, ok := raw.(footprinter); ok {
+		reg.NewGaugeFunc("lbd_engine_footprint_bytes",
+			"Resident engine state in bytes.",
+			func() float64 { return float64(e.Footprint()) })
+	}
+	if e, ok := raw.(*shard.WeightedEngine); ok {
+		reg.NewGaugeFunc("lbd_engine_arena_bytes",
+			"Privatization arena bytes by block class.",
+			func() float64 { return float64(e.Arena().CurBytes) }, obs.Label{Key: "area", Value: "cur"})
+		reg.NewGaugeFunc("lbd_engine_arena_bytes",
+			"Privatization arena bytes by block class.",
+			func() float64 { return float64(e.Arena().RetiredBytes) }, obs.Label{Key: "area", Value: "retired"})
+		reg.NewGaugeFunc("lbd_engine_arena_dead_floats",
+			"Float64 slots stranded in retired arena blocks.",
+			func() float64 { return float64(e.Arena().DeadFloats) })
+	}
+	if c, ok := raw.(clusterStatser); ok {
+		reg.NewGaugeFunc("lbd_cluster_barrier_wait_seconds",
+			"Summed worker time blocked on coordinator barriers.",
+			func() float64 { return float64(c.Stats().BarrierWaitNs) / 1e9 })
+		reg.NewGaugeFunc("lbd_cluster_flows",
+			"Cross-shard flow records shipped over the wire.",
+			func() float64 { return float64(c.Stats().FlowsOut) })
+		reg.NewGaugeFunc("lbd_cluster_transport_bytes",
+			"Coordinator-side transport volume by direction.",
+			func() float64 { return float64(c.Stats().Transport.BytesSent) }, obs.Label{Key: "dir", Value: "tx"})
+		reg.NewGaugeFunc("lbd_cluster_transport_bytes",
+			"Coordinator-side transport volume by direction.",
+			func() float64 { return float64(c.Stats().Transport.BytesRecv) }, obs.Label{Key: "dir", Value: "rx"})
+		reg.NewGaugeFunc("lbd_cluster_transport_frames",
+			"Coordinator-side transport frames by direction.",
+			func() float64 { return float64(c.Stats().Transport.FramesSent) }, obs.Label{Key: "dir", Value: "tx"})
+		reg.NewGaugeFunc("lbd_cluster_transport_frames",
+			"Coordinator-side transport frames by direction.",
+			func() float64 { return float64(c.Stats().Transport.FramesRecv) }, obs.Label{Key: "dir", Value: "rx"})
+		reg.NewGaugeFunc("lbd_cluster_checkpoints",
+			"Checkpoints written by the coordinator.",
+			func() float64 { return float64(c.Stats().Checkpoints) })
+		reg.NewGaugeFunc("lbd_cluster_checkpoint_seconds",
+			"Total wall-clock time spent writing checkpoints.",
+			func() float64 { return float64(c.Stats().CheckpointNs) / 1e9 })
+	}
+}
+
+// withPprof mounts net/http/pprof's handlers beside h when enabled
+// (opt-in: profiling endpoints expose internals and cost CPU).
+func withPprof(h http.Handler, on bool) http.Handler {
+	if !on {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	return mux
+}
+
+// dumpMetrics scrapes the registry into path, first re-parsing the
+// exposition with the strict parser and requiring the core serve
+// series — the CI smoke fails on malformed output or missing series.
+func dumpMetrics(reg *obs.Registry, path string) error {
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return err
+	}
+	fams, err := obs.ParseExposition(buf.String())
+	if err != nil {
+		return fmt.Errorf("-metrics-out: exposition invalid: %w", err)
+	}
+	if err := obs.RequireSeries(fams,
+		"lbd_submissions_total", "lbd_batches_total", "lbd_rounds_total",
+		"lbd_flushes_total", "lbd_batch_size", "lbd_admit_wait_microseconds",
+		"lbd_step_seconds_total", "lbd_apply_seconds_total",
+	); err != nil {
+		return fmt.Errorf("-metrics-out: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("metrics:  %s (%d families)\n", path, len(fams))
+	return nil
+}
 
 func (fl *flags) serveConfig() serve.Config {
 	return serve.Config{
@@ -501,7 +615,8 @@ func buildInstance(fl *flags) (*instance, error) {
 				},
 			}
 		}
-		return &instance{sys: sys, srv: srv, handler: serve.NewHandler(srv, p), probe: p, close: h.Close}, nil
+		registerEngineMetrics(srv.Registry(), h.Raw)
+		return &instance{sys: sys, srv: srv, handler: withPprof(serve.NewHandler(srv, p), fl.pprofOn), probe: p, close: h.Close}, nil
 
 	case "uniform":
 		counts, err := initialCounts(sys, m, fl.placement, fl.seed)
@@ -547,7 +662,8 @@ func buildInstance(fl *flags) (*instance, error) {
 				Psi0: func() float64 { return psi0FromCounts(sys, h.Counts()) },
 			}
 		}
-		return &instance{sys: sys, srv: srv, handler: serve.NewHandler(srv, p), probe: p, close: h.Close}, nil
+		registerEngineMetrics(srv.Registry(), h.Raw)
+		return &instance{sys: sys, srv: srv, handler: withPprof(serve.NewHandler(srv, p), fl.pprofOn), probe: p, close: h.Close}, nil
 
 	default:
 		return nil, fmt.Errorf("unknown task model %q (want uniform|weighted)", fl.model)
@@ -691,6 +807,11 @@ func runSelfdrive(ctx context.Context, fl *flags) error {
 	fmt.Printf("load:     %s\n", rep)
 	if err := inst.shutdown(fl); err != nil {
 		return err
+	}
+	if fl.metricsOut != "" {
+		if err := dumpMetrics(inst.srv.Registry(), fl.metricsOut); err != nil {
+			return err
+		}
 	}
 	if fl.verify {
 		j := inst.srv.Journal()

@@ -45,6 +45,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/shard"
 	"repro/internal/task"
@@ -79,6 +80,8 @@ type coordCfg struct {
 	resume   bool
 	verify   bool
 	result   string
+	traceOut string
+	statsOut string
 
 	killAfter uint64 // forwarded to spawned worker 0 (testing)
 }
@@ -107,6 +110,8 @@ func run() error {
 		resume   = flag.Bool("resume", false, "resume from -checkpoint instead of starting fresh (instance comes from the file)")
 		verify   = flag.Bool("verify", false, "also run the in-process shard engine and require a bit-identical result")
 		result   = flag.String("result", "", "write the run result as JSON to this file")
+		traceOut = flag.String("trace-out", "", "write coordinator phase spans as Chrome trace-event JSON to this file")
+		statsOut = flag.String("stats-out", "", "write aggregated cluster telemetry (phases, barriers, transport, checkpoints) as JSON to this file")
 	)
 	flag.Parse()
 	if *socket == "" {
@@ -121,7 +126,8 @@ func run() error {
 		shards: *shards, socket: *socket, spawn: *spawn,
 		rounds: *rounds, trace: *trace,
 		ckptPath: *ckptPath, ckptEach: *ckptEach, resume: *resume,
-		verify: *verify, result: *result, killAfter: *killAfter,
+		verify: *verify, result: *result, traceOut: *traceOut, statsOut: *statsOut,
+		killAfter: *killAfter,
 	})
 }
 
@@ -269,6 +275,7 @@ func driveUniform(cfg coordCfg, rws []io.ReadWriter, from *shard.Checkpoint, opt
 		return err
 	}
 	defer cl.Close()
+	rec := attachSpans(cfg, cl.SetSpans)
 	res, err := cl.Drive(opts, ckCfg, from)
 	if err != nil {
 		return err
@@ -278,6 +285,14 @@ func driveUniform(cfg coordCfg, rws []io.ReadWriter, from *shard.Checkpoint, opt
 		return err
 	}
 	fmt.Printf("run:      %d rounds, %d moves, %d trace points\n", res.Rounds, res.Moves, len(res.Trace))
+	st := cl.Stats()
+	printClusterStats(st)
+	if err := writeTrace(cfg.traceOut, rec); err != nil {
+		return err
+	}
+	if err := writeStats(cfg.statsOut, st); err != nil {
+		return err
+	}
 	if cfg.verify {
 		sys, initial, _, err := buildInstance(cfg)
 		if err != nil {
@@ -317,6 +332,7 @@ func driveWeighted(cfg coordCfg, rws []io.ReadWriter, from *shard.Checkpoint, op
 		return err
 	}
 	defer cl.Close()
+	rec := attachSpans(cfg, cl.SetSpans)
 	res, err := cl.Drive(opts, ckCfg, from)
 	if err != nil {
 		return err
@@ -327,6 +343,14 @@ func driveWeighted(cfg coordCfg, rws []io.ReadWriter, from *shard.Checkpoint, op
 	}
 	fmt.Printf("run:      %d rounds, %d moves, %d trace points, W=%.1f\n",
 		res.Rounds, res.Moves, len(res.Trace), st.TotalWeight())
+	cst := cl.Stats()
+	printClusterStats(cst)
+	if err := writeTrace(cfg.traceOut, rec); err != nil {
+		return err
+	}
+	if err := writeStats(cfg.statsOut, cst); err != nil {
+		return err
+	}
 	if cfg.verify {
 		sys, _, perNode, err := buildInstance(cfg)
 		if err != nil {
@@ -446,9 +470,65 @@ func buildInstance(cfg coordCfg) (*core.System, []int64, []task.Weights, error) 
 	return sys, counts, nil, nil
 }
 
+// attachSpans wires a span recorder into the cluster when -trace-out
+// is set; returns nil (and records nothing) when it is off.
+func attachSpans(cfg coordCfg, set func(*obs.SpanRecorder)) *obs.SpanRecorder {
+	if cfg.traceOut == "" {
+		return nil
+	}
+	rec := obs.NewSpanRecorder(0)
+	set(rec)
+	return rec
+}
+
+// writeTrace dumps the recorded coordinator spans as Chrome trace-event
+// JSON (load into chrome://tracing or Perfetto).
+func writeTrace(path string, rec *obs.SpanRecorder) error {
+	if rec == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace:    %s (%d spans, %d dropped)\n", path, rec.Len(), rec.Dropped())
+	return nil
+}
+
+// printClusterStats summarizes the round's aggregated telemetry.
+func printClusterStats(st shard.ClusterStats) {
+	fmt.Printf("stats:    coord %s\n", st.Coordinator)
+	fmt.Printf("stats:    barrier=%v flows=%d tx=%dB rx=%dB checkpoints=%d (%v)\n",
+		time.Duration(st.BarrierWaitNs), st.FlowsOut,
+		st.Transport.BytesSent, st.Transport.BytesRecv,
+		st.Checkpoints, time.Duration(st.CheckpointNs))
+}
+
+// writeStats dumps the aggregated cluster telemetry as JSON. Kept in
+// its own file — wall-clock numbers would break the -result file's
+// byte-identical-across-P property that the parity tests diff.
+func writeStats(path string, st shard.ClusterStats) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // resultFile is the -result JSON shape. Go's float64 JSON encoding
 // round-trips exactly, so two bit-identical runs produce byte-identical
-// files — the CI smoke compares them with a plain diff.
+// files — the parity tests compare them with a plain diff. Wall-clock
+// telemetry goes to -stats-out, never here.
 type resultFile struct {
 	Model     string
 	Rounds    int

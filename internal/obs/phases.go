@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PhaseBreakdown is one named slice of a per-round phase report.
+type PhaseBreakdown struct {
+	Name string
+	Dur  time.Duration
+}
+
+// FormatPhases renders per-round phase averages in the one format the
+// whole repo agrees on, e.g.
+//
+//	"snapshot 1.2ms/round (3%), decide 30ms/round (75%), commit 8.8ms/round (22%) over 40 rounds"
+//
+// shard.PhaseTimes.String (the lbsim "phases:" line) and serve's
+// Stats.String phase segment both delegate here, so the CLI and the
+// daemon can never drift apart.
+func FormatPhases(rounds int64, phases ...PhaseBreakdown) string {
+	if rounds == 0 {
+		return "no rounds timed"
+	}
+	var total time.Duration
+	for _, p := range phases {
+		total += p.Dur
+	}
+	pct := func(d time.Duration) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(d) / float64(total)
+	}
+	parts := make([]string, len(phases))
+	for i, p := range phases {
+		per := (p.Dur / time.Duration(rounds)).Round(time.Microsecond)
+		parts[i] = fmt.Sprintf("%s %v/round (%.0f%%)", p.Name, per, pct(p.Dur))
+	}
+	return fmt.Sprintf("%s over %d rounds", strings.Join(parts, ", "), rounds)
+}

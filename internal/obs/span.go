@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanEvent is one complete ("ph":"X") Chrome-trace event. Times are
+// wall-clock; the writer converts to microseconds relative to the
+// recorder's epoch so traces start near t=0.
+type SpanEvent struct {
+	Name  string
+	Pid   int
+	Tid   int
+	Start time.Time
+	Dur   time.Duration
+}
+
+// SpanRecorder collects phase spans into a bounded in-memory buffer
+// for a Chrome-trace dump at the end of a run. Recording is a short
+// critical section (append under a mutex) on the round loop — never
+// on per-task paths — and everything it stores is wall-clock
+// telemetry, so it cannot perturb the simulation trajectory. When the
+// buffer fills, further spans are counted but dropped.
+type SpanRecorder struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	events  []SpanEvent
+	max     int
+	dropped int64
+}
+
+// DefaultSpanCap bounds an unconfigured recorder to ~64k spans
+// (roughly 5 MB of JSON), plenty for tens of thousands of rounds.
+const DefaultSpanCap = 1 << 16
+
+// NewSpanRecorder returns a recorder holding at most max spans
+// (DefaultSpanCap if max <= 0).
+func NewSpanRecorder(max int) *SpanRecorder {
+	if max <= 0 {
+		max = DefaultSpanCap
+	}
+	return &SpanRecorder{max: max}
+}
+
+// Span records one complete span. Nil-safe: a nil recorder ignores
+// the call, so call sites need no enable flag.
+func (r *SpanRecorder) Span(pid, tid int, name string, start time.Time, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.epoch.IsZero() || start.Before(r.epoch) {
+		r.epoch = start
+	}
+	if len(r.events) >= r.max {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, SpanEvent{Name: name, Pid: pid, Tid: tid, Start: start, Dur: dur})
+}
+
+// Len returns the number of recorded spans.
+func (r *SpanRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped returns how many spans were discarded after the buffer
+// filled.
+func (r *SpanRecorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// chromeEvent is the JSON shape chrome://tracing and Perfetto load.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	Dropped     int64         `json:"droppedSpans,omitempty"`
+}
+
+// WriteChromeTrace dumps the recorded spans as Chrome trace-event
+// JSON (load in chrome://tracing or ui.perfetto.dev). Timestamps are
+// microseconds since the first recorded span.
+func (r *SpanRecorder) WriteChromeTrace(w io.Writer) error {
+	r.mu.Lock()
+	events := make([]chromeEvent, len(r.events))
+	for i, e := range r.events {
+		events[i] = chromeEvent{
+			Name: e.Name,
+			Ph:   "X",
+			Pid:  e.Pid,
+			Tid:  e.Tid,
+			Ts:   float64(e.Start.Sub(r.epoch)) / float64(time.Microsecond),
+			Dur:  float64(e.Dur) / float64(time.Microsecond),
+		}
+	}
+	dropped := r.dropped
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, Dropped: dropped})
+}

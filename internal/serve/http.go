@@ -25,6 +25,7 @@ type Prober struct {
 type submitter interface {
 	Submit(op Op) (Ticket, error)
 	Stats() Stats
+	Metrics() *Metrics
 	Do(f func())
 }
 
@@ -40,7 +41,9 @@ type handler struct {
 //	POST /tasks    {"node":i,"count":k} or {"node":i,"weight":w}  → {"round":r}
 //	POST /complete {"node":i,"count":k}                           → {"round":r,"requested":k}
 //	GET  /load?node=i                                             → {"node":i,"load":x}
-//	GET  /stats                                                   → serve.Stats
+//	GET  /stats                                                   → serve.Stats (?reset=window starts a fresh high-water window)
+//	GET  /metrics                                                 → Prometheus text exposition
+//	GET  /healthz                                                 → {"status":"ok"}
 //
 // Handlers wait for admission, so a 200 means the task is in the
 // engine and names the round that admitted it.
@@ -51,6 +54,8 @@ func NewHandler[S core.State](srv *Server[S], p Prober) http.Handler {
 	mux.HandleFunc("POST /complete", h.complete)
 	mux.HandleFunc("GET /load", h.load)
 	mux.HandleFunc("GET /stats", h.stats)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /healthz", h.healthz)
 	return mux
 }
 
@@ -182,5 +187,24 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 	if h.p.Psi0 != nil {
 		h.s.Do(func() { st.Psi0 = h.p.Psi0() })
 	}
+	// The snapshot is taken before the reset, so the response reports
+	// the window it closes.
+	if r.URL.Query().Get("reset") == "window" {
+		h.s.Metrics().ResetWindow()
+	}
 	writeJSON(w, st)
+}
+
+// metrics renders every registered series (serve counters plus any
+// engine series the owner registered) in Prometheus text format.
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.s.Metrics().Registry().WritePrometheus(w)
+}
+
+// healthz reports liveness: the handler being wired to a server is the
+// health condition — submissions may still be rejected after Stop, but
+// the process is up and serving.
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/shard"
 )
@@ -41,6 +42,10 @@ type Config struct {
 	// Meta is copied into the journal header for the daemon owner's
 	// replay bookkeeping (graph family, placement, engine name, ...).
 	Meta map[string]string
+	// Spans, when non-nil, records per-round phase spans
+	// (apply/step/snapshot/decide/commit) for a Chrome-trace dump.
+	// Purely wall-clock telemetry; it cannot affect the trajectory.
+	Spans *obs.SpanRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +147,11 @@ func (s *Server[S]) Stats() Stats { return s.m.Snapshot() }
 // Metrics exposes the live counter set (shared with the batcher).
 func (s *Server[S]) Metrics() *Metrics { return s.m }
 
+// Registry exposes the obs registry behind the metrics, so owners can
+// register engine-level series next to the serve set and render
+// everything on one /metrics page.
+func (s *Server[S]) Registry() *obs.Registry { return s.m.Registry() }
+
 // Do runs f on the round-loop goroutine between rounds, giving f a
 // quiescent engine (nothing steps or applies while it runs). After the
 // loop has exited the engine is permanently quiescent and f runs
@@ -192,15 +202,28 @@ func (s *Server[S]) record(round int) error {
 }
 
 // samplePhases folds the engine's cumulative phase times into the
-// metrics as per-round deltas.
-func (s *Server[S]) samplePhases() {
+// metrics as per-round deltas, and (when span recording is on) lays
+// the three phases out as sub-spans of the step that started at
+// stepStart — the phases run in exactly that order inside Step.
+func (s *Server[S]) samplePhases(stepStart time.Time) {
 	if s.pt == nil {
 		return
 	}
 	cur := s.pt.Phases()
-	s.m.snapshotNs.Add(int64(cur.Snapshot - s.lastPhases.Snapshot))
-	s.m.decideNs.Add(int64(cur.Decide - s.lastPhases.Decide))
-	s.m.commitNs.Add(int64(cur.Commit - s.lastPhases.Commit))
+	dS := cur.Snapshot - s.lastPhases.Snapshot
+	dD := cur.Decide - s.lastPhases.Decide
+	dC := cur.Commit - s.lastPhases.Commit
+	s.m.snapshotNs.Add(uint64(dS))
+	s.m.decideNs.Add(uint64(dD))
+	s.m.commitNs.Add(uint64(dC))
+	if sp := s.cfg.Spans; sp != nil {
+		t := stepStart
+		sp.Span(0, 1, "snapshot", t, dS)
+		t = t.Add(dS)
+		sp.Span(0, 1, "decide", t, dD)
+		t = t.Add(dD)
+		sp.Span(0, 1, "commit", t, dC)
+	}
 	s.lastPhases = cur
 }
 
@@ -212,7 +235,9 @@ func (s *Server[S]) runRound(g *group) error {
 		s.m.recordBatch(g.subs, time.Since(g.first))
 		t0 := time.Now()
 		led, err := s.dyn.ApplyEvents(&g.pb.batch)
-		s.m.applyNs.Add(int64(time.Since(t0)))
+		d := time.Since(t0)
+		s.m.applyNs.Add(uint64(d))
+		s.cfg.Spans.Span(0, 0, "apply", t0, d)
 		if err != nil {
 			return err
 		}
@@ -226,15 +251,17 @@ func (s *Server[S]) runRound(g *group) error {
 	}
 	t0 := time.Now()
 	moves, err := s.eng.Step(uint64(round), s.base)
-	s.m.stepNs.Add(int64(time.Since(t0)))
+	d := time.Since(t0)
+	s.m.stepNs.Add(uint64(d))
+	s.cfg.Spans.Span(0, 0, "step", t0, d)
 	if err != nil {
 		return err
 	}
-	s.samplePhases()
+	s.samplePhases(t0)
 	s.res.Moves += moves
 	s.res.Rounds = round
-	s.m.rounds.Store(uint64(round))
-	s.m.moves.Store(s.res.Moves)
+	s.m.rounds.Set(uint64(round))
+	s.m.moves.Set(uint64(s.res.Moves))
 	if s.journal != nil {
 		s.journal.Rounds = round
 	}

@@ -6,9 +6,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/task"
 	"repro/internal/transport"
@@ -72,6 +74,15 @@ type clusterCore struct {
 	// Event-report staging (weighted): drained weights per worker.
 	evNode [][]int32
 	evW    [][][]float64
+
+	// Telemetry (stats.go): coordinator stage timings, the workers'
+	// latest cumulative KindStats reports, checkpoint-write durations,
+	// and an optional span recorder. Pure observability — nothing here
+	// feeds back into the protocol.
+	times                  PhaseTimes
+	wstats                 []WorkerStats
+	spans                  *obs.SpanRecorder
+	ckCount, ckNs, ckMaxNs int64
 }
 
 func newClusterCore(sys *core.System, model uint8, protoName string, alpha float64, strategy Strategy, rws []io.ReadWriter) (*clusterCore, error) {
@@ -110,6 +121,7 @@ func newClusterCore(sys *core.System, model uint8, protoName string, alpha float
 		relayW:    make([][][]transport.WFlow, p),
 		evNode:    make([][]int32, p),
 		evW:       make([][][]float64, p),
+		wstats:    make([]WorkerStats, p),
 	}
 	for s := 0; s < p; s++ {
 		c.conns[s] = transport.NewConn(rws[s])
@@ -167,6 +179,7 @@ func (c *clusterCore) Step(r uint64, base *rng.Stream) (int64, error) {
 	if c.closed {
 		return 0, ErrClosed
 	}
+	t0 := time.Now()
 	words := base.Split(r).Words()
 	for s := 0; s < c.p; s++ {
 		c.buf.Reset()
@@ -202,6 +215,7 @@ func (c *clusterCore) Step(r uint64, base *rng.Stream) (int64, error) {
 			return 0, err
 		}
 	}
+	t1 := time.Now()
 	// Decide: gather each worker's move count and cross-shard lists.
 	for s := 0; s < c.p; s++ {
 		payload, err := c.conns[s].Expect(transport.KindFlows)
@@ -257,6 +271,7 @@ func (c *clusterCore) Step(r uint64, base *rng.Stream) (int64, error) {
 			total += m
 		}
 	}
+	t2 := time.Now()
 	// Grant: relay every inbound list (workers keep their own intra-
 	// shard lists locally; relay[s][s] arrived empty and goes out empty).
 	for s := 0; s < c.p; s++ {
@@ -312,6 +327,21 @@ func (c *clusterCore) Step(r uint64, base *rng.Stream) (int64, error) {
 		}
 		c.totalW = t
 	}
+	// Stats: every worker piggybacks its cumulative telemetry on the
+	// round barrier right after step-done; consume it here so the frame
+	// stream stays in lockstep for whatever comes next.
+	for s := 0; s < c.p; s++ {
+		payload, err := c.conns[s].Expect(transport.KindStats)
+		if err != nil {
+			return 0, err
+		}
+		var b transport.Buffer
+		b.Load(payload)
+		if c.wstats[s], err = decodeWorkerStats(&b); err != nil {
+			return 0, err
+		}
+	}
+	c.observeStep(t0, t1, t2, time.Now())
 	return total, nil
 }
 

@@ -69,6 +69,10 @@ type Engine struct {
 	wg      sync.WaitGroup
 	closed  bool
 	times   PhaseTimes
+
+	// flowsCross counts the cross-shard flow records produced by decide
+	// phases so far (telemetry; read via CrossFlows).
+	flowsCross int64
 }
 
 // decideScratch is one worker's reusable decide-loop storage; child is
@@ -297,6 +301,16 @@ func (e *Engine) Step(r uint64, base *rng.Stream) (int64, error) {
 	e.dispatch(phase{kind: phaseLoads})
 	t1 := time.Now()
 	e.dispatch(phase{kind: phaseDecide, round: base.Split(r)})
+	// Telemetry only: tally this round's cross-shard flow records.
+	// Integer length reads after the decide barrier — no effect on the
+	// trajectory.
+	for s := range e.outFlows {
+		for d, l := range e.outFlows[s] {
+			if d != s {
+				e.flowsCross += int64(len(l))
+			}
+		}
+	}
 	t2 := time.Now()
 	e.dispatch(phase{kind: phaseCommit})
 	t3 := time.Now()
@@ -317,6 +331,15 @@ func (e *Engine) Phases() PhaseTimes {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.times
+}
+
+// CrossFlows returns the cumulative number of cross-shard flow records
+// the decide phases have produced — the engine's inter-shard traffic
+// volume, the in-process analogue of the cluster's wire flows.
+func (e *Engine) CrossFlows() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flowsCross
 }
 
 // ApplyEvents implements core.DynamicEngine: pre-round workload

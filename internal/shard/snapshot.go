@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -85,6 +86,7 @@ func (ck *Checkpoint) Result() core.RunResult { return ck.res }
 // file atomically. Callers hold c.mu or have exclusive use of the
 // cluster (driveCluster runs single-threaded between Steps).
 func (c *clusterCore) checkpoint(path string, round int, opts core.RunOpts, res *core.RunResult, lastTraced int) error {
+	start := time.Now()
 	c.buf.Reset()
 	c.buf.PutU64(uint64(round))
 	states, err := c.gatherOwnStates(transport.KindCheckpoint, transport.KindCheckpointAck, c.buf.B)
@@ -146,6 +148,7 @@ func (c *clusterCore) checkpoint(path string, round int, opts core.RunOpts, res 
 		os.Remove(tmp.Name())
 		return err
 	}
+	c.observeCheckpoint(start)
 	return nil
 }
 

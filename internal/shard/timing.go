@@ -1,8 +1,9 @@
 package shard
 
 import (
-	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // PhaseTimes accumulates wall-clock time per barrier-separated phase
@@ -28,24 +29,13 @@ func (t PhaseTimes) Total() time.Duration {
 
 // String renders per-round phase averages, e.g.
 // "snapshot 1.2ms/round (3%), decide 30ms/round (75%), commit 8.8ms/round (22%) over 40 rounds".
+// It delegates to obs.FormatPhases, the one formatter behind both this
+// string (lbsim's "phases:" line) and serve's Stats.String.
 func (t PhaseTimes) String() string {
-	if t.Rounds == 0 {
-		return "no rounds timed"
-	}
-	total := t.Total()
-	pct := func(d time.Duration) float64 {
-		if total == 0 {
-			return 0
-		}
-		return 100 * float64(d) / float64(total)
-	}
-	per := func(d time.Duration) time.Duration {
-		return (d / time.Duration(t.Rounds)).Round(time.Microsecond)
-	}
-	return fmt.Sprintf("snapshot %v/round (%.0f%%), decide %v/round (%.0f%%), commit %v/round (%.0f%%) over %d rounds",
-		per(t.Snapshot), pct(t.Snapshot),
-		per(t.Decide), pct(t.Decide),
-		per(t.Commit), pct(t.Commit), t.Rounds)
+	return obs.FormatPhases(t.Rounds,
+		obs.PhaseBreakdown{Name: "snapshot", Dur: t.Snapshot},
+		obs.PhaseBreakdown{Name: "decide", Dur: t.Decide},
+		obs.PhaseBreakdown{Name: "commit", Dur: t.Commit})
 }
 
 // PhaseTimer is implemented by engines that record per-phase round

@@ -133,6 +133,10 @@ type WeightedEngine struct {
 	wg      sync.WaitGroup
 	closed  bool
 	times   PhaseTimes
+
+	// flowsCross counts the cross-shard flow records produced by decide
+	// phases so far (telemetry; read via CrossFlows).
+	flowsCross int64
 }
 
 // weightedScratch is one worker's reusable decide storage.
@@ -724,6 +728,16 @@ func (e *WeightedEngine) Step(r uint64, base *rng.Stream) (int64, error) {
 	e.dispatch(phase{kind: phaseLoads})
 	t1 := time.Now()
 	e.dispatch(phase{kind: phaseDecide, round: base.Split(r)})
+	// Telemetry only: tally this round's cross-shard flow records.
+	// Integer length reads after the decide barrier — no effect on the
+	// trajectory.
+	for s := range e.outFlows {
+		for d, l := range e.outFlows[s] {
+			if d != s {
+				e.flowsCross += int64(len(l))
+			}
+		}
+	}
 	// Serial inter-barrier bookkeeping: lay the shards' moves onto the
 	// round's global move timeline (sources ascending — shards are
 	// contiguous ascending index ranges).
@@ -776,6 +790,41 @@ func (e *WeightedEngine) Phases() PhaseTimes {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.times
+}
+
+// CrossFlows returns the cumulative number of cross-shard flow records
+// the decide phases have produced — the engine's inter-shard traffic
+// volume, the in-process analogue of the cluster's wire flows.
+func (e *WeightedEngine) CrossFlows() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flowsCross
+}
+
+// ArenaStats reports the privatization arena's occupancy: the bytes in
+// the active bump blocks, the bytes in retired blocks that live
+// segments still reference, and the float64 slots stranded dead inside
+// them. A RetiredBytes share that keeps growing across event batches
+// signals segment churn outpacing the compaction heuristic.
+type ArenaStats struct {
+	CurBytes     int64 `json:"curBytes"`
+	RetiredBytes int64 `json:"retiredBytes"`
+	DeadFloats   int64 `json:"deadFloats"`
+}
+
+// Arena snapshots the privatization arena occupancy across all shards.
+func (e *WeightedEngine) Arena() ArenaStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var st ArenaStats
+	for s := range e.arenaCur {
+		st.CurBytes += int64(len(e.arenaCur[s])) * 8
+		for _, blk := range e.arenaOld[s] {
+			st.RetiredBytes += int64(len(blk)) * 8
+		}
+		st.DeadFloats += e.arenaDead[s]
+	}
+	return st
 }
 
 // ApplyEvents implements core.DynamicEngine: pre-round weighted

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -99,6 +100,11 @@ type worker struct {
 	we *WeightedEngine
 
 	scratch []float64 // drain-report / state-gather staging
+
+	// Cumulative telemetry, reported to the coordinator as a KindStats
+	// frame piggybacked on every round barrier. Written only between
+	// protocol steps; never read by any decide/commit path.
+	stats WorkerStats
 }
 
 // newWorker reads the config frame, builds the engine it describes and
@@ -276,6 +282,7 @@ func (w *worker) round(payload []byte) (uint64, error) {
 	rs := rng.StreamFromWords(words)
 
 	// Phase 1: own loads out, full snapshot back.
+	t := time.Now()
 	var loads []float64
 	if w.model == modelUniform {
 		w.ue.snapshotLoads(w.own)
@@ -284,12 +291,15 @@ func (w *worker) round(payload []byte) (uint64, error) {
 		w.we.snapshotLoads(w.own)
 		loads = w.we.loads
 	}
+	w.stats.SnapshotNs += int64(time.Since(t))
 	w.buf.Reset()
 	w.buf.PutF64s(loads[w.lo:w.hi])
 	if err := w.conn.WriteFrame(transport.KindLoads, w.buf.B); err != nil {
 		return 0, err
 	}
+	t = time.Now()
 	payload, err = w.conn.Expect(transport.KindLoadsAll)
+	w.stats.BarrierWaitNs += int64(time.Since(t))
 	if err != nil {
 		return 0, err
 	}
@@ -305,6 +315,7 @@ func (w *worker) round(payload []byte) (uint64, error) {
 	// Phase 2: decide own shard, publish locally, ship the cross-shard
 	// lists (the own-destination list stays local and never hits the
 	// wire — for the weighted model it is the dominant, intra-shard one).
+	t = time.Now()
 	w.buf.Reset()
 	if w.model == modelUniform {
 		e := w.ue
@@ -317,6 +328,7 @@ func (w *worker) round(payload []byte) (uint64, error) {
 				w.buf.PutFlows(nil)
 			} else {
 				w.buf.PutFlows(w.tr.lists[d])
+				w.stats.FlowsOut += int64(len(w.tr.lists[d]))
 			}
 		}
 	} else {
@@ -330,19 +342,24 @@ func (w *worker) round(payload []byte) (uint64, error) {
 				w.buf.PutWFlows(nil)
 			} else {
 				w.buf.PutWFlows(w.tr.wlists[d])
+				w.stats.FlowsOut += int64(len(w.tr.wlists[d]))
 			}
 		}
 	}
+	w.stats.DecideNs += int64(time.Since(t))
 	if err := w.conn.WriteFrame(transport.KindFlows, w.buf.B); err != nil {
 		return 0, err
 	}
 
 	// Phase 3: grant in, commit, step done.
+	t = time.Now()
 	payload, err = w.conn.Expect(transport.KindGrant)
+	w.stats.BarrierWaitNs += int64(time.Since(t))
 	if err != nil {
 		return 0, err
 	}
 	b.Load(payload)
+	t = time.Now()
 	crossed := false
 	if w.model == modelUniform {
 		if err := w.loadGrantFlows(&b); err != nil {
@@ -368,6 +385,7 @@ func (w *worker) round(payload []byte) (uint64, error) {
 		}
 		e.commitShard(w.own)
 	}
+	w.stats.CommitNs += int64(time.Since(t))
 	w.buf.Reset()
 	if crossed {
 		w.buf.PutU8(1)
@@ -376,6 +394,17 @@ func (w *worker) round(payload []byte) (uint64, error) {
 		w.buf.PutU8(0)
 	}
 	if err := w.conn.WriteFrame(transport.KindStepDone, w.buf.B); err != nil {
+		return 0, err
+	}
+	// Piggyback the cumulative telemetry on the round barrier. The
+	// coordinator consumes it right after the step-done gather, so the
+	// lockstep stays deadlock-free; connection counters are sampled as
+	// of the step-done write.
+	ws := w.stats
+	ws.Conn = w.conn.Stats()
+	w.buf.Reset()
+	encodeWorkerStats(&w.buf, ws)
+	if err := w.conn.WriteFrame(transport.KindStats, w.buf.B); err != nil {
 		return 0, err
 	}
 	return r, nil

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 )
 
 // Kind identifies a frame's payload type. The values are part of the
@@ -68,6 +69,12 @@ const (
 	KindDone Kind = 16
 	// KindError carries a fatal error string from either side.
 	KindError Kind = 17
+	// KindStats is a worker's compact telemetry frame, piggybacked on
+	// the round barrier right after KindStepDone: cumulative phase and
+	// barrier-wait nanoseconds, flow volumes, and connection counters.
+	// Pure observability — the coordinator never feeds it back into
+	// protocol decisions, so the frame cannot perturb the trajectory.
+	KindStats Kind = 18
 )
 
 // maxFrame bounds a frame's payload so a corrupt or adversarial length
@@ -84,6 +91,40 @@ type Conn struct {
 	w   *bufio.Writer
 	hdr [5]byte
 	buf []byte
+
+	// Telemetry counters, updated with atomics so a scraper can read
+	// them while the protocol goroutine frames traffic. Byte counts
+	// include the 5-byte frame header.
+	framesSent atomic.Uint64
+	bytesSent  atomic.Uint64
+	framesRecv atomic.Uint64
+	bytesRecv  atomic.Uint64
+}
+
+// ConnStats is a snapshot of a connection's frame/byte counters.
+type ConnStats struct {
+	FramesSent uint64 `json:"framesSent"`
+	BytesSent  uint64 `json:"bytesSent"`
+	FramesRecv uint64 `json:"framesRecv"`
+	BytesRecv  uint64 `json:"bytesRecv"`
+}
+
+// Add accumulates other into s.
+func (s *ConnStats) Add(other ConnStats) {
+	s.FramesSent += other.FramesSent
+	s.BytesSent += other.BytesSent
+	s.FramesRecv += other.FramesRecv
+	s.BytesRecv += other.BytesRecv
+}
+
+// Stats snapshots the connection's cumulative frame/byte counters.
+func (c *Conn) Stats() ConnStats {
+	return ConnStats{
+		FramesSent: c.framesSent.Load(),
+		BytesSent:  c.bytesSent.Load(),
+		FramesRecv: c.framesRecv.Load(),
+		BytesRecv:  c.bytesRecv.Load(),
+	}
 }
 
 // NewConn wraps rw in a framed connection.
@@ -104,6 +145,8 @@ func (c *Conn) WriteFrame(kind Kind, payload []byte) error {
 	if _, err := c.w.Write(payload); err != nil {
 		return err
 	}
+	c.framesSent.Add(1)
+	c.bytesSent.Add(uint64(len(c.hdr)) + uint64(len(payload)))
 	return c.w.Flush()
 }
 
@@ -125,6 +168,8 @@ func (c *Conn) ReadFrame() (Kind, []byte, error) {
 	if _, err := io.ReadFull(c.r, c.buf); err != nil {
 		return 0, nil, fmt.Errorf("transport: truncated %v frame: %w", kind, err)
 	}
+	c.framesRecv.Add(1)
+	c.bytesRecv.Add(uint64(len(c.hdr)) + uint64(n))
 	return kind, c.buf, nil
 }
 
