@@ -33,12 +33,13 @@ bench-json:
 	$(GO) run ./cmd/benchjson < BENCH_core.txt > BENCH_core.json
 	rm -f BENCH_core.txt
 
-# Scaling benchmarks only (uniform + weighted shard engine rounds and
-# instance build at n ∈ {10⁴, 10⁵, 10⁶}), emitted as BENCH_scale.json —
-# the committed bench-gate baseline recording rounds/sec, allocs/round
-# and state-bytes/node versus n across PRs, for both task models.
+# Scaling benchmarks only (uniform + weighted shard engine rounds,
+# instance build at n ∈ {10⁴, 10⁵, 10⁶}, and the distributed cluster
+# round over net.Pipe at n ∈ {10⁵, 10⁶}), emitted as BENCH_scale.json —
+# the committed bench-gate baseline recording rounds/sec, allocs/round,
+# state-bytes/node and cluster wire bytes/round versus n across PRs.
 bench-scale:
-	$(GO) test -run '^$$' -bench 'ShardRound|WeightedShardRound|ShardBuild|WeightedCornerRound' -benchtime 1x . > BENCH_scale.txt
+	$(GO) test -run '^$$' -bench 'ShardRound|WeightedShardRound|ShardBuild|WeightedCornerRound|ClusterRound' -benchtime 1x . > BENCH_scale.txt
 	$(GO) run ./cmd/benchjson < BENCH_scale.txt > BENCH_scale.json
 	rm -f BENCH_scale.txt
 
@@ -76,7 +77,7 @@ bench-gate:
 	$(GO) test -run '^$$' -bench 'Table1|RoundBatchedVsPerTask|DynamicEvents|ShardRound|WeightedShardRound|WeightedCornerRound' -benchtime 1x . > BENCH_core.fresh.txt
 	$(GO) run ./cmd/benchjson < BENCH_core.fresh.txt > BENCH_core.fresh.json
 	rm -f BENCH_core.fresh.txt
-	$(GO) test -run '^$$' -bench 'ShardRound|WeightedShardRound|ShardBuild|WeightedCornerRound' -benchtime 1x . > BENCH_scale.fresh.txt
+	$(GO) test -run '^$$' -bench 'ShardRound|WeightedShardRound|ShardBuild|WeightedCornerRound|ClusterRound' -benchtime 1x . > BENCH_scale.fresh.txt
 	$(GO) run ./cmd/benchjson < BENCH_scale.fresh.txt > BENCH_scale.fresh.json
 	rm -f BENCH_scale.fresh.txt
 	$(GO) test -run '^$$' -bench 'BatcherSubmit|ServeRound' -benchtime 1x . > BENCH_serve.fresh.txt

@@ -526,6 +526,61 @@ func BenchmarkDistRuntime(b *testing.B) {
 
 // --- Scaling: the CSR-backed shard engine at n ∈ {10⁴, 10⁵, 10⁶} ---
 
+// BenchmarkClusterRound is the distributed-round scaling benchmark
+// BENCH_scale.json tracks: one coordinator/worker protocol round over
+// net.Pipe transports (every frame serialized, framed, and decoded) on
+// a ring at n ∈ {10⁵, 10⁶} with P=4 shards. The transport-counter
+// deltas report the wire cost per round: with halo load exchange the
+// coordinator gathers boundary loads and scatters halo loads, so
+// bytes/round is O(cut) and scatter-reduction-vs-broadcast measures
+// how far below the old full-vector broadcast (P·8n bytes per round)
+// the scatter now sits — the acceptance bound is ≥5× at n=10⁶.
+func BenchmarkClusterRound(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		g, err := graph.Ring(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := core.NewSystem(g, machine.Uniform(n), core.WithLambda2(spectral.Lambda2Ring(n)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		counts, err := workload.Proportional(sys.Speeds(), int64(64*n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("ring-n=%d/P=4", n), func(b *testing.B) {
+			cl, err := shard.StartLocalUniformCluster(sys, core.Algorithm1{}, counts, shard.Options{Shards: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			base := rng.New(1)
+			if _, err := cl.Step(1, base); err != nil {
+				b.Fatal(err)
+			}
+			s0 := cl.Stats().Transport
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Step(uint64(i+2), base); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			s1 := cl.Stats().Transport
+			rounds := float64(b.N)
+			scatter := float64(s1.BytesSent-s0.BytesSent) / rounds
+			gather := float64(s1.BytesRecv-s0.BytesRecv) / rounds
+			broadcast := 4 * 8 * float64(n)
+			b.ReportMetric(scatter+gather, "bytes/round")
+			b.ReportMetric(scatter, "scatter-bytes/round")
+			b.ReportMetric(broadcast/scatter, "scatter-reduction-vs-broadcast")
+			b.ReportMetric(rounds/b.Elapsed().Seconds(), "rounds/sec")
+		})
+	}
+}
+
 // BenchmarkShardRound is the scaling benchmark BENCH_scale.json tracks:
 // one protocol round on a ring at n ∈ {10⁴, 10⁵, 10⁶} with every node
 // active (proportional placement), sequential engine vs shard engine.

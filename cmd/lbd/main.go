@@ -90,12 +90,13 @@ type flags struct {
 	shardStrategy string
 
 	// serve loop
-	batch       int
-	maxWait     time.Duration
-	idleRounds  int
-	trace       int
-	journalPath string
-	noJournal   bool
+	batch           int
+	maxWait         time.Duration
+	idleRounds      int
+	trace           int
+	journalPath     string
+	journalMaxBytes int64
+	noJournal       bool
 
 	// daemon
 	listen  string
@@ -142,6 +143,7 @@ func parseFlags(argv []string) (*flags, error) {
 	fs.IntVar(&fl.idleRounds, "idlerounds", 0, "event-less rounds to keep stepping after traffic pauses")
 	fs.IntVar(&fl.trace, "trace", 0, "sample a potential trace point every k rounds (0 = off; materializes state)")
 	fs.StringVar(&fl.journalPath, "journal", "", "write the admitted-batch journal (JSONL) here on shutdown")
+	fs.Int64Var(&fl.journalMaxBytes, "journal-max-bytes", 0, "stream the journal during the run, rotating -journal into checkpoint-anchored segments at this size (0 = buffer in memory, write once on shutdown)")
 	fs.BoolVar(&fl.noJournal, "nojournal", false, "disable journaling (unbounded daemons; replay impossible)")
 
 	fs.StringVar(&fl.listen, "listen", "127.0.0.1:8080", "daemon mode: HTTP listen address")
@@ -415,6 +417,7 @@ type instance struct {
 	srv     daemonServer
 	handler http.Handler
 	probe   serve.Prober
+	sink    *serve.JournalSink
 	close   func() error
 }
 
@@ -555,6 +558,17 @@ func buildInstance(fl *flags) (*instance, error) {
 	}
 	cfg := fl.serveConfig()
 	cfg.N = n
+	var sink *serve.JournalSink
+	if fl.journalPath != "" && fl.journalMaxBytes > 0 {
+		if fl.noJournal {
+			return nil, fmt.Errorf("-journal-max-bytes conflicts with -nojournal")
+		}
+		sink, err = serve.NewJournalSink(fl.journalPath, fl.journalMaxBytes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Sink = sink
+	}
 	eo := fl.engineOpts()
 
 	switch fl.model {
@@ -616,7 +630,7 @@ func buildInstance(fl *flags) (*instance, error) {
 			}
 		}
 		registerEngineMetrics(srv.Registry(), h.Raw)
-		return &instance{sys: sys, srv: srv, handler: withPprof(serve.NewHandler(srv, p), fl.pprofOn), probe: p, close: h.Close}, nil
+		return &instance{sys: sys, srv: srv, handler: withPprof(serve.NewHandler(srv, p), fl.pprofOn), probe: p, sink: sink, close: h.Close}, nil
 
 	case "uniform":
 		counts, err := initialCounts(sys, m, fl.placement, fl.seed)
@@ -663,7 +677,7 @@ func buildInstance(fl *flags) (*instance, error) {
 			}
 		}
 		registerEngineMetrics(srv.Registry(), h.Raw)
-		return &instance{sys: sys, srv: srv, handler: withPprof(serve.NewHandler(srv, p), fl.pprofOn), probe: p, close: h.Close}, nil
+		return &instance{sys: sys, srv: srv, handler: withPprof(serve.NewHandler(srv, p), fl.pprofOn), probe: p, sink: sink, close: h.Close}, nil
 
 	default:
 		return nil, fmt.Errorf("unknown task model %q (want uniform|weighted)", fl.model)
@@ -714,7 +728,13 @@ func (inst *instance) shutdown(fl *flags) error {
 	if err != nil {
 		return fmt.Errorf("serve loop: %w", err)
 	}
-	if fl.journalPath != "" {
+	if inst.sink != nil {
+		if cerr := inst.sink.Close(&res); cerr != nil {
+			return cerr
+		}
+		fmt.Printf("journal:  %s (%d entries, %d rounds, %d segments)\n",
+			inst.sink.Path(), inst.sink.Entries(), res.Rounds, inst.sink.Segments())
+	} else if fl.journalPath != "" {
 		j := inst.srv.Journal()
 		if j == nil {
 			return fmt.Errorf("-journal %s: journaling is disabled", fl.journalPath)
@@ -815,6 +835,14 @@ func runSelfdrive(ctx context.Context, fl *flags) error {
 	}
 	if fl.verify {
 		j := inst.srv.Journal()
+		if j == nil && inst.sink != nil {
+			// Streaming mode: the chain on disk is the ledger of record;
+			// verifying it also exercises the segment walk.
+			j, err = serve.ReadJournalSegments(inst.sink.Path())
+			if err != nil {
+				return err
+			}
+		}
 		if j == nil {
 			return fmt.Errorf("-verify needs journaling enabled")
 		}
@@ -937,12 +965,7 @@ func runHTTPLoad(ctx context.Context, inst *instance, fl *flags, opts serve.Load
 // ---- replay mode ----
 
 func runReplay(fl *flags) error {
-	f, err := os.Open(fl.replay)
-	if err != nil {
-		return err
-	}
-	j, err := serve.ReadJournal(f)
-	f.Close()
+	j, err := serve.ReadJournalSegments(fl.replay)
 	if err != nil {
 		return err
 	}

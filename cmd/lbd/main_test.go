@@ -61,6 +61,29 @@ func TestSelfdriveDirectThenReplayAcrossEngines(t *testing.T) {
 	}
 }
 
+// TestSelfdriveRotatedJournalReplay runs selfdrive with a byte bound
+// small enough to force journal rotation, verifies the chain in-process
+// (-verify reads the segments back from disk), and replays the rotated
+// chain through the replay mode end to end.
+func TestSelfdriveRotatedJournalReplay(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "run.jsonl")
+	fl := parse(t,
+		"-selfdrive", "-rate", "4000", "-duration", "250ms",
+		"-graph", "ring", "-n", "64", "-tasks", "640", "-seed", "3",
+		"-engine", "seq", "-batch", "64", "-maxwait", "1ms",
+		"-journal", jpath, "-journal-max-bytes", "512", "-verify")
+	if err := runSelfdrive(context.Background(), fl); err != nil {
+		t.Fatalf("selfdrive with rotation: %v", err)
+	}
+	if _, err := os.Stat(jpath + ".1"); err != nil {
+		t.Fatalf("journal never rotated: %v", err)
+	}
+	rfl := parse(t, "-replay", jpath)
+	if err := runReplay(rfl); err != nil {
+		t.Fatalf("replay of rotated journal: %v", err)
+	}
+}
+
 func TestSelfdriveWeightedHTTP(t *testing.T) {
 	jpath := filepath.Join(t.TempDir(), "run.jsonl")
 	fl := parse(t,

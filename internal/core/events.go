@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/rng"
 	"repro/internal/task"
 )
 
@@ -195,6 +196,19 @@ func (l *EventLedger) Add(d EventLedger) {
 // — and the trajectories — stay bit-identical across engines.
 type DynamicEngine interface {
 	ApplyEvents(batch *EventBatch) (EventLedger, error)
+}
+
+// EventStepper is a DynamicEngine that can fuse a round's event batch
+// into the round itself. Drive prefers StepEvents over the
+// ApplyEvents-then-Step pair when a batch is due: engines that span a
+// coordination boundary (the cluster) piggyback the batch on the round's
+// opening frame and the report on the first gather, removing one full
+// barrier round-trip per event batch. The semantics are identical to
+// ApplyEvents(batch) followed by Step(r, base) — events land on the
+// pre-round state, the round's decisions see the post-event state, and
+// the returned ledger and move count are bit-identical.
+type EventStepper interface {
+	StepEvents(r uint64, base *rng.Stream, batch *EventBatch) (int64, EventLedger, error)
 }
 
 // ApplyCountsBatch applies the uniform-model part of batch to counts in

@@ -156,9 +156,28 @@ func Drive[S State](e Engine[S], stop func(S) bool, opts RunOpts) (RunResult, er
 			return res, nil
 		}
 	}
+	es, _ := any(e).(EventStepper)
 	for round := 1; round <= opts.MaxRounds; round++ {
+		var batch *EventBatch
 		if dyn != nil {
-			if batch := opts.Events(uint64(round)); batch != nil {
+			batch = opts.Events(uint64(round))
+		}
+		var moves int64
+		var err error
+		if batch != nil && es != nil {
+			// Fused path: the engine carries the batch into the round
+			// itself (the cluster piggybacks it on the round frame),
+			// saving a barrier round-trip. Bit-identical to the split
+			// path below.
+			var led EventLedger
+			moves, led, err = es.StepEvents(uint64(round), base, batch)
+			if err != nil {
+				return res, err
+			}
+			led.Batches = 1
+			res.Ledger.Add(led)
+		} else {
+			if batch != nil {
 				led, err := dyn.ApplyEvents(batch)
 				if err != nil {
 					return res, err
@@ -166,10 +185,9 @@ func Drive[S State](e Engine[S], stop func(S) bool, opts RunOpts) (RunResult, er
 				led.Batches = 1
 				res.Ledger.Add(led)
 			}
-		}
-		moves, err := e.Step(uint64(round), base)
-		if err != nil {
-			return res, err
+			if moves, err = e.Step(uint64(round), base); err != nil {
+				return res, err
+			}
 		}
 		res.Moves += moves
 		res.Rounds = round

@@ -170,6 +170,12 @@ func (st *WeightedState) TotalWeight() float64 { return st.totalW }
 // TaskCount returns m, the number of tasks.
 func (st *WeightedState) TaskCount() int { return st.count }
 
+// SinceRecompute returns the event/move counter toward the next
+// periodic exact weight recompute. Engines that mirror the sequential
+// accumulator bookkeeping (the cluster coordinator) read it back after
+// materializing state through the sequential path.
+func (st *WeightedState) SinceRecompute() int { return st.sinceRecompute }
+
 // Load returns ℓᵢ = Wᵢ/sᵢ.
 func (st *WeightedState) Load(i int) float64 {
 	return st.nodeWeight[i] / st.sys.speeds[i]

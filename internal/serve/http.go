@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 
 	"repro/internal/core"
@@ -34,6 +35,7 @@ type handler struct {
 	s        submitter
 	p        Prober
 	weighted bool
+	n        int
 }
 
 // NewHandler exposes srv over HTTP:
@@ -41,6 +43,7 @@ type handler struct {
 //	POST /tasks    {"node":i,"count":k} or {"node":i,"weight":w}  → {"round":r}
 //	POST /complete {"node":i,"count":k}                           → {"round":r,"requested":k}
 //	GET  /load?node=i                                             → {"node":i,"load":x}
+//	GET  /load?k=3                                                → {"nodes":[{"node":i,"load":x},...]} (k least-loaded)
 //	GET  /stats                                                   → serve.Stats (?reset=window starts a fresh high-water window)
 //	GET  /metrics                                                 → Prometheus text exposition
 //	GET  /healthz                                                 → {"status":"ok"}
@@ -48,7 +51,7 @@ type handler struct {
 // Handlers wait for admission, so a 200 means the task is in the
 // engine and names the round that admitted it.
 func NewHandler[S core.State](srv *Server[S], p Prober) http.Handler {
-	h := &handler{s: srv, p: p, weighted: srv.cfg.Weighted}
+	h := &handler{s: srv, p: p, weighted: srv.cfg.Weighted, n: srv.cfg.N}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /tasks", h.tasks)
 	mux.HandleFunc("POST /complete", h.complete)
@@ -162,24 +165,74 @@ func (h *handler) complete(w http.ResponseWriter, r *http.Request) {
 	h.submitWait(w, r, op)
 }
 
+// loadEntry is one node of a GET /load?k= placement hint.
+type loadEntry struct {
+	Node int     `json:"node"`
+	Load float64 `json:"load"`
+}
+
+// load answers either form of the placement-hint API: ?node=i probes a
+// single node, ?k=c returns the k least-loaded nodes in ascending load
+// order (ties broken by node id ascending, so the hint is
+// deterministic for a given engine state). Both read through Server.Do
+// and therefore see a quiescent engine — the snapshot is a consistent
+// round boundary, not a mid-commit mixture.
 func (h *handler) load(w http.ResponseWriter, r *http.Request) {
 	if h.p.NodeLoad == nil {
 		writeErr(w, http.StatusNotImplemented, fmt.Errorf("no load probe wired"))
 		return
 	}
-	node, err := strconv.Atoi(r.URL.Query().Get("node"))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad node: %w", err))
+	q := r.URL.Query()
+	if ns := q.Get("node"); ns != "" {
+		node, err := strconv.Atoi(ns)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad node: %w", err))
+			return
+		}
+		var load float64
+		var lerr error
+		h.s.Do(func() { load, lerr = h.p.NodeLoad(node) })
+		if lerr != nil {
+			writeErr(w, http.StatusBadRequest, lerr)
+			return
+		}
+		writeJSON(w, map[string]any{"node": node, "load": load})
 		return
 	}
-	var load float64
+	ks := q.Get("k")
+	if ks == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("want node=i or k=count"))
+		return
+	}
+	k, err := strconv.Atoi(ks)
+	if err != nil || k <= 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k: %q", ks))
+		return
+	}
+	if k > h.n {
+		k = h.n
+	}
+	entries := make([]loadEntry, 0, h.n)
 	var lerr error
-	h.s.Do(func() { load, lerr = h.p.NodeLoad(node) })
+	h.s.Do(func() {
+		for i := 0; i < h.n && lerr == nil; i++ {
+			var l float64
+			if l, lerr = h.p.NodeLoad(i); lerr == nil {
+				entries = append(entries, loadEntry{Node: i, Load: l})
+			}
+		}
+	})
 	if lerr != nil {
-		writeErr(w, http.StatusBadRequest, lerr)
+		writeErr(w, http.StatusInternalServerError, lerr)
 		return
 	}
-	writeJSON(w, map[string]any{"node": node, "load": load})
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].Load != entries[b].Load {
+			return entries[a].Load < entries[b].Load
+		}
+		return entries[a].Node < entries[b].Node
+	})
+	writeJSON(w, map[string]any{"nodes": entries[:k]})
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/machine"
 )
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
@@ -117,6 +119,120 @@ func TestHTTPEndpoints(t *testing.T) {
 	resp, _ = postJSON(t, ts.URL+"/tasks", map[string]any{"node": 1})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-stop submit: %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPLoadHint pins the GET /load?k= placement hint: ascending
+// load order, ties broken by node id, k clamped to n, and bad or
+// missing parameters rejected with 400.
+func TestHTTPLoadHint(t *testing.T) {
+	const n = 8
+	// Uniform speeds so load equals task count and the expected ranking
+	// can be read straight off the counts vector.
+	g, err := graph.Ring(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, machine.Uniform(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int64{5, 0, 3, 0, 1, 0, 0, 0}
+	st, err := core.NewUniformState(sys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.SeqUniformEngine(st, core.Algorithm1{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New[*core.UniformState](eng, Config{
+		N: n, BatchSize: 2, MaxWait: time.Millisecond, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	ts := httptest.NewServer(NewHandler(srv, Prober{
+		NodeLoad: func(i int) (float64, error) {
+			if i < 0 || i >= n {
+				return 0, errOutOfRange(i)
+			}
+			return st.Load(i), nil
+		},
+	}))
+	defer ts.Close()
+
+	hint := func(q string) (int, []loadEntry) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/load?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Nodes []loadEntry `json:"nodes"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out.Nodes
+	}
+
+	// Five nodes are tied at zero load; the hint must list them by node
+	// id, so k=3 picks the three lowest-numbered idle nodes.
+	code, nodes := hint("k=3")
+	if code != 200 {
+		t.Fatalf("GET /load?k=3: %d", code)
+	}
+	want := []int{1, 3, 5}
+	if len(nodes) != len(want) {
+		t.Fatalf("k=3 returned %d nodes: %v", len(nodes), nodes)
+	}
+	for i, e := range nodes {
+		if e.Node != want[i] || e.Load != 0 {
+			t.Fatalf("hint[%d] = %+v, want node %d load 0", i, e, want[i])
+		}
+	}
+
+	// k beyond n is clamped: the full ranking comes back, ascending.
+	code, nodes = hint("k=100")
+	if code != 200 || len(nodes) != n {
+		t.Fatalf("GET /load?k=100: %d, %d nodes", code, len(nodes))
+	}
+	for i := 1; i < len(nodes); i++ {
+		a, b := nodes[i-1], nodes[i]
+		if a.Load > b.Load || (a.Load == b.Load && a.Node >= b.Node) {
+			t.Fatalf("ranking out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	if last := nodes[n-1]; last.Node != 0 || last.Load != 5 {
+		t.Fatalf("most-loaded entry %+v, want node 0 load 5", last)
+	}
+
+	for _, q := range []string{"", "k=0", "k=-2", "k=zebra", "node=cow"} {
+		resp, err := http.Get(ts.URL + "/load?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /load?%s: %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	// The single-node probe still answers alongside the ranking form.
+	resp, err := http.Get(ts.URL + "/load?node=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&one); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || one["load"].(float64) != 3 {
+		t.Fatalf("GET /load?node=2: %d %v", resp.StatusCode, one)
 	}
 }
 

@@ -62,6 +62,12 @@ const journalVersion = 1
 // reconstruction at replay is order-insensitive for counts and keeps
 // each node's weight list verbatim.
 func (j *Journal) appendEntry(round int, pb *pendingBatch) {
+	j.Entries = append(j.Entries, entryFromBatch(round, pb))
+}
+
+// entryFromBatch converts a taken group's dense batch to the canonical
+// sparse form (shared by the in-memory journal and the streaming sink).
+func entryFromBatch(round int, pb *pendingBatch) Entry {
 	e := Entry{Round: round}
 	if len(pb.tA) > 0 {
 		slices.Sort(pb.tA)
@@ -94,7 +100,7 @@ func (j *Journal) appendEntry(round int, pb *pendingBatch) {
 			e.WeightDepartures[k] = CountEvent{Node: int(i), Count: pb.batch.WeightDepartures[i]}
 		}
 	}
-	j.Entries = append(j.Entries, e)
+	return e
 }
 
 // Events returns a core.RunOpts.Events function replaying the journaled
@@ -206,17 +212,22 @@ func Replay[S core.State](j *Journal, eng core.Engine[S]) (core.RunResult, error
 }
 
 // jsonl line wrappers: one header object, one line per entry, one
-// result footer. The wrapper type tags keep the stream self-describing
-// and forward-extensible.
+// footer — "result" closes the run, "rotate" hands off to the next
+// segment file of a rotated journal. The wrapper type tags keep the
+// stream self-describing and forward-extensible.
 type jsonlLine struct {
 	Type   string          `json:"type"`
 	Header *journalHeader  `json:"header,omitempty"`
 	Batch  *Entry          `json:"batch,omitempty"`
 	Result *core.RunResult `json:"result,omitempty"`
+	Next   int             `json:"next,omitempty"`
 }
 
 // journalHeader is the Journal's scalar prefix (everything but entries
-// and result).
+// and result). Segment and StartRound are zero in single-file journals;
+// a rotated segment k > 0 records its index and the round count the
+// previous segment's rotation footer anchored at, so the chain walk can
+// verify the handoff.
 type journalHeader struct {
 	Version    int               `json:"version"`
 	N          int               `json:"n"`
@@ -225,6 +236,8 @@ type journalHeader struct {
 	TraceEvery int               `json:"traceEvery"`
 	Rounds     int               `json:"rounds"`
 	Meta       map[string]string `json:"meta,omitempty"`
+	Segment    int               `json:"segment,omitempty"`
+	StartRound int               `json:"startRound,omitempty"`
 }
 
 // Write serializes the journal as JSONL: header, entries, result
@@ -257,10 +270,23 @@ func (j *Journal) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadJournal parses a JSONL journal stream written by Write.
-func ReadJournal(r io.Reader) (*Journal, error) {
+// parsedSegment is one JSONL segment stream: header, entries, and at
+// most one footer — final ("result") or rotation handoff ("rotate").
+type parsedSegment struct {
+	header  *journalHeader
+	entries []Entry
+	final   *core.RunResult
+	partial *core.RunResult
+	next    int
+}
+
+// parseSegment reads one segment stream. Structural errors (lines out
+// of protocol order, unknown types, bad versions) surface here; journal
+// semantics (round ordering, node ranges, footer presence) are the
+// caller's validate step once the full chain is assembled.
+func parseSegment(r io.Reader) (*parsedSegment, error) {
 	dec := json.NewDecoder(bufio.NewReader(r))
-	var j *Journal
+	sg := &parsedSegment{}
 	for {
 		var line jsonlLine
 		if err := dec.Decode(&line); err != nil {
@@ -269,52 +295,94 @@ func ReadJournal(r io.Reader) (*Journal, error) {
 			}
 			return nil, fmt.Errorf("serve: journal parse: %w", err)
 		}
+		if sg.final != nil || sg.partial != nil {
+			return nil, fmt.Errorf("serve: journal line after the %q footer", map[bool]string{true: "result", false: "rotate"}[sg.final != nil])
+		}
 		switch line.Type {
 		case "header":
-			if j != nil {
+			if sg.header != nil {
 				return nil, fmt.Errorf("serve: duplicate journal header")
 			}
-			h := line.Header
-			if h == nil {
+			if line.Header == nil {
 				return nil, fmt.Errorf("serve: header line without header body")
 			}
-			if h.Version != journalVersion {
-				return nil, fmt.Errorf("serve: journal version %d, want %d", h.Version, journalVersion)
+			if line.Header.Version != journalVersion {
+				return nil, fmt.Errorf("serve: journal version %d, want %d", line.Header.Version, journalVersion)
 			}
-			j = &Journal{
-				Version:    h.Version,
-				N:          h.N,
-				Weighted:   h.Weighted,
-				Seed:       h.Seed,
-				TraceEvery: h.TraceEvery,
-				Rounds:     h.Rounds,
-				Meta:       h.Meta,
-			}
+			sg.header = line.Header
 		case "batch":
-			if j == nil {
+			if sg.header == nil {
 				return nil, fmt.Errorf("serve: batch line before header")
 			}
 			if line.Batch == nil {
 				return nil, fmt.Errorf("serve: batch line without batch body")
 			}
-			j.Entries = append(j.Entries, *line.Batch)
+			sg.entries = append(sg.entries, *line.Batch)
 		case "result":
-			if j == nil {
+			if sg.header == nil {
 				return nil, fmt.Errorf("serve: result line before header")
-			}
-			if j.Result != nil {
-				return nil, fmt.Errorf("serve: duplicate result footer")
 			}
 			if line.Result == nil {
 				return nil, fmt.Errorf("serve: result line without result body")
 			}
-			j.Result = line.Result
+			sg.final = line.Result
+		case "rotate":
+			if sg.header == nil {
+				return nil, fmt.Errorf("serve: rotate line before header")
+			}
+			if line.Result == nil {
+				return nil, fmt.Errorf("serve: rotate line without its partial result")
+			}
+			if line.Next <= 0 {
+				return nil, fmt.Errorf("serve: rotate line names no next segment")
+			}
+			sg.partial = line.Result
+			sg.next = line.Next
 		default:
 			return nil, fmt.Errorf("serve: unknown journal line type %q", line.Type)
 		}
 	}
-	if j == nil {
+	if sg.header == nil {
 		return nil, fmt.Errorf("serve: empty journal")
+	}
+	return sg, nil
+}
+
+// journalFromHeader builds the Journal scaffold a header describes.
+func journalFromHeader(h *journalHeader) *Journal {
+	return &Journal{
+		Version:    h.Version,
+		N:          h.N,
+		Weighted:   h.Weighted,
+		Seed:       h.Seed,
+		TraceEvery: h.TraceEvery,
+		Rounds:     h.Rounds,
+		Meta:       h.Meta,
+	}
+}
+
+// ReadJournal parses a single-segment JSONL journal stream written by
+// Write or by an unrotated sink. A stream that ends in a rotation
+// footer is refused: the rest of the run lives in sibling files, so it
+// must be read through ReadJournalSegments, which can walk the chain.
+func ReadJournal(r io.Reader) (*Journal, error) {
+	sg, err := parseSegment(r)
+	if err != nil {
+		return nil, err
+	}
+	if sg.partial != nil {
+		return nil, fmt.Errorf("serve: journal rotates to segment %d; read it by path so the chain can be walked", sg.next)
+	}
+	if sg.header.Segment != 0 {
+		return nil, fmt.Errorf("serve: stream is journal segment %d, not the start of the chain", sg.header.Segment)
+	}
+	j := journalFromHeader(sg.header)
+	j.Entries = sg.entries
+	j.Result = sg.final
+	// Sink-written headers carry Rounds 0 (the count is unknown when the
+	// segment opens); the result footer is authoritative.
+	if j.Rounds == 0 && j.Result != nil {
+		j.Rounds = j.Result.Rounds
 	}
 	if err := j.validate(); err != nil {
 		return nil, err

@@ -39,6 +39,11 @@ type Config struct {
 	// DisableJournal skips recording admitted batches (saves memory on
 	// unbounded runs; replay becomes impossible).
 	DisableJournal bool
+	// Sink, when non-nil, streams admitted batches to its rotating
+	// segment files instead of accumulating them in memory: Journal()
+	// returns nil and the owner finalizes the chain with Sink.Close
+	// after Stop. This is the unbounded-daemon journaling mode.
+	Sink *JournalSink
 	// Meta is copied into the journal header for the daemon owner's
 	// replay bookkeeping (graph family, placement, engine name, ...).
 	Meta map[string]string
@@ -119,7 +124,7 @@ func New[S core.State](eng core.Engine[S], cfg Config) (*Server[S], error) {
 		loopExited: make(chan struct{}),
 		lastTraced: -1,
 	}
-	if !cfg.DisableJournal {
+	if !cfg.DisableJournal && cfg.Sink == nil {
 		s.journal = &Journal{
 			Version:    journalVersion,
 			N:          cfg.N,
@@ -178,7 +183,9 @@ func (s *Server[S]) Stop() (core.RunResult, error) {
 }
 
 // Journal returns the admitted-batch ledger. Complete (rounds + result
-// footer) only after Stop; nil when journaling is disabled.
+// footer) only after Stop; nil when journaling is disabled or routed
+// through a streaming Sink (read the segment chain back with
+// ReadJournalSegments in that case).
 func (s *Server[S]) Journal() *Journal { return s.journal }
 
 // record mirrors core.Drive's trace sampling byte for byte.
@@ -264,6 +271,13 @@ func (s *Server[S]) runRound(g *group) error {
 	s.m.moves.Set(uint64(s.res.Moves))
 	if s.journal != nil {
 		s.journal.Rounds = round
+	}
+	// The sink sees the entry after the round completes, so the partial
+	// result it may anchor a rotation on reflects that round.
+	if s.cfg.Sink != nil && g != nil {
+		if err := s.cfg.Sink.Append(entryFromBatch(round, g.pb), s.res); err != nil {
+			return err
+		}
 	}
 	if s.cfg.TraceEvery > 0 && round%s.cfg.TraceEvery == 0 {
 		if err := s.record(round); err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"sync"
 	"time"
 
@@ -54,10 +55,21 @@ type clusterCore struct {
 	closed bool
 
 	buf       transport.Buffer
-	loads     []float64
 	moves     []int64
 	shardBase []int64
 	freshSum  []float64
+
+	// Halo exchange staging: the per-round load traffic is O(cut), not
+	// O(n). bstage holds every shard's gathered boundary loads
+	// back-to-back (shard s's at [bbase[s], bbase[s+1])); haloSrc[d][k]
+	// is the bstage index holding the load of halo vertex k of shard d
+	// (every halo vertex is a boundary vertex of its owner, so the
+	// gather always covers the scatter); hstage is the per-shard scatter
+	// scratch.
+	bbase   []int
+	bstage  []float64
+	haloSrc [][]int
+	hstage  []float64
 
 	// Authoritative weighted bookkeeping (workers' copies go stale and
 	// are pinned before use).
@@ -113,7 +125,6 @@ func newClusterCore(sys *core.System, model uint8, protoName string, alpha float
 		p:         p,
 		n:         n,
 		conns:     make([]*transport.Conn, p),
-		loads:     make([]float64, n),
 		moves:     make([]int64, p),
 		shardBase: make([]int64, p),
 		freshSum:  make([]float64, n),
@@ -128,31 +139,68 @@ func newClusterCore(sys *core.System, model uint8, protoName string, alpha float
 		c.relayF[s] = make([][]transport.Flow, p)
 		c.relayW[s] = make([][]transport.WFlow, p)
 	}
+	// Halo routing plan, fixed for the partition's lifetime: where in
+	// the boundary gather each shard's halo loads live.
+	c.bbase = make([]int, p+1)
+	for s := 0; s < p; s++ {
+		c.bbase[s+1] = c.bbase[s] + len(part.Boundary(s))
+	}
+	c.bstage = make([]float64, c.bbase[p])
+	c.haloSrc = make([][]int, p)
+	maxHalo := 0
+	for d := 0; d < p; d++ {
+		halo := part.Halo(d)
+		if len(halo) > maxHalo {
+			maxHalo = len(halo)
+		}
+		c.haloSrc[d] = make([]int, len(halo))
+		for k, v := range halo {
+			owner := part.ShardOf(int(v))
+			pos, ok := slices.BinarySearch(part.Boundary(owner), v)
+			if !ok {
+				return nil, fmt.Errorf("shard: halo vertex %d of shard %d is not a boundary vertex of shard %d", v, d, owner)
+			}
+			c.haloSrc[d][k] = c.bbase[owner] + pos
+		}
+	}
+	c.hstage = make([]float64, 0, maxHalo)
 	return c, nil
 }
 
-// configure ships the config to every worker and waits for the ready
-// votes. st supplies the initial (or restored) state vectors.
+// configure ships each worker its config — instance description plus
+// that worker's own-range slice of the initial (or restored) state
+// vectors, which configure cuts from the full-length inputs.
 func (c *clusterCore) configure(counts []int64, off []int64, pool []float64, nodeWeight []float64, restored bool) error {
 	for s := 0; s < c.p; s++ {
+		lo, hi := c.part.Range(s)
 		cfg := &clusterConfig{
-			Model:      c.model,
-			Proto:      c.proto,
-			Alpha:      c.alpha,
-			P:          c.p,
-			Shard:      s,
-			Strategy:   string(c.strategy),
-			CSRName:    c.csr.Name(),
-			N:          c.n,
-			Offsets:    c.csr.Offsets(),
-			Adj:        c.csr.Adj(),
-			Speeds:     c.sys.Speeds(),
-			Lambda2:    c.sys.Lambda2(),
-			Counts:     counts,
-			Off:        off,
-			Pool:       pool,
-			Restored:   restored,
-			NodeWeight: nodeWeight,
+			Model:    c.model,
+			Proto:    c.proto,
+			Alpha:    c.alpha,
+			P:        c.p,
+			Shard:    s,
+			Lo:       lo,
+			Strategy: string(c.strategy),
+			CSRName:  c.csr.Name(),
+			N:        c.n,
+			Offsets:  c.csr.Offsets(),
+			Adj:      c.csr.Adj(),
+			Speeds:   c.sys.Speeds(),
+			Lambda2:  c.sys.Lambda2(),
+			Restored: restored,
+		}
+		if c.model == modelUniform {
+			cfg.Counts = counts[lo:hi]
+		} else {
+			segLen := make([]int64, hi-lo)
+			for i := lo; i < hi; i++ {
+				segLen[i-lo] = off[i+1] - off[i]
+			}
+			cfg.SegLen = segLen
+			cfg.Segs = pool[off[lo]:off[hi]]
+			if restored {
+				cfg.NodeWeight = nodeWeight[lo:hi]
+			}
 		}
 		c.buf.Reset()
 		encodeConfig(&c.buf, cfg)
@@ -179,6 +227,49 @@ func (c *clusterCore) Step(r uint64, base *rng.Stream) (int64, error) {
 	if c.closed {
 		return 0, ErrClosed
 	}
+	moves, _, err := c.step(r, base, nil)
+	return moves, err
+}
+
+// StepEvents implements core.EventStepper: apply batch and run round r
+// in one lockstep exchange. The batch rides the round frame and the
+// per-worker event reports ride the boundary-loads gather, so fusing
+// removes one full write-all/read-all barrier per event batch.
+// Weighted batches that may cross the periodic recompute threshold
+// take the materialized sequential path first (see materializedEvents)
+// and the round then runs batch-free; both orders match the sequential
+// engine's ApplyEvents-then-Step semantics bit-for-bit.
+func (c *clusterCore) StepEvents(r uint64, base *rng.Stream, batch *core.EventBatch) (int64, core.EventLedger, error) {
+	var led core.EventLedger
+	if base == nil {
+		return 0, led, errors.New("shard: nil base stream")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, led, ErrClosed
+	}
+	if batch != nil {
+		if err := c.validateBatchShape(batch); err != nil {
+			return 0, led, err
+		}
+		if c.model == modelWeighted && c.batchMayCross(batch) {
+			var err error
+			if led, err = c.materializedEvents(batch); err != nil {
+				return 0, led, err
+			}
+			batch = nil
+		}
+	}
+	moves, evLed, err := c.step(r, base, batch)
+	led.Add(evLed)
+	return moves, led, err
+}
+
+// step runs one round, optionally fusing a pre-validated,
+// non-threshold-crossing event batch into the round's frames.
+func (c *clusterCore) step(r uint64, base *rng.Stream, batch *core.EventBatch) (int64, core.EventLedger, error) {
+	var led core.EventLedger
 	t0 := time.Now()
 	words := base.Split(r).Words()
 	for s := 0; s < c.p; s++ {
@@ -187,32 +278,68 @@ func (c *clusterCore) Step(r uint64, base *rng.Stream) (int64, error) {
 		for _, w := range words {
 			c.buf.PutU64(w)
 		}
+		if batch != nil {
+			c.buf.PutU8(1)
+			lo, hi := c.part.Range(s)
+			encodeEventSlice(&c.buf, c.model, batch, lo, hi)
+		} else {
+			c.buf.PutU8(0)
+		}
 		if err := c.conns[s].WriteFrame(transport.KindRound, c.buf.B); err != nil {
-			return 0, err
+			return 0, led, err
 		}
 	}
-	// Loads: gather own ranges, broadcast the full snapshot.
+	// Loads: gather each shard's boundary loads (with its event report
+	// when a batch rode the round frame), scatter each shard's halo
+	// loads — O(cut) traffic, independent of n.
 	for s := 0; s < c.p; s++ {
-		payload, err := c.conns[s].Expect(transport.KindLoads)
+		payload, err := c.conns[s].Expect(transport.KindBoundaryLoads)
 		if err != nil {
-			return 0, err
+			return 0, led, err
 		}
-		lo, hi := c.part.Range(s)
 		var b transport.Buffer
 		b.Load(payload)
-		ls, err := b.F64s(c.loads[lo:lo])
+		want := c.bbase[s+1] - c.bbase[s]
+		bl, err := b.F64s(c.bstage[c.bbase[s]:c.bbase[s]])
 		if err != nil {
-			return 0, err
+			return 0, led, err
 		}
-		if len(ls) != hi-lo {
-			return 0, fmt.Errorf("shard: worker %d sent %d loads for range of %d", s, len(ls), hi-lo)
+		if len(bl) != want {
+			return 0, led, fmt.Errorf("shard: worker %d sent %d boundary loads for %d boundary nodes", s, len(bl), want)
+		}
+		if batch != nil {
+			if c.model == modelUniform {
+				arr, err := b.I64()
+				if err != nil {
+					return 0, led, err
+				}
+				dep, err := b.I64()
+				if err != nil {
+					return 0, led, err
+				}
+				led.Arrived += arr
+				led.Departed += dep
+			} else if err := c.decodeEventReport(s, &b); err != nil {
+				return 0, led, err
+			}
 		}
 	}
+	if batch != nil && c.model == modelWeighted {
+		// Fold the reports into the coordinator-owned accumulators
+		// before the crossing math below reads sinceRecompute.
+		led = c.foldWeightedReports(batch)
+	}
 	for s := 0; s < c.p; s++ {
+		src := c.haloSrc[s]
+		vals := c.hstage[:0]
+		for _, idx := range src {
+			vals = append(vals, c.bstage[idx])
+		}
+		c.hstage = vals[:0]
 		c.buf.Reset()
-		c.buf.PutF64s(c.loads)
-		if err := c.conns[s].WriteFrame(transport.KindLoadsAll, c.buf.B); err != nil {
-			return 0, err
+		c.buf.PutF64s(vals)
+		if err := c.conns[s].WriteFrame(transport.KindHaloLoads, c.buf.B); err != nil {
+			return 0, led, err
 		}
 	}
 	t1 := time.Now()
@@ -220,28 +347,28 @@ func (c *clusterCore) Step(r uint64, base *rng.Stream) (int64, error) {
 	for s := 0; s < c.p; s++ {
 		payload, err := c.conns[s].Expect(transport.KindFlows)
 		if err != nil {
-			return 0, err
+			return 0, led, err
 		}
 		var b transport.Buffer
 		b.Load(payload)
 		if c.moves[s], err = b.I64(); err != nil {
-			return 0, err
+			return 0, led, err
 		}
 		pp, err := b.U32()
 		if err != nil {
-			return 0, err
+			return 0, led, err
 		}
 		if int(pp) != c.p {
-			return 0, fmt.Errorf("shard: worker %d sent %d flow lists for %d shards", s, pp, c.p)
+			return 0, led, fmt.Errorf("shard: worker %d sent %d flow lists for %d shards", s, pp, c.p)
 		}
 		for d := 0; d < c.p; d++ {
 			if c.model == modelUniform {
 				if c.relayF[s][d], err = b.Flows(c.relayF[s][d][:0]); err != nil {
-					return 0, err
+					return 0, led, err
 				}
 			} else {
 				if c.relayW[s][d], err = b.WFlows(c.relayW[s][d][:0]); err != nil {
-					return 0, err
+					return 0, led, err
 				}
 			}
 		}
@@ -289,7 +416,7 @@ func (c *clusterCore) Step(r uint64, base *rng.Stream) (int64, error) {
 			}
 		}
 		if err := c.conns[s].WriteFrame(transport.KindGrant, c.buf.B); err != nil {
-			return 0, err
+			return 0, led, err
 		}
 	}
 	// Commit: collect step-done (with fresh own-range sums on recompute
@@ -298,25 +425,25 @@ func (c *clusterCore) Step(r uint64, base *rng.Stream) (int64, error) {
 	for s := 0; s < c.p; s++ {
 		payload, err := c.conns[s].Expect(transport.KindStepDone)
 		if err != nil {
-			return 0, err
+			return 0, led, err
 		}
 		var b transport.Buffer
 		b.Load(payload)
 		flag, err := b.U8()
 		if err != nil {
-			return 0, err
+			return 0, led, err
 		}
 		if (flag != 0) != (crossAt >= 0) {
-			return 0, fmt.Errorf("shard: worker %d recompute flag %d, coordinator crossing %d", s, flag, crossAt)
+			return 0, led, fmt.Errorf("shard: worker %d recompute flag %d, coordinator crossing %d", s, flag, crossAt)
 		}
 		if flag != 0 {
 			lo, hi := c.part.Range(s)
 			fs, err := b.F64s(c.freshSum[lo:lo])
 			if err != nil {
-				return 0, err
+				return 0, led, err
 			}
 			if len(fs) != hi-lo {
-				return 0, fmt.Errorf("shard: worker %d sent %d sums for range of %d", s, len(fs), hi-lo)
+				return 0, led, fmt.Errorf("shard: worker %d sent %d sums for range of %d", s, len(fs), hi-lo)
 			}
 		}
 	}
@@ -333,16 +460,16 @@ func (c *clusterCore) Step(r uint64, base *rng.Stream) (int64, error) {
 	for s := 0; s < c.p; s++ {
 		payload, err := c.conns[s].Expect(transport.KindStats)
 		if err != nil {
-			return 0, err
+			return 0, led, err
 		}
 		var b transport.Buffer
 		b.Load(payload)
 		if c.wstats[s], err = decodeWorkerStats(&b); err != nil {
-			return 0, err
+			return 0, led, err
 		}
 	}
 	c.observeStep(t0, t1, t2, time.Now())
-	return total, nil
+	return total, led, nil
 }
 
 // ApplyEvents implements core.DynamicEngine across the cluster. Each
@@ -351,10 +478,13 @@ func (c *clusterCore) Step(r uint64, base *rng.Stream) (int64, error) {
 // ledger's float64 fields, in the sequential engine's exact global
 // operation order, from the workers' drained-weight reports).
 //
-// Limitation: a weighted batch that would cross the periodic weight
-// recompute threshold is refused — the mid-batch recompute cannot be
-// replayed distributedly without shipping full state. The threshold is
-// 2²⁴ events, far above any realistic batch.
+// A weighted batch that may cross the periodic weight recompute
+// threshold takes the materialized path instead: the mid-batch
+// recompute cannot be replayed from per-shard reports, so the
+// coordinator gathers the full state, applies the batch through the
+// sequential reference, and scatters the result back (see
+// materializedEvents). Both paths are bit-identical to the sequential
+// engine, so the conservative routing bound only picks the transport.
 func (c *clusterCore) ApplyEvents(batch *core.EventBatch) (core.EventLedger, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -368,22 +498,8 @@ func (c *clusterCore) ApplyEvents(batch *core.EventBatch) (core.EventLedger, err
 	if err := c.validateBatchShape(batch); err != nil {
 		return led, err
 	}
-	if c.model == modelWeighted {
-		// Conservative pre-check (requested drains, unclamped): if even
-		// the upper bound stays below the threshold, the exact event
-		// count cannot cross it.
-		upper := int64(0)
-		for _, ws := range batch.WeightArrivals {
-			upper += int64(len(ws))
-		}
-		for _, d := range batch.WeightDepartures {
-			if d > 0 {
-				upper += d
-			}
-		}
-		if c.sinceRecompute+upper >= int64(core.WeightRecomputeEvery) {
-			return led, fmt.Errorf("shard: cluster: event batch of ≤%d events would cross the periodic weight recompute (counter at %d); unsupported in cluster mode", upper, c.sinceRecompute)
-		}
+	if c.model == modelWeighted && c.batchMayCross(batch) {
+		return c.materializedEvents(batch)
 	}
 	for s := 0; s < c.p; s++ {
 		lo, hi := c.part.Range(s)
@@ -421,29 +537,62 @@ func (c *clusterCore) ApplyEvents(batch *core.EventBatch) (core.EventLedger, err
 		}
 		var b transport.Buffer
 		b.Load(payload)
-		cnt, err := b.U32()
-		if err != nil {
+		if err := c.decodeEventReport(s, &b); err != nil {
 			return led, err
 		}
-		c.evNode[s] = c.evNode[s][:0]
-		c.evW[s] = c.evW[s][:0]
-		for j := uint32(0); j < cnt; j++ {
-			node, err := b.U32()
-			if err != nil {
-				return led, err
-			}
-			ws, err := b.F64s(nil)
-			if err != nil {
-				return led, err
-			}
-			c.evNode[s] = append(c.evNode[s], int32(node))
-			c.evW[s] = append(c.evW[s], ws)
+	}
+	return c.foldWeightedReports(batch), nil
+}
+
+// batchMayCross reports whether a weighted batch might cross the
+// periodic weight recompute threshold — a conservative upper bound
+// (requested drains, unclamped): if even the bound stays below the
+// threshold, the exact event count cannot cross it.
+func (c *clusterCore) batchMayCross(batch *core.EventBatch) bool {
+	upper := int64(0)
+	for _, ws := range batch.WeightArrivals {
+		upper += int64(len(ws))
+	}
+	for _, d := range batch.WeightDepartures {
+		if d > 0 {
+			upper += d
 		}
 	}
-	// Replay the sequential fast path's accumulator order: all
-	// injections (nodes ascending, weights in order), then all drains
-	// (nodes ascending — shards are contiguous ascending ranges, and
-	// each report is node-ascending within its shard).
+	return c.sinceRecompute+upper >= int64(core.WeightRecomputeEvery)
+}
+
+// decodeEventReport reads worker s's weighted drained-weight report
+// into the staging lists.
+func (c *clusterCore) decodeEventReport(s int, b *transport.Buffer) error {
+	cnt, err := b.U32()
+	if err != nil {
+		return err
+	}
+	c.evNode[s] = c.evNode[s][:0]
+	c.evW[s] = c.evW[s][:0]
+	for j := uint32(0); j < cnt; j++ {
+		node, err := b.U32()
+		if err != nil {
+			return err
+		}
+		ws, err := b.F64s(nil)
+		if err != nil {
+			return err
+		}
+		c.evNode[s] = append(c.evNode[s], int32(node))
+		c.evW[s] = append(c.evW[s], ws)
+	}
+	return nil
+}
+
+// foldWeightedReports replays the sequential fast path's accumulator
+// order over the staged reports: all injections (nodes ascending,
+// weights in order), then all drains (nodes ascending — shards are
+// contiguous ascending ranges, and each report is node-ascending within
+// its shard) — updating totalW, count and sinceRecompute exactly as the
+// sequential ApplyEvents would.
+func (c *clusterCore) foldWeightedReports(batch *core.EventBatch) core.EventLedger {
+	var led core.EventLedger
 	for _, ws := range batch.WeightArrivals {
 		if len(ws) == 0 {
 			continue
@@ -471,6 +620,59 @@ func (c *clusterCore) ApplyEvents(batch *core.EventBatch) (core.EventLedger, err
 		}
 	}
 	c.sinceRecompute += led.ArrivedTasks + led.DepartedTasks
+	return led
+}
+
+// materializedEvents applies a weighted batch that may cross the
+// periodic recompute threshold by materializing the sequential state:
+// gather every worker's own range, replay the batch through
+// WeightedState.ApplyEvents — the bit-exact reference, mid-batch
+// recomputes included — then scatter the post-event own-range states
+// back (KindStateLoad, acked with KindEventsDone) and adopt the
+// reference's accumulators. Expensive (O(n + tasks) traffic) but only
+// reachable once per 2²⁴ events.
+func (c *clusterCore) materializedEvents(batch *core.EventBatch) (core.EventLedger, error) {
+	var led core.EventLedger
+	states, err := c.gatherOwnStates(transport.KindStateReq, transport.KindState, nil)
+	if err != nil {
+		return led, err
+	}
+	pool, off, nw, err := c.assembleWeighted(states)
+	if err != nil {
+		return led, err
+	}
+	st, err := core.NewWeightedStateFromFlat(c.sys, pool, off, nw, c.totalW, int(c.sinceRecompute))
+	if err != nil {
+		return led, err
+	}
+	if led, err = st.ApplyEvents(batch); err != nil {
+		return led, err
+	}
+	for s := 0; s < c.p; s++ {
+		lo, hi := c.part.Range(s)
+		own := &ownState{
+			SegLen:     make([]int64, hi-lo),
+			NodeWeight: make([]float64, hi-lo),
+		}
+		for i := lo; i < hi; i++ {
+			own.SegLen[i-lo] = int64(st.NodeTaskCount(i))
+			own.Segs = append(own.Segs, st.TaskWeights(i)...)
+			own.NodeWeight[i-lo] = st.NodeWeight(i)
+		}
+		c.buf.Reset()
+		encodeOwnState(&c.buf, c.model, own)
+		if err := c.conns[s].WriteFrame(transport.KindStateLoad, c.buf.B); err != nil {
+			return led, err
+		}
+	}
+	for s := 0; s < c.p; s++ {
+		if _, err := c.conns[s].Expect(transport.KindEventsDone); err != nil {
+			return led, err
+		}
+	}
+	c.totalW = st.TotalWeight()
+	c.count = int64(st.TaskCount())
+	c.sinceRecompute = int64(st.SinceRecompute())
 	return led, nil
 }
 
@@ -616,6 +818,7 @@ type UniformCluster struct {
 
 var _ core.Engine[*core.UniformState] = (*UniformCluster)(nil)
 var _ core.DynamicEngine = (*UniformCluster)(nil)
+var _ core.EventStepper = (*UniformCluster)(nil)
 
 // NewUniformCluster connects to one worker per shard over rws and ships
 // them the instance. counts is copied.
@@ -675,6 +878,7 @@ type WeightedCluster struct {
 
 var _ core.Engine[*core.WeightedState] = (*WeightedCluster)(nil)
 var _ core.DynamicEngine = (*WeightedCluster)(nil)
+var _ core.EventStepper = (*WeightedCluster)(nil)
 
 // NewWeightedCluster connects to one worker per shard over rws and
 // ships them the instance. perNode is flattened and copied.

@@ -20,11 +20,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynamics"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/rng"
 	"repro/internal/shard"
 )
 
-var clusterCounts = []int{1, 2, 4}
+var clusterCounts = []int{1, 2, 4, 7}
 
 // TestClusterParityStatic: seq vs cluster on every Table-1 class with a
 // stop condition, tracing, a CheckEvery that does not divide
@@ -192,6 +195,114 @@ func TestWeightedClusterParityDynamic(t *testing.T) {
 			}
 		}
 		sameWeightedState(t, "dynamic", ref.FinalState, res.FinalState)
+	}
+}
+
+// TestClusterRoundBytes pins the O(cut) claim of the halo exchange: on
+// a ring at fixed P, the per-round coordinator traffic must be byte-
+// for-byte identical across a 16x change in n — a contiguous ring
+// shard always has 2 boundary and 2 halo vertices, so nothing on the
+// round path may scale with the node count. Equal counts keep every
+// round move-free, making the per-round frame sizes exactly repeatable.
+func TestClusterRoundBytes(t *testing.T) {
+	perRound := func(n int) uint64 {
+		t.Helper()
+		g, err := graph.Ring(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := core.NewSystem(g, machine.Uniform(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int64, n)
+		for i := range counts {
+			counts[i] = 4
+		}
+		cl, err := shard.StartLocalUniformCluster(sys, core.Algorithm1{}, counts, shard.Options{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		base := rng.New(9)
+		if _, err := cl.Step(1, base); err != nil {
+			t.Fatal(err)
+		}
+		s0 := cl.Stats().Transport
+		const rounds = 4
+		for r := uint64(2); r < 2+rounds; r++ {
+			if _, err := cl.Step(r, base); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s1 := cl.Stats().Transport
+		total := (s1.BytesSent - s0.BytesSent) + (s1.BytesRecv - s0.BytesRecv)
+		if total%rounds != 0 {
+			t.Fatalf("n=%d: %d bytes over %d rounds is not round-repeatable", n, total, rounds)
+		}
+		return total / rounds
+	}
+	small := perRound(1 << 12)
+	large := perRound(1 << 16)
+	if small != large {
+		t.Fatalf("per-round bytes grew with n: %d at n=4096, %d at n=65536", small, large)
+	}
+	// Sanity: the round traffic must be far below even one full-vector
+	// broadcast to a single worker (8n bytes), let alone P of them.
+	if large >= 8*(1<<16) {
+		t.Fatalf("per-round bytes %d not O(cut): a single full-vector broadcast is %d", large, 8*(1<<16))
+	}
+}
+
+// TestWeightedClusterRecomputeCrossingEvents drives event batches into
+// a weighted cluster with the periodic recompute threshold lowered so
+// batches repeatedly cross it — the case the cluster used to refuse.
+// The materialized path (gather, sequential replay, scatter) must keep
+// every P bit-identical to the sequential engine, mid-batch recomputes
+// included.
+func TestWeightedClusterRecomputeCrossingEvents(t *testing.T) {
+	old := core.WeightRecomputeEvery
+	core.WeightRecomputeEvery = 96
+	defer func() { core.WeightRecomputeEvery = old }()
+
+	class, err := experiments.ClassByKey("torus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, perNode := buildWeighted(t, class, 16, 30)
+	n := sys.N()
+	events := func(r uint64) *core.EventBatch {
+		if r%3 != 1 {
+			return nil
+		}
+		batch := &core.EventBatch{
+			WeightArrivals:   make([][]float64, n),
+			WeightDepartures: make([]int64, n),
+		}
+		for i := 0; i < n; i += 2 {
+			batch.WeightArrivals[i] = []float64{0.75, 0.1 + 0.1*float64(i%7)}
+		}
+		for i := 1; i < n; i += 3 {
+			batch.WeightDepartures[i] = 1
+		}
+		return batch
+	}
+	opts := core.RunOpts{MaxRounds: 60, Seed: 13, TraceEvery: 5, Events: events}
+	ref, refState, err := harness.RunWeightedEngine(harness.EngineSeq, sys, core.Algorithm2{}, perNode, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Ledger.ArrivedTasks < int64(core.WeightRecomputeEvery) {
+		t.Fatalf("scenario too small to cross the lowered recompute threshold: %+v", ref.Ledger)
+	}
+	for _, p := range clusterCounts {
+		res, st, err := harness.RunWeightedEngineOpts(harness.EngineCluster, sys,
+			core.Algorithm2{}, perNode, nil, opts, harness.EngineOpts{Shards: p})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		sameRun(t, "crossing-events", ref, res)
+		sameWeightedState(t, "crossing-events", refState, st)
 	}
 }
 

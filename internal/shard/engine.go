@@ -49,11 +49,15 @@ type Engine struct {
 	mu     sync.Mutex
 	counts []int64
 	loads  []float64
+	// view is the decide phase's read surface over loads. In process it
+	// aliases loads zero-copy and every entry is fresh; a cluster worker
+	// refreshes only its own span and halo slots (see LoadView).
+	view LoadView
 
 	// Per-shard buffers (indexed by shard, not worker, so results do
 	// not depend on which worker evaluates a shard).
-	local    [][]int64              // dense deltas for the shard's own range
-	outFlows [][][]transport.Flow   // outFlows[s][d]: migrations from shard s into shard d
+	local    [][]int64            // dense deltas for the shard's own range
+	outFlows [][][]transport.Flow // outFlows[s][d]: migrations from shard s into shard d
 	moves    []int64
 
 	// tr exchanges the outbound flow lists across the decide/commit
@@ -143,6 +147,7 @@ func New(sys *core.System, proto core.UniformNodeProtocol, counts []int64, opts 
 		workers:  workers,
 		kick:     make([]chan phase, workers),
 	}
+	e.view = DenseLoadView(e.loads)
 	maxDeg := csr.MaxDegree()
 	for s := 0; s < p; s++ {
 		lo, hi := part.Range(s)
@@ -235,10 +240,10 @@ func (e *Engine) decideShard(s int, roundStream *rng.Stream, sc *decideScratch) 
 		nbs := csr.Neighbors(i)
 		deg := len(nbs)
 		for idx, j := range nbs {
-			sc.nb[idx] = e.loads[j]
+			sc.nb[idx] = e.view.Load(j)
 		}
 		roundStream.SplitTo(uint64(i), &sc.child)
-		m := e.proto.DecideNode(sys, i, wi, e.loads[i], sc.nb[:deg], &sc.child, sc.out)
+		m := e.proto.DecideNode(sys, i, wi, e.view.LoadAt(i), sc.nb[:deg], &sc.child, sc.out)
 		if m == 0 {
 			continue
 		}

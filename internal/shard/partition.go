@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -25,10 +26,11 @@ const (
 // Partition is an immutable split of a CSR graph's vertices into P
 // contiguous shards plus the precomputed cross-shard structure: the
 // directed cross-edge counts, which the two-phase engine uses to
-// pre-size its inter-shard flow buffers, and per-shard boundary node
-// lists for diagnostics (cut inspection, tests) and for future
-// frontier-restricted optimizations — the engine itself reads only the
-// counts.
+// pre-size its inter-shard flow buffers, per-shard boundary node lists,
+// and per-shard halo sets (the out-of-shard neighbor closure) — the
+// exact foreign loads a shard's decide phase can read, which the
+// cluster layer uses to exchange O(cut) loads per round instead of the
+// full vector.
 type Partition struct {
 	csr      *graph.CSR
 	strategy Strategy
@@ -40,6 +42,13 @@ type Partition struct {
 	// boundary[s] lists the vertices of shard s with at least one
 	// neighbor outside s, in ascending order.
 	boundary [][]int32
+	// halo[s] lists the out-of-shard vertices adjacent to shard s — the
+	// exact set of foreign loads shard s's decide phase can read — in
+	// ascending order. Ascending order doubles as the deterministic
+	// halo-slot order of the wire exchange: slot k of shard s's halo
+	// frame always carries halo[s][k]'s load. Every halo vertex of s is
+	// by construction a boundary vertex of its owning shard.
+	halo [][]int32
 	// crossEdges[s][d] counts directed edges from shard s into shard d
 	// (s ≠ d); it is an upper bound on — and the preallocated capacity
 	// of — the flow entries s can emit toward d in one round.
@@ -127,15 +136,24 @@ func (pt *Partition) cutByDegree() {
 	pt.hi[pt.p-1] = int32(n)
 }
 
-// computeBoundary fills the boundary node lists and the directed
-// cross-edge count matrix in one O(n + m) sweep.
+// computeBoundary fills the boundary node lists, the halo sets and the
+// directed cross-edge count matrix in one O(n + m) sweep. Halo members
+// are deduplicated with a stamp array (a vertex adjacent to several of
+// s's nodes enters halo[s] once); since shards own contiguous index
+// ranges and vertices are visited ascending, the out-of-shard neighbors
+// are collected unordered and sorted per shard afterwards.
 func (pt *Partition) computeBoundary() {
 	pt.boundary = make([][]int32, pt.p)
+	pt.halo = make([][]int32, pt.p)
 	pt.crossEdges = make([][]int, pt.p)
 	for s := range pt.crossEdges {
 		pt.crossEdges[s] = make([]int, pt.p)
 	}
 	c := pt.csr
+	stamp := make([]int32, c.N())
+	for i := range stamp {
+		stamp[i] = -1
+	}
 	for s := 0; s < pt.p; s++ {
 		cross := pt.crossEdges[s]
 		for v := pt.lo[s]; v < pt.hi[s]; v++ {
@@ -144,12 +162,17 @@ func (pt *Partition) computeBoundary() {
 				if d := pt.shardOf[w]; int(d) != s {
 					cross[d]++
 					external = true
+					if stamp[w] != int32(s) {
+						stamp[w] = int32(s)
+						pt.halo[s] = append(pt.halo[s], w)
+					}
 				}
 			}
 			if external {
 				pt.boundary[s] = append(pt.boundary[s], v)
 			}
 		}
+		slices.Sort(pt.halo[s])
 	}
 }
 
@@ -168,6 +191,24 @@ func (pt *Partition) ShardOf(v int) int { return int(pt.shardOf[v]) }
 // Boundary returns shard s's boundary vertices (ascending). The slice
 // aliases internal storage and must not be modified.
 func (pt *Partition) Boundary(s int) []int32 { return pt.boundary[s] }
+
+// Halo returns shard s's halo vertices — the out-of-shard neighbors of
+// its nodes, ascending. Index k in the returned slice is vertex
+// Halo(s)[k]'s halo slot: the wire exchange ships shard s exactly these
+// loads, in exactly this order. The slice aliases internal storage and
+// must not be modified.
+func (pt *Partition) Halo(s int) []int32 { return pt.halo[s] }
+
+// HaloSlot returns vertex v's slot in shard s's halo order, or -1 when
+// v is not in the halo. The index is compact — a binary search over the
+// sorted halo list, no n-length table.
+func (pt *Partition) HaloSlot(s int, v int32) int {
+	k, ok := slices.BinarySearch(pt.halo[s], v)
+	if !ok {
+		return -1
+	}
+	return k
+}
 
 // CrossEdges returns the number of directed edges from shard s into
 // shard d.

@@ -3,7 +3,10 @@ package shard
 import (
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/dynamics"
 	"repro/internal/graph"
+	"repro/internal/machine"
 )
 
 // mustCSR converts a generator result; generator errors on these fixed
@@ -74,6 +77,108 @@ func checkCover(t *testing.T, c *graph.CSR, pt *Partition) {
 		}
 		if pt.CrossEdges(s, s) != 0 {
 			t.Fatalf("shard %d counts internal edges as cross", s)
+		}
+	}
+	checkHalo(t, c, pt)
+}
+
+// checkHalo verifies the halo sets against brute force: Halo(s) is
+// exactly the out-of-shard neighbor closure of shard s's vertices —
+// deduplicated, ascending — HaloSlot inverts it, and every halo vertex
+// is a boundary vertex of its owning shard (the invariant the
+// coordinator's gather-boundary/scatter-halo routing rests on).
+func checkHalo(t *testing.T, c *graph.CSR, pt *Partition) {
+	t.Helper()
+	for s := 0; s < pt.P(); s++ {
+		lo, hi := pt.Range(s)
+		seen := map[int32]bool{}
+		var want []int32
+		for v := lo; v < hi; v++ {
+			for _, w := range c.Neighbors(v) {
+				if pt.ShardOf(int(w)) != s && !seen[w] {
+					seen[w] = true
+					want = append(want, w)
+				}
+			}
+		}
+		// Brute-force closure collected in visit order; sort by insertion
+		// into a fresh slice via simple insertion (n is small in tests).
+		for i := 1; i < len(want); i++ {
+			for j := i; j > 0 && want[j] < want[j-1]; j-- {
+				want[j], want[j-1] = want[j-1], want[j]
+			}
+		}
+		got := pt.Halo(s)
+		if len(got) != len(want) {
+			t.Fatalf("shard %d: %d halo nodes, want %d", s, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("shard %d halo[%d] = %d, want %d", s, k, got[k], want[k])
+			}
+			if slot := pt.HaloSlot(s, got[k]); slot != k {
+				t.Fatalf("shard %d: HaloSlot(%d) = %d, want %d", s, got[k], slot, k)
+			}
+			// Ownership: a halo vertex must be a boundary vertex of its
+			// owner — the gather covers the scatter.
+			owner := pt.ShardOf(int(got[k]))
+			found := false
+			for _, b := range pt.Boundary(owner) {
+				if b == got[k] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("shard %d halo vertex %d is not a boundary vertex of its owner %d", s, got[k], owner)
+			}
+		}
+		if slot := pt.HaloSlot(s, int32(lo)); slot != -1 {
+			t.Fatalf("shard %d: own vertex %d reported in halo at slot %d", s, lo, slot)
+		}
+	}
+}
+
+// TestHaloAcrossChurn re-derives partitions across a sequence of churn
+// epochs (joins and leaves reshape the graph and renumber vertices) and
+// checks the halo invariants hold on every successor instance — the
+// situation the dynamic harness creates when it rebuilds cluster
+// engines at epoch boundaries.
+func TestHaloAcrossChurn(t *testing.T) {
+	g, err := graph.Torus(5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(g, machine.Uniform(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, g.N())
+	for i := range counts {
+		counts[i] = int64(i % 5)
+	}
+	events := []dynamics.ChurnEvent{
+		{Round: 1, Kind: dynamics.ChurnJoin, Degree: 3},
+		{Round: 2, Kind: dynamics.ChurnLeave, Node: -1},
+		{Round: 3, Kind: dynamics.ChurnJoin, Degree: 5},
+		{Round: 4, Kind: dynamics.ChurnLeave, Node: 7},
+	}
+	const seed = 11
+	for epoch, ev := range events {
+		nsys, ncounts, err := dynamics.ApplyChurnUniform(sys, counts, ev, seed)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		sys, counts = nsys, ncounts
+		csr := sys.Graph().CSR()
+		for _, p := range []int{1, 2, 3, 7} {
+			for _, strat := range []Strategy{Contiguous, DegreeBalanced} {
+				pt, err := NewPartition(csr, p, strat)
+				if err != nil {
+					t.Fatalf("epoch %d p=%d %q: %v", epoch, p, strat, err)
+				}
+				checkCover(t, csr, pt)
+			}
 		}
 	}
 }

@@ -1,0 +1,61 @@
+package shard
+
+// LoadView is the decide phase's window onto a round's load snapshot.
+// The paper's protocols are strictly local — node i's decision reads
+// only loads[i] and loads[j] for neighbors j — so a shard never needs
+// the full vector: its own span plus its halo slots (the out-of-shard
+// neighbor closure, Partition.Halo) cover every index its decide can
+// touch.
+//
+// The view is backed by one dense n-length vector so protocol code
+// keeps plain []float64 indexing (core.WeightedFlatProtocol's
+// DecideNodeFlat signature) with zero indirection cost. The freshness
+// contract differs by owner:
+//
+//   - In-process engines alias the engine's loads vector directly
+//     (zero-copy); every entry is refreshed each round by the snapshot
+//     phase, so the view is dense-fresh and single-process behavior is
+//     bit-for-bit unchanged.
+//   - Cluster workers refresh only their own span (snapshotLoads) and
+//     their halo slots (FillHalo, from the coordinator's KindHaloLoads
+//     frame). All other entries go stale — and, per the locality
+//     argument above, are never read by that shard's decide.
+type LoadView struct {
+	dense []float64
+}
+
+// DenseLoadView wraps an engine's n-length load vector as a view. The
+// slice is aliased, not copied: snapshot-phase writes through the
+// engine are immediately visible to readers of the view.
+func DenseLoadView(loads []float64) LoadView { return LoadView{dense: loads} }
+
+// Load returns vertex j's snapshot load. Only indices inside the
+// reading shard's own span or halo set are guaranteed fresh.
+func (v LoadView) Load(j int32) float64 { return v.dense[j] }
+
+// LoadAt is Load for an int index (own-span reads use int loops).
+func (v LoadView) LoadAt(i int) float64 { return v.dense[i] }
+
+// Dense exposes the backing vector for flat-protocol decides
+// (DecideNodeFlat receives the whole vector but reads only the
+// deciding node's own and neighbor entries — the same locality
+// contract the view formalizes).
+func (v LoadView) Dense() []float64 { return v.dense }
+
+// FillHalo scatters a halo frame into the view: vals[k] is the load of
+// vertex halo[k], per the partition's deterministic slot order.
+func (v LoadView) FillHalo(halo []int32, vals []float64) {
+	for k, j := range halo {
+		v.dense[j] = vals[k]
+	}
+}
+
+// Gather packs the loads of the given vertices (boundary lists, halo
+// sets) into dst in order, growing it as needed, and returns it.
+func (v LoadView) Gather(nodes []int32, dst []float64) []float64 {
+	dst = dst[:0]
+	for _, j := range nodes {
+		dst = append(dst, v.dense[j])
+	}
+	return dst
+}

@@ -62,8 +62,12 @@ type WeightedEngine struct {
 	segLen [][]int64
 	priv   [][][]float64
 
-	nodeWeight     []float64
-	loads          []float64
+	nodeWeight []float64
+	loads      []float64
+	// view is the decide phase's read surface over loads: a zero-copy
+	// dense alias in process, own-span + halo freshness in a cluster
+	// worker (see LoadView).
+	view           LoadView
 	totalW         float64
 	count          int64
 	sinceRecompute int64
@@ -218,6 +222,7 @@ func NewWeighted(sys *core.System, proto core.WeightedFlatProtocol, perNode []ta
 		workers:    workers,
 		kick:       make([]chan phase, workers),
 	}
+	e.view = DenseLoadView(e.loads)
 	for s := 0; s < p; s++ {
 		lo, hi := part.Range(s)
 		size := hi - lo
@@ -369,7 +374,7 @@ func (e *WeightedEngine) decideShard(s int, roundStream *rng.Stream, sc *weighte
 		var ms []core.TaskMove
 		if cnt > 0 {
 			roundStream.SplitTo(uint64(i), &sc.child)
-			ms = e.proto.DecideNodeFlat(e.sys, i, cnt, e.nodeWeight[i], e.loads, &sc.child, sc.ws)
+			ms = e.proto.DecideNodeFlat(e.sys, i, cnt, e.nodeWeight[i], e.view.Dense(), &sc.child, sc.ws)
 		}
 		if len(ms) > 0 {
 			seg := e.seg(s, k)

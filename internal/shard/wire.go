@@ -19,16 +19,19 @@ const (
 
 // clusterConfig is the session-start frame: the full instance
 // description a worker needs to build its engine, plus the initial (or
-// restored) state. The coordinator sends one to each worker; the state
-// vectors are full-length — a worker's out-of-range entries go stale
-// after the first round but are never read (loads arrive by broadcast,
-// decisions and commits touch only the worker's own range).
+// restored) state of the worker's own index range only. A worker never
+// holds another shard's tasks — decisions and commits touch only its
+// own range, and foreign loads arrive per round through the halo
+// exchange — so shipping (or retaining) out-of-range state would be a
+// dead buffer. Lo anchors the range; its length is implied by the
+// state vectors.
 type clusterConfig struct {
 	Model    uint8
 	Proto    string  // registered protocol name
 	Alpha    float64 // protocol damping (0 means default)
 	P        int
 	Shard    int // this worker's shard index
+	Lo       int // first vertex of the worker's own range
 	Strategy string
 
 	// Instance: CSR + speeds + λ₂ reconstruct the core.System without
@@ -40,13 +43,14 @@ type clusterConfig struct {
 	Speeds  []float64
 	Lambda2 float64
 
-	// Initial state. Uniform: Counts. Weighted: the flat (Off, Pool)
-	// layout; when Restored, NodeWeight carries the checkpointed cached
-	// per-node sums (which drift from the exact folds between periodic
-	// recomputes and so cannot be recomputed from Pool).
+	// Own-range state. Uniform: Counts. Weighted: per-node segment
+	// lengths plus the concatenated segment contents (the ownState
+	// layout); when Restored, NodeWeight carries the checkpointed
+	// cached per-node sums (which drift from the exact folds between
+	// periodic recomputes and so cannot be recomputed from Segs).
 	Counts     []int64
-	Off        []int64
-	Pool       []float64
+	SegLen     []int64
+	Segs       []float64
 	Restored   bool
 	NodeWeight []float64
 }
@@ -57,6 +61,7 @@ func encodeConfig(b *transport.Buffer, c *clusterConfig) {
 	b.PutF64(c.Alpha)
 	b.PutU32(uint32(c.P))
 	b.PutU32(uint32(c.Shard))
+	b.PutU32(uint32(c.Lo))
 	b.PutString(c.Strategy)
 	b.PutString(c.CSRName)
 	b.PutU32(uint32(c.N))
@@ -67,8 +72,8 @@ func encodeConfig(b *transport.Buffer, c *clusterConfig) {
 	if c.Model == modelUniform {
 		b.PutI64s(c.Counts)
 	} else {
-		b.PutI64s(c.Off)
-		b.PutF64s(c.Pool)
+		b.PutI64s(c.SegLen)
+		b.PutF64s(c.Segs)
 	}
 	if c.Restored {
 		b.PutU8(1)
@@ -93,6 +98,7 @@ func decodeConfig(b *transport.Buffer) (*clusterConfig, error) {
 	read(func() (e error) { c.Alpha, e = b.F64(); return })
 	read(func() (e error) { v, e := b.U32(); c.P = int(v); return e })
 	read(func() (e error) { v, e := b.U32(); c.Shard = int(v); return e })
+	read(func() (e error) { v, e := b.U32(); c.Lo = int(v); return e })
 	read(func() (e error) { c.Strategy, e = b.String(); return })
 	read(func() (e error) { c.CSRName, e = b.String(); return })
 	read(func() (e error) { v, e := b.U32(); c.N = int(v); return e })
@@ -106,8 +112,8 @@ func decodeConfig(b *transport.Buffer) (*clusterConfig, error) {
 	if c.Model == modelUniform {
 		read(func() (e error) { c.Counts, e = b.I64s(nil); return })
 	} else {
-		read(func() (e error) { c.Off, e = b.I64s(nil); return })
-		read(func() (e error) { c.Pool, e = b.F64s(nil); return })
+		read(func() (e error) { c.SegLen, e = b.I64s(nil); return })
+		read(func() (e error) { c.Segs, e = b.F64s(nil); return })
 	}
 	read(func() (e error) {
 		v, e := b.U8()

@@ -19,10 +19,13 @@ import (
 // Options{Shards: P} with the identical partition — and drives that
 // shard's three phases directly, so every decide and commit runs the
 // byte-for-byte identical code; only the flow exchange differs, swapped
-// behind the Transport interface. The worker's out-of-range state goes
-// stale after the first round but is never read: loads arrive by
-// coordinator broadcast, and decisions and commits touch only the
-// worker's own index range.
+// behind the Transport interface. State is own-range only: the config
+// frame ships just this shard's slice (the rest of the engine's dense
+// vectors stays zero/empty), and the per-round load exchange is
+// O(cut), not O(n) — own boundary loads out, halo loads back, never
+// the full vector. Entries outside the own range and halo are never
+// read (LoadView's locality contract), so nothing here holds a full
+// copy of the global state.
 
 // workerTransport is the socket-backed Transport of a cluster worker:
 // the worker's own published lists are held locally (its intra-shard
@@ -99,6 +102,26 @@ type worker struct {
 	ue *Engine
 	we *WeightedEngine
 
+	// Rebuild inputs, retained so a coordinator-materialized state
+	// (KindStateLoad) can replace the weighted engine mid-session.
+	sys    *core.System
+	wproto core.WeightedFlatProtocol
+	opts   Options
+
+	// Halo exchange: this shard's boundary and halo vertex lists (both
+	// aliases of the partition's sorted storage), the engine's load
+	// view, and the gather/scatter staging slices.
+	view     LoadView
+	boundary []int32
+	halo     []int32
+	bvals    []float64
+	hvals    []float64
+
+	// evbuf stages the event report encoded against the pre-event state,
+	// shipped either standalone (KindEventsReport) or piggybacked on the
+	// round's boundary-loads frame.
+	evbuf transport.Buffer
+
 	scratch []float64 // drain-report / state-gather staging
 
 	// Cumulative telemetry, reported to the coordinator as a KindStats
@@ -153,7 +176,12 @@ func newWorker(conn *transport.Conn) (*worker, error) {
 		if err != nil {
 			return nil, err
 		}
-		e, err := New(sys, proto, cfg.Counts, opts)
+		if cfg.Lo < 0 || cfg.Lo+len(cfg.Counts) > cfg.N {
+			return nil, fmt.Errorf("shard: worker: own range [%d,%d) outside %d nodes", cfg.Lo, cfg.Lo+len(cfg.Counts), cfg.N)
+		}
+		counts := make([]int64, cfg.N)
+		copy(counts[cfg.Lo:], cfg.Counts)
+		e, err := New(sys, proto, counts, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -164,21 +192,24 @@ func newWorker(conn *transport.Conn) (*worker, error) {
 		e.tr = w.tr
 		w.ue = e
 		w.lo, w.hi = e.part.Range(cfg.Shard)
+		w.view = e.view
+		w.boundary = e.part.Boundary(cfg.Shard)
+		w.halo = e.part.Halo(cfg.Shard)
+		if w.lo != cfg.Lo || w.hi-w.lo != len(cfg.Counts) {
+			e.Close()
+			return nil, fmt.Errorf("shard: worker: config range [%d,%d) does not match partition range [%d,%d)", cfg.Lo, cfg.Lo+len(cfg.Counts), w.lo, w.hi)
+		}
 	case modelWeighted:
 		proto, err := weightedProtoFor(cfg.Proto, cfg.Alpha)
 		if err != nil {
 			return nil, err
 		}
-		if len(cfg.Off) != cfg.N+1 {
-			return nil, fmt.Errorf("shard: worker: %d segment offsets for %d nodes", len(cfg.Off), cfg.N)
+		if cfg.Lo < 0 || cfg.Lo+len(cfg.SegLen) > cfg.N {
+			return nil, fmt.Errorf("shard: worker: own range [%d,%d) outside %d nodes", cfg.Lo, cfg.Lo+len(cfg.SegLen), cfg.N)
 		}
-		perNode := make([]task.Weights, cfg.N)
-		for i := 0; i < cfg.N; i++ {
-			lo, hi := cfg.Off[i], cfg.Off[i+1]
-			if lo < 0 || hi < lo || hi > int64(len(cfg.Pool)) {
-				return nil, fmt.Errorf("shard: worker: segment [%d,%d) outside pool of %d", lo, hi, len(cfg.Pool))
-			}
-			perNode[i] = task.Weights(cfg.Pool[lo:hi])
+		perNode, err := expandSegments(cfg.N, cfg.Lo, cfg.SegLen, cfg.Segs)
+		if err != nil {
+			return nil, err
 		}
 		e, err := NewWeighted(sys, proto, perNode, opts)
 		if err != nil {
@@ -192,18 +223,28 @@ func newWorker(conn *transport.Conn) (*worker, error) {
 			// The checkpointed cached sums drift from the exact folds
 			// between periodic recomputes; adopt them bit-for-bit instead
 			// of the fresh folds NewWeighted computed.
-			if len(cfg.NodeWeight) != cfg.N {
+			if len(cfg.NodeWeight) != len(cfg.SegLen) {
 				e.Close()
-				return nil, fmt.Errorf("shard: worker: %d restored weight sums for %d nodes", len(cfg.NodeWeight), cfg.N)
+				return nil, fmt.Errorf("shard: worker: %d restored weight sums for range of %d", len(cfg.NodeWeight), len(cfg.SegLen))
 			}
-			copy(e.nodeWeight, cfg.NodeWeight)
+			copy(e.nodeWeight[cfg.Lo:], cfg.NodeWeight)
 			for i := range e.sumValid {
 				e.sumValid[i] = false
 			}
 		}
 		e.tr = w.tr
 		w.we = e
+		w.sys = sys
+		w.wproto = proto
+		w.opts = opts
 		w.lo, w.hi = e.part.Range(cfg.Shard)
+		w.view = e.view
+		w.boundary = e.part.Boundary(cfg.Shard)
+		w.halo = e.part.Halo(cfg.Shard)
+		if w.lo != cfg.Lo || w.hi-w.lo != len(cfg.SegLen) {
+			e.Close()
+			return nil, fmt.Errorf("shard: worker: config range [%d,%d) does not match partition range [%d,%d)", cfg.Lo, cfg.Lo+len(cfg.SegLen), w.lo, w.hi)
+		}
 	default:
 		return nil, fmt.Errorf("shard: worker: unknown model %d", cfg.Model)
 	}
@@ -212,6 +253,25 @@ func newWorker(conn *transport.Conn) (*worker, error) {
 		return nil, err
 	}
 	return w, nil
+}
+
+// expandSegments unpacks an own-range (SegLen, Segs) pair into a
+// full-length per-node weights slice, empty outside [lo, lo+len(segLen)).
+// The returned segments alias segs.
+func expandSegments(n, lo int, segLen []int64, segs []float64) ([]task.Weights, error) {
+	perNode := make([]task.Weights, n)
+	idx := int64(0)
+	for k, l := range segLen {
+		if l < 0 || idx+l > int64(len(segs)) {
+			return nil, fmt.Errorf("shard: worker: segment [%d,%d) outside pool of %d", idx, idx+l, len(segs))
+		}
+		perNode[lo+k] = task.Weights(segs[idx : idx+l])
+		idx += l
+	}
+	if idx != int64(len(segs)) {
+		return nil, fmt.Errorf("shard: worker: %d pool weights beyond the segments", int64(len(segs))-idx)
+	}
+	return perNode, nil
 }
 
 func (w *worker) close() {
@@ -238,6 +298,8 @@ func (w *worker) loop(wo WorkerOptions) error {
 			}
 		case transport.KindEvents:
 			err = w.events(payload)
+		case transport.KindStateLoad:
+			err = w.adoptState(payload)
 		case transport.KindStateReq:
 			w.buf.Reset()
 			encodeOwnState(&w.buf, w.model, w.ownState())
@@ -259,11 +321,12 @@ func (w *worker) loop(wo WorkerOptions) error {
 	}
 }
 
-// round executes one protocol round: snapshot own loads, swap the full
-// broadcast in, decide, ship the outbound cross-shard flows, load the
-// grant (move bases, recompute crossing, inbound flows), commit, and
-// report step completion (with the fresh own-range sums on recompute
-// rounds). The frame sequence is strict alternation with the
+// round executes one protocol round: apply the piggybacked event batch
+// (if the round frame carries one), snapshot own loads, trade boundary
+// loads for halo loads, decide, ship the outbound cross-shard flows,
+// load the grant (move bases, recompute crossing, inbound flows),
+// commit, and report step completion (with the fresh own-range sums on
+// recompute rounds). The frame sequence is strict alternation with the
 // coordinator — read exactly when it writes and vice versa — which
 // keeps the lockstep deadlock-free even over unbuffered pipes.
 func (w *worker) round(payload []byte) (uint64, error) {
@@ -280,37 +343,54 @@ func (w *worker) round(payload []byte) (uint64, error) {
 		}
 	}
 	rs := rng.StreamFromWords(words)
+	evFlag, err := b.U8()
+	if err != nil {
+		return 0, err
+	}
+	w.evbuf.Reset()
+	if evFlag != 0 {
+		batch, err := decodeEventSlice(&b, w.model, w.n)
+		if err != nil {
+			return 0, err
+		}
+		if err := w.applyLocalEvents(batch); err != nil {
+			return 0, err
+		}
+	}
 
-	// Phase 1: own loads out, full snapshot back.
+	// Phase 1: boundary loads out (the event report, if any, rides the
+	// same frame), halo loads back — O(cut) either way, never the full
+	// vector.
 	t := time.Now()
-	var loads []float64
 	if w.model == modelUniform {
 		w.ue.snapshotLoads(w.own)
-		loads = w.ue.loads
 	} else {
 		w.we.snapshotLoads(w.own)
-		loads = w.we.loads
 	}
 	w.stats.SnapshotNs += int64(time.Since(t))
+	w.bvals = w.view.Gather(w.boundary, w.bvals)
 	w.buf.Reset()
-	w.buf.PutF64s(loads[w.lo:w.hi])
-	if err := w.conn.WriteFrame(transport.KindLoads, w.buf.B); err != nil {
+	w.buf.PutF64s(w.bvals)
+	w.buf.B = append(w.buf.B, w.evbuf.B...)
+	if err := w.conn.WriteFrame(transport.KindBoundaryLoads, w.buf.B); err != nil {
 		return 0, err
 	}
 	t = time.Now()
-	payload, err = w.conn.Expect(transport.KindLoadsAll)
+	payload, err = w.conn.Expect(transport.KindHaloLoads)
 	w.stats.BarrierWaitNs += int64(time.Since(t))
 	if err != nil {
 		return 0, err
 	}
 	b.Load(payload)
-	all, err := b.F64s(loads[:0])
+	hv, err := b.F64s(w.hvals[:0])
 	if err != nil {
 		return 0, err
 	}
-	if len(all) != w.n {
-		return 0, fmt.Errorf("shard: worker: %d loads for %d nodes", len(all), w.n)
+	w.hvals = hv
+	if len(hv) != len(w.halo) {
+		return 0, fmt.Errorf("shard: worker: %d halo loads for %d halo nodes", len(hv), len(w.halo))
 	}
+	w.view.FillHalo(w.halo, hv)
 
 	// Phase 2: decide own shard, publish locally, ship the cross-shard
 	// lists (the own-destination list stays local and never hits the
@@ -442,15 +522,8 @@ func (w *worker) loadGrantWFlows(b *transport.Buffer) error {
 	return nil
 }
 
-// events applies a pre-round workload batch to the worker's own range.
-// For the weighted model the reply carries, per own node in ascending
-// order, the exact weights the drain removes — computed against the
-// pre-event state with WeightedState.Drain's clamp-and-truncate rule —
-// so the coordinator can replay the global totalW and ledger float64
-// operation sequence in the sequential engine's exact order. The
-// worker's own recompute counter is pinned to zero first: the
-// coordinator owns the threshold accounting and refuses batches that
-// would cross it.
+// events applies a standalone pre-round workload batch (KindEvents) to
+// the worker's own range and replies with the event report.
 func (w *worker) events(payload []byte) error {
 	var b transport.Buffer
 	b.Load(payload)
@@ -458,25 +531,41 @@ func (w *worker) events(payload []byte) error {
 	if err != nil {
 		return err
 	}
+	w.evbuf.Reset()
+	if err := w.applyLocalEvents(batch); err != nil {
+		return err
+	}
+	return w.conn.WriteFrame(transport.KindEventsReport, w.evbuf.B)
+}
+
+// applyLocalEvents applies a workload batch to the worker's own range,
+// staging the event report in w.evbuf. For the weighted model the
+// report carries, per own node in ascending order, the exact weights
+// the drain removes — computed against the pre-event state with
+// WeightedState.Drain's clamp-and-truncate rule — so the coordinator
+// can replay the global totalW and ledger float64 operation sequence in
+// the sequential engine's exact order. The worker's own recompute
+// counter is pinned to zero first: the coordinator owns the threshold
+// accounting and routes batches that would cross it through the
+// materialized state path instead.
+func (w *worker) applyLocalEvents(batch *core.EventBatch) error {
 	if w.model == modelUniform {
 		led, err := w.ue.ApplyEvents(batch)
 		if err != nil {
 			return err
 		}
-		w.buf.Reset()
-		w.buf.PutI64(led.Arrived)
-		w.buf.PutI64(led.Departed)
-		return w.conn.WriteFrame(transport.KindEventsReport, w.buf.B)
+		w.evbuf.PutI64(led.Arrived)
+		w.evbuf.PutI64(led.Departed)
+		return nil
 	}
 	e := w.we
-	w.buf.Reset()
 	cnt := uint32(0)
 	for i := w.lo; i < w.hi; i++ {
 		if e.drainCount(i, batch) > 0 {
 			cnt++
 		}
 	}
-	w.buf.PutU32(cnt)
+	w.evbuf.PutU32(cnt)
 	for i := w.lo; i < w.hi; i++ {
 		k := e.drainCount(i, batch)
 		if k <= 0 {
@@ -497,14 +586,51 @@ func (w *worker) events(payload []byte) error {
 			}
 		}
 		w.scratch = drained[:0]
-		w.buf.PutU32(uint32(i))
-		w.buf.PutF64s(drained)
+		w.evbuf.PutU32(uint32(i))
+		w.evbuf.PutF64s(drained)
 	}
 	e.sinceRecompute = 0
-	if _, err := e.ApplyEvents(batch); err != nil {
+	_, err := e.ApplyEvents(batch)
+	return err
+}
+
+// adoptState replaces the weighted engine's own-range state with a
+// coordinator-materialized one (the threshold-crossing event path,
+// KindStateLoad). The engine is rebuilt from scratch — its segment
+// pools cannot shrink in place — and the shipped cached per-node sums
+// are adopted bit-for-bit, exactly as a checkpoint restore does.
+func (w *worker) adoptState(payload []byte) error {
+	if w.model != modelWeighted {
+		return fmt.Errorf("shard: worker: state-load frame for the uniform model")
+	}
+	var b transport.Buffer
+	b.Load(payload)
+	st, err := decodeOwnState(&b, w.model)
+	if err != nil {
 		return err
 	}
-	return w.conn.WriteFrame(transport.KindEventsReport, w.buf.B)
+	if len(st.SegLen) != w.hi-w.lo || len(st.NodeWeight) != w.hi-w.lo {
+		return fmt.Errorf("shard: worker: state sized %d/%d for range of %d", len(st.SegLen), len(st.NodeWeight), w.hi-w.lo)
+	}
+	perNode, err := expandSegments(w.n, w.lo, st.SegLen, st.Segs)
+	if err != nil {
+		return err
+	}
+	e, err := NewWeighted(w.sys, w.wproto, perNode, w.opts)
+	if err != nil {
+		return err
+	}
+	copy(e.nodeWeight[w.lo:w.hi], st.NodeWeight)
+	for i := range e.sumValid {
+		e.sumValid[i] = false
+	}
+	e.tr = w.tr
+	w.we.Close()
+	w.we = e
+	w.view = e.view
+	w.boundary = e.part.Boundary(w.own)
+	w.halo = e.part.Halo(w.own)
+	return w.conn.WriteFrame(transport.KindEventsDone, nil)
 }
 
 // ownState snapshots the worker's own index range for state gathers and

@@ -75,6 +75,20 @@ const (
 	// Pure observability — the coordinator never feeds it back into
 	// protocol decisions, so the frame cannot perturb the trajectory.
 	KindStats Kind = 18
+	// KindBoundaryLoads carries one shard's boundary-node loads to the
+	// coordinator (ascending node order, matching Partition.Boundary),
+	// optionally followed by the shard's event report when the round
+	// frame piggybacked an event batch. Replaces the full own-range
+	// KindLoads gather: payload size is O(boundary), not O(n/P).
+	KindBoundaryLoads Kind = 19
+	// KindHaloLoads carries a shard's halo loads from the coordinator
+	// (slot order, matching Partition.Halo). Replaces the full-vector
+	// KindLoadsAll broadcast: payload size is O(halo), not O(n).
+	KindHaloLoads Kind = 20
+	// KindStateLoad ships a worker its own-range state to adopt
+	// wholesale (the materialized event path for recompute-crossing
+	// batches); acknowledged with KindEventsDone.
+	KindStateLoad Kind = 21
 )
 
 // maxFrame bounds a frame's payload so a corrupt or adversarial length
@@ -213,7 +227,7 @@ func (b *Buffer) Load(p []byte) { b.B = p; b.off = 0 }
 // Remaining reports the unconsumed byte count.
 func (b *Buffer) Remaining() int { return len(b.B) - b.off }
 
-func (b *Buffer) PutU8(v uint8)  { b.B = append(b.B, v) }
+func (b *Buffer) PutU8(v uint8) { b.B = append(b.B, v) }
 func (b *Buffer) PutU32(v uint32) {
 	b.B = binary.LittleEndian.AppendUint32(b.B, v)
 }
